@@ -1,0 +1,458 @@
+//! Deduplication pipeline (Parsec Dedup, paper §5.3).
+//!
+//! A four-stage pipeline — chunk → hash → compress → store — connected by
+//! bounded queues that use condition variables, the workload the paper
+//! selects precisely because it exercises the condvar protocol of §3.3.3:
+//! every queue wait is bracketed by `checkpoint_allow` / and the
+//! re-locking `checkpoint_prevent`, with an RP immediately before each
+//! critical-section entrance.
+//!
+//! The persistent state is the dedup store: a hash map from chunk
+//! fingerprint to reference count, plus a running total of unique
+//! compressed bytes. The pipeline queues themselves are volatile (in-flight
+//! chunks are re-chunked from the input after a crash).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use respct::{Pool, PoolConfig, ThreadHandle};
+use respct_ds::{PHashMap, TransientHashMap};
+use respct_pmem::{Region, RegionConfig};
+
+use crate::Mode;
+
+/// Configuration for one pipeline run.
+#[derive(Debug, Clone, Copy)]
+pub struct DedupConfig {
+    /// Total chunks streamed through the pipeline.
+    pub chunks: usize,
+    /// Distinct chunk contents (duplicates = chunks - unique).
+    pub unique: usize,
+    /// Bytes per chunk.
+    pub chunk_size: usize,
+    /// Hasher threads.
+    pub hashers: usize,
+    /// Compressor threads.
+    pub compressors: usize,
+    pub mode: Mode,
+    pub ckpt_period: Duration,
+}
+
+impl Default for DedupConfig {
+    fn default() -> Self {
+        DedupConfig {
+            chunks: 2_000,
+            unique: 500,
+            chunk_size: 1024,
+            hashers: 2,
+            compressors: 2,
+            mode: Mode::TransientDram,
+            ckpt_period: Duration::from_millis(64),
+        }
+    }
+}
+
+/// Result of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DedupOutput {
+    pub duration_us: u128,
+    pub chunks: usize,
+    pub unique_stored: usize,
+    pub compressed_bytes: u64,
+}
+
+// ---- Checkpoint-aware bounded channel ---------------------------------------
+
+struct ChanState<T> {
+    q: std::collections::VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded MPMC channel whose blocking waits follow the paper's condvar
+/// protocol when a [`ThreadHandle`] is supplied.
+struct Chan<T> {
+    state: Mutex<ChanState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+    /// Unique RP id for waits on this channel.
+    rp_id: u64,
+}
+
+impl<T> Chan<T> {
+    fn new(cap: usize, rp_id: u64) -> Chan<T> {
+        Chan {
+            state: Mutex::new(ChanState { q: std::collections::VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+            rp_id,
+        }
+    }
+
+    fn wait<'a>(
+        &'a self,
+        h: Option<&ThreadHandle>,
+        cv: &Condvar,
+        mut guard: parking_lot::MutexGuard<'a, ChanState<T>>,
+    ) -> parking_lot::MutexGuard<'a, ChanState<T>> {
+        match h {
+            Some(h) => {
+                // §3.3.3: allow checkpoints while blocked; on wake-up, wait
+                // out any in-flight checkpoint (releasing the lock).
+                h.checkpoint_allow();
+                cv.wait(&mut guard);
+                h.checkpoint_prevent_locked(&self.state, guard)
+            }
+            None => {
+                cv.wait(&mut guard);
+                guard
+            }
+        }
+    }
+
+    fn push(&self, h: Option<&ThreadHandle>, v: T) {
+        // RP immediately before the critical-section entrance (§3.3.3).
+        if let Some(h) = h {
+            h.rp(self.rp_id);
+        }
+        let mut guard = self.state.lock();
+        while guard.q.len() >= self.cap {
+            guard = self.wait(h, &self.not_full, guard);
+        }
+        guard.q.push_back(v);
+        drop(guard);
+        self.not_empty.notify_one();
+    }
+
+    fn pop(&self, h: Option<&ThreadHandle>) -> Option<T> {
+        if let Some(h) = h {
+            h.rp(self.rp_id + 1);
+        }
+        let mut guard = self.state.lock();
+        loop {
+            if let Some(v) = guard.q.pop_front() {
+                drop(guard);
+                self.not_full.notify_one();
+                return Some(v);
+            }
+            if guard.closed {
+                return None;
+            }
+            guard = self.wait(h, &self.not_empty, guard);
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+// ---- Synthetic input ---------------------------------------------------------
+
+/// Deterministic, RLE-friendly chunk content for content id `cid`.
+fn chunk_bytes(cid: usize, size: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(size);
+    let mut x = (cid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    while out.len() < size {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let byte = (x >> 16) as u8;
+        let run = 1 + ((x >> 40) % 32) as usize;
+        for _ in 0..run.min(size - out.len()) {
+            out.push(byte);
+        }
+    }
+    out
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Run-length "compression": returns the encoded size.
+fn rle_size(data: &[u8]) -> u64 {
+    let mut size = 0u64;
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        let mut j = i + 1;
+        while j < data.len() && data[j] == b && j - i < 255 {
+            j += 1;
+        }
+        size += 2;
+        i = j;
+    }
+    size
+}
+
+// ---- Store (persistent state) -------------------------------------------------
+
+enum Store {
+    Dram(TransientHashMap, std::sync::atomic::AtomicU64),
+    Nvmm {
+        map: respct_baselines_stub::NvmmLikeMap,
+        bytes: std::sync::atomic::AtomicU64,
+    },
+    Respct {
+        map: PHashMap,
+        bytes_cell: respct::ICell<u64>,
+    },
+}
+
+/// Minimal NVMM-resident map for the Transient<NVMM> store so this crate
+/// does not depend on `respct-baselines` (which depends on `respct-ds`).
+mod respct_baselines_stub {
+    use parking_lot::Mutex;
+    use respct_ds::hash_u64;
+    use respct_pmem::{PAddr, Region};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Chained map (key@0, next@8; 16-byte nodes) over a region bump.
+    pub struct NvmmLikeMap {
+        region: Arc<Region>,
+        buckets: u64,
+        nbuckets: u64,
+        bump: AtomicU64,
+        locks: Box<[Mutex<()>]>,
+    }
+
+    impl NvmmLikeMap {
+        pub fn new(region: Arc<Region>, nbuckets: u64) -> NvmmLikeMap {
+            let buckets = 64u64;
+            for b in 0..nbuckets {
+                region.store(PAddr(buckets + b * 8), 0u64);
+            }
+            let bump = AtomicU64::new(buckets + nbuckets * 8 + 64);
+            NvmmLikeMap {
+                region,
+                buckets,
+                nbuckets,
+                bump,
+                locks: (0..nbuckets).map(|_| Mutex::new(())).collect(),
+            }
+        }
+
+        /// Returns true if `k` was newly inserted.
+        pub fn insert_new(&self, k: u64) -> bool {
+            let b = hash_u64(k) % self.nbuckets;
+            let head = PAddr(self.buckets + b * 8);
+            let _g = self.locks[b as usize].lock();
+            let mut cur: u64 = self.region.load(head);
+            while cur != 0 {
+                if self.region.load::<u64>(PAddr(cur)) == k {
+                    return false;
+                }
+                cur = self.region.load(PAddr(cur + 8));
+            }
+            let node = self.bump.fetch_add(16, Ordering::Relaxed);
+            assert!(node + 16 <= self.region.size() as u64, "NvmmLikeMap full");
+            self.region.store(PAddr(node), k);
+            self.region.store(PAddr(node + 8), self.region.load::<u64>(head));
+            self.region.store(head, node);
+            true
+        }
+    }
+}
+
+// ---- The pipeline --------------------------------------------------------------
+
+/// Runs the dedup pipeline in the configured mode.
+pub fn run(cfg: DedupConfig) -> DedupOutput {
+    assert!(cfg.unique >= 1 && cfg.unique <= cfg.chunks);
+    let (pool, store) = match cfg.mode {
+        Mode::TransientDram => {
+            (None, Store::Dram(TransientHashMap::new(4096), std::sync::atomic::AtomicU64::new(0)))
+        }
+        Mode::TransientNvmm => {
+            let region = Region::new(RegionConfig::optane(64 << 20));
+            (
+                None,
+                Store::Nvmm {
+                    map: respct_baselines_stub::NvmmLikeMap::new(region, 4096),
+                    bytes: std::sync::atomic::AtomicU64::new(0),
+                },
+            )
+        }
+        Mode::Respct => {
+            let region = Region::new(RegionConfig::optane(128 << 20));
+            let pool = Pool::create(region, PoolConfig::default());
+            let h = pool.register();
+            let map = PHashMap::create(&h, 4096);
+            let bytes_cell = h.alloc_cell(0u64);
+            h.set_root(map.desc());
+            drop(h);
+            (Some(pool), Store::Respct { map, bytes_cell })
+        }
+    };
+    let _ckpt = pool.as_ref().map(|p| p.start_checkpointer(cfg.ckpt_period));
+
+    let chan_hash: Chan<usize> = Chan::new(256, 500);
+    let chan_comp: Chan<(usize, u64)> = Chan::new(256, 510);
+    let chan_store: Chan<(u64, u64)> = Chan::new(256, 520);
+    let hashers_left = AtomicUsize::new(cfg.hashers);
+    let comps_left = AtomicUsize::new(cfg.compressors);
+    let unique_stored = AtomicUsize::new(0);
+    let store = &store;
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let (ch, cc, cs) = (&chan_hash, &chan_comp, &chan_store);
+        let (hl, cl, us) = (&hashers_left, &comps_left, &unique_stored);
+        // Stage 1: chunker.
+        {
+            let pool = pool.clone();
+            s.spawn(move || {
+                let h = pool.as_ref().map(|p| p.register());
+                for cid in 0..cfg.chunks {
+                    ch.push(h.as_ref(), cid);
+                }
+                ch.close();
+            });
+        }
+        // Stage 2: hashers.
+        for _ in 0..cfg.hashers {
+            let pool = pool.clone();
+            s.spawn(move || {
+                let h = pool.as_ref().map(|p| p.register());
+                while let Some(cid) = ch.pop(h.as_ref()) {
+                    let content = cid % cfg.unique;
+                    let data = chunk_bytes(content, cfg.chunk_size);
+                    cc.push(h.as_ref(), (cid, fnv1a(&data)));
+                }
+                if hl.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    cc.close();
+                }
+            });
+        }
+        // Stage 3: compressors.
+        for _ in 0..cfg.compressors {
+            let pool = pool.clone();
+            s.spawn(move || {
+                let h = pool.as_ref().map(|p| p.register());
+                while let Some((cid, hash)) = cc.pop(h.as_ref()) {
+                    let content = cid % cfg.unique;
+                    let data = chunk_bytes(content, cfg.chunk_size);
+                    cs.push(h.as_ref(), (hash, rle_size(&data)));
+                }
+                if cl.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    cs.close();
+                }
+            });
+        }
+        // Stage 4: writer (owns the persistent state).
+        {
+            let pool = pool.clone();
+            s.spawn(move || {
+                let h = pool.as_ref().map(|p| p.register());
+                let mut nvctx = ();
+                let _ = &mut nvctx;
+                while let Some((hash, csize)) = cs.pop(h.as_ref()) {
+                    let new = match store {
+                        Store::Dram(map, bytes) => {
+                            let new = map.insert(hash, 1);
+                            if new {
+                                bytes.fetch_add(csize, Ordering::Relaxed);
+                            }
+                            new
+                        }
+                        Store::Nvmm { map, bytes } => {
+                            let new = map.insert_new(hash);
+                            if new {
+                                bytes.fetch_add(csize, Ordering::Relaxed);
+                            }
+                            new
+                        }
+                        Store::Respct { map, bytes_cell } => {
+                            let hh = h.as_ref().expect("respct writer has a handle");
+                            let new = map.insert(hh, hash, 1);
+                            if new {
+                                hh.update(*bytes_cell, hh.get(*bytes_cell) + csize);
+                            }
+                            hh.rp(530);
+                            new
+                        }
+                    };
+                    if new {
+                        us.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+    });
+    let duration = t0.elapsed();
+    let compressed_bytes = match store {
+        Store::Dram(_, bytes) | Store::Nvmm { bytes, .. } => bytes.load(Ordering::SeqCst),
+        Store::Respct { bytes_cell, .. } => {
+            pool.as_ref().expect("pool").cell_get(*bytes_cell)
+        }
+    };
+    DedupOutput {
+        duration_us: duration.as_micros(),
+        chunks: cfg.chunks,
+        unique_stored: unique_stored.load(Ordering::SeqCst),
+        compressed_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rle_roundtrip_size_sane() {
+        let data = chunk_bytes(3, 1024);
+        let size = rle_size(&data);
+        assert!(size < 1024, "synthetic chunks must be compressible: {size}");
+        assert!(size > 0);
+    }
+
+    #[test]
+    fn dedup_counts_unique_contents() {
+        let out = run(DedupConfig { chunks: 400, unique: 100, ..Default::default() });
+        assert_eq!(out.unique_stored, 100);
+        assert_eq!(out.chunks, 400);
+    }
+
+    #[test]
+    fn all_modes_agree() {
+        let base = DedupConfig {
+            chunks: 300,
+            unique: 80,
+            chunk_size: 512,
+            ckpt_period: Duration::from_millis(4),
+            ..Default::default()
+        };
+        let reference = run(DedupConfig { mode: Mode::TransientDram, ..base });
+        for mode in [Mode::TransientNvmm, Mode::Respct] {
+            let out = run(DedupConfig { mode, ..base });
+            assert_eq!(out.unique_stored, reference.unique_stored, "{mode:?}");
+            assert_eq!(out.compressed_bytes, reference.compressed_bytes, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn single_stage_threads() {
+        let out = run(DedupConfig {
+            chunks: 100,
+            unique: 100,
+            hashers: 1,
+            compressors: 1,
+            mode: Mode::Respct,
+            ckpt_period: Duration::from_millis(2),
+            ..Default::default()
+        });
+        assert_eq!(out.unique_stored, 100);
+    }
+}

@@ -1,0 +1,159 @@
+//! YCSB-style workload generation (paper §5.3, Fig. 14).
+//!
+//! The paper drives Memcached with YCSB: a load phase inserting 1M
+//! key-value pairs, then a run phase mixing reads and writes with keys
+//! drawn from a zipfian distribution. This module provides the standard
+//! zipfian generator (Gray et al., as used by YCSB) and the three mixes
+//! the paper evaluates: read-intensive (90/10), balanced (50/50), and
+//! write-intensive (10/90).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Zipfian generator over `0..n` with skew `theta` (YCSB default 0.99).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Builds a generator for `n` items (O(n) zeta precomputation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Zipfian {
+        assert!(n > 0);
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws the next zipfian rank (0 is the hottest key).
+    pub fn next(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Internal zeta(2) (exposed for tests).
+    #[doc(hidden)]
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// One generated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Get(u64),
+    Put(u64),
+}
+
+/// A read/update mix over a zipfian key space.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub zipf: Zipfian,
+    /// Percentage of reads (0..=100).
+    pub read_pct: u8,
+}
+
+impl Workload {
+    /// The paper's three Memcached mixes.
+    pub fn read_intensive(nkeys: u64) -> Workload {
+        Workload { zipf: Zipfian::new(nkeys, 0.99), read_pct: 90 }
+    }
+
+    /// 50/50 mix.
+    pub fn balanced(nkeys: u64) -> Workload {
+        Workload { zipf: Zipfian::new(nkeys, 0.99), read_pct: 50 }
+    }
+
+    /// 10/90 mix.
+    pub fn write_intensive(nkeys: u64) -> Workload {
+        Workload { zipf: Zipfian::new(nkeys, 0.99), read_pct: 10 }
+    }
+
+    /// Draws the next request.
+    pub fn next(&self, rng: &mut SmallRng) -> Op {
+        let key = self.zipf.next(rng);
+        if rng.gen_range(0..100u8) < self.read_pct {
+            Op::Get(key)
+        } else {
+            Op::Put(key)
+        }
+    }
+
+    /// A seeded rng for a client thread.
+    pub fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_bounded() {
+        let z = Zipfian::new(10_000, 0.99);
+        let mut rng = Workload::rng(42);
+        let mut counts = vec![0u32; 100];
+        let mut total_in_top = 0u64;
+        const DRAWS: u64 = 100_000;
+        for _ in 0..DRAWS {
+            let k = z.next(&mut rng);
+            assert!(k < 10_000);
+            if k < 100 {
+                counts[k as usize] += 1;
+                total_in_top += 1;
+            }
+        }
+        // With theta=0.99 over 10k keys, the hot 1% draws a large share.
+        assert!(total_in_top > DRAWS / 3, "zipf not skewed: {total_in_top}");
+        assert!(counts[0] > counts[50], "rank 0 must be hottest");
+    }
+
+    #[test]
+    fn mix_ratio_approximate() {
+        let w = Workload::read_intensive(1000);
+        let mut rng = Workload::rng(7);
+        let reads = (0..10_000).filter(|_| matches!(w.next(&mut rng), Op::Get(_))).count();
+        assert!((8_700..9_300).contains(&reads), "reads = {reads}");
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn invalid_theta_rejected() {
+        Zipfian::new(10, 1.5);
+    }
+}

@@ -1,0 +1,167 @@
+//! Minimal NVMM heap with volatile metadata, shared by the baselines.
+//!
+//! The competing systems in this crate need to place their data in the
+//! emulated NVMM region but manage allocation metadata their own way
+//! (Montage stresses this allocator heavily — that is one of the paper's
+//! findings). `NvHeap` is a plain bump allocator with per-context chunk
+//! caches and per-size free lists, all metadata volatile: a crash would
+//! leak, which is irrelevant here because only failure-free throughput of
+//! the baselines is measured (ResPCT's allocator, in contrast, is fully
+//! crash-consistent — see `respct::alloc`).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use respct_pmem::{align_up, PAddr, Region};
+
+const CHUNK: u64 = 64 * 1024;
+/// First usable offset (offset 0 is reserved so 0 can mean "null").
+const BASE: u64 = 64;
+
+/// Size classes identical to ResPCT's (16 B … 4 KiB).
+fn class_of(size: u64) -> Option<usize> {
+    (0..9).find(|&c| (16u64 << c) >= size)
+}
+
+struct Shared {
+    bump: u64,
+    free: [Vec<u64>; 9],
+}
+
+/// The heap. Clone the `Arc` freely; contexts are per thread.
+pub struct NvHeap {
+    region: Arc<Region>,
+    shared: Mutex<Shared>,
+}
+
+/// Per-thread allocation cache.
+#[derive(Default)]
+pub struct NvCtx {
+    cur: u64,
+    end: u64,
+}
+
+impl NvHeap {
+    /// Creates a heap covering `region`.
+    pub fn new(region: Arc<Region>) -> NvHeap {
+        NvHeap {
+            region,
+            shared: Mutex::new(Shared { bump: BASE, free: Default::default() }),
+        }
+    }
+
+    /// The underlying region.
+    pub fn region(&self) -> &Arc<Region> {
+        &self.region
+    }
+
+    /// Creates a per-thread context.
+    pub fn ctx(&self) -> NvCtx {
+        NvCtx::default()
+    }
+
+    /// Allocates `size` bytes, 64-byte aligned for sizes ≥ 64, naturally
+    /// aligned below.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the region is exhausted.
+    pub fn alloc(&self, ctx: &mut NvCtx, size: u64) -> PAddr {
+        assert!(size > 0);
+        match class_of(size) {
+            Some(c) => {
+                let block = 16u64 << c;
+                {
+                    let mut sh = self.shared.lock();
+                    if let Some(a) = sh.free[c].pop() {
+                        return PAddr(a);
+                    }
+                    drop(sh);
+                }
+                let aligned = align_up(ctx.cur, block.min(64));
+                if ctx.cur != 0 && aligned + block <= ctx.end {
+                    ctx.cur = aligned + block;
+                    return PAddr(aligned);
+                }
+                let chunk = self.grab(CHUNK);
+                ctx.cur = chunk + block;
+                ctx.end = chunk + CHUNK;
+                PAddr(chunk)
+            }
+            None => PAddr(self.grab(align_up(size, 64))),
+        }
+    }
+
+    fn grab(&self, size: u64) -> u64 {
+        let mut sh = self.shared.lock();
+        let start = align_up(sh.bump, 64);
+        let new = start + size;
+        assert!(new <= self.region.size() as u64, "NvHeap exhausted");
+        sh.bump = new;
+        start
+    }
+
+    /// Returns a block to its size class (immediately reusable — volatile
+    /// metadata, no crash consistency).
+    pub fn free(&self, addr: PAddr, size: u64) {
+        if let Some(c) = class_of(size) {
+            self.shared.lock().free[c].push(addr.0);
+        }
+    }
+
+    /// Bytes handed out (diagnostics).
+    pub fn used(&self) -> u64 {
+        self.shared.lock().bump - BASE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respct_pmem::RegionConfig;
+
+    #[test]
+    fn alloc_free_reuse() {
+        let heap = NvHeap::new(Region::new(RegionConfig::fast(1 << 20)));
+        let mut ctx = heap.ctx();
+        let a = heap.alloc(&mut ctx, 64);
+        let b = heap.alloc(&mut ctx, 64);
+        assert_ne!(a, b);
+        heap.free(a, 64);
+        let c = heap.alloc(&mut ctx, 64);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn blocks_do_not_overlap_across_threads() {
+        let heap = Arc::new(NvHeap::new(Region::new(RegionConfig::fast(16 << 20))));
+        let all = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let heap = Arc::clone(&heap);
+                let all = &all;
+                s.spawn(move || {
+                    let mut ctx = heap.ctx();
+                    let mut mine = Vec::new();
+                    for _ in 0..1000 {
+                        mine.push(heap.alloc(&mut ctx, 48).0);
+                    }
+                    all.lock().extend(mine);
+                });
+            }
+        });
+        let mut v = all.into_inner();
+        v.sort_unstable();
+        for w in v.windows(2) {
+            assert!(w[1] - w[0] >= 64, "overlap: {} {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn huge_alloc_is_aligned() {
+        let heap = NvHeap::new(Region::new(RegionConfig::fast(1 << 20)));
+        let mut ctx = heap.ctx();
+        let a = heap.alloc(&mut ctx, 100_000);
+        assert_eq!(a.0 % 64, 0);
+    }
+}

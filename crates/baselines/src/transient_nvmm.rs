@@ -1,0 +1,242 @@
+//! `Transient<NVMM>`: the unmodified algorithms with their data placed in
+//! (emulated) NVMM instead of DRAM — no logging, tracking, flushing, or
+//! fault tolerance. Isolates how much of a persistent system's overhead is
+//! simply "running on slower memory" (paper Fig. 10's first bar).
+//!
+//! Use with an Optane-latency region ([`RegionConfig::optane`]) for the
+//! paper's configuration.
+//!
+//! [`RegionConfig::optane`]: respct_pmem::RegionConfig::optane
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use respct_ds::traits::{BenchMap, BenchQueue};
+use respct_ds::hash_u64;
+use respct_pmem::{PAddr, Region};
+
+use crate::nvheap::{NvCtx, NvHeap};
+
+// Map node: key@0 val@8 next@16 (24 bytes, class 32).
+const MNODE_SIZE: u64 = 24;
+// Queue node: val@0 next@8 (16 bytes, class 16).
+const QNODE_SIZE: u64 = 16;
+
+/// Transient chained hash map resident in NVMM.
+pub struct NvmmHashMap {
+    heap: Arc<NvHeap>,
+    buckets: PAddr,
+    nbuckets: u64,
+    locks: Box<[Mutex<()>]>,
+}
+
+impl NvmmHashMap {
+    /// Creates a map with `nbuckets` buckets over `region`.
+    pub fn new(region: Arc<Region>, nbuckets: u64) -> NvmmHashMap {
+        assert!(nbuckets > 0);
+        let heap = Arc::new(NvHeap::new(region));
+        let mut ctx = heap.ctx();
+        let buckets = heap.alloc(&mut ctx, nbuckets * 8);
+        for b in 0..nbuckets {
+            heap.region().store(PAddr(buckets.0 + b * 8), 0u64);
+        }
+        let locks = (0..nbuckets).map(|_| Mutex::new(())).collect::<Vec<_>>();
+        NvmmHashMap { heap, buckets, nbuckets, locks: locks.into_boxed_slice() }
+    }
+
+    fn bucket(&self, k: u64) -> (u64, PAddr) {
+        let b = hash_u64(k) % self.nbuckets;
+        (b, PAddr(self.buckets.0 + b * 8))
+    }
+
+    /// Inserts or updates; `true` when newly inserted.
+    pub fn insert(&self, ctx: &mut NvCtx, k: u64, v: u64) -> bool {
+        let region = self.heap.region();
+        let (b, head) = self.bucket(k);
+        let _g = self.locks[b as usize].lock();
+        let mut cur: u64 = region.load(head);
+        while cur != 0 {
+            if region.load::<u64>(PAddr(cur)) == k {
+                region.store(PAddr(cur + 8), v);
+                return false;
+            }
+            cur = region.load(PAddr(cur + 16));
+        }
+        let node = self.heap.alloc(ctx, MNODE_SIZE);
+        region.store(node, k);
+        region.store(PAddr(node.0 + 8), v);
+        region.store(PAddr(node.0 + 16), region.load::<u64>(head));
+        region.store(head, node.0);
+        true
+    }
+
+    /// Removes; `true` if present.
+    pub fn remove(&self, _ctx: &mut NvCtx, k: u64) -> bool {
+        let region = self.heap.region();
+        let (b, head) = self.bucket(k);
+        let _g = self.locks[b as usize].lock();
+        let mut prev = 0u64;
+        let mut cur: u64 = region.load(head);
+        while cur != 0 {
+            let next: u64 = region.load(PAddr(cur + 16));
+            if region.load::<u64>(PAddr(cur)) == k {
+                if prev == 0 {
+                    region.store(head, next);
+                } else {
+                    region.store(PAddr(prev + 16), next);
+                }
+                self.heap.free(PAddr(cur), MNODE_SIZE);
+                return true;
+            }
+            prev = cur;
+            cur = next;
+        }
+        false
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, k: u64) -> Option<u64> {
+        let region = self.heap.region();
+        let (b, head) = self.bucket(k);
+        let _g = self.locks[b as usize].lock();
+        let mut cur: u64 = region.load(head);
+        while cur != 0 {
+            if region.load::<u64>(PAddr(cur)) == k {
+                return Some(region.load(PAddr(cur + 8)));
+            }
+            cur = region.load(PAddr(cur + 16));
+        }
+        None
+    }
+}
+
+impl BenchMap for NvmmHashMap {
+    type Ctx = NvCtx;
+
+    fn register(&self) -> NvCtx {
+        self.heap.ctx()
+    }
+
+    fn insert(&self, ctx: &mut NvCtx, k: u64, v: u64) -> bool {
+        NvmmHashMap::insert(self, ctx, k, v)
+    }
+
+    fn remove(&self, ctx: &mut NvCtx, k: u64) -> bool {
+        NvmmHashMap::remove(self, ctx, k)
+    }
+
+    fn get(&self, _ctx: &mut NvCtx, k: u64) -> Option<u64> {
+        NvmmHashMap::get(self, k)
+    }
+}
+
+/// Transient single-lock linked queue resident in NVMM.
+pub struct NvmmQueue {
+    heap: Arc<NvHeap>,
+    /// head PAddr, tail PAddr — protected by `lock`.
+    state: Mutex<(u64, u64)>,
+}
+
+impl NvmmQueue {
+    /// Creates an empty queue over `region`.
+    pub fn new(region: Arc<Region>) -> NvmmQueue {
+        NvmmQueue { heap: Arc::new(NvHeap::new(region)), state: Mutex::new((0, 0)) }
+    }
+
+    /// Appends a value.
+    pub fn enqueue(&self, ctx: &mut NvCtx, v: u64) {
+        let region = self.heap.region();
+        let node = self.heap.alloc(ctx, QNODE_SIZE);
+        region.store(node, v);
+        region.store(PAddr(node.0 + 8), 0u64);
+        let mut st = self.state.lock();
+        if st.1 == 0 {
+            st.0 = node.0;
+        } else {
+            region.store(PAddr(st.1 + 8), node.0);
+        }
+        st.1 = node.0;
+    }
+
+    /// Pops the oldest value.
+    pub fn dequeue(&self, _ctx: &mut NvCtx) -> Option<u64> {
+        let region = self.heap.region();
+        let mut st = self.state.lock();
+        if st.0 == 0 {
+            return None;
+        }
+        let node = st.0;
+        let v: u64 = region.load(PAddr(node));
+        let next: u64 = region.load(PAddr(node + 8));
+        st.0 = next;
+        if next == 0 {
+            st.1 = 0;
+        }
+        drop(st);
+        self.heap.free(PAddr(node), QNODE_SIZE);
+        Some(v)
+    }
+}
+
+impl BenchQueue for NvmmQueue {
+    type Ctx = NvCtx;
+
+    fn register(&self) -> NvCtx {
+        self.heap.ctx()
+    }
+
+    fn enqueue(&self, ctx: &mut NvCtx, v: u64) {
+        NvmmQueue::enqueue(self, ctx, v)
+    }
+
+    fn dequeue(&self, ctx: &mut NvCtx) -> Option<u64> {
+        NvmmQueue::dequeue(self, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respct_pmem::RegionConfig;
+
+    #[test]
+    fn map_semantics() {
+        let m = NvmmHashMap::new(Region::new(RegionConfig::fast(8 << 20)), 16);
+        let mut ctx = m.register();
+        assert!(m.insert(&mut ctx, 1, 10));
+        assert!(!m.insert(&mut ctx, 1, 11));
+        assert_eq!(m.get(1), Some(11));
+        assert!(m.remove(&mut ctx, 1));
+        assert_eq!(m.get(1), None);
+    }
+
+    #[test]
+    fn map_collisions() {
+        let m = NvmmHashMap::new(Region::new(RegionConfig::fast(8 << 20)), 1);
+        let mut ctx = m.register();
+        for k in 0..60 {
+            m.insert(&mut ctx, k, k + 1);
+        }
+        for k in (0..60).step_by(2) {
+            assert!(m.remove(&mut ctx, k));
+        }
+        for k in 0..60 {
+            assert_eq!(m.get(k), if k % 2 == 1 { Some(k + 1) } else { None });
+        }
+    }
+
+    #[test]
+    fn queue_fifo() {
+        let q = NvmmQueue::new(Region::new(RegionConfig::fast(8 << 20)));
+        let mut ctx = q.register();
+        for v in 0..100 {
+            q.enqueue(&mut ctx, v);
+        }
+        for v in 0..100 {
+            assert_eq!(q.dequeue(&mut ctx), Some(v));
+        }
+        assert_eq!(q.dequeue(&mut ctx), None);
+        q.enqueue(&mut ctx, 5);
+        assert_eq!(q.dequeue(&mut ctx), Some(5));
+    }
+}

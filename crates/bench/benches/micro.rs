@@ -1,0 +1,171 @@
+//! Criterion micro-benchmarks of the hot primitives: the cost hierarchy the
+//! paper's design arguments rest on — `update_InCLL` must cost barely more
+//! than a plain persistent store, while a flushed undo-log write costs an
+//! order of magnitude more.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use respct::{Pool, PoolConfig};
+use respct_apps::ycsb::{Workload, Zipfian};
+use respct_pmem::{PAddr, Region, RegionConfig};
+
+fn bench_store_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_primitives");
+    g.throughput(Throughput::Elements(1));
+
+    // Plain persistent store (DRAM-latency region).
+    let dram = Region::new(RegionConfig::fast(1 << 20));
+    g.bench_function("plain_store_dram", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            dram.store(PAddr(4096), i);
+            i = i.wrapping_add(1);
+        })
+    });
+
+    // Plain persistent store with Optane latency model.
+    let optane = Region::new(RegionConfig::optane(1 << 20));
+    g.bench_function("plain_store_optane", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            optane.store(PAddr(4096), i);
+            i = i.wrapping_add(1);
+        })
+    });
+
+    // update_InCLL: the paper's claim is that this is nearly free.
+    let pool = Pool::create(Region::new(RegionConfig::optane(8 << 20)), PoolConfig::default());
+    let h = pool.register();
+    let cell = h.alloc_cell(0u64);
+    g.bench_function("update_incll", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            h.update(cell, i);
+            i = i.wrapping_add(1);
+        })
+    });
+
+    // Undo-logged store with flush + fence: the competing discipline.
+    g.bench_function("undo_logged_store", |b| {
+        let log = PAddr(8192);
+        let mut i = 0u64;
+        b.iter(|| {
+            let old: u64 = optane.load(PAddr(4096));
+            optane.store(log, 4096u64);
+            optane.store(PAddr(log.0 + 8), old);
+            optane.pwb(log);
+            optane.psync();
+            optane.store(PAddr(4096), i);
+            i = i.wrapping_add(1);
+        })
+    });
+
+    // Restart point declaration.
+    g.bench_function("rp", |b| {
+        b.iter(|| h.rp(1));
+    });
+    g.finish();
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocator");
+    let pool = Pool::create(Region::new(RegionConfig::fast(512 << 20)), PoolConfig::default());
+    let h = pool.register();
+    // Deferred frees only recycle at checkpoints: drain every 500k frees.
+    // The counter lives outside the bench closures (criterion re-enters
+    // them with fresh locals at arbitrary iteration counts).
+    let pending = std::cell::Cell::new(0u64);
+    let recycle = |_n: &mut u32| {
+        pending.set(pending.get() + 1);
+        if pending.get() >= 500_000 {
+            h.checkpoint_here();
+            pending.set(0);
+        }
+    };
+    g.bench_function("alloc_free_64B", |b| {
+        let mut n = 0u32;
+        b.iter(|| {
+            let a = h.alloc(64, 8);
+            h.free(a, 64);
+            recycle(&mut n);
+        })
+    });
+    g.bench_function("alloc_cell_u64", |b| {
+        let mut n = 0u32;
+        b.iter(|| {
+            let c = h.alloc_cell(7u64);
+            h.free(c.addr(), 24);
+            recycle(&mut n);
+        })
+    });
+    g.finish();
+}
+
+fn bench_flush_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint_flush");
+    for lines in [100u64, 1_000, 10_000] {
+        let pool =
+            Pool::create(Region::new(RegionConfig::optane(64 << 20)), PoolConfig::default());
+        let h = pool.register();
+        g.throughput(Throughput::Elements(lines));
+        g.bench_function(format!("flush_{lines}_lines"), |b| {
+            b.iter_batched(
+                || {
+                    for i in 0..lines {
+                        h.store_tracked(PAddr(1 << 20 | (i * 64)), i);
+                    }
+                },
+                |()| h.checkpoint_here(),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_gen");
+    let z = Zipfian::new(1_000_000, 0.99);
+    let mut rng = Workload::rng(42);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("zipfian_next", |b| b.iter(|| z.next(&mut rng)));
+    g.finish();
+}
+
+fn bench_recovery_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(10);
+    for cells in [1_000u64, 10_000] {
+        g.bench_function(format!("recover_{cells}_cells"), |b| {
+            b.iter_batched(
+                || {
+                    let region = Region::new(RegionConfig::fast(64 << 20));
+                    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+                    let h = pool.register();
+                    let cs: Vec<_> = (0..cells).map(|i| h.alloc_cell(i)).collect();
+                    h.checkpoint_here();
+                    for c in &cs {
+                        h.update(*c, 999);
+                    }
+                    drop(h);
+                    drop(pool);
+                    region
+                },
+                |region| Pool::recover(region, PoolConfig::default()),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_store_primitives,
+    bench_alloc,
+    bench_flush_batch,
+    bench_zipfian,
+    bench_recovery_scan
+);
+criterion_main!(benches);

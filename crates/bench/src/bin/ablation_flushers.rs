@@ -1,0 +1,54 @@
+//! Ablation: the parallel flusher pool (paper §5 "a pool of flusher
+//! threads flushes data to NVMM in parallel during checkpoints", with a
+//! one-to-one thread pinning).
+//!
+//! Sweeps the number of dedicated flusher threads for the write-intensive
+//! hash-map workload and reports throughput plus mean checkpoint duration.
+//! On this 1-CPU container extra flushers cannot help (they time-slice) —
+//! the interesting output is that the machinery works and what fraction of
+//! the epoch the checkpoint occupies; on a multicore host the sweep shows
+//! the paper's scaling.
+
+use std::time::Duration;
+
+use respct::{CheckpointMode, Pool, PoolConfig};
+use respct_bench::args::BenchArgs;
+use respct_bench::driver::{prefill_map, run_map_mix};
+use respct_bench::table::{f3, Table};
+use respct_ds::PHashMap;
+use respct_pmem::{Region, RegionConfig};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let threads = *args.threads.iter().max().unwrap_or(&4);
+    let keyspace = args.scaled(100_000, 2_000_000);
+    let nbuckets = args.scaled(50_000, 1_000_000);
+    let region_bytes = if args.full { 1536 << 20 } else { 256 << 20 };
+    println!("# Flusher-pool ablation: write-intensive map, {threads} worker threads");
+    let mut table =
+        Table::new(&["flushers", "mops", "mean_ckpt_ms", "mean_lines/ckpt", "ckpts"]);
+    for flushers in [0usize, 1, 2, 4] {
+        let region = Region::new(RegionConfig::optane(region_bytes));
+        let pool = Pool::create(
+            region,
+            PoolConfig { flusher_threads: flushers, mode: CheckpointMode::Full },
+        );
+        let h = pool.register();
+        let map = PHashMap::create(&h, nbuckets);
+        drop(h);
+        prefill_map(&map, keyspace);
+        let t = {
+            let _ckpt = pool.start_checkpointer(Duration::from_millis(64));
+            run_map_mix(&map, threads, args.secs, keyspace, 90, 0xab1a)
+        };
+        let snap = pool.ckpt_stats().snapshot();
+        table.row(vec![
+            flushers.to_string(),
+            f3(t.mops()),
+            f3(snap.mean_duration().as_secs_f64() * 1e3),
+            f3(snap.mean_lines()),
+            snap.count.to_string(),
+        ]);
+    }
+    table.print();
+}

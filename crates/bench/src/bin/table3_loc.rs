@@ -1,0 +1,76 @@
+//! Paper Table 3: lines of code added/modified to integrate ResPCT.
+//!
+//! The paper counts source lines touched in each application (2.5–7.3 %
+//! for most). Our applications are written with both transient and ResPCT
+//! paths in one file, so we count the ResPCT-specific lines: calls into the
+//! runtime API (`update`, `rp`, `add_modified`, `alloc_cell`,
+//! `init_cell_at`, `checkpoint_*`, `register`, cell bookkeeping) plus the
+//! persistent-state declarations, against each module's total.
+
+use respct_bench::table::Table;
+
+const API_MARKERS: &[&str] = &[
+    ".rp(",
+    ".update(",
+    ".add_modified(",
+    ".alloc_cell(",
+    ".init_cell_at(",
+    ".store_tracked(",
+    ".checkpoint_allow(",
+    ".checkpoint_prevent",
+    ".checkpoint_here(",
+    "pool.register(",
+    "Pool::create(",
+    "Pool::recover",
+    "start_checkpointer(",
+    "ICell<",
+    ".set_root(",
+    ".free(",
+];
+
+fn count(path: &str) -> (usize, usize) {
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let mut total = 0usize;
+    let mut api = 0usize;
+    for line in src.lines() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with("//") {
+            continue;
+        }
+        total += 1;
+        if API_MARKERS.iter().any(|m| t.contains(m)) {
+            api += 1;
+        }
+    }
+    (api, total)
+}
+
+fn main() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    let entries = [
+        ("HashMap", "ds/src/hashmap.rs"),
+        ("Queue", "ds/src/queue.rs"),
+        ("Dedup", "apps/src/dedup.rs"),
+        ("Swaptions", "apps/src/swaptions.rs"),
+        ("MatMul", "apps/src/matmul.rs"),
+        ("LR", "apps/src/linreg.rs"),
+        ("KV store", "apps/src/kvstore.rs"),
+    ];
+    println!("# Table 3 — ResPCT integration footprint (API-call lines vs module size)");
+    let mut table = Table::new(&["application", "respct_loc", "module_loc", "pct"]);
+    for (name, rel) in entries {
+        let path = root.join(rel);
+        let (api, total) = count(path.to_str().expect("utf8 path"));
+        table.row(vec![
+            name.into(),
+            api.to_string(),
+            total.to_string(),
+            format!("{:.2}%", 100.0 * api as f64 / total as f64),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n(The paper's Table 3 counts diff lines against the unmodified C programs: \
+         2.5–7.3 % for most apps, 50 % for LR, 0.47 % for Memcached.)"
+    );
+}

@@ -1,0 +1,65 @@
+//! Concurrent data structures for the ResPCT evaluation (paper §5.1).
+//!
+//! * [`PHashMap`] — a lock-per-bucket persistent hash map in the style of
+//!   the Synch framework's map the paper uses, made fault tolerant with
+//!   ResPCT (bucket heads and values are InCLL cells; keys and link setup
+//!   writes are idempotent and only tracked).
+//! * [`PQueue`] — a single-lock persistent linked queue with 8-byte
+//!   elements, as in the paper.
+//! * [`PVec`] / [`POrderedMap`] — additional containers (growable array,
+//!   ordered map with range queries) built on the same InCLL discipline.
+//! * [`transient`] — the unmodified ("Transient\<DRAM\>") counterparts used
+//!   as the performance baseline.
+//! * [`traits`] — the adapter traits the benchmark harness drives every
+//!   system through.
+
+pub mod hashmap;
+pub mod ordered;
+pub mod pvec;
+pub mod queue;
+pub mod traits;
+pub mod transient;
+
+pub use hashmap::PHashMap;
+pub use ordered::POrderedMap;
+pub use pvec::PVec;
+pub use queue::PQueue;
+pub use traits::{BenchMap, BenchQueue};
+pub use transient::{TransientHashMap, TransientQueue};
+
+/// Restart-point ids used by the data-structure adapters (unique per static
+/// call site, as the paper requires).
+pub mod rp_ids {
+    pub const MAP_INSERT: u64 = 101;
+    pub const MAP_REMOVE: u64 = 102;
+    pub const MAP_GET: u64 = 103;
+    pub const QUEUE_ENQ: u64 = 111;
+    pub const QUEUE_DEQ: u64 = 112;
+}
+
+/// Multiplicative Fibonacci-style hash used by all map implementations so
+/// every system sees an identical key distribution.
+#[inline]
+pub fn hash_u64(k: u64) -> u64 {
+    // splitmix64 finalizer.
+    let mut x = k.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_spreads() {
+        let mut buckets = [0u32; 16];
+        for k in 0..16_000u64 {
+            buckets[(hash_u64(k) % 16) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "skewed bucket: {b}");
+        }
+    }
+}

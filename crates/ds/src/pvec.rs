@@ -1,0 +1,288 @@
+//! A persistent growable array (`PVec`) under ResPCT.
+//!
+//! Complements the paper's micro-benchmark structures with the container
+//! compute applications often want: indexed `u64` storage with
+//! amortized-O(1) append. Persistence analysis per the §3.3.2 rules:
+//!
+//! * `len`, `capacity`, and the buffer pointer — read and rewritten across
+//!   RPs (WAR) → InCLL cells in the descriptor;
+//! * **elements** — overwritable in place (`set`) and logically revived by
+//!   a rolled-back `pop`, so each element slot is itself an InCLL cell
+//!   (32-byte stride). This is the §6 footprint trade-off the paper
+//!   acknowledges: the log lives next to the data, quadrupling the element
+//!   footprint but keeping every mutation flush-free.
+//!
+//! Slot recycling (push after pop, buffer relocation) uses
+//! [`ThreadHandle::upsert_cell`]: a slot that was live at the last
+//! checkpoint is *updated* (logged), a genuinely fresh slot is
+//! *initialized* — the distinction that makes `pop(); push(x); crash`
+//! recover the pre-pop element correctly.
+//!
+//! Growth relocates into a fresh allocation, re-creating the element cells
+//! at their new addresses (epoch tags are address-mixed, so cells cannot be
+//! memcpy'd); a crashed growth epoch rolls the descriptor back to the old
+//! buffer, which was only read.
+
+use std::sync::Arc;
+
+use respct::{ICell, PAddr, Pool, ThreadHandle};
+
+const DESC_SIZE: u64 = 128;
+const D_LEN: u64 = 0; // ICell<u64>
+const D_CAP: u64 = 32; // ICell<u64>
+const D_DATA: u64 = 64; // ICell<u64> (PAddr of the element cell array)
+
+/// Byte stride of one element cell.
+const SLOT: u64 = 32;
+
+/// A persistent vector of `u64`. Not internally synchronized: callers
+/// provide exclusion, as for all lock-based state in the paper's model.
+pub struct PVec {
+    pool: Arc<Pool>,
+    desc: PAddr,
+}
+
+impl PVec {
+    /// Creates an empty vector with the given initial capacity (rounded up
+    /// to at least 8 elements).
+    pub fn create(h: &ThreadHandle, capacity: u64) -> PVec {
+        let capacity = capacity.max(8);
+        let desc = h.alloc(DESC_SIZE, 64);
+        let data = h.alloc(capacity * SLOT, 64);
+        h.init_cell_at::<u64>(PAddr(desc.0 + D_LEN), 0);
+        h.init_cell_at::<u64>(PAddr(desc.0 + D_CAP), capacity);
+        h.init_cell_at::<u64>(PAddr(desc.0 + D_DATA), data.0);
+        PVec { pool: Arc::clone(h.pool()), desc }
+    }
+
+    /// Re-opens a vector from its descriptor (after recovery).
+    pub fn open(pool: &Arc<Pool>, desc: PAddr) -> PVec {
+        PVec { pool: Arc::clone(pool), desc }
+    }
+
+    /// Persistent descriptor address.
+    pub fn desc(&self) -> PAddr {
+        self.desc
+    }
+
+    fn len_cell(&self) -> ICell<u64> {
+        ICell::from_addr(PAddr(self.desc.0 + D_LEN))
+    }
+
+    fn cap_cell(&self) -> ICell<u64> {
+        ICell::from_addr(PAddr(self.desc.0 + D_CAP))
+    }
+
+    fn data_cell(&self) -> ICell<u64> {
+        ICell::from_addr(PAddr(self.desc.0 + D_DATA))
+    }
+
+    fn slot_cell(&self, data: u64, i: u64) -> ICell<u64> {
+        ICell::from_addr(PAddr(data + i * SLOT))
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.pool.cell_get(self.len_cell())
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current capacity in elements.
+    pub fn capacity(&self) -> u64 {
+        self.pool.cell_get(self.cap_cell())
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: u64) -> u64 {
+        let len = self.len();
+        assert!(i < len, "index {i} out of bounds (len {len})");
+        let data = self.pool.cell_get(self.data_cell());
+        self.pool.cell_get(self.slot_cell(data, i))
+    }
+
+    /// Appends a value, growing (2×) when full.
+    pub fn push(&self, h: &ThreadHandle, v: u64) {
+        let len = h.get(self.len_cell());
+        let cap = h.get(self.cap_cell());
+        if len == cap {
+            self.grow(h, cap * 2);
+        }
+        let data = h.get(self.data_cell());
+        // upsert: a recycled slot (pushed after a pop) logs its old value
+        // so a crash that rolls `len` back also restores the old element.
+        h.upsert_cell::<u64>(PAddr(data + len * SLOT), v);
+        h.update(self.len_cell(), len + 1);
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&self, h: &ThreadHandle) -> Option<u64> {
+        let len = h.get(self.len_cell());
+        if len == 0 {
+            return None;
+        }
+        let data = h.get(self.data_cell());
+        let v = self.pool.cell_get(self.slot_cell(data, len - 1));
+        h.update(self.len_cell(), len - 1);
+        Some(v)
+    }
+
+    /// Overwrites element `i` (logged in-place InCLL update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn set(&self, h: &ThreadHandle, i: u64, v: u64) {
+        let len = h.get(self.len_cell());
+        assert!(i < len, "index {i} out of bounds (len {len})");
+        let data = h.get(self.data_cell());
+        h.update(self.slot_cell(data, i), v);
+    }
+
+    /// Relocates the buffer to `new_cap` element slots.
+    fn grow(&self, h: &ThreadHandle, new_cap: u64) {
+        let len = h.get(self.len_cell());
+        let old_cap = h.get(self.cap_cell());
+        let old_data = h.get(self.data_cell());
+        let new_cap = new_cap.max(8);
+        let new_data = h.alloc(new_cap * SLOT, 64);
+        for i in 0..len {
+            let v = self.pool.cell_get(self.slot_cell(old_data, i));
+            h.upsert_cell::<u64>(PAddr(new_data.0 + i * SLOT), v);
+        }
+        h.update(self.data_cell(), new_data.0);
+        h.update(self.cap_cell(), new_cap);
+        h.free(PAddr(old_data), old_cap * SLOT);
+    }
+
+    /// Collects the elements (verification).
+    pub fn collect(&self) -> Vec<u64> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respct::PoolConfig;
+    use respct_pmem::{sim::CrashMode, Region, RegionConfig, SimConfig};
+
+    fn setup() -> (Arc<Pool>, ThreadHandle, PVec) {
+        let pool = Pool::create(Region::new(RegionConfig::fast(16 << 20)), PoolConfig::default());
+        let h = pool.register();
+        let v = PVec::create(&h, 4);
+        (pool, h, v)
+    }
+
+    #[test]
+    fn push_get_pop() {
+        let (_p, h, v) = setup();
+        assert!(v.is_empty());
+        for i in 0..100 {
+            v.push(&h, i * 3);
+        }
+        assert_eq!(v.len(), 100);
+        assert!(v.capacity() >= 100);
+        for i in 0..100 {
+            assert_eq!(v.get(i), i * 3);
+        }
+        for i in (0..100).rev() {
+            assert_eq!(v.pop(&h), Some(i * 3));
+        }
+        assert_eq!(v.pop(&h), None);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let (_p, h, v) = setup();
+        for i in 0..20 {
+            v.push(&h, i);
+        }
+        v.set(&h, 7, 777);
+        assert_eq!(v.get(7), 777);
+        assert_eq!(v.get(6), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_oob_panics() {
+        let (_p, h, v) = setup();
+        v.push(&h, 1);
+        v.get(1);
+    }
+
+    #[test]
+    fn growth_preserves_content() {
+        let (_p, h, v) = setup();
+        for i in 0..1000 {
+            v.push(&h, i ^ 0xabcd);
+        }
+        assert_eq!(v.collect(), (0..1000).map(|i| i ^ 0xabcd).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn crash_rolls_back_all_mutations() {
+        let region =
+            Region::new(RegionConfig::sim(16 << 20, SimConfig::with_eviction(3, 11)));
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let h = pool.register();
+        let v = PVec::create(&h, 4);
+        for i in 0..50 {
+            v.push(&h, i);
+        }
+        h.set_root(v.desc());
+        h.checkpoint_here();
+        // Crashed epoch: pops, sets, pushes, and a growth.
+        for _ in 0..10 {
+            v.pop(&h);
+        }
+        for i in 0..20 {
+            v.set(&h, i, 9999);
+        }
+        for i in 0..100 {
+            v.push(&h, 1_000_000 + i);
+        }
+        drop(h);
+        drop(pool);
+        let img = region.crash(CrashMode::PowerFailure);
+        region.restore(&img);
+        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let v = PVec::open(&pool, pool.root());
+        assert_eq!(v.collect(), (0..50).collect::<Vec<u64>>());
+        // Usable after recovery.
+        let h = pool.register();
+        v.push(&h, 50);
+        assert_eq!(v.len(), 51);
+    }
+
+    #[test]
+    fn pop_then_push_then_crash_recovers_old_element() {
+        // The upsert distinction: the recycled slot must roll back to the
+        // *pre-pop* element, not the re-pushed one.
+        let region =
+            Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(2, 3)));
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let h = pool.register();
+        let v = PVec::create(&h, 8);
+        v.push(&h, 111);
+        v.push(&h, 222);
+        h.set_root(v.desc());
+        h.checkpoint_here();
+        assert_eq!(v.pop(&h), Some(222));
+        v.push(&h, 333); // recycles slot 1 within the crashed epoch
+        drop(h);
+        drop(pool);
+        let img = region.crash(CrashMode::PowerFailure);
+        region.restore(&img);
+        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let v = PVec::open(&pool, pool.root());
+        assert_eq!(v.collect(), vec![111, 222], "slot must roll back to the pre-pop value");
+    }
+}

@@ -1,0 +1,41 @@
+//! Adapter traits the benchmark harness uses to drive every system — the
+//! ResPCT structures, the transient baselines, and the competing persistence
+//! systems in `respct-baselines` — through one code path.
+//!
+//! Each system defines a per-thread context (`Ctx`): for ResPCT that is the
+//! [`ThreadHandle`](respct::ThreadHandle); for durable-linearizability
+//! systems it typically carries a per-thread log; for transient baselines it
+//! is `()`.
+
+/// A concurrent map of `u64 → u64` (8-byte keys and values, as in §5.1).
+pub trait BenchMap: Send + Sync {
+    /// Per-thread context.
+    type Ctx;
+
+    /// Registers the calling thread.
+    fn register(&self) -> Self::Ctx;
+
+    /// Inserts or updates; returns `true` if the key was newly inserted.
+    fn insert(&self, ctx: &mut Self::Ctx, k: u64, v: u64) -> bool;
+
+    /// Removes; returns `true` if the key was present.
+    fn remove(&self, ctx: &mut Self::Ctx, k: u64) -> bool;
+
+    /// Looks a key up.
+    fn get(&self, ctx: &mut Self::Ctx, k: u64) -> Option<u64>;
+}
+
+/// A concurrent FIFO queue of `u64` values.
+pub trait BenchQueue: Send + Sync {
+    /// Per-thread context.
+    type Ctx;
+
+    /// Registers the calling thread.
+    fn register(&self) -> Self::Ctx;
+
+    /// Appends a value.
+    fn enqueue(&self, ctx: &mut Self::Ctx, v: u64);
+
+    /// Pops the oldest value, if any.
+    fn dequeue(&self, ctx: &mut Self::Ctx) -> Option<u64>;
+}

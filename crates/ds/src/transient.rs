@@ -1,0 +1,317 @@
+//! Transient (non-fault-tolerant) baselines: the paper's
+//! `Transient<DRAM>` configuration.
+//!
+//! Same algorithmic structure as the persistent versions — lock per bucket
+//! with separate chaining; single-lock linked queue with per-element heap
+//! allocation — but ordinary heap memory and no logging, tracking, or
+//! restart points. The `Transient<NVMM>` configuration lives in
+//! `respct-baselines` (same algorithms over an Optane-latency region).
+
+use parking_lot::Mutex;
+
+use crate::hash_u64;
+use crate::traits::{BenchMap, BenchQueue};
+
+// ---- Hash map ---------------------------------------------------------------
+
+struct TNode {
+    k: u64,
+    v: u64,
+    next: Option<Box<TNode>>,
+}
+
+/// Transient lock-per-bucket hash map.
+pub struct TransientHashMap {
+    buckets: Box<[Mutex<Option<Box<TNode>>>]>,
+}
+
+impl TransientHashMap {
+    /// Creates a map with `nbuckets` buckets.
+    pub fn new(nbuckets: usize) -> TransientHashMap {
+        assert!(nbuckets > 0);
+        let buckets = (0..nbuckets).map(|_| Mutex::new(None)).collect::<Vec<_>>();
+        TransientHashMap { buckets: buckets.into_boxed_slice() }
+    }
+
+    /// Inserts or updates; `true` when newly inserted.
+    pub fn insert(&self, k: u64, v: u64) -> bool {
+        let b = (hash_u64(k) % self.buckets.len() as u64) as usize;
+        let mut head = self.buckets[b].lock();
+        let mut cur = head.as_deref_mut();
+        while let Some(node) = cur {
+            if node.k == k {
+                node.v = v;
+                return false;
+            }
+            cur = node.next.as_deref_mut();
+        }
+        let old = head.take();
+        *head = Some(Box::new(TNode { k, v, next: old }));
+        true
+    }
+
+    /// Removes; `true` if present.
+    pub fn remove(&self, k: u64) -> bool {
+        let b = (hash_u64(k) % self.buckets.len() as u64) as usize;
+        let mut head = self.buckets[b].lock();
+        let mut link = &mut *head;
+        loop {
+            match link {
+                None => return false,
+                Some(node) if node.k == k => {
+                    let next = node.next.take();
+                    *link = next;
+                    return true;
+                }
+                Some(node) => link = &mut node.next,
+            }
+        }
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, k: u64) -> Option<u64> {
+        let b = (hash_u64(k) % self.buckets.len() as u64) as usize;
+        let head = self.buckets[b].lock();
+        let mut cur = head.as_deref();
+        while let Some(node) = cur {
+            if node.k == k {
+                return Some(node.v);
+            }
+            cur = node.next.as_deref();
+        }
+        None
+    }
+
+    /// Atomically adds `delta` to `k`'s value (inserting `delta` if the
+    /// key is absent) under one bucket-lock hold; returns the new value.
+    pub fn fetch_add(&self, k: u64, delta: u64) -> u64 {
+        let b = (hash_u64(k) % self.buckets.len() as u64) as usize;
+        let mut head = self.buckets[b].lock();
+        let mut cur = head.as_deref_mut();
+        while let Some(node) = cur {
+            if node.k == k {
+                node.v += delta;
+                return node.v;
+            }
+            cur = node.next.as_deref_mut();
+        }
+        let old = head.take();
+        *head = Some(Box::new(TNode { k, v: delta, next: old }));
+        delta
+    }
+
+    /// Number of stored pairs (walks every chain).
+    pub fn len(&self) -> usize {
+        self.buckets
+            .iter()
+            .map(|b| {
+                let head = b.lock();
+                let mut n = 0;
+                let mut cur = head.as_deref();
+                while let Some(node) = cur {
+                    n += 1;
+                    cur = node.next.as_deref();
+                }
+                n
+            })
+            .sum()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl BenchMap for TransientHashMap {
+    type Ctx = ();
+
+    fn register(&self) -> () {}
+
+    fn insert(&self, _ctx: &mut (), k: u64, v: u64) -> bool {
+        TransientHashMap::insert(self, k, v)
+    }
+
+    fn remove(&self, _ctx: &mut (), k: u64) -> bool {
+        TransientHashMap::remove(self, k)
+    }
+
+    fn get(&self, _ctx: &mut (), k: u64) -> Option<u64> {
+        TransientHashMap::get(self, k)
+    }
+}
+
+// ---- Queue ------------------------------------------------------------------
+
+struct QNode {
+    v: u64,
+    next: Option<Box<QNode>>,
+}
+
+struct QInner {
+    head: Option<Box<QNode>>,
+    /// Raw pointer to the last node of `head`'s chain (null when empty).
+    tail: *mut QNode,
+}
+
+// SAFETY: `tail` always points into the chain owned by `head` (or is null),
+// and `QInner` is only accessed under the queue's mutex.
+unsafe impl Send for QInner {}
+
+/// Transient single-lock linked FIFO queue.
+pub struct TransientQueue {
+    inner: Mutex<QInner>,
+}
+
+impl Default for TransientQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TransientQueue {
+    /// Creates an empty queue.
+    pub fn new() -> TransientQueue {
+        TransientQueue { inner: Mutex::new(QInner { head: None, tail: std::ptr::null_mut() }) }
+    }
+
+    /// Appends a value.
+    pub fn enqueue(&self, v: u64) {
+        let mut q = self.inner.lock();
+        let mut node = Box::new(QNode { v, next: None });
+        let raw: *mut QNode = &mut *node;
+        if q.tail.is_null() {
+            q.head = Some(node);
+        } else {
+            // SAFETY: `tail` points at the live last node of the chain
+            // owned by `q.head`; we hold the lock.
+            unsafe { (*q.tail).next = Some(node) };
+        }
+        q.tail = raw;
+    }
+
+    /// Pops the oldest value, if any.
+    pub fn dequeue(&self) -> Option<u64> {
+        let mut q = self.inner.lock();
+        let mut head = q.head.take()?;
+        q.head = head.next.take();
+        if q.head.is_none() {
+            q.tail = std::ptr::null_mut();
+        }
+        Some(head.v)
+    }
+
+    /// Number of queued elements.
+    pub fn len(&self) -> usize {
+        let q = self.inner.lock();
+        let mut n = 0;
+        let mut cur = q.head.as_deref();
+        while let Some(node) = cur {
+            n += 1;
+            cur = node.next.as_deref();
+        }
+        n
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().head.is_none()
+    }
+}
+
+impl Drop for TransientQueue {
+    fn drop(&mut self) {
+        // Unlink iteratively: a long chain of nested `Box` drops would
+        // otherwise overflow the stack.
+        let mut cur = self.inner.get_mut().head.take();
+        while let Some(mut node) = cur {
+            cur = node.next.take();
+        }
+    }
+}
+
+impl BenchQueue for TransientQueue {
+    type Ctx = ();
+
+    fn register(&self) -> () {}
+
+    fn enqueue(&self, _ctx: &mut (), v: u64) {
+        TransientQueue::enqueue(self, v)
+    }
+
+    fn dequeue(&self, _ctx: &mut ()) -> Option<u64> {
+        TransientQueue::dequeue(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basics() {
+        let m = TransientHashMap::new(8);
+        assert!(m.insert(1, 10));
+        assert!(!m.insert(1, 11));
+        assert_eq!(m.get(1), Some(11));
+        assert!(m.remove(1));
+        assert!(!m.remove(1));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn map_chains() {
+        let m = TransientHashMap::new(1);
+        for k in 0..50 {
+            m.insert(k, k);
+        }
+        assert_eq!(m.len(), 50);
+        for k in (0..50).step_by(2) {
+            assert!(m.remove(k));
+        }
+        for k in 0..50 {
+            assert_eq!(m.get(k), if k % 2 == 1 { Some(k) } else { None });
+        }
+    }
+
+    #[test]
+    fn queue_fifo() {
+        let q = TransientQueue::new();
+        assert_eq!(q.dequeue(), None);
+        for v in 0..100 {
+            q.enqueue(v);
+        }
+        assert_eq!(q.len(), 100);
+        for v in 0..100 {
+            assert_eq!(q.dequeue(), Some(v));
+        }
+        assert!(q.is_empty());
+        q.enqueue(7);
+        assert_eq!(q.dequeue(), Some(7));
+    }
+
+    #[test]
+    fn queue_drop_long_chain_no_overflow() {
+        let q = TransientQueue::new();
+        for v in 0..200_000 {
+            q.enqueue(v);
+        }
+        drop(q); // must not overflow the stack
+    }
+
+    #[test]
+    fn concurrent_map_smoke() {
+        let m = std::sync::Arc::new(TransientHashMap::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = std::sync::Arc::clone(&m);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        m.insert(t * 10_000 + i, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 4000);
+    }
+}

@@ -1,0 +1,149 @@
+//! Emulated persistent main memory (NVMM) for the ResPCT reproduction.
+//!
+//! The paper runs on real Intel Optane DC Persistent Memory in *App Direct*
+//! mode: NVMM DIMMs on the memory bus, volatile caches in between, and the
+//! *Persistent Cache Store Order* (PCSO) model governing when stores become
+//! persistent. This crate reproduces that substrate in software:
+//!
+//! * [`Region`] — a cache-line-aligned arena of emulated NVMM, addressed by
+//!   [`PAddr`] offsets. All persistent loads and stores go through it.
+//! * [`arch`] — the `pwb` (cache-line write-back, `clwb`/`clflushopt`) and
+//!   `psync` (`sfence`) primitives of the paper's system model (§2.1).
+//! * [`sim`] — a cache-line-granularity persistence simulator implementing
+//!   PCSO: stores land in a volatile image, lines are written back to a
+//!   persisted image on `pwb`+`psync` or at arbitrary moments (random
+//!   eviction), and a *crash* discards everything volatile. Writes to the
+//!   same cache line reach the persisted image in program order because a
+//!   write-back snapshots the whole line.
+//! * [`latency`] — a calibrated spin-wait latency model so that fast-mode
+//!   benchmarks can charge NVMM's extra write-back/read cost without a real
+//!   Optane DIMM.
+//!
+//! Two operating modes (per [`Region`]):
+//!
+//! * **Fast mode** — stores compile to plain volatile writes; `pwb`/`psync`
+//!   issue the real x86 instructions plus optional modeled latency. Used by
+//!   the benchmark harness.
+//! * **Sim mode** — every store additionally updates the [`sim::CacheSim`]
+//!   bookkeeping so tests can crash the "machine" at any instant and recover
+//!   from exactly the state a real PCSO machine would have persisted.
+
+pub mod arch;
+pub mod latency;
+pub mod region;
+pub mod sim;
+pub mod stats;
+
+pub use region::{Region, RegionConfig, RegionMode};
+pub use sim::{CacheSim, CrashImage, SimConfig};
+pub use stats::PmemStats;
+
+/// Size of a cache line in bytes on every platform we model (x86-64).
+pub const CACHE_LINE: usize = 64;
+
+/// An offset into a persistent [`Region`].
+///
+/// `PAddr` is the reproduction's equivalent of a pointer into an NVMM
+/// mapping: stable across "reboots" (crash + recovery of the same region),
+/// which is why persistent data structures link to each other with `PAddr`s
+/// rather than raw pointers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PAddr(pub u64);
+
+impl PAddr {
+    /// The null address. Offset 0 is occupied by the region header magic, so
+    /// no valid allocation ever starts there.
+    pub const NULL: PAddr = PAddr(0);
+
+    /// Returns `true` for the null address.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the address advanced by `delta` bytes.
+    #[inline]
+    pub fn offset(self, delta: u64) -> PAddr {
+        PAddr(self.0 + delta)
+    }
+
+    /// Index of the cache line containing this address.
+    #[inline]
+    pub fn line(self) -> u64 {
+        self.0 / CACHE_LINE as u64
+    }
+}
+
+/// Marker for plain-old-data types that may live in emulated NVMM.
+///
+/// # Safety
+///
+/// Implementors must be `Copy` types with no padding requirements beyond
+/// their alignment, valid for any bit pattern they are stored back with
+/// (recovery re-reads raw bytes), and free of pointers/references into
+/// volatile memory.
+pub unsafe trait Pod: Copy + 'static {}
+
+// SAFETY: primitive integers are valid for all bit patterns and contain no
+// volatile pointers.
+unsafe impl Pod for u8 {}
+// SAFETY: as above.
+unsafe impl Pod for u16 {}
+// SAFETY: as above.
+unsafe impl Pod for u32 {}
+// SAFETY: as above.
+unsafe impl Pod for u64 {}
+// SAFETY: as above.
+unsafe impl Pod for i8 {}
+// SAFETY: as above.
+unsafe impl Pod for i16 {}
+// SAFETY: as above.
+unsafe impl Pod for i32 {}
+// SAFETY: as above.
+unsafe impl Pod for i64 {}
+// SAFETY: as above.
+unsafe impl Pod for usize {}
+// SAFETY: f64 is valid for all bit patterns (NaNs included).
+unsafe impl Pod for f64 {}
+// SAFETY: f32 is valid for all bit patterns.
+unsafe impl Pod for f32 {}
+// SAFETY: [u8; 16] is plain bytes.
+unsafe impl Pod for [u8; 16] {}
+// SAFETY: a pair of u64 is plain data (used for 16-byte InCLL payloads).
+unsafe impl Pod for (u64, u64) {}
+
+/// Rounds `v` up to the next multiple of `align` (a power of two).
+#[inline]
+pub const fn align_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paddr_line_arithmetic() {
+        assert_eq!(PAddr(0).line(), 0);
+        assert_eq!(PAddr(63).line(), 0);
+        assert_eq!(PAddr(64).line(), 1);
+        assert_eq!(PAddr(130).line(), 2);
+        assert_eq!(PAddr(64).offset(64).line(), 2);
+    }
+
+    #[test]
+    fn null_is_null() {
+        assert!(PAddr::NULL.is_null());
+        assert!(!PAddr(8).is_null());
+    }
+
+    #[test]
+    fn align_up_powers() {
+        assert_eq!(align_up(0, 8), 0);
+        assert_eq!(align_up(1, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(9, 8), 16);
+        assert_eq!(align_up(65, 64), 128);
+    }
+}

@@ -1,0 +1,735 @@
+//! The emulated NVMM arena.
+//!
+//! A [`Region`] is a cache-line-aligned memory arena standing in for an
+//! App-Direct NVMM mapping. Persistent data structures address it with
+//! [`PAddr`] offsets (stable across crash + recovery), and every access goes
+//! through its typed accessors so the persistence simulator can interpose.
+//!
+//! All accesses are implemented as **relaxed atomic operations** of the
+//! access width. On x86-64 these compile to plain `mov`s, so fast mode pays
+//! nothing, while the API stays sound even if an application violates the
+//! paper's race-freedom assumption (a race then yields an unexpected value,
+//! not undefined behavior — mirroring what the hardware would do).
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use crate::latency::{charge_ns, drain_psync, note_pwb, LatencyModel};
+use crate::sim::{CacheSim, CrashImage, CrashMode, SimConfig};
+use crate::stats::PmemStats;
+use crate::{arch, PAddr, Pod, CACHE_LINE};
+
+/// Operating mode of a [`Region`].
+#[derive(Debug, Clone, Copy)]
+pub enum RegionMode {
+    /// Benchmark mode: direct accesses, real `clwb`/`sfence`, modeled
+    /// latency. No crash injection available.
+    Fast(LatencyModel),
+    /// Test mode: every access updates the PCSO simulator; crash injection
+    /// and recovery are available.
+    Sim(SimConfig),
+}
+
+/// Construction parameters for a [`Region`].
+#[derive(Debug, Clone, Copy)]
+pub struct RegionConfig {
+    /// Arena size in bytes (rounded up to a whole number of cache lines).
+    pub size: usize,
+    pub mode: RegionMode,
+}
+
+impl RegionConfig {
+    /// A fast-mode region with no modeled latency (DRAM-like).
+    pub fn fast(size: usize) -> Self {
+        RegionConfig { size, mode: RegionMode::Fast(LatencyModel::dram()) }
+    }
+
+    /// A fast-mode region charging Optane-like latency.
+    pub fn optane(size: usize) -> Self {
+        RegionConfig { size, mode: RegionMode::Fast(LatencyModel::optane()) }
+    }
+
+    /// A sim-mode region with the given simulator configuration.
+    pub fn sim(size: usize, cfg: SimConfig) -> Self {
+        RegionConfig { size, mode: RegionMode::Sim(cfg) }
+    }
+}
+
+/// An emulated NVMM arena. See the module docs.
+pub struct Region {
+    buf: *mut u8,
+    size: usize,
+    layout: Layout,
+    latency: LatencyModel,
+    latency_free: bool,
+    sim: Option<CacheSim>,
+    stats: Arc<PmemStats>,
+}
+
+// SAFETY: the raw buffer is only accessed through atomic operations (or
+// under the simulator's shard locks), and the allocation is owned by the
+// `Region` for its whole lifetime.
+unsafe impl Send for Region {}
+// SAFETY: as above.
+unsafe impl Sync for Region {}
+
+impl Drop for Region {
+    fn drop(&mut self) {
+        // SAFETY: `buf` was allocated with exactly `layout` in `new`.
+        unsafe { dealloc(self.buf, self.layout) };
+    }
+}
+
+impl Region {
+    /// Allocates a zeroed region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation fails or `size` is zero.
+    pub fn new(cfg: RegionConfig) -> Arc<Region> {
+        assert!(cfg.size > 0, "region size must be positive");
+        let size = crate::align_up(cfg.size as u64, CACHE_LINE as u64) as usize;
+        let layout = Layout::from_size_align(size, 4096).expect("valid region layout");
+        // SAFETY: `layout` has non-zero size.
+        let buf = unsafe { alloc_zeroed(layout) };
+        assert!(!buf.is_null(), "region allocation of {size} bytes failed");
+        let stats = Arc::new(PmemStats::default());
+        let (latency, sim) = match cfg.mode {
+            RegionMode::Fast(lat) => (lat, None),
+            RegionMode::Sim(sim_cfg) => (
+                LatencyModel::dram(),
+                Some(CacheSim::new(sim_cfg, size, Arc::clone(&stats))),
+            ),
+        };
+        let region = Region {
+            buf,
+            size,
+            layout,
+            latency,
+            latency_free: latency.is_free(),
+            sim,
+            stats,
+        };
+        if let Some(sim) = &region.sim {
+            sim.attach(region.buf);
+        }
+        Arc::new(region)
+    }
+
+    /// Region size in bytes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the persistence simulator is active.
+    #[inline]
+    pub fn is_sim(&self) -> bool {
+        self.sim.is_some()
+    }
+
+    /// Instruction/event counters.
+    pub fn stats(&self) -> &Arc<PmemStats> {
+        &self.stats
+    }
+
+    #[inline]
+    fn check(&self, addr: PAddr, size: usize, align: usize) {
+        let off = addr.0 as usize;
+        assert!(
+            off.checked_add(size).is_some_and(|end| end <= self.size),
+            "pmem access out of bounds: {addr:?} + {size} > {}",
+            self.size
+        );
+        assert!(off % align == 0, "misaligned pmem access: {addr:?} align {align}");
+    }
+
+    #[inline]
+    fn ptr(&self, addr: PAddr) -> *mut u8 {
+        // Bounds were validated by `check` on every public path.
+        self.buf.wrapping_add(addr.0 as usize)
+    }
+
+    /// Stores `val` at `addr`.
+    ///
+    /// `addr` must be aligned for `T` and in bounds (checked). Values of up
+    /// to 8 bytes are written with a single atomic store; larger `Pod`s are
+    /// written as multiple word stores (callers that need the InCLL
+    /// same-line guarantee keep such values within one cache line).
+    #[inline]
+    pub fn store<T: Pod>(&self, addr: PAddr, val: T) {
+        let size = std::mem::size_of::<T>();
+        self.check(addr, size, std::mem::align_of::<T>());
+        // Fast path: word-sized stores compile to a single relaxed mov
+        // (plus the amortized latency charge in NVMM-latency mode).
+        if size == 8 && self.sim.is_none() {
+            let mut w = 0u64;
+            // SAFETY: `T` is Pod with size 8; copying its representation.
+            unsafe {
+                std::ptr::copy_nonoverlapping(&val as *const T as *const u8, &mut w as *mut u64 as *mut u8, 8)
+            };
+            // SAFETY: in-bounds, 8-aligned (checked above).
+            unsafe { (*(self.ptr(addr) as *const AtomicU64)).store(w, Ordering::Relaxed) };
+            if !self.latency_free {
+                charge_ns(self.latency.store_ns);
+            }
+            return;
+        }
+        let mut bytes = [0u8; 16];
+        assert!(size <= 16, "Pod types are at most 16 bytes");
+        // SAFETY: `T: Pod` is plain data of `size <= 16` bytes; copying its
+        // object representation into a byte buffer is valid.
+        unsafe {
+            std::ptr::copy_nonoverlapping(&val as *const T as *const u8, bytes.as_mut_ptr(), size)
+        };
+        if let Some(sim) = &self.sim {
+            self.store_bytes_sim(sim, addr, &bytes[..size]);
+        } else {
+            // SAFETY: in-bounds, aligned (checked above).
+            unsafe { atomic_store_raw(self.ptr(addr), &bytes[..size]) };
+            if !self.latency_free {
+                charge_ns(self.latency.store_ns);
+            }
+        }
+    }
+
+    /// Loads a `T` from `addr` (aligned, in bounds — checked).
+    #[inline]
+    pub fn load<T: Pod>(&self, addr: PAddr) -> T {
+        let size = std::mem::size_of::<T>();
+        self.check(addr, size, std::mem::align_of::<T>());
+        // Fast path: word-sized loads compile to a single relaxed mov
+        // (plus the amortized latency charge in NVMM-latency mode).
+        if size == 8 {
+            // SAFETY: in-bounds, 8-aligned (checked above).
+            let w = unsafe { (*(self.ptr(addr) as *const AtomicU64)).load(Ordering::Relaxed) };
+            if !self.latency_free {
+                charge_ns(self.latency.load_ns);
+            }
+            // SAFETY: `T` is Pod with size 8, valid for any bit pattern.
+            return unsafe { std::ptr::read_unaligned(&w as *const u64 as *const T) };
+        }
+        let mut bytes = [0u8; 16];
+        assert!(size <= 16, "Pod types are at most 16 bytes");
+        // SAFETY: in-bounds, aligned (checked above).
+        unsafe { atomic_load_raw(self.ptr(addr), &mut bytes[..size]) };
+        if !self.latency_free {
+            charge_ns(self.latency.load_ns);
+        }
+        // SAFETY: `T: Pod` is valid for any bit pattern of its size.
+        let val = unsafe { std::ptr::read_unaligned(bytes.as_ptr() as *const T) };
+        val
+    }
+
+    /// Bulk store (used for payload blocks, registry entries, app data).
+    pub fn store_bytes(&self, addr: PAddr, data: &[u8]) {
+        self.check(addr, data.len(), 1);
+        if let Some(sim) = &self.sim {
+            self.store_bytes_sim(sim, addr, data);
+        } else {
+            // SAFETY: in-bounds (checked above).
+            unsafe { atomic_store_raw(self.ptr(addr), data) };
+            if !self.latency_free {
+                charge_ns(self.latency.store_ns);
+            }
+        }
+    }
+
+    /// Bulk load.
+    pub fn load_bytes(&self, addr: PAddr, out: &mut [u8]) {
+        self.check(addr, out.len(), 1);
+        // SAFETY: in-bounds (checked above).
+        unsafe { atomic_load_raw(self.ptr(addr), out) };
+        if !self.latency_free {
+            charge_ns(self.latency.load_ns);
+        }
+    }
+
+    /// Sim-mode store: per touched cache line, take the shard lock, write,
+    /// mark dirty (which may trigger a random eviction).
+    fn store_bytes_sim(&self, sim: &CacheSim, addr: PAddr, data: &[u8]) {
+        let mut off = 0usize;
+        while off < data.len() {
+            let cur = addr.0 as usize + off;
+            let line = (cur / CACHE_LINE) as u64;
+            let line_end = (line as usize + 1) * CACHE_LINE;
+            let chunk = (line_end - cur).min(data.len() - off);
+            let guard = sim.lock_line(line);
+            // SAFETY: in-bounds (checked by caller); the shard lock
+            // serializes against simulator line snapshots.
+            unsafe { atomic_store_raw(self.buf.wrapping_add(cur), &data[off..off + chunk]) };
+            sim.note_store(guard, line);
+            off += chunk;
+        }
+    }
+
+    /// Initiates a write-back of the cache line containing `addr` (paper's
+    /// `pwb`, i.e. `clwb`). Asynchronous: complete only after [`psync`].
+    ///
+    /// [`psync`]: Region::psync
+    #[inline]
+    pub fn pwb(&self, addr: PAddr) {
+        self.check(addr, 1, 1);
+        if let Some(sim) = &self.sim {
+            sim.pwb(addr.line());
+        } else {
+            // The region is emulated (DRAM behind it): issuing the real
+            // `clwb` would add host-VM overhead (~150 ns/line here) without
+            // any durability semantics. Fast mode only *accounts* for the
+            // write-back: issue cost now, bandwidth-bound drain at `psync`.
+            // The real instruction wrappers live in `crate::arch`.
+            self.stats.count_pwb();
+            if !self.latency_free {
+                note_pwb(&self.latency);
+            }
+        }
+    }
+
+    /// Write-back by cache-line index (used by the flusher pool, whose
+    /// tracking lists store line numbers).
+    #[inline]
+    pub fn pwb_line(&self, line: u64) {
+        self.pwb(PAddr(line * CACHE_LINE as u64));
+    }
+
+    /// Drains this thread's outstanding write-backs (paper's `psync`,
+    /// i.e. `sfence`).
+    #[inline]
+    pub fn psync(&self) {
+        if let Some(sim) = &self.sim {
+            sim.psync();
+        } else {
+            self.stats.count_psync();
+            // An `sfence` still orders our (relaxed atomic) stores cheaply
+            // and mirrors the paper's instruction sequence.
+            arch::psync();
+            if !self.latency_free {
+                drain_psync(&self.latency);
+            }
+        }
+    }
+
+    /// Flushes `len` bytes starting at `addr`: one `pwb` per covered line,
+    /// then `psync`.
+    pub fn flush_range(&self, addr: PAddr, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = addr.line();
+        let last = PAddr(addr.0 + len as u64 - 1).line();
+        for line in first..=last {
+            self.pwb_line(line);
+        }
+        self.psync();
+    }
+
+    /// Atomic compare-and-swap of a u64 (for lock-free persistent
+    /// structures: MS-queue links, SOFT buckets). Returns `Ok(current)` on
+    /// success, `Err(actual)` on mismatch. AcqRel/Acquire ordering.
+    pub fn cas_u64(&self, addr: PAddr, current: u64, new: u64) -> Result<u64, u64> {
+        self.check(addr, 8, 8);
+        let ptr = self.ptr(addr) as *const AtomicU64;
+        if let Some(sim) = &self.sim {
+            let line = addr.line();
+            let guard = sim.lock_line(line);
+            // SAFETY: in-bounds, 8-aligned (checked); atomics alias plain
+            // memory we own; the shard lock serializes with simulator
+            // snapshots.
+            let res = unsafe { &*ptr }.compare_exchange(
+                current,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            match res {
+                Ok(v) => {
+                    sim.note_store(guard, line);
+                    Ok(v)
+                }
+                Err(v) => Err(v),
+            }
+        } else {
+            // SAFETY: as above.
+            unsafe { &*ptr }.compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+        }
+    }
+
+    /// Acquire-ordered u64 load (pairs with [`Region::store_release_u64`] /
+    /// [`Region::cas_u64`] for lock-free readers).
+    #[inline]
+    pub fn load_acquire_u64(&self, addr: PAddr) -> u64 {
+        self.check(addr, 8, 8);
+        // SAFETY: in-bounds, 8-aligned (checked).
+        unsafe { &*(self.ptr(addr) as *const AtomicU64) }.load(Ordering::Acquire)
+    }
+
+    /// Release-ordered u64 store.
+    #[inline]
+    pub fn store_release_u64(&self, addr: PAddr, val: u64) {
+        self.check(addr, 8, 8);
+        if let Some(sim) = &self.sim {
+            let line = addr.line();
+            let guard = sim.lock_line(line);
+            // SAFETY: in-bounds, 8-aligned (checked); serialized with the
+            // simulator by the shard lock.
+            unsafe { &*(self.ptr(addr) as *const AtomicU64) }.store(val, Ordering::Release);
+            sim.note_store(guard, line);
+        } else {
+            // SAFETY: as above.
+            unsafe { &*(self.ptr(addr) as *const AtomicU64) }.store(val, Ordering::Release);
+        }
+    }
+
+    /// Simulates a crash, returning the persisted image.
+    ///
+    /// # Panics
+    ///
+    /// Panics in fast mode (no simulator).
+    pub fn crash(&self, mode: CrashMode) -> CrashImage {
+        let sim = self.sim.as_ref().expect("crash() requires a sim-mode region");
+        sim.crash(mode)
+    }
+
+    /// Restores the volatile image from a crash image (simulated reboot of
+    /// the same region) and resets the simulator so persisted == volatile.
+    pub fn restore(&self, image: &CrashImage) {
+        assert_eq!(image.bytes.len(), self.size, "crash image size mismatch");
+        let sim = self.sim.as_ref().expect("restore() requires a sim-mode region");
+        // SAFETY: copying the full image into the owned buffer; callers only
+        // restore while no application threads are running (reboot).
+        unsafe { atomic_store_raw(self.buf, &image.bytes) };
+        sim.reset_to(image);
+    }
+
+    /// Forces every dirty line to the persisted image (clean shutdown /
+    /// test setup). No-op in fast mode.
+    pub fn persist_all(&self) {
+        if let Some(sim) = &self.sim {
+            sim.persist_all();
+        }
+    }
+
+    /// Writes the region's current content to `path` (atomic via a
+    /// temporary file + rename). Pair with [`Region::load_file`] to carry
+    /// an emulated pool across process runs — the moral equivalent of the
+    /// DAX file backing a real NVMM deployment. Callers should checkpoint
+    /// first so the saved image is a consistent cut.
+    pub fn save_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let bytes = self.dump_volatile();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Creates a region initialized from a file previously written by
+    /// [`Region::save_file`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the file; the file length must be a whole number
+    /// of cache lines (it always is for saved regions).
+    pub fn load_file(path: &std::path::Path, mode: RegionMode) -> std::io::Result<Arc<Region>> {
+        let bytes = std::fs::read(path)?;
+        if bytes.is_empty() || bytes.len() % CACHE_LINE != 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("region file length {} is not a positive line multiple", bytes.len()),
+            ));
+        }
+        let region = Region::new(RegionConfig { size: bytes.len(), mode });
+        // SAFETY: writing the full owned buffer before any other handle to
+        // the region exists.
+        unsafe { atomic_store_raw(region.buf, &bytes) };
+        if let Some(sim) = &region.sim {
+            // The loaded content is the persisted baseline.
+            sim.reset_to(&CrashImage { bytes });
+        }
+        Ok(region)
+    }
+
+    /// Reads the whole region into a plain byte vector (diagnostics).
+    pub fn dump_volatile(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.size];
+        // SAFETY: reading the full owned buffer.
+        unsafe { atomic_load_raw(self.buf, &mut out) };
+        out
+    }
+}
+
+/// Relaxed atomic store of `data` at `ptr`, using the widest aligned lanes.
+///
+/// # Safety
+///
+/// `ptr .. ptr + data.len()` must be inside a live allocation.
+unsafe fn atomic_store_raw(ptr: *mut u8, data: &[u8]) {
+    let mut i = 0usize;
+    let len = data.len();
+    while i < len {
+        let p = ptr.wrapping_add(i);
+        let rem = len - i;
+        let align = (p as usize).trailing_zeros();
+        if rem >= 8 && align >= 3 {
+            let v = u64::from_ne_bytes(data[i..i + 8].try_into().unwrap());
+            // SAFETY: `p` is valid (caller contract), 8-aligned, and atomics
+            // may alias plain memory we own.
+            unsafe { (*(p as *const AtomicU64)).store(v, Ordering::Relaxed) };
+            i += 8;
+        } else if rem >= 4 && align >= 2 {
+            let v = u32::from_ne_bytes(data[i..i + 4].try_into().unwrap());
+            // SAFETY: as above, 4-aligned.
+            unsafe { (*(p as *const AtomicU32)).store(v, Ordering::Relaxed) };
+            i += 4;
+        } else if rem >= 2 && align >= 1 {
+            let v = u16::from_ne_bytes(data[i..i + 2].try_into().unwrap());
+            // SAFETY: as above, 2-aligned.
+            unsafe { (*(p as *const AtomicU16)).store(v, Ordering::Relaxed) };
+            i += 2;
+        } else {
+            // SAFETY: as above, byte access.
+            unsafe { (*(p as *const AtomicU8)).store(data[i], Ordering::Relaxed) };
+            i += 1;
+        }
+    }
+}
+
+/// Relaxed atomic load into `out`. See [`atomic_store_raw`].
+///
+/// # Safety
+///
+/// `ptr .. ptr + out.len()` must be inside a live allocation.
+unsafe fn atomic_load_raw(ptr: *const u8, out: &mut [u8]) {
+    let mut i = 0usize;
+    let len = out.len();
+    while i < len {
+        let p = ptr.wrapping_add(i);
+        let rem = len - i;
+        let align = (p as usize).trailing_zeros();
+        if rem >= 8 && align >= 3 {
+            // SAFETY: caller contract; 8-aligned.
+            let v = unsafe { (*(p as *const AtomicU64)).load(Ordering::Relaxed) };
+            out[i..i + 8].copy_from_slice(&v.to_ne_bytes());
+            i += 8;
+        } else if rem >= 4 && align >= 2 {
+            // SAFETY: caller contract; 4-aligned.
+            let v = unsafe { (*(p as *const AtomicU32)).load(Ordering::Relaxed) };
+            out[i..i + 4].copy_from_slice(&v.to_ne_bytes());
+            i += 4;
+        } else if rem >= 2 && align >= 1 {
+            // SAFETY: caller contract; 2-aligned.
+            let v = unsafe { (*(p as *const AtomicU16)).load(Ordering::Relaxed) };
+            out[i..i + 2].copy_from_slice(&v.to_ne_bytes());
+            i += 2;
+        } else {
+            // SAFETY: caller contract; byte access.
+            out[i] = unsafe { (*(p as *const AtomicU8)).load(Ordering::Relaxed) };
+            i += 1;
+        }
+    }
+}
+
+pub use crate::sim::CrashMode as RegionCrashMode;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_roundtrip() {
+        let r = Region::new(RegionConfig::fast(4096));
+        r.store(PAddr(64), 0xdead_beef_u64);
+        assert_eq!(r.load::<u64>(PAddr(64)), 0xdead_beef);
+        r.store(PAddr(72), 7u32);
+        assert_eq!(r.load::<u32>(PAddr(72)), 7);
+        r.store(PAddr(80), -5i64);
+        assert_eq!(r.load::<i64>(PAddr(80)), -5);
+        r.store(PAddr(96), 1.5f64);
+        assert_eq!(r.load::<f64>(PAddr(96)), 1.5);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let r = Region::new(RegionConfig::fast(4096));
+        let data: Vec<u8> = (0..200).collect();
+        r.store_bytes(PAddr(100), &data); // unaligned, crosses lines
+        let mut out = vec![0u8; 200];
+        r.load_bytes(PAddr(100), &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn sixteen_byte_pod() {
+        let r = Region::new(RegionConfig::fast(4096));
+        r.store(PAddr(128), (1u64, 2u64));
+        assert_eq!(r.load::<(u64, u64)>(PAddr(128)), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_store_panics() {
+        let r = Region::new(RegionConfig::fast(128));
+        r.store(PAddr(128), 1u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_store_panics() {
+        let r = Region::new(RegionConfig::fast(128));
+        r.store(PAddr(4), 1u64);
+    }
+
+    #[test]
+    fn sim_crash_loses_unflushed() {
+        let r = Region::new(RegionConfig::sim(4096, SimConfig::no_eviction(42)));
+        r.store(PAddr(64), 11u64);
+        r.store(PAddr(1024), 22u64);
+        r.flush_range(PAddr(64), 8);
+        let img = r.crash(CrashMode::PowerFailure);
+        let flushed = u64::from_ne_bytes(img.bytes()[64..72].try_into().unwrap());
+        let lost = u64::from_ne_bytes(img.bytes()[1024..1032].try_into().unwrap());
+        assert_eq!(flushed, 11);
+        assert_eq!(lost, 0);
+    }
+
+    #[test]
+    fn sim_restore_resumes() {
+        let r = Region::new(RegionConfig::sim(4096, SimConfig::no_eviction(42)));
+        r.store(PAddr(64), 11u64);
+        r.flush_range(PAddr(64), 8);
+        let img = r.crash(CrashMode::PowerFailure);
+        r.restore(&img);
+        assert_eq!(r.load::<u64>(PAddr(64)), 11);
+        // Continue working after "reboot".
+        r.store(PAddr(64), 12u64);
+        assert_eq!(r.load::<u64>(PAddr(64)), 12);
+        let img2 = r.crash(CrashMode::PowerFailure);
+        // 12 was never flushed after the reboot: image still holds 11.
+        let v = u64::from_ne_bytes(img2.bytes()[64..72].try_into().unwrap());
+        assert_eq!(v, 11);
+    }
+
+    #[test]
+    fn size_rounds_to_lines() {
+        let r = Region::new(RegionConfig::fast(100));
+        assert_eq!(r.size(), 128);
+    }
+
+    #[test]
+    fn concurrent_distinct_words() {
+        let r = Region::new(RegionConfig::fast(4096));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let r = &r;
+                s.spawn(move || {
+                    let addr = PAddr(512 + t * 8);
+                    for i in 0..1000u64 {
+                        r.store(addr, t * 1_000_000 + i);
+                    }
+                });
+            }
+        });
+        for t in 0..4u64 {
+            assert_eq!(r.load::<u64>(PAddr(512 + t * 8)), t * 1_000_000 + 999);
+        }
+    }
+}
+
+#[cfg(test)]
+mod cas_tests {
+    use super::*;
+
+    #[test]
+    fn cas_success_and_failure() {
+        let r = Region::new(RegionConfig::fast(4096));
+        r.store(PAddr(64), 5u64);
+        assert_eq!(r.cas_u64(PAddr(64), 5, 6), Ok(5));
+        assert_eq!(r.cas_u64(PAddr(64), 5, 7), Err(6));
+        assert_eq!(r.load::<u64>(PAddr(64)), 6);
+    }
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let r = Region::new(RegionConfig::fast(4096));
+        r.store_release_u64(PAddr(128), 42);
+        assert_eq!(r.load_acquire_u64(PAddr(128)), 42);
+    }
+
+    #[test]
+    fn sim_cas_marks_line_dirty() {
+        let r = Region::new(RegionConfig::sim(4096, SimConfig::no_eviction(3)));
+        r.store(PAddr(64), 1u64);
+        r.cas_u64(PAddr(64), 1, 2).unwrap();
+        r.flush_range(PAddr(64), 8);
+        let img = r.crash(crate::sim::CrashMode::PowerFailure);
+        let v = u64::from_ne_bytes(img.bytes()[64..72].try_into().unwrap());
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn concurrent_cas_counter() {
+        let r = Region::new(RegionConfig::fast(4096));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = &r;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        loop {
+                            let cur = r.load_acquire_u64(PAddr(256));
+                            if r.cas_u64(PAddr(256), cur, cur + 1).is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(r.load::<u64>(PAddr(256)), 4000);
+    }
+}
+
+#[cfg(test)]
+mod file_tests {
+    use super::*;
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join("respct_region_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.img");
+        let r = Region::new(RegionConfig::fast(8192));
+        r.store(PAddr(128), 0xfeed_u64);
+        r.save_file(&path).unwrap();
+        let r2 = Region::load_file(&path, RegionMode::Fast(crate::latency::LatencyModel::dram()))
+            .unwrap();
+        assert_eq!(r2.size(), 8192);
+        assert_eq!(r2.load::<u64>(PAddr(128)), 0xfeed);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_into_sim_mode_sets_baseline() {
+        let dir = std::env::temp_dir().join("respct_region_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool_sim.img");
+        let r = Region::new(RegionConfig::fast(4096));
+        r.store(PAddr(64), 7u64);
+        r.save_file(&path).unwrap();
+        let r2 =
+            Region::load_file(&path, RegionMode::Sim(SimConfig::no_eviction(1))).unwrap();
+        // The loaded content counts as already persistent.
+        let img = r2.crash(crate::sim::CrashMode::PowerFailure);
+        let v = u64::from_ne_bytes(img.bytes()[64..72].try_into().unwrap());
+        assert_eq!(v, 7);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_bad_length() {
+        let dir = std::env::temp_dir().join("respct_region_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.img");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(Region::load_file(&path, RegionMode::Fast(Default::default())).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,307 @@
+//! Crash-consistent persistent allocator.
+//!
+//! The paper assumes an `alloc_in_nvmm()` facility; this module provides one
+//! whose metadata is protected by InCLL so that allocations performed in a
+//! crashed epoch are rolled back together with the data:
+//!
+//! * A **global bump cell** hands out 64 KiB chunks (and large blocks
+//!   directly).
+//! * Each thread slot owns a **chunk cache** it bumps without
+//!   synchronization.
+//! * **Segregated free lists** (16 B … 4 KiB classes) with InCLL heads.
+//!
+//! All three cursors follow the same *deferred-persistence* discipline as
+//! the rest of ResPCT: the hot paths operate on **volatile mirrors**
+//! (`SlotState::alloc_cur`/`alloc_end`, `Pool::bump_vol`,
+//! `Pool::class_heads`), and the checkpoint procedure syncs the mirrors
+//! into their InCLL cells while every thread is parked
+//! ([`Pool::sync_deferred_cells`]). Mid-epoch persistent values are
+//! irrelevant: a crash rolls the whole epoch back, so the cells only need
+//! to be correct (and logged) at epoch boundaries. This keeps allocation
+//! off the persistence hot path entirely — one emulated-NVMM load per
+//! free-list pop, zero for a chunk bump.
+//!
+//! `free()` is *deferred*: blocks freed during an epoch are parked in a
+//! volatile per-slot list and only pushed onto the free lists after the
+//! next checkpoint (the paper's quiescent point), which makes within-epoch
+//! reuse impossible and closes the classic rollback/reuse hazard. The park
+//! list is lost in a crash — those blocks leak, which is safe (documented
+//! trade-off; Montage's epoch retirement makes the same compromise).
+
+use respct_pmem::{align_up, PAddr};
+
+use crate::layout::{self, class_of, class_size};
+use crate::pool::{Pool, SYSTEM_SLOT};
+
+/// Granularity of per-thread chunk grabs from the global bump.
+pub const CHUNK_SIZE: u64 = 64 * 1024;
+
+impl Pool {
+    /// Allocates `size` bytes aligned to `align` on behalf of `slot`.
+    ///
+    /// Small sizes (≤ 4 KiB) are rounded up to a size class and served from
+    /// the class free list or the slot's chunk cache; larger sizes bump the
+    /// global cursor directly at 64-byte (or stronger) alignment.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have exclusive use of `slot` (see [`Pool::slot_state`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the region is exhausted.
+    pub(crate) unsafe fn alloc_raw(&self, slot: usize, size: u64, align: u64) -> PAddr {
+        assert!(size > 0, "zero-size allocation");
+        assert!(align.is_power_of_two());
+        match class_of(size) {
+            Some(c) => {
+                let block = class_size(c);
+                assert!(
+                    align <= block.min(64),
+                    "alignment {align} stronger than class alignment {}",
+                    block.min(64)
+                );
+                // SAFETY: forwarded caller contract.
+                unsafe { self.alloc_class(slot, c) }
+            }
+            None => {
+                let align = align.max(64);
+                self.bump_global(size, align)
+            }
+        }
+    }
+
+    /// Serves one block of class `c`: free list first, then the slot chunk.
+    unsafe fn alloc_class(&self, slot: usize, c: usize) -> PAddr {
+        // Free-list pop: volatile head under the class lock; the persistent
+        // head cell is synced at the next checkpoint.
+        {
+            let mut head = self.class_heads[c].lock();
+            if *head != 0 {
+                let block = *head;
+                *head = self.region.load(PAddr(block));
+                return PAddr(block);
+            }
+        }
+        let block = class_size(c);
+        // SAFETY: forwarded caller contract.
+        let st = unsafe { self.slot_state(slot) };
+        let aligned = align_up(st.alloc_cur, block.min(64));
+        if st.alloc_cur != 0 && aligned + block <= st.alloc_end {
+            st.alloc_cur = aligned + block;
+            return PAddr(aligned);
+        }
+        // Grab a fresh chunk. The remainder of the old chunk (< one block)
+        // is abandoned — bounded internal fragmentation.
+        let chunk = self.bump_global(CHUNK_SIZE, 64);
+        st.alloc_cur = chunk.0 + block;
+        st.alloc_end = chunk.0 + CHUNK_SIZE;
+        PAddr(chunk.0)
+    }
+
+    /// Takes `size` bytes straight from the global bump mirror.
+    fn bump_global(&self, size: u64, align: u64) -> PAddr {
+        let mut bump = self.bump_vol.lock();
+        let start = align_up(*bump, align);
+        let new = start + size;
+        assert!(
+            new <= self.region.size() as u64,
+            "persistent pool exhausted: need {size} bytes, {} of {} used",
+            *bump,
+            self.region.size()
+        );
+        *bump = new;
+        PAddr(start)
+    }
+
+    /// Frees a block previously returned by [`Pool::alloc_raw`] for `size`
+    /// bytes. Deferred: the block becomes reusable only after the next
+    /// checkpoint. Blocks above the largest class are not recycled.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have exclusive use of `slot` (see [`Pool::slot_state`]).
+    pub(crate) unsafe fn free_raw(&self, slot: usize, addr: PAddr, size: u64) {
+        if let Some(c) = class_of(size) {
+            // SAFETY: forwarded caller contract.
+            unsafe { self.slot_state(slot) }.frees.push((addr, c));
+        }
+    }
+
+    /// Syncs every volatile cursor mirror into its InCLL cell so the
+    /// imminent flush persists end-of-epoch allocator and registry state.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called by the checkpointer, after quiescence and before
+    /// the tracking lists are drained.
+    pub(crate) unsafe fn sync_deferred_cells(&self) {
+        for slot in 0..layout::MAX_THREADS {
+            // SAFETY: checkpointer exclusivity (all owners parked).
+            let st = unsafe { self.slot_state(slot) };
+            let (cur, end, rlen) = (st.alloc_cur, st.alloc_end, st.reg_len);
+            for (field, v) in [
+                (layout::SLOT_ALLOC_CUR, cur),
+                (layout::SLOT_ALLOC_END, end),
+                (layout::SLOT_REG_LEN, rlen),
+            ] {
+                let cell = self.slot_cell(slot, field);
+                if self.cell_get(cell) != v {
+                    // SAFETY: checkpointer exclusivity.
+                    unsafe { self.cell_update_raw(slot, cell, v) };
+                }
+            }
+        }
+        {
+            let bump = *self.bump_vol.lock();
+            let cell = self.bump_cell();
+            if self.cell_get(cell) != bump {
+                // SAFETY: checkpointer exclusivity.
+                unsafe { self.cell_update_raw(SYSTEM_SLOT, cell, bump) };
+            }
+        }
+        for c in 0..layout::NUM_CLASSES {
+            let head = *self.class_heads[c].lock();
+            let cell = self.freelist_cell(c);
+            if self.cell_get(cell) != head {
+                // SAFETY: checkpointer exclusivity.
+                unsafe { self.cell_update_raw(SYSTEM_SLOT, cell, head) };
+            }
+        }
+    }
+
+    /// Pushes all blocks freed before the just-completed checkpoint onto
+    /// the free lists (volatile heads; the head cells are synced at the
+    /// *next* checkpoint). Runs on the checkpointer, in the new epoch.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called by the checkpointer while holding `ckpt_lock`.
+    pub(crate) unsafe fn drain_frees(&self, slot: usize) {
+        let mut drained: Vec<(PAddr, usize)> = Vec::new();
+        for s in 0..crate::layout::MAX_THREADS {
+            // SAFETY: checkpointer exclusivity (all owners parked).
+            let st = unsafe { self.slot_state(s) };
+            if !st.frees.is_empty() {
+                drained.append(&mut st.frees);
+            }
+        }
+        for (addr, c) in drained {
+            let mut head = self.class_heads[c].lock();
+            // Link word lives in the block's first 8 bytes. If the epoch
+            // that persists this push crashes, the head cell rolls back and
+            // the stale link word is unreachable garbage.
+            self.region.store(addr, *head);
+            // SAFETY: forwarded caller contract (checkpointer exclusivity).
+            unsafe { self.add_modified_raw(slot, addr, 8) };
+            *head = addr.0;
+        }
+    }
+
+    /// Bytes handed out so far (volatile view; diagnostics).
+    pub fn heap_used(&self) -> u64 {
+        *self.bump_vol.lock() - layout::heap_start().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{PoolConfig, SYSTEM_SLOT};
+    use respct_pmem::{Region, RegionConfig};
+    use std::sync::Arc;
+
+    fn pool() -> Arc<Pool> {
+        Pool::create(Region::new(RegionConfig::fast(4 << 20)), PoolConfig::default())
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let p = pool();
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        for (size, align) in [(8u64, 8u64), (24, 8), (64, 64), (100, 8), (4096, 64), (40, 8)] {
+            // SAFETY: single-threaded test.
+            let a = unsafe { p.alloc_raw(SYSTEM_SLOT, size, align) };
+            assert_eq!(a.0 % align, 0, "misaligned block for ({size},{align})");
+            let block = class_of(size).map(class_size).unwrap_or(size);
+            for &(s, e) in &seen {
+                assert!(a.0 + block <= s || a.0 >= e, "overlap");
+            }
+            seen.push((a.0, a.0 + block));
+        }
+    }
+
+    #[test]
+    fn class_blocks_do_not_straddle_lines() {
+        let p = pool();
+        for _ in 0..100 {
+            // SAFETY: single-threaded test.
+            let a = unsafe { p.alloc_raw(SYSTEM_SLOT, 24, 8) }; // class 32
+            let off = a.0 % 64;
+            assert!(off + 32 <= 64, "class-32 block straddles a line at {a:?}");
+        }
+    }
+
+    #[test]
+    fn large_alloc_bumps_globally() {
+        let p = pool();
+        // SAFETY: single-threaded test.
+        let a = unsafe { p.alloc_raw(SYSTEM_SLOT, 100_000, 64) };
+        assert_eq!(a.0 % 64, 0);
+        assert!(p.heap_used() >= 100_000);
+    }
+
+    #[test]
+    fn free_is_deferred_until_drain() {
+        let p = pool();
+        // SAFETY: single-threaded test.
+        let a = unsafe { p.alloc_raw(SYSTEM_SLOT, 64, 8) };
+        // SAFETY: single-threaded test.
+        unsafe { p.free_raw(SYSTEM_SLOT, a, 64) };
+        // Not yet reusable.
+        // SAFETY: single-threaded test.
+        let b = unsafe { p.alloc_raw(SYSTEM_SLOT, 64, 8) };
+        assert_ne!(a, b);
+        // SAFETY: test stands in for the checkpointer.
+        unsafe { p.drain_frees(SYSTEM_SLOT) };
+        // SAFETY: single-threaded test.
+        let c = unsafe { p.alloc_raw(SYSTEM_SLOT, 64, 8) };
+        assert_eq!(a, c, "drained block should be recycled first");
+    }
+
+    #[test]
+    fn huge_blocks_not_recycled() {
+        let p = pool();
+        // SAFETY: single-threaded test.
+        let a = unsafe { p.alloc_raw(SYSTEM_SLOT, 8192, 64) };
+        // SAFETY: single-threaded test.
+        unsafe { p.free_raw(SYSTEM_SLOT, a, 8192) };
+        // SAFETY: test stands in for the checkpointer.
+        unsafe { p.drain_frees(SYSTEM_SLOT) };
+        // SAFETY: single-threaded test.
+        let b = unsafe { p.alloc_raw(SYSTEM_SLOT, 8192, 64) };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sync_persists_cursors_at_checkpoint() {
+        let p = pool();
+        // SAFETY: single-threaded test.
+        unsafe { p.alloc_raw(SYSTEM_SLOT, 64, 8) };
+        let used = p.heap_used();
+        // Before a checkpoint, the persistent bump cell is stale.
+        assert_ne!(p.cell_get(p.bump_cell()), used + layout::heap_start().0);
+        p.checkpoint_now();
+        assert_eq!(p.cell_get(p.bump_cell()), used + layout::heap_start().0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn oom_panics() {
+        let p = pool();
+        loop {
+            // SAFETY: single-threaded test.
+            unsafe { p.alloc_raw(SYSTEM_SLOT, 1 << 20, 64) };
+        }
+    }
+}

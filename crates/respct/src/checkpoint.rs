@@ -1,0 +1,326 @@
+//! The checkpoint procedure (paper Fig. 4, lines 46–59) and its periodic
+//! driver, plus the parallel flusher pool (§5 "a pool of flusher threads
+//! flushes data to NVMM in parallel during checkpoints").
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use respct_pmem::Region;
+
+use crate::layout::{MAX_THREADS, OFF_EPOCH};
+use crate::pool::{CheckpointMode, Pool, SYSTEM_SLOT};
+
+/// Outcome of one checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CkptReport {
+    /// Epoch that was just closed (the new epoch is `closed_epoch + 1`).
+    pub closed_epoch: u64,
+    /// Cache lines flushed.
+    pub lines: u64,
+}
+
+impl Pool {
+    /// Runs one checkpoint to completion.
+    ///
+    /// Must be called from a thread that is **not** blocked on its own
+    /// per-thread flag — i.e. the periodic checkpointer, the main thread in
+    /// tests, or via [`ThreadHandle::checkpoint_here`]
+    /// (which parks the calling handle first).
+    ///
+    /// [`ThreadHandle::checkpoint_here`]: crate::thread::ThreadHandle::checkpoint_here
+    pub fn checkpoint_now(&self) -> CkptReport {
+        let _serial = self.ckpt_lock.lock();
+        let t0 = Instant::now();
+        self.timer.store(true, Ordering::SeqCst);
+        // Wait until every active thread is parked at a restart point
+        // (Fig. 4 lines 49–54). Spin briefly, then yield: this container
+        // has one core, so pure spinning would starve the parked threads.
+        for slot in 0..MAX_THREADS {
+            if slot == SYSTEM_SLOT || !self.active[slot].load(Ordering::SeqCst) {
+                continue;
+            }
+            let mut spins = 0u32;
+            while !self.flags[slot].load(Ordering::SeqCst) {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        let waited = t0.elapsed();
+
+        // All threads are parked: first sync the deferred allocator and
+        // registry cursors into their InCLL cells (so the flush below
+        // persists end-of-epoch metadata), then drain the tracking lists.
+        // SAFETY: quiescence established above; `ckpt_lock` held.
+        unsafe { self.sync_deferred_cells() };
+
+        // Drain every slot's tracking list.
+        let mut lines: Vec<u64> = Vec::new();
+        for slot in 0..MAX_THREADS {
+            // SAFETY: `timer` is set and every active owner's flag was
+            // observed true with SeqCst, so owners are parked; inactive
+            // slots have no owner. The checkpointer has exclusive access.
+            let st = unsafe { self.slot_state(slot) };
+            if !st.to_flush.is_empty() {
+                if lines.is_empty() {
+                    lines = std::mem::take(&mut st.to_flush);
+                } else {
+                    lines.append(&mut st.to_flush);
+                }
+            }
+        }
+        let nlines = lines.len() as u64;
+
+        let tf = Instant::now();
+        if self.cfg.mode == CheckpointMode::Full && !lines.is_empty() {
+            match &self.flushers {
+                Some(pool) => pool.flush(lines),
+                None => {
+                    for &line in &lines {
+                        self.region.pwb_line(line);
+                    }
+                    self.region.psync();
+                }
+            }
+        }
+        let flushed = tf.elapsed();
+
+        // Advance and persist the epoch counter (Fig. 4 lines 56–58).
+        let closed = self.epoch_mirror.load(Ordering::Relaxed);
+        self.region.store(OFF_EPOCH, closed + 1);
+        self.region.pwb(OFF_EPOCH);
+        self.region.psync();
+        self.epoch_mirror.store(closed + 1, Ordering::SeqCst);
+
+        // Blocks freed during the closed epoch are now safe to recycle;
+        // push them onto the persistent free lists in the new epoch.
+        // SAFETY: checkpointer exclusivity — workers are still parked
+        // (timer is still true) and we hold `ckpt_lock`.
+        unsafe { self.drain_frees(SYSTEM_SLOT) };
+
+        self.timer.store(false, Ordering::SeqCst);
+        self.ckpt_stats.record(nlines, waited, flushed, t0.elapsed());
+        CkptReport { closed_epoch: closed, lines: nlines }
+    }
+
+    /// Spawns a background thread that checkpoints every `period`.
+    ///
+    /// Dropping the returned guard stops and joins the thread.
+    pub fn start_checkpointer(self: &Arc<Self>, period: Duration) -> CheckpointerGuard {
+        let pool = Arc::clone(self);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("respct-ckpt".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    pool.checkpoint_now();
+                }
+            })
+            .expect("spawn checkpointer");
+        CheckpointerGuard { stop, handle: Some(handle) }
+    }
+}
+
+/// Stops the periodic checkpointer when dropped.
+pub struct CheckpointerGuard {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for CheckpointerGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---- Flusher pool ----------------------------------------------------------
+
+enum FlushJob {
+    /// Flush `lines[range]`, then `psync`, then acknowledge.
+    Run(Arc<Vec<u64>>, std::ops::Range<usize>),
+}
+
+/// A fixed pool of threads that write back cache lines in parallel.
+pub(crate) struct FlusherPool {
+    workers: Vec<std::thread::JoinHandle<()>>,
+    job_tx: Sender<FlushJob>,
+    done_rx: Receiver<()>,
+    n: usize,
+}
+
+impl FlusherPool {
+    pub(crate) fn new(n: usize, region: Arc<Region>) -> FlusherPool {
+        let (job_tx, job_rx) = bounded::<FlushJob>(n * 2);
+        let (done_tx, done_rx) = bounded::<()>(n * 2);
+        let mut workers = Vec::with_capacity(n);
+        for i in 0..n {
+            let rx = job_rx.clone();
+            let tx = done_tx.clone();
+            let region = Arc::clone(&region);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("respct-flusher-{i}"))
+                    .spawn(move || {
+                        while let Ok(FlushJob::Run(lines, range)) = rx.recv() {
+                            for &line in &lines[range] {
+                                region.pwb_line(line);
+                            }
+                            region.psync();
+                            if tx.send(()).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn flusher"),
+            );
+        }
+        FlusherPool { workers, job_tx, done_rx, n }
+    }
+
+    /// Flushes `lines`, partitioned across the pool; returns when all
+    /// partitions are written back and fenced.
+    pub(crate) fn flush(&self, lines: Vec<u64>) {
+        let total = lines.len();
+        if total == 0 {
+            return;
+        }
+        let lines = Arc::new(lines);
+        let per = total.div_ceil(self.n);
+        let mut jobs = 0;
+        let mut start = 0;
+        while start < total {
+            let end = (start + per).min(total);
+            self.job_tx
+                .send(FlushJob::Run(Arc::clone(&lines), start..end))
+                .expect("flusher pool alive");
+            jobs += 1;
+            start = end;
+        }
+        for _ in 0..jobs {
+            self.done_rx.recv().expect("flusher pool alive");
+        }
+    }
+}
+
+impl Drop for FlusherPool {
+    fn drop(&mut self) {
+        // Closing the channel terminates the workers.
+        let (tx, _rx) = bounded(1);
+        drop(std::mem::replace(&mut self.job_tx, tx));
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use respct_pmem::{PAddr, Region, RegionConfig, SimConfig};
+
+    #[test]
+    fn checkpoint_advances_and_persists_epoch() {
+        let region = Region::new(RegionConfig::sim(1 << 20, SimConfig::no_eviction(7)));
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        assert_eq!(pool.epoch(), 1);
+        let r = pool.checkpoint_now();
+        assert_eq!(r.closed_epoch, 1);
+        assert_eq!(pool.epoch(), 2);
+        let img = region.crash(respct_pmem::sim::CrashMode::PowerFailure);
+        let e = u64::from_ne_bytes(img.bytes()[OFF_EPOCH.0 as usize..][..8].try_into().unwrap());
+        assert_eq!(e, 2, "epoch counter must be persistent");
+    }
+
+    #[test]
+    fn checkpoint_flushes_tracked_lines() {
+        let region = Region::new(RegionConfig::sim(1 << 20, SimConfig::no_eviction(7)));
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let addr = PAddr(crate::layout::heap_start().0);
+        region.store(addr, 0xabcdu64);
+        // SAFETY: single-threaded test.
+        unsafe { pool.add_modified_raw(SYSTEM_SLOT, addr, 8) };
+        let r = pool.checkpoint_now();
+        assert_eq!(r.lines, 1);
+        let img = region.crash(respct_pmem::sim::CrashMode::PowerFailure);
+        let v = u64::from_ne_bytes(img.bytes()[addr.0 as usize..][..8].try_into().unwrap());
+        assert_eq!(v, 0xabcd);
+    }
+
+    #[test]
+    fn noflush_mode_advances_epoch_without_flushing_data() {
+        let region = Region::new(RegionConfig::sim(1 << 20, SimConfig::no_eviction(7)));
+        let pool = Pool::create(
+            Arc::clone(&region),
+            PoolConfig { mode: CheckpointMode::NoFlush, ..Default::default() },
+        );
+        let addr = PAddr(crate::layout::heap_start().0);
+        region.store(addr, 0xabcdu64);
+        // SAFETY: single-threaded test.
+        unsafe { pool.add_modified_raw(SYSTEM_SLOT, addr, 8) };
+        pool.checkpoint_now();
+        assert_eq!(pool.epoch(), 2);
+        let img = region.crash(respct_pmem::sim::CrashMode::PowerFailure);
+        let v = u64::from_ne_bytes(img.bytes()[addr.0 as usize..][..8].try_into().unwrap());
+        assert_eq!(v, 0, "NoFlush must not write data back");
+    }
+
+    #[test]
+    fn flusher_pool_flushes_everything() {
+        let region = Region::new(RegionConfig::sim(1 << 20, SimConfig::no_eviction(9)));
+        let heap = crate::layout::heap_start().0;
+        let mut lines = Vec::new();
+        for i in 0..100u64 {
+            let a = PAddr(heap + i * 64);
+            region.store(a, i + 1);
+            lines.push(a.line());
+        }
+        let pool = FlusherPool::new(4, Arc::clone(&region));
+        pool.flush(lines);
+        drop(pool);
+        let img = region.crash(respct_pmem::sim::CrashMode::PowerFailure);
+        for i in 0..100u64 {
+            let off = (heap + i * 64) as usize;
+            let v = u64::from_ne_bytes(img.bytes()[off..off + 8].try_into().unwrap());
+            assert_eq!(v, i + 1);
+        }
+    }
+
+    #[test]
+    fn periodic_checkpointer_runs_and_stops() {
+        let region = Region::new(RegionConfig::fast(1 << 20));
+        let pool = Pool::create(region, PoolConfig::default());
+        let guard = pool.start_checkpointer(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(60));
+        drop(guard);
+        let done = pool.ckpt_stats().snapshot().count;
+        assert!(done >= 2, "expected several checkpoints, got {done}");
+        let epoch = pool.epoch();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(pool.epoch(), epoch, "checkpointer must stop after drop");
+    }
+
+    #[test]
+    fn stats_mean_lines() {
+        let region = Region::new(RegionConfig::fast(1 << 20));
+        let pool = Pool::create(region, PoolConfig::default());
+        let addr = PAddr(crate::layout::heap_start().0);
+        // SAFETY: single-threaded test.
+        unsafe { pool.add_modified_raw(SYSTEM_SLOT, addr, 128) };
+        pool.checkpoint_now();
+        assert_eq!(pool.ckpt_stats().snapshot().lines_flushed, 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! In-Cache-Line-Logged variables (paper Fig. 2 / Table 1).
+//!
+//! An [`ICell<T>`] is the Rust counterpart of the paper's
+//! `InCLL_data<T>` template: the current value (`record`), its undo log
+//! (`backup`), and the epoch in which it was last modified (`epoch_id`),
+//! all within one cache line. Cells live in emulated NVMM and are addressed
+//! by [`PAddr`]; the handle methods in [`crate::thread`] implement
+//! `init_InCLL` / `update_InCLL`.
+
+use std::marker::PhantomData;
+
+use respct_pmem::{PAddr, Pod};
+
+use crate::layout::CellLayout;
+
+/// Computes the [`CellLayout`] for a value type.
+pub fn cell_layout<T: Pod>() -> CellLayout {
+    CellLayout::new(std::mem::size_of::<T>(), std::mem::align_of::<T>().min(8))
+}
+
+#[inline]
+fn addr_mix(addr: PAddr) -> u64 {
+    // splitmix64 finalizer over the cell address.
+    let mut x = addr.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Encodes `epoch` into the on-media epoch tag of the cell at `addr`.
+///
+/// The epoch field stores `epoch ^ mix(addr)` rather than the bare epoch.
+/// This makes the recovery scan robust against *stale registry entries*: a
+/// block that once held a cell and was later recycled for unrelated data
+/// can never accidentally present a tag that decodes to the failed epoch
+/// (probability ≈ 2⁻⁶⁴), so rolling back a stale entry is provably inert.
+/// It also lets `init` detect that an address already carries a valid cell
+/// of this layout and skip re-registration when the allocator recycles it.
+#[inline]
+pub fn epoch_tag(addr: PAddr, epoch: u64) -> u64 {
+    epoch ^ addr_mix(addr)
+}
+
+/// Decodes the on-media tag back into an epoch number (garbage decodes to a
+/// huge, never-matching value).
+#[inline]
+pub fn tag_epoch(addr: PAddr, stored: u64) -> u64 {
+    stored ^ addr_mix(addr)
+}
+
+/// A typed handle to an InCLL cell in persistent memory.
+///
+/// `ICell` is a plain offset: copying it is free, and it remains valid
+/// across a crash + recovery of the same pool (which is how data structures
+/// re-link to their state during recovery). The cell's fields are only
+/// touched through [`ThreadHandle`](crate::thread::ThreadHandle) /
+/// [`Pool`](crate::pool::Pool) methods, which enforce the InCLL protocol.
+pub struct ICell<T: Pod> {
+    addr: PAddr,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Pod> Clone for ICell<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Pod> Copy for ICell<T> {}
+
+impl<T: Pod> std::fmt::Debug for ICell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ICell<{}>({:#x})", std::any::type_name::<T>(), self.addr.0)
+    }
+}
+
+impl<T: Pod> ICell<T> {
+    /// Reconstructs a cell handle from its address.
+    ///
+    /// This is how data structures re-materialize their cells after
+    /// recovery: the address is read back from persistent memory. The
+    /// address must point at a cell previously initialized with the same
+    /// `T` (checked structurally: placement is validated on first use).
+    pub fn from_addr(addr: PAddr) -> ICell<T> {
+        debug_assert!(cell_layout::<T>().fits_at(addr), "ICell at {addr:?} straddles a line");
+        ICell { addr, _marker: PhantomData }
+    }
+
+    /// The cell's base address (also the address of `record`).
+    #[inline]
+    pub fn addr(&self) -> PAddr {
+        self.addr
+    }
+
+    /// Address of the backup field.
+    #[inline]
+    pub fn backup_addr(&self) -> PAddr {
+        self.addr.offset(cell_layout::<T>().backup_off as u64)
+    }
+
+    /// Address of the epoch-id field.
+    #[inline]
+    pub fn epoch_addr(&self) -> PAddr {
+        self.addr.offset(cell_layout::<T>().epoch_off as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_addresses() {
+        let c = ICell::<u64>::from_addr(PAddr(128));
+        assert_eq!(c.addr(), PAddr(128));
+        assert_eq!(c.backup_addr(), PAddr(136));
+        assert_eq!(c.epoch_addr(), PAddr(144));
+        let c8 = ICell::<u8>::from_addr(PAddr(64));
+        assert_eq!(c8.backup_addr(), PAddr(65));
+        assert_eq!(c8.epoch_addr(), PAddr(72));
+    }
+
+    #[test]
+    fn cell_is_copy_and_debug() {
+        let c = ICell::<u32>::from_addr(PAddr(64));
+        let d = c;
+        assert_eq!(format!("{d:?}"), "ICell<u32>(0x40)");
+        assert_eq!(c.addr(), d.addr());
+    }
+}

@@ -1,0 +1,271 @@
+//! Persistent region layout and InCLL cell geometry.
+//!
+//! The region begins with a fixed header holding everything recovery must be
+//! able to find without any volatile state: the magic number, the epoch
+//! counter, the root pointer, the allocator's global bump cell, the
+//! free-list heads, and one descriptor per thread slot (restart-point id,
+//! per-thread allocation cache, registry chain). Everything after the header
+//! is heap, carved out by the bump allocator.
+//!
+//! ```text
+//! +---------------------------------------------------------------+
+//! | magic | size | epoch | root cell | bump cell | freelists ...  |
+//! | thread slot 0 | thread slot 1 | ... | thread slot N-1 | heap  |
+//! +---------------------------------------------------------------+
+//! ```
+
+use respct_pmem::{align_up, PAddr, CACHE_LINE};
+
+/// Identifies a formatted ResPCT pool ("RESPCT01").
+pub const MAGIC: u64 = 0x5245_5350_4354_3031;
+
+/// First epoch of a fresh pool. Starting above zero means the all-zero
+/// content of never-initialized memory can never masquerade as "modified in
+/// the current epoch".
+pub const FIRST_EPOCH: u64 = 1;
+
+/// Geometry of an `ICell<T>`: field offsets relative to the cell address.
+///
+/// The record comes first (so the cell address doubles as the value
+/// address), then the backup, then the 8-byte epoch id. The whole cell must
+/// lie within a single cache line — that containment is what makes the PCSO
+/// same-line guarantee apply to value + log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellLayout {
+    /// Size of the logged value in bytes.
+    pub vsize: u32,
+    /// Alignment of the logged value.
+    pub valign: u32,
+    /// Offset of the backup field.
+    pub backup_off: u32,
+    /// Offset of the epoch-id field.
+    pub epoch_off: u32,
+    /// Total footprint of the cell in bytes.
+    pub total: u32,
+}
+
+impl CellLayout {
+    /// Computes the layout for a value of `vsize` bytes aligned to `valign`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is larger than 24 bytes (cannot fit record +
+    /// backup + epoch id in one cache line) or `valign` is not a power of
+    /// two.
+    pub const fn new(vsize: usize, valign: usize) -> CellLayout {
+        assert!(valign.is_power_of_two());
+        assert!(vsize >= 1 && vsize <= 24, "InCLL values must be 1..=24 bytes");
+        assert!(valign <= 8, "InCLL values align at most to 8");
+        let backup_off = align_up(vsize as u64, valign as u64) as u32;
+        let epoch_off = align_up(backup_off as u64 + vsize as u64, 8) as u32;
+        let total = epoch_off + 8;
+        CellLayout { vsize: vsize as u32, valign: valign as u32, backup_off, epoch_off, total }
+    }
+
+    /// Alignment the cell itself needs so that *any* in-bounds placement at
+    /// that alignment keeps it within one cache line.
+    pub const fn natural_align(&self) -> u64 {
+        let mut a = self.total.next_power_of_two() as u64;
+        if a > CACHE_LINE as u64 {
+            a = CACHE_LINE as u64;
+        }
+        if a < self.valign as u64 {
+            a = self.valign as u64;
+        }
+        a
+    }
+
+    /// Whether a cell placed at `addr` stays within a single cache line and
+    /// is aligned for its value type.
+    pub const fn fits_at(&self, addr: PAddr) -> bool {
+        let off = addr.0 % CACHE_LINE as u64;
+        addr.0 % self.valign as u64 == 0
+            && (addr.0 + self.epoch_off as u64) % 8 == 0
+            && off + self.total as u64 <= CACHE_LINE as u64
+    }
+
+    /// Packs the geometry into a registry entry's metadata word.
+    pub const fn encode(&self) -> u64 {
+        (self.vsize as u64) | ((self.valign as u64) << 8)
+    }
+
+    /// Reverses [`CellLayout::encode`].
+    pub const fn decode(meta: u64) -> CellLayout {
+        CellLayout::new((meta & 0xff) as usize, ((meta >> 8) & 0xff) as usize)
+    }
+}
+
+/// Maximum number of concurrently registered threads (slots are recycled
+/// when a handle is dropped).
+pub const MAX_THREADS: usize = 128;
+
+/// Number of allocator size classes: 16, 32, 64, ..., 4096 bytes.
+pub const NUM_CLASSES: usize = 9;
+
+/// Block size of size class `c`.
+pub const fn class_size(c: usize) -> u64 {
+    16u64 << c
+}
+
+/// Smallest class that fits `size` bytes, or `None` for bump-only sizes.
+pub fn class_of(size: u64) -> Option<usize> {
+    let mut c = 0;
+    while c < NUM_CLASSES {
+        if class_size(c) >= size {
+            return Some(c);
+        }
+        c += 1;
+    }
+    None
+}
+
+/// A 32-byte aligned slot for an `ICell<u64>` (layout: record@0 backup@8
+/// epoch@16, 24 bytes total, padded to 32 so two fit per line).
+pub const U64_CELL_SLOT: u64 = 32;
+
+// ---- Header field offsets -------------------------------------------------
+
+/// Magic number (u64).
+pub const OFF_MAGIC: PAddr = PAddr(0);
+/// Formatted size (u64).
+pub const OFF_SIZE: PAddr = PAddr(8);
+/// The global epoch counter, alone on its cache line (paper Fig. 4 line 56).
+pub const OFF_EPOCH: PAddr = PAddr(64);
+/// Root object pointer: an `ICell<u64>` holding a `PAddr`.
+pub const OFF_ROOT: PAddr = PAddr(128);
+/// Global bump offset: an `ICell<u64>`.
+pub const OFF_BUMP: PAddr = PAddr(160);
+/// Free-list heads: `NUM_CLASSES` consecutive `ICell<u64>` slots.
+pub const OFF_FREELISTS: PAddr = PAddr(192);
+
+/// Start of the thread-slot array.
+pub const OFF_SLOTS: PAddr = PAddr(OFF_FREELISTS.0 + (NUM_CLASSES as u64) * U64_CELL_SLOT + 32);
+
+// ---- Per-thread slot ------------------------------------------------------
+
+/// Byte size of one thread slot (multiple of a cache line so slots don't
+/// share lines — the paper pays the same attention to false sharing).
+pub const SLOT_SIZE: u64 = 192;
+
+/// Offset of slot `i`.
+pub fn slot_base(i: usize) -> PAddr {
+    PAddr(align_up(OFF_SLOTS.0, CACHE_LINE as u64) + (i as u64) * SLOT_SIZE)
+}
+
+/// `ICell<u64>`: restart-point id last persisted by this thread.
+pub const SLOT_RP_ID: u64 = 0;
+/// `ICell<u64>`: current bump cursor of the thread's allocation chunk.
+pub const SLOT_ALLOC_CUR: u64 = 32;
+/// `ICell<u64>`: end of the thread's allocation chunk.
+pub const SLOT_ALLOC_END: u64 = 64;
+/// `ICell<u64>`: number of valid registry entries of this slot.
+pub const SLOT_REG_LEN: u64 = 96;
+/// Plain u64: head chunk of the slot's registry chain (PAddr, 0 = none).
+pub const SLOT_REG_HEAD: u64 = 128;
+
+/// First heap byte.
+pub fn heap_start() -> PAddr {
+    PAddr(align_up(slot_base(MAX_THREADS).0, CACHE_LINE as u64))
+}
+
+// ---- Registry chunks ------------------------------------------------------
+
+/// Registry chunk size in bytes (one bump allocation).
+pub const REG_CHUNK_SIZE: u64 = 4096;
+/// Entries per chunk: 8-byte next pointer, then 16-byte entries.
+pub const REG_CHUNK_ENTRIES: u64 = (REG_CHUNK_SIZE - 8) / 16;
+/// Offset of the next-chunk pointer within a chunk.
+pub const REG_CHUNK_NEXT: u64 = 0;
+/// Offset of entry `i` within a chunk.
+pub const fn reg_entry_off(i: u64) -> u64 {
+    8 + i * 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_cell_layout() {
+        let l = CellLayout::new(8, 8);
+        assert_eq!(l.backup_off, 8);
+        assert_eq!(l.epoch_off, 16);
+        assert_eq!(l.total, 24);
+        assert_eq!(l.natural_align(), 32);
+    }
+
+    #[test]
+    fn u8_cell_layout() {
+        let l = CellLayout::new(1, 1);
+        assert_eq!(l.backup_off, 1);
+        assert_eq!(l.epoch_off, 8);
+        assert_eq!(l.total, 16);
+        assert_eq!(l.natural_align(), 16);
+    }
+
+    #[test]
+    fn sixteen_byte_cell_layout() {
+        let l = CellLayout::new(16, 8);
+        assert_eq!(l.backup_off, 16);
+        assert_eq!(l.epoch_off, 32);
+        assert_eq!(l.total, 40);
+        assert_eq!(l.natural_align(), 64);
+    }
+
+    #[test]
+    fn fits_at_checks_line_containment() {
+        let l = CellLayout::new(8, 8);
+        assert!(l.fits_at(PAddr(0)));
+        assert!(l.fits_at(PAddr(40))); // 40 + 24 = 64, exactly fits
+        assert!(!l.fits_at(PAddr(48))); // 48 + 24 = 72, straddles
+        assert!(!l.fits_at(PAddr(44))); // misaligned
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for (s, a) in [(1, 1), (2, 2), (4, 4), (8, 8), (16, 8), (24, 8)] {
+            let l = CellLayout::new(s, a);
+            assert_eq!(CellLayout::decode(l.encode()), l);
+        }
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(class_size(0), 16);
+        assert_eq!(class_size(8), 4096);
+        assert_eq!(class_of(1), Some(0));
+        assert_eq!(class_of(16), Some(0));
+        assert_eq!(class_of(17), Some(1));
+        assert_eq!(class_of(4096), Some(8));
+        assert_eq!(class_of(4097), None);
+    }
+
+    #[test]
+    fn header_fields_do_not_overlap() {
+        assert!(OFF_ROOT.0 >= OFF_EPOCH.0 + 8);
+        assert!(OFF_BUMP.0 >= OFF_ROOT.0 + 24);
+        assert!(OFF_FREELISTS.0 >= OFF_BUMP.0 + 24);
+        assert!(OFF_SLOTS.0 >= OFF_FREELISTS.0 + NUM_CLASSES as u64 * U64_CELL_SLOT);
+        assert!(heap_start().0 >= slot_base(MAX_THREADS).0);
+        // Every u64 cell slot in the header must fit its line.
+        let l = CellLayout::new(8, 8);
+        assert!(l.fits_at(OFF_ROOT));
+        assert!(l.fits_at(OFF_BUMP));
+        for c in 0..NUM_CLASSES {
+            assert!(l.fits_at(PAddr(OFF_FREELISTS.0 + c as u64 * U64_CELL_SLOT)));
+        }
+        for i in [0, 1, MAX_THREADS - 1] {
+            let b = slot_base(i);
+            assert_eq!(b.0 % CACHE_LINE as u64, 0);
+            for f in [SLOT_RP_ID, SLOT_ALLOC_CUR, SLOT_ALLOC_END, SLOT_REG_LEN] {
+                assert!(l.fits_at(PAddr(b.0 + f)));
+            }
+        }
+    }
+
+    #[test]
+    fn registry_chunk_geometry() {
+        assert!(reg_entry_off(REG_CHUNK_ENTRIES - 1) + 16 <= REG_CHUNK_SIZE);
+        assert_eq!(REG_CHUNK_ENTRIES, 255);
+    }
+}

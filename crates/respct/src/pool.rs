@@ -1,0 +1,462 @@
+//! The persistent pool: region + epoch state + checkpoint machinery.
+//!
+//! A [`Pool`] owns an emulated-NVMM [`Region`] formatted with the layout of
+//! [`crate::layout`] and implements the primitive operations of the ResPCT
+//! algorithm (paper Fig. 4): `init_InCLL`, `update_InCLL`, `add_modified`,
+//! plus the allocator and cell registry that make general-purpose recovery
+//! possible. Application threads interact with the pool through
+//! [`ThreadHandle`](crate::thread::ThreadHandle)s.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+
+use respct_pmem::{PAddr, Pod, Region};
+
+use crate::incll::{cell_layout, ICell};
+use crate::layout::{
+    self, CellLayout, FIRST_EPOCH, MAGIC, MAX_THREADS, NUM_CLASSES, OFF_BUMP, OFF_EPOCH,
+    OFF_FREELISTS, OFF_MAGIC, OFF_ROOT, OFF_SIZE, U64_CELL_SLOT,
+};
+use crate::stats::CkptStats;
+
+/// What the checkpoint procedure actually does — the knobs behind the
+/// paper's Fig. 10 overhead decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointMode {
+    /// The full algorithm: quiesce, flush modified lines, advance the epoch.
+    #[default]
+    Full,
+    /// Everything except flushing the modified lines ("ResPCT-noFlush").
+    NoFlush,
+}
+
+/// Pool construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Number of dedicated flusher threads; 0 flushes inline on the
+    /// checkpointing thread. The paper uses a pool of flusher threads
+    /// pinned one-to-one with program threads (§5).
+    pub flusher_threads: usize,
+    pub mode: CheckpointMode,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { flusher_threads: 0, mode: CheckpointMode::Full }
+    }
+}
+
+/// Volatile per-slot state, owned by the registered thread.
+pub(crate) struct SlotState {
+    /// Cache lines modified this epoch (`to_be_flushed`, paper Fig. 3).
+    pub to_flush: Vec<u64>,
+    /// Tail chunk of the slot's registry chain (0 = none). Volatile cache;
+    /// reconstructed from persistent state on registration.
+    pub reg_tail: u64,
+    /// Entries already used in the tail chunk.
+    pub reg_tail_used: u64,
+    /// Blocks freed this epoch (deferred to the next checkpoint).
+    pub frees: Vec<(respct_pmem::PAddr, usize)>,
+    /// Volatile mirrors of the slot's persistent cursors. The InCLL cells
+    /// are only synced from these at checkpoint time (while every thread is
+    /// parked): mid-epoch persistent values are irrelevant because a crash
+    /// rolls the entire epoch back, so the hot paths run on plain memory.
+    pub alloc_cur: u64,
+    pub alloc_end: u64,
+    pub reg_len: u64,
+}
+
+/// `UnsafeCell` wrapper so the slot array can be shared.
+pub(crate) struct SlotCell(UnsafeCell<SlotState>);
+
+// SAFETY: access to the inner `SlotState` follows the epoch protocol
+// documented on `Pool::slot_state`: the owning thread accesses it only while
+// its per-thread flag is false (it is running), and the checkpointer
+// accesses it only while the flag is true *and* `timer` is set (the owner is
+// parked inside `rp()`/`checkpoint_prevent()` or has deregistered). The
+// flag's SeqCst store/load pair provides the happens-before edge.
+unsafe impl Sync for SlotCell {}
+
+/// The persistent pool. See the module docs.
+pub struct Pool {
+    pub(crate) region: Arc<Region>,
+    pub(crate) cfg: PoolConfig,
+    /// Volatile mirror of the NVMM epoch counter. Written only by the
+    /// checkpointer while every worker is parked.
+    pub(crate) epoch_mirror: AtomicU64,
+    /// "A checkpoint wants to run" (paper Fig. 3 `timer`).
+    pub(crate) timer: AtomicBool,
+    /// Per-thread "I am parked / checkpoint may proceed" flags
+    /// (`perThread_flag`), cache-padded against false sharing.
+    pub(crate) flags: Box<[CachePadded<AtomicBool>]>,
+    /// Which slots belong to live handles.
+    pub(crate) active: Box<[AtomicBool]>,
+    pub(crate) slots: Box<[SlotCell]>,
+    /// Free slot ids for registration (slot 0 is the system slot).
+    pub(crate) free_slots: Mutex<Vec<usize>>,
+    /// Volatile mirror of the global bump offset (the mutex is also the
+    /// chunk-grab lock); synced into the bump cell at checkpoints.
+    pub(crate) bump_vol: Mutex<u64>,
+    /// Volatile mirrors of the free-list heads, one mutex per size class;
+    /// synced into the head cells at checkpoints.
+    pub(crate) class_heads: Box<[Mutex<u64>]>,
+    /// Serializes checkpoints and registration/deregistration.
+    pub(crate) ckpt_lock: Mutex<()>,
+    pub(crate) ckpt_stats: CkptStats,
+    pub(crate) flushers: Option<crate::checkpoint::FlusherPool>,
+}
+
+/// The reserved slot used by the checkpointer and recovery.
+pub(crate) const SYSTEM_SLOT: usize = 0;
+
+impl Pool {
+    /// Formats `region` as a fresh pool and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is too small to hold the header plus a minimal
+    /// heap.
+    pub fn create(region: Arc<Region>, cfg: PoolConfig) -> Arc<Pool> {
+        let heap = layout::heap_start();
+        assert!(
+            (region.size() as u64) > heap.0 + 4096,
+            "region too small: need more than {} bytes",
+            heap.0 + 4096
+        );
+        region.store(OFF_MAGIC, MAGIC);
+        region.store(OFF_SIZE, region.size() as u64);
+        region.store(OFF_EPOCH, FIRST_EPOCH);
+        // Header cells: record = backup = initial value, epoch_id = 0 so the
+        // first update in epoch FIRST_EPOCH logs them normally.
+        Self::format_cell_u64(&region, OFF_ROOT, 0);
+        Self::format_cell_u64(&region, OFF_BUMP, heap.0);
+        for c in 0..NUM_CLASSES {
+            Self::format_cell_u64(&region, PAddr(OFF_FREELISTS.0 + c as u64 * U64_CELL_SLOT), 0);
+        }
+        for i in 0..MAX_THREADS {
+            let b = layout::slot_base(i);
+            Self::format_cell_u64(&region, PAddr(b.0 + layout::SLOT_RP_ID), 0);
+            Self::format_cell_u64(&region, PAddr(b.0 + layout::SLOT_ALLOC_CUR), 0);
+            Self::format_cell_u64(&region, PAddr(b.0 + layout::SLOT_ALLOC_END), 0);
+            Self::format_cell_u64(&region, PAddr(b.0 + layout::SLOT_REG_LEN), 0);
+            region.store(PAddr(b.0 + layout::SLOT_REG_HEAD), 0u64);
+        }
+        // Persist the formatted header so recovery of an "empty" pool works.
+        region.flush_range(PAddr(0), heap.0 as usize);
+        Self::attach(region, cfg, FIRST_EPOCH)
+    }
+
+    fn format_cell_u64(region: &Region, addr: PAddr, val: u64) {
+        let l = CellLayout::new(8, 8);
+        debug_assert!(l.fits_at(addr));
+        region.store(addr, val);
+        region.store(addr.offset(l.backup_off as u64), val);
+        region.store(addr.offset(l.epoch_off as u64), 0u64);
+    }
+
+    /// Builds the volatile side of a pool over an already-valid region.
+    pub(crate) fn attach(region: Arc<Region>, cfg: PoolConfig, epoch: u64) -> Arc<Pool> {
+        let flags = (0..MAX_THREADS)
+            .map(|i| CachePadded::new(AtomicBool::new(i == SYSTEM_SLOT)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let active = (0..MAX_THREADS).map(|_| AtomicBool::new(false)).collect::<Vec<_>>();
+        let u64_cell = |addr: PAddr| -> u64 { region.load(addr) };
+        let slots = (0..MAX_THREADS)
+            .map(|i| {
+                let b = layout::slot_base(i).0;
+                SlotCell(UnsafeCell::new(SlotState {
+                    to_flush: Vec::new(),
+                    reg_tail: 0,
+                    reg_tail_used: 0,
+                    frees: Vec::new(),
+                    alloc_cur: u64_cell(PAddr(b + layout::SLOT_ALLOC_CUR)),
+                    alloc_end: u64_cell(PAddr(b + layout::SLOT_ALLOC_END)),
+                    reg_len: u64_cell(PAddr(b + layout::SLOT_REG_LEN)),
+                }))
+            })
+            .collect::<Vec<_>>();
+        let class_heads = (0..NUM_CLASSES)
+            .map(|c| Mutex::new(u64_cell(PAddr(OFF_FREELISTS.0 + c as u64 * U64_CELL_SLOT))))
+            .collect::<Vec<_>>();
+        let bump_vol = Mutex::new(u64_cell(OFF_BUMP));
+        let flushers = if cfg.flusher_threads > 0 {
+            Some(crate::checkpoint::FlusherPool::new(cfg.flusher_threads, Arc::clone(&region)))
+        } else {
+            None
+        };
+        // Slots 1.. are free; 0 is the system slot.
+        let free: Vec<usize> = (1..MAX_THREADS).rev().collect();
+        Arc::new(Pool {
+            region,
+            cfg,
+            epoch_mirror: AtomicU64::new(epoch),
+            timer: AtomicBool::new(false),
+            flags,
+            active: active.into_boxed_slice(),
+            slots: slots.into_boxed_slice(),
+            free_slots: Mutex::new(free),
+            bump_vol,
+            class_heads: class_heads.into_boxed_slice(),
+            ckpt_lock: Mutex::new(()),
+            ckpt_stats: CkptStats::default(),
+            flushers,
+        })
+    }
+
+    /// The underlying region.
+    pub fn region(&self) -> &Arc<Region> {
+        &self.region
+    }
+
+    /// The current epoch number.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch_mirror.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint statistics (durations, flushed lines, effective period).
+    pub fn ckpt_stats(&self) -> &CkptStats {
+        &self.ckpt_stats
+    }
+
+    /// Reads the pool's root pointer (0 if unset).
+    pub fn root(&self) -> PAddr {
+        PAddr(self.region.load::<u64>(OFF_ROOT))
+    }
+
+    /// Mutable access to a slot's volatile state.
+    ///
+    /// # Safety
+    ///
+    /// Callers must hold the slot's exclusive-access right under the epoch
+    /// protocol: either they are the registered owner of `slot` and their
+    /// per-thread flag is false, or they are the checkpointer/recovery and
+    /// every owner is parked (flag true, observed with SeqCst after setting
+    /// `timer`).
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn slot_state(&self, slot: usize) -> &mut SlotState {
+        // SAFETY: exclusivity per the caller contract above.
+        unsafe { &mut *self.slots[slot].0.get() }
+    }
+
+    // ---- Raw InCLL operations (used by ThreadHandle and the checkpointer).
+
+    /// `update_InCLL` (paper Fig. 4, lines 24–29) executed on behalf of
+    /// `slot`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive use of `slot` (see [`Pool::slot_state`])
+    /// and, per the paper's model, hold the lock protecting the variable in
+    /// `cell` if it is shared.
+    #[inline]
+    pub(crate) unsafe fn cell_update_raw<T: Pod>(&self, slot: usize, cell: ICell<T>, val: T) {
+        let epoch = crate::incll::epoch_tag(cell.addr(), self.epoch_mirror.load(Ordering::Relaxed));
+        let eid: u64 = self.region.load(cell.epoch_addr());
+        if eid != epoch {
+            let old: T = self.region.load(cell.addr());
+            self.region.store(cell.backup_addr(), old);
+            // The backup must be written (in program order) before the
+            // epoch id, and both before the record: PCSO then guarantees
+            // the log reaches NVMM no later than the data. The stores are
+            // relaxed atomics; the compiler fence pins their program order
+            // (x86-TSO pins the hardware order).
+            std::sync::atomic::compiler_fence(Ordering::Release);
+            self.region.store(cell.epoch_addr(), epoch);
+            // SAFETY: slot exclusivity per caller contract.
+            let list = &mut unsafe { self.slot_state(slot) }.to_flush;
+            let line = cell.addr().line();
+            if list.last() != Some(&line) {
+                list.push(line);
+            }
+        }
+        std::sync::atomic::compiler_fence(Ordering::Release);
+        self.region.store(cell.addr(), val);
+    }
+
+    /// `init_InCLL` (paper Fig. 4, lines 19–23): writes all three fields,
+    /// registers the cell for recovery, and tracks its line.
+    ///
+    /// # Safety
+    ///
+    /// Slot exclusivity as for [`Pool::cell_update_raw`]; `addr` must be a
+    /// fresh allocation that fits the cell (checked).
+    pub(crate) unsafe fn cell_init_raw<T: Pod>(&self, slot: usize, addr: PAddr, val: T) -> ICell<T> {
+        let l = cell_layout::<T>();
+        assert!(l.fits_at(addr), "ICell at {addr:?} would straddle a cache line");
+        let cell = ICell::<T>::from_addr(addr);
+        let epoch = self.epoch_mirror.load(Ordering::Relaxed);
+        // If this address already carries a valid tag (a recycled cell of
+        // the same layout), its registry entry is still live — skip the
+        // re-registration. Fresh (zeroed or foreign) memory decodes to an
+        // implausible epoch with probability 1 - ~2⁻⁶⁴.
+        let stored: u64 = self.region.load(cell.epoch_addr());
+        let prev_epoch = crate::incll::tag_epoch(cell.addr(), stored);
+        let already_registered = prev_epoch >= 1 && prev_epoch <= epoch;
+        self.region.store(cell.addr(), val);
+        self.region.store(cell.backup_addr(), val);
+        self.region.store(cell.epoch_addr(), crate::incll::epoch_tag(cell.addr(), epoch));
+        // SAFETY: forwarded caller contract.
+        unsafe {
+            if !already_registered {
+                self.register_cell(slot, addr, l);
+            }
+            self.slot_state(slot).to_flush.push(addr.line());
+        }
+        cell
+    }
+
+    /// `init_InCLL` *or* `update_InCLL`, depending on whether `addr`
+    /// already carries a live cell of this layout (detected via the
+    /// address-mixed epoch tag). Used by containers that recycle element
+    /// slots: overwriting a slot that was live at the last checkpoint must
+    /// log its old value, while a genuinely fresh slot must not.
+    ///
+    /// # Safety
+    ///
+    /// As for [`Pool::cell_init_raw`].
+    pub(crate) unsafe fn cell_upsert_raw<T: Pod>(&self, slot: usize, addr: PAddr, val: T) -> ICell<T> {
+        let cell = ICell::<T>::from_addr(addr);
+        let epoch = self.epoch_mirror.load(Ordering::Relaxed);
+        let stored: u64 = self.region.load(cell.epoch_addr());
+        let prev_epoch = crate::incll::tag_epoch(cell.addr(), stored);
+        if prev_epoch >= 1 && prev_epoch <= epoch {
+            // Live cell: a logged update.
+            // SAFETY: forwarded caller contract.
+            unsafe { self.cell_update_raw(slot, cell, val) };
+            cell
+        } else {
+            // Fresh memory: initialize (and register).
+            // SAFETY: forwarded caller contract.
+            unsafe { self.cell_init_raw(slot, addr, val) }
+        }
+    }
+
+    /// Reads the current value of a cell. Needs no slot: reads are
+    /// unrestricted (the paper's model makes readers hold the same lock as
+    /// writers, which is the data structure's business, not the pool's).
+    #[inline]
+    pub fn cell_get<T: Pod>(&self, cell: ICell<T>) -> T {
+        self.region.load(cell.addr())
+    }
+
+    /// `add_modified` (paper Fig. 4, lines 12–13) for a byte range: records
+    /// every cache line covered by `[addr, addr+len)`.
+    ///
+    /// # Safety
+    ///
+    /// Slot exclusivity as for [`Pool::cell_update_raw`].
+    #[inline]
+    pub(crate) unsafe fn add_modified_raw(&self, slot: usize, addr: PAddr, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = addr.line();
+        let last = PAddr(addr.0 + len as u64 - 1).line();
+        // SAFETY: forwarded caller contract.
+        let st = unsafe { self.slot_state(slot) };
+        for line in first..=last {
+            // Adjacent writes to the same line are common (node payload +
+            // embedded cell); skip trivial duplicates to shrink the flush.
+            if st.to_flush.last() != Some(&line) {
+                st.to_flush.push(line);
+            }
+        }
+    }
+
+    /// Header cell handle: the root pointer.
+    pub(crate) fn root_cell(&self) -> ICell<u64> {
+        ICell::from_addr(OFF_ROOT)
+    }
+
+    /// Header cell handle: the global bump offset.
+    pub(crate) fn bump_cell(&self) -> ICell<u64> {
+        ICell::from_addr(OFF_BUMP)
+    }
+
+    /// Header cell handle: free-list head of size class `c`.
+    pub(crate) fn freelist_cell(&self, c: usize) -> ICell<u64> {
+        debug_assert!(c < NUM_CLASSES);
+        ICell::from_addr(PAddr(OFF_FREELISTS.0 + c as u64 * U64_CELL_SLOT))
+    }
+
+    /// Per-slot header cell handles.
+    pub(crate) fn slot_cell(&self, slot: usize, field: u64) -> ICell<u64> {
+        ICell::from_addr(PAddr(layout::slot_base(slot).0 + field))
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("epoch", &self.epoch())
+            .field("size", &self.region.size())
+            .field("mode", &self.cfg.mode)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use respct_pmem::RegionConfig;
+
+    fn small_pool() -> Arc<Pool> {
+        let region = Region::new(RegionConfig::fast(1 << 20));
+        Pool::create(region, PoolConfig::default())
+    }
+
+    #[test]
+    fn create_formats_header() {
+        let pool = small_pool();
+        assert_eq!(pool.region.load::<u64>(OFF_MAGIC), MAGIC);
+        assert_eq!(pool.epoch(), FIRST_EPOCH);
+        assert_eq!(pool.root(), PAddr(0));
+        assert_eq!(pool.cell_get(pool.bump_cell()), layout::heap_start().0);
+    }
+
+    #[test]
+    fn cell_update_logs_once_per_epoch() {
+        let pool = small_pool();
+        let cell = pool.bump_cell();
+        let before = pool.cell_get(cell);
+        // SAFETY: single-threaded test; system slot unused by a checkpointer.
+        unsafe {
+            pool.cell_update_raw(SYSTEM_SLOT, cell, before + 64);
+            pool.cell_update_raw(SYSTEM_SLOT, cell, before + 128);
+        }
+        assert_eq!(pool.cell_get(cell), before + 128);
+        // Backup holds the value from the start of the epoch, not the
+        // intermediate one.
+        let backup: u64 = pool.region.load(cell.backup_addr());
+        assert_eq!(backup, before);
+        let eid: u64 = pool.region.load(cell.epoch_addr());
+        assert_eq!(crate::incll::tag_epoch(cell.addr(), eid), FIRST_EPOCH);
+        // Only one tracking entry despite two updates.
+        // SAFETY: single-threaded test.
+        let st = unsafe { pool.slot_state(SYSTEM_SLOT) };
+        assert_eq!(st.to_flush.iter().filter(|&&l| l == cell.addr().line()).count(), 1);
+    }
+
+    #[test]
+    fn add_modified_covers_all_lines() {
+        let pool = small_pool();
+        // SAFETY: single-threaded test.
+        unsafe { pool.add_modified_raw(SYSTEM_SLOT, PAddr(100), 200) };
+        // SAFETY: single-threaded test.
+        let st = unsafe { pool.slot_state(SYSTEM_SLOT) };
+        assert_eq!(st.to_flush, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "region too small")]
+    fn tiny_region_rejected() {
+        let region = Region::new(RegionConfig::fast(4096));
+        Pool::create(region, PoolConfig::default());
+    }
+}

@@ -1,0 +1,94 @@
+//! Checkpoint statistics (feeds Fig. 10/11 and the effective-period study).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Aggregate counters over all checkpoints of a pool.
+#[derive(Debug, Default)]
+pub struct CkptStats {
+    /// Completed checkpoints.
+    pub count: AtomicU64,
+    /// Cache lines flushed in total.
+    pub lines_flushed: AtomicU64,
+    /// Nanoseconds spent waiting for all threads to reach an RP.
+    pub wait_ns: AtomicU64,
+    /// Nanoseconds spent flushing.
+    pub flush_ns: AtomicU64,
+    /// Nanoseconds of total checkpoint duration (quiesce + flush + epoch).
+    pub total_ns: AtomicU64,
+}
+
+/// Point-in-time copy of [`CkptStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CkptSnapshot {
+    pub count: u64,
+    pub lines_flushed: u64,
+    pub wait_ns: u64,
+    pub flush_ns: u64,
+    pub total_ns: u64,
+}
+
+impl CkptStats {
+    pub(crate) fn record(&self, lines: u64, wait: Duration, flush: Duration, total: Duration) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.lines_flushed.fetch_add(lines, Ordering::Relaxed);
+        self.wait_ns.fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+        self.flush_ns.fetch_add(flush.as_nanos() as u64, Ordering::Relaxed);
+        self.total_ns.fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> CkptSnapshot {
+        CkptSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            lines_flushed: self.lines_flushed.load(Ordering::Relaxed),
+            wait_ns: self.wait_ns.load(Ordering::Relaxed),
+            flush_ns: self.flush_ns.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CkptSnapshot {
+    /// Mean lines flushed per checkpoint.
+    pub fn mean_lines(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.lines_flushed as f64 / self.count as f64
+        }
+    }
+
+    /// Mean checkpoint duration.
+    pub fn mean_duration(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.total_ns / self.count)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_means() {
+        let s = CkptStats::default();
+        s.record(100, Duration::from_micros(10), Duration::from_micros(20), Duration::from_micros(40));
+        s.record(300, Duration::from_micros(10), Duration::from_micros(20), Duration::from_micros(60));
+        let snap = s.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.lines_flushed, 400);
+        assert_eq!(snap.mean_lines(), 200.0);
+        assert_eq!(snap.mean_duration(), Duration::from_micros(50));
+    }
+
+    #[test]
+    fn empty_means_are_zero() {
+        let snap = CkptStats::default().snapshot();
+        assert_eq!(snap.mean_lines(), 0.0);
+        assert_eq!(snap.mean_duration(), Duration::ZERO);
+    }
+}

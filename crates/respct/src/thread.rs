@@ -1,0 +1,434 @@
+//! Per-thread handles: the application-facing ResPCT API (paper Table 1).
+//!
+//! Every program thread registers with the pool and receives a
+//! [`ThreadHandle`]. The handle implements `update_InCLL`, `add_modified`,
+//! `RP(id)`, `checkpoint_allow`/`checkpoint_prevent`, and persistent
+//! allocation. Handles are `Send` (a thread may be handed its handle) but
+//! not `Sync`: a handle belongs to exactly one thread at a time, which is
+//! what makes the unsynchronized tracking list sound.
+
+use std::marker::PhantomData;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use respct_pmem::{PAddr, Pod};
+
+use crate::incll::ICell;
+use crate::layout::{self, MAX_THREADS};
+use crate::pool::{Pool, SYSTEM_SLOT};
+
+/// A registered program thread's capability to mutate persistent state.
+pub struct ThreadHandle {
+    pool: Arc<Pool>,
+    slot: usize,
+    /// Last `(rp_id, epoch)` written to the persistent RP cell: writing the
+    /// same id again in the same epoch is a semantic no-op, so `rp()` skips
+    /// the cell update (hot loops sit on one RP site).
+    last_rp: std::cell::Cell<(u64, u64)>,
+    /// `!Sync` marker: the tracking-list protocol requires single ownership.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+impl Pool {
+    /// Registers the calling context as a program thread.
+    ///
+    /// Blocks while a checkpoint is in progress (a thread may not join an
+    /// epoch halfway through its checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if all thread slots are taken.
+    pub fn register(self: &Arc<Self>) -> ThreadHandle {
+        let _serial = self.ckpt_lock.lock();
+        let slot = self
+            .free_slots
+            .lock()
+            .pop()
+            .unwrap_or_else(|| panic!("all {MAX_THREADS} thread slots in use"));
+        // SAFETY: the slot was just popped from the free list and the
+        // checkpoint lock is held, so nobody else touches it.
+        unsafe { self.rebuild_registry_cache(slot) };
+        self.flags[slot].store(false, Ordering::SeqCst);
+        self.active[slot].store(true, Ordering::SeqCst);
+        ThreadHandle {
+            pool: Arc::clone(self),
+            slot,
+            last_rp: std::cell::Cell::new((u64::MAX, u64::MAX)),
+            _not_sync: PhantomData,
+        }
+    }
+}
+
+impl Drop for ThreadHandle {
+    fn drop(&mut self) {
+        // Mark ourselves quiescent *before* taking the checkpoint lock:
+        // a checkpoint already in progress is waiting for this flag, and
+        // we will make no further persistent writes. The SeqCst store also
+        // publishes our tracking-list pushes to the checkpointer.
+        self.pool.flags[self.slot].store(true, Ordering::SeqCst);
+        let _serial = self.pool.ckpt_lock.lock();
+        self.pool.active[self.slot].store(false, Ordering::SeqCst);
+        self.pool.free_slots.lock().push(self.slot);
+        // The flag stays true: an unowned slot never blocks checkpoints.
+    }
+}
+
+impl ThreadHandle {
+    /// The pool this handle belongs to.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// The thread slot index backing this handle (diagnostics).
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    // ---- InCLL API (paper Table 1) -----------------------------------
+
+    /// Allocates an InCLL variable initialized to `val` (`alloc_in_nvmm` +
+    /// `init_InCLL`).
+    pub fn alloc_cell<T: Pod>(&self, val: T) -> ICell<T> {
+        let l = crate::incll::cell_layout::<T>();
+        // SAFETY: this thread owns `slot` (handle is `!Sync`) and is not
+        // parked (it is running this code outside `rp()`).
+        unsafe {
+            let addr = self.pool.alloc_raw(self.slot, l.total as u64, l.natural_align());
+            self.pool.cell_init_raw(self.slot, addr, val)
+        }
+    }
+
+    /// Initializes an InCLL variable at a caller-chosen address inside a
+    /// larger allocation (for cells embedded in structs). The placement
+    /// must keep the whole cell within one cache line (checked).
+    pub fn init_cell_at<T: Pod>(&self, addr: PAddr, val: T) -> ICell<T> {
+        // SAFETY: slot ownership as in `alloc_cell`.
+        unsafe { self.pool.cell_init_raw(self.slot, addr, val) }
+    }
+
+    /// Initializes *or* updates an InCLL variable at `addr`, depending on
+    /// whether the address already carries a live cell of this layout —
+    /// the right primitive for containers that recycle element slots.
+    pub fn upsert_cell<T: Pod>(&self, addr: PAddr, val: T) -> ICell<T> {
+        // SAFETY: slot ownership as in `alloc_cell`.
+        unsafe { self.pool.cell_upsert_raw(self.slot, addr, val) }
+    }
+
+    /// `update_InCLL`: logs the old value on the first update of the epoch,
+    /// then stores `val`.
+    ///
+    /// Per the paper's model (§2.1), if the variable is shared the caller
+    /// must hold the lock that protects it; two concurrent `update`s of the
+    /// same cell yield an unspecified (but memory-safe) value.
+    #[inline]
+    pub fn update<T: Pod>(&self, cell: ICell<T>, val: T) {
+        // SAFETY: slot ownership (handle is `!Sync`, thread not parked).
+        unsafe { self.pool.cell_update_raw(self.slot, cell, val) };
+    }
+
+    /// Reads a cell's current value.
+    #[inline]
+    pub fn get<T: Pod>(&self, cell: ICell<T>) -> T {
+        self.pool.cell_get(cell)
+    }
+
+    /// Registers `[addr, addr+len)` as modified this epoch (`add_modified`).
+    /// Used for persistent data that needs no undo log (no WAR dependency
+    /// after the preceding restart point, §3.3.2).
+    #[inline]
+    pub fn add_modified(&self, addr: PAddr, len: usize) {
+        // SAFETY: slot ownership.
+        unsafe { self.pool.add_modified_raw(self.slot, addr, len) };
+    }
+
+    /// Plain persistent store + `add_modified` in one call.
+    #[inline]
+    pub fn store_tracked<T: Pod>(&self, addr: PAddr, val: T) {
+        self.pool.region.store(addr, val);
+        self.add_modified(addr, std::mem::size_of::<T>());
+    }
+
+    // ---- Allocation ----------------------------------------------------
+
+    /// Allocates `size` bytes aligned to `align` in persistent memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pool is exhausted.
+    pub fn alloc(&self, size: u64, align: u64) -> PAddr {
+        // SAFETY: slot ownership.
+        unsafe { self.pool.alloc_raw(self.slot, size, align) }
+    }
+
+    /// Frees a block (deferred to the next checkpoint; see `alloc.rs`).
+    pub fn free(&self, addr: PAddr, size: u64) {
+        // SAFETY: slot ownership.
+        unsafe { self.pool.free_raw(self.slot, addr, size) };
+    }
+
+    /// Sets the pool's root pointer (how an application finds its data
+    /// after recovery).
+    pub fn set_root(&self, addr: PAddr) {
+        let cell = self.pool.root_cell();
+        self.update(cell, addr.0);
+    }
+
+    // ---- Restart points (paper Fig. 4, lines 40–45) ---------------------
+
+    /// Declares a restart point with identifier `id`.
+    ///
+    /// Persists the RP id thread-locally (so recovery can report where to
+    /// resume), then parks if a checkpoint is pending.
+    pub fn rp(&self, id: u64) {
+        let epoch = self.pool.epoch();
+        if self.last_rp.get() != (id, epoch) {
+            let rp_cell = self.pool.slot_cell(self.slot, layout::SLOT_RP_ID);
+            self.update(rp_cell, id);
+            self.last_rp.set((id, epoch));
+        }
+        if self.pool.timer.load(Ordering::Acquire) {
+            self.park_for_checkpoint();
+        }
+    }
+
+    /// The last restart-point id persisted by this thread slot.
+    pub fn last_rp(&self) -> u64 {
+        self.pool.cell_get(self.pool.slot_cell(self.slot, layout::SLOT_RP_ID))
+    }
+
+    /// Parks until no checkpoint is pending, with the flag raised while
+    /// parked. Hardened against back-to-back checkpoints: after lowering
+    /// the flag we re-check `timer` and re-park if a new checkpoint began
+    /// in the window (the paper's pseudocode has the same benign race;
+    /// SeqCst + the re-check loop closes it).
+    fn park_for_checkpoint(&self) {
+        loop {
+            self.pool.flags[self.slot].store(true, Ordering::SeqCst);
+            let mut spins = 0u32;
+            while self.pool.timer.load(Ordering::SeqCst) {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            self.pool.flags[self.slot].store(false, Ordering::SeqCst);
+            if !self.pool.timer.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+    }
+
+    // ---- Blocking-call protocol (paper Fig. 4 lines 30–39, §3.3.3) ------
+
+    /// Permits checkpoints to complete while this thread is about to block
+    /// (`checkpoint_allow`). Must be paired with a `checkpoint_prevent_*`
+    /// call before the thread resumes persistent writes.
+    pub fn checkpoint_allow(&self) {
+        self.pool.flags[self.slot].store(true, Ordering::SeqCst);
+    }
+
+    /// Revokes checkpoint permission after a blocking call *outside* any
+    /// critical section (the simplified variant mentioned in §3.3.3).
+    pub fn checkpoint_prevent(&self) {
+        loop {
+            self.pool.flags[self.slot].store(false, Ordering::SeqCst);
+            if !self.pool.timer.load(Ordering::SeqCst) {
+                return;
+            }
+            self.park_for_checkpoint();
+        }
+    }
+
+    /// Revokes checkpoint permission after `cond_wait` returned, while
+    /// holding `mutex`'s guard. If a checkpoint is in flight, the guard is
+    /// released while waiting for it (avoiding the deadlock of §3.3.3) and
+    /// re-acquired afterwards.
+    pub fn checkpoint_prevent_locked<'a, T>(
+        &self,
+        mutex: &'a parking_lot::Mutex<T>,
+        mut guard: parking_lot::MutexGuard<'a, T>,
+    ) -> parking_lot::MutexGuard<'a, T> {
+        loop {
+            self.pool.flags[self.slot].store(false, Ordering::SeqCst);
+            if !self.pool.timer.load(Ordering::SeqCst) {
+                return guard;
+            }
+            // A checkpoint started while we were blocked: let it finish.
+            self.pool.flags[self.slot].store(true, Ordering::SeqCst);
+            drop(guard);
+            let mut spins = 0u32;
+            while self.pool.timer.load(Ordering::SeqCst) {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            guard = mutex.lock();
+        }
+    }
+
+    /// Runs a checkpoint from this thread (tests / single-threaded apps):
+    /// parks the calling handle as if at an RP, then drives the checkpoint.
+    pub fn checkpoint_here(&self) -> crate::checkpoint::CkptReport {
+        self.pool.flags[self.slot].store(true, Ordering::SeqCst);
+        let report = self.pool.checkpoint_now();
+        self.pool.flags[self.slot].store(false, Ordering::SeqCst);
+        report
+    }
+}
+
+impl std::fmt::Debug for ThreadHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadHandle").field("slot", &self.slot).finish()
+    }
+}
+
+/// Compile-time guarantee that handles can move across threads but not be
+/// shared.
+#[allow(dead_code)]
+fn _assert_send(h: ThreadHandle) -> impl Send {
+    h
+}
+
+// The system slot must never be handed to `register`.
+const _: () = assert!(SYSTEM_SLOT == 0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use respct_pmem::{Region, RegionConfig};
+    use std::time::Duration;
+
+    fn pool() -> Arc<Pool> {
+        Pool::create(Region::new(RegionConfig::fast(8 << 20)), PoolConfig::default())
+    }
+
+    #[test]
+    fn register_reuses_slots() {
+        let p = pool();
+        let h1 = p.register();
+        let s1 = h1.slot();
+        drop(h1);
+        let h2 = p.register();
+        assert_eq!(h2.slot(), s1);
+    }
+
+    #[test]
+    fn cell_roundtrip_through_handle() {
+        let p = pool();
+        let h = p.register();
+        let c = h.alloc_cell(41u64);
+        assert_eq!(h.get(c), 41);
+        h.update(c, 42);
+        assert_eq!(h.get(c), 42);
+    }
+
+    #[test]
+    fn rp_updates_persistent_rp_id() {
+        let p = pool();
+        let h = p.register();
+        h.rp(7);
+        assert_eq!(h.last_rp(), 7);
+        h.rp(9);
+        assert_eq!(h.last_rp(), 9);
+    }
+
+    #[test]
+    fn checkpoint_waits_for_worker_rp() {
+        let p = pool();
+        let h = p.register();
+        let p2 = Arc::clone(&p);
+        let ck = std::thread::spawn(move || p2.checkpoint_now());
+        // Give the checkpointer time to raise `timer`.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(p.epoch(), 1, "checkpoint must not complete before the RP");
+        h.rp(1);
+        ck.join().unwrap();
+        assert_eq!(p.epoch(), 2);
+    }
+
+    #[test]
+    fn dropping_handle_unblocks_checkpoint() {
+        let p = pool();
+        let h = p.register();
+        let p2 = Arc::clone(&p);
+        let ck = std::thread::spawn(move || p2.checkpoint_now());
+        std::thread::sleep(Duration::from_millis(10));
+        drop(h);
+        ck.join().unwrap();
+        assert_eq!(p.epoch(), 2);
+    }
+
+    #[test]
+    fn allow_prevent_roundtrip() {
+        let p = pool();
+        let h = p.register();
+        h.checkpoint_allow();
+        let r = p.checkpoint_now(); // completes because the flag is up
+        assert_eq!(r.closed_epoch, 1);
+        h.checkpoint_prevent();
+        // After prevent, a checkpoint blocks on this thread again.
+        let p2 = Arc::clone(&p);
+        let ck = std::thread::spawn(move || p2.checkpoint_now());
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(p.epoch(), 2);
+        h.rp(1);
+        ck.join().unwrap();
+        assert_eq!(p.epoch(), 3);
+    }
+
+    #[test]
+    fn checkpoint_here_from_worker() {
+        let p = pool();
+        let h = p.register();
+        let c = h.alloc_cell(5u64);
+        h.update(c, 6);
+        let r = h.checkpoint_here();
+        assert_eq!(r.closed_epoch, 1);
+        assert!(r.lines >= 1);
+        // Next epoch: another update logs again.
+        h.update(c, 7);
+        let backup: u64 = p.region().load(c.backup_addr());
+        assert_eq!(backup, 6, "new epoch must re-log the pre-epoch value");
+    }
+
+    #[test]
+    fn multi_threaded_updates_with_periodic_checkpoints() {
+        let p = pool();
+        let guard = p.start_checkpointer(Duration::from_millis(2));
+        let mut cells = Vec::new();
+        {
+            let h = p.register();
+            for _ in 0..8 {
+                cells.push(h.alloc_cell(0u64));
+            }
+        }
+        std::thread::scope(|s| {
+            for (t, &cell) in cells.iter().enumerate() {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    let h = p.register();
+                    for i in 0..20_000u64 {
+                        h.update(cell, t as u64 * 1_000_000 + i);
+                        if i % 64 == 0 {
+                            h.rp(t as u64);
+                        }
+                    }
+                });
+            }
+        });
+        drop(guard);
+        for (t, &cell) in cells.iter().enumerate() {
+            assert_eq!(p.cell_get(cell), t as u64 * 1_000_000 + 19_999);
+        }
+        // In release on one core the workload may outrun the 2 ms timer;
+        // ensure the machinery completes at least one checkpoint either way.
+        p.checkpoint_now();
+        assert!(p.ckpt_stats().snapshot().count > 0);
+    }
+}

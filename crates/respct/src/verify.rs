@@ -1,0 +1,265 @@
+//! Pool integrity verification (an fsck for ResPCT pools).
+//!
+//! Walks every persistent structure the runtime maintains — header, thread
+//! slots, registry chains, free lists, cell placements — and checks the
+//! invariants the algorithm relies on. Intended for tests, post-recovery
+//! sanity checks, and debugging of data-structure code built on the pool.
+
+use respct_pmem::PAddr;
+
+use crate::layout::{
+    self, CellLayout, MAGIC, MAX_THREADS, NUM_CLASSES, OFF_MAGIC, OFF_SIZE, REG_CHUNK_ENTRIES,
+};
+use crate::pool::Pool;
+
+/// One integrity violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which check failed.
+    pub kind: ViolationKind,
+    /// Human-readable details.
+    pub detail: String,
+}
+
+/// Category of an integrity violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Bad magic or size header.
+    Header,
+    /// A registered cell straddles a cache line or lies out of bounds.
+    CellPlacement,
+    /// A registry chain is shorter than its recorded length, or a chunk
+    /// pointer is invalid.
+    Registry,
+    /// A free-list is cyclic or points out of bounds.
+    FreeList,
+    /// An allocator cursor is out of bounds or inconsistent.
+    Allocator,
+}
+
+/// Result of [`Pool::verify`].
+#[derive(Debug, Default)]
+pub struct VerifyReport {
+    pub cells_checked: u64,
+    pub registry_chunks: u64,
+    pub free_blocks: u64,
+    pub violations: Vec<Violation>,
+}
+
+impl VerifyReport {
+    /// True when no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl Pool {
+    /// Verifies the pool's persistent invariants.
+    ///
+    /// Must run while no application thread is mutating the pool
+    /// (single-threaded test context or post-recovery).
+    pub fn verify(&self) -> VerifyReport {
+        let mut report = VerifyReport::default();
+        let mut violations: Vec<Violation> = Vec::new();
+        let region = self.region();
+        let size = region.size() as u64;
+        // Collect, don't abort: report everything found.
+        let mut fail =
+            |kind, detail: String| violations.push(Violation { kind, detail });
+
+        // Header.
+        if region.load::<u64>(OFF_MAGIC) != MAGIC {
+            fail(ViolationKind::Header, "bad magic".into());
+        }
+        if region.load::<u64>(OFF_SIZE) != size {
+            fail(ViolationKind::Header, "recorded size != region size".into());
+        }
+
+        // Allocator cursors.
+        let heap = layout::heap_start().0;
+        let bump = self.cell_get(self.bump_cell());
+        if !(heap..=size).contains(&bump) {
+            fail(ViolationKind::Allocator, format!("bump cell {bump} outside [{heap}, {size}]"));
+        }
+
+        // Registries + registered cells.
+        for slot in 0..MAX_THREADS {
+            let len = self.reg_len_persistent(slot);
+            let mut chunk: u64 =
+                region.load(PAddr(layout::slot_base(slot).0 + layout::SLOT_REG_HEAD));
+            let mut seen = 0u64;
+            while seen < len {
+                if chunk == 0 || chunk >= size {
+                    fail(
+                        ViolationKind::Registry,
+                        format!("slot {slot}: chain ends at {seen}/{len} entries"),
+                    );
+                    break;
+                }
+                report.registry_chunks += 1;
+                let in_chunk = (len - seen).min(REG_CHUNK_ENTRIES);
+                for i in 0..in_chunk {
+                    let entry = PAddr(chunk + layout::reg_entry_off(i));
+                    let addr: u64 = region.load(entry);
+                    let meta: u64 = region.load(entry.offset(8));
+                    let l = CellLayout::decode_checked(meta);
+                    match l {
+                        Some(l) => {
+                            report.cells_checked += 1;
+                            if addr + l.total as u64 > size {
+                                fail(
+                                    ViolationKind::CellPlacement,
+                                    format!("slot {slot} entry {i}: cell {addr} out of bounds"),
+                                );
+                            } else if !l.fits_at(PAddr(addr)) {
+                                fail(
+                                    ViolationKind::CellPlacement,
+                                    format!(
+                                        "slot {slot} entry {i}: cell {addr} straddles a line"
+                                    ),
+                                );
+                            }
+                        }
+                        None => fail(
+                            ViolationKind::Registry,
+                            format!("slot {slot} entry {i}: invalid layout meta {meta:#x}"),
+                        ),
+                    }
+                }
+                seen += in_chunk;
+                if seen < len {
+                    chunk = region.load(PAddr(chunk + layout::REG_CHUNK_NEXT));
+                }
+            }
+        }
+
+        // Free lists: bounded walk detects cycles / wild pointers.
+        for c in 0..NUM_CLASSES {
+            let mut cur = self.cell_get(self.freelist_cell(c));
+            let mut steps = 0u64;
+            let limit = size / 16 + 1;
+            while cur != 0 {
+                if cur % 8 != 0 || cur >= size {
+                    fail(ViolationKind::FreeList, format!("class {c}: wild pointer {cur:#x}"));
+                    break;
+                }
+                report.free_blocks += 1;
+                steps += 1;
+                if steps > limit {
+                    fail(ViolationKind::FreeList, format!("class {c}: cycle detected"));
+                    break;
+                }
+                cur = region.load(PAddr(cur));
+            }
+        }
+        drop(fail);
+        report.violations = violations;
+        report
+    }
+}
+
+impl CellLayout {
+    /// [`CellLayout::decode`] that rejects invalid metadata instead of
+    /// panicking.
+    pub fn decode_checked(meta: u64) -> Option<CellLayout> {
+        let vsize = (meta & 0xff) as usize;
+        let valign = ((meta >> 8) & 0xff) as usize;
+        if meta >> 16 != 0
+            || !(1..=24).contains(&vsize)
+            || !valign.is_power_of_two()
+            || valign > 8
+        {
+            return None;
+        }
+        Some(CellLayout::new(vsize, valign))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use respct_pmem::{Region, RegionConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn fresh_pool_is_clean() {
+        let pool = Pool::create(Region::new(RegionConfig::fast(4 << 20)), PoolConfig::default());
+        let r = pool.verify();
+        assert!(r.is_clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn pool_with_cells_and_frees_is_clean() {
+        let pool = Pool::create(Region::new(RegionConfig::fast(16 << 20)), PoolConfig::default());
+        let h = pool.register();
+        let mut blocks = Vec::new();
+        for i in 0..500u64 {
+            h.alloc_cell(i);
+            blocks.push(h.alloc(48, 8));
+        }
+        for b in blocks {
+            h.free(b, 48);
+        }
+        h.checkpoint_here(); // drain frees, sync cursors
+        h.checkpoint_here(); // persist the drained free list heads
+        let r = pool.verify();
+        assert!(r.is_clean(), "{:?}", r.violations);
+        assert_eq!(r.cells_checked, 500);
+        assert!(r.free_blocks >= 500);
+    }
+
+    #[test]
+    fn recovered_pool_is_clean() {
+        let region = Region::new(RegionConfig::sim(
+            8 << 20,
+            respct_pmem::SimConfig::with_eviction(3, 5),
+        ));
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let h = pool.register();
+        let cells: Vec<_> = (0..100u64).map(|i| h.alloc_cell(i)).collect();
+        h.checkpoint_here();
+        for c in &cells {
+            h.update(*c, 1);
+        }
+        drop(h);
+        drop(pool);
+        let img = region.crash(respct_pmem::sim::CrashMode::PowerFailure);
+        region.restore(&img);
+        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let r = pool.verify();
+        assert!(r.is_clean(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn corrupted_magic_detected() {
+        let pool = Pool::create(Region::new(RegionConfig::fast(4 << 20)), PoolConfig::default());
+        pool.region().store(OFF_MAGIC, 0xbad_c0de_u64);
+        let r = pool.verify();
+        assert!(!r.is_clean());
+        assert_eq!(r.violations[0].kind, ViolationKind::Header);
+    }
+
+    #[test]
+    fn corrupted_registry_detected() {
+        let pool = Pool::create(Region::new(RegionConfig::fast(4 << 20)), PoolConfig::default());
+        let h = pool.register();
+        for i in 0..10u64 {
+            h.alloc_cell(i);
+        }
+        h.checkpoint_here();
+        // Smash the slot's registry head.
+        let slot_base = layout::slot_base(h.slot()).0;
+        pool.region().store(PAddr(slot_base + layout::SLOT_REG_HEAD), u64::MAX);
+        let r = pool.verify();
+        assert!(r.violations.iter().any(|v| v.kind == ViolationKind::Registry), "{r:?}");
+    }
+
+    #[test]
+    fn decode_checked_rejects_garbage() {
+        assert!(CellLayout::decode_checked(0).is_none()); // vsize 0
+        assert!(CellLayout::decode_checked(0x0308).is_none()); // align 3
+        assert!(CellLayout::decode_checked(0x1_0000_0808).is_none()); // high bits
+        assert!(CellLayout::decode_checked(0x0808).is_some());
+    }
+}

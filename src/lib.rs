@@ -1,0 +1,10 @@
+//! Umbrella crate for the ResPCT reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests have a
+//! single import root. See `README.md` for the full tour.
+
+pub use respct;
+pub use respct_apps as apps;
+pub use respct_baselines as baselines;
+pub use respct_ds as ds;
+pub use respct_pmem as pmem;

@@ -1,0 +1,122 @@
+//! End-to-end application checks across execution modes (paper §5.3): the
+//! fault-tolerant versions must compute exactly what the transient versions
+//! compute, and the memcached-like store must execute every generated
+//! request in all modes.
+
+use std::time::Duration;
+
+use respct_repro::apps::{dedup, kvstore, linreg, matmul, swaptions, ycsb, Mode};
+
+#[test]
+fn matmul_checksum_identical_across_modes() {
+    let base = matmul::MatmulConfig {
+        n: 48,
+        threads: 3,
+        mode: Mode::TransientDram,
+        ckpt_period: Duration::from_millis(4),
+    };
+    let reference = matmul::run(base);
+    for mode in [Mode::TransientNvmm, Mode::Respct] {
+        let out = matmul::run(matmul::MatmulConfig { mode, ..base });
+        assert!((out.checksum - reference.checksum).abs() < 1e-6, "{mode:?}");
+    }
+}
+
+#[test]
+fn linreg_fits_the_planted_line_in_every_mode() {
+    for mode in Mode::ALL {
+        let out = linreg::run(linreg::LinregConfig {
+            npoints: 60_000,
+            threads: 2,
+            mode,
+            batch: 500,
+            ckpt_period: Duration::from_millis(4),
+        });
+        assert!((out.slope - 3.0).abs() < 0.05, "{mode:?}: slope {}", out.slope);
+        assert!((out.intercept - 7.0).abs() < 0.2, "{mode:?}: intercept {}", out.intercept);
+    }
+}
+
+#[test]
+fn swaptions_prices_identical_across_modes() {
+    let base = swaptions::SwaptionsConfig {
+        nswaptions: 8,
+        trials: 600,
+        threads: 3,
+        mode: Mode::TransientDram,
+        batch: 200,
+        ckpt_period: Duration::from_millis(4),
+    };
+    let reference = swaptions::run(base);
+    for mode in [Mode::TransientNvmm, Mode::Respct] {
+        let out = swaptions::run(swaptions::SwaptionsConfig { mode, ..base });
+        for (a, b) in out.prices.iter().zip(&reference.prices) {
+            assert!((a - b).abs() < 1e-12, "{mode:?}");
+        }
+    }
+}
+
+#[test]
+fn dedup_pipeline_deterministic_across_modes() {
+    let base = dedup::DedupConfig {
+        chunks: 600,
+        unique: 150,
+        chunk_size: 512,
+        hashers: 2,
+        compressors: 2,
+        mode: Mode::TransientDram,
+        ckpt_period: Duration::from_millis(3),
+    };
+    let reference = dedup::run(base);
+    assert_eq!(reference.unique_stored, 150);
+    for mode in [Mode::TransientNvmm, Mode::Respct] {
+        let out = dedup::run(dedup::DedupConfig { mode, ..base });
+        assert_eq!(out.unique_stored, reference.unique_stored, "{mode:?}");
+        assert_eq!(out.compressed_bytes, reference.compressed_bytes, "{mode:?}");
+    }
+}
+
+#[test]
+fn kvstore_executes_every_request_in_every_mode() {
+    for mode in Mode::ALL {
+        for workload in [
+            ycsb::Workload::read_intensive(1_000),
+            ycsb::Workload::write_intensive(1_000),
+        ] {
+            let cfg = kvstore::KvConfig {
+                nkeys: 1_000,
+                value_size: 100,
+                workers: 2,
+                clients: 3,
+                ops_per_client: 1_500,
+                workload,
+                mode,
+                ckpt_period: Duration::from_millis(8),
+            };
+            let out = kvstore::run(&cfg);
+            assert_eq!(out.ops, 4_500, "{mode:?}");
+            assert!(out.kops_per_sec > 0.0);
+        }
+    }
+}
+
+#[test]
+fn zipfian_hot_keys_dominate_for_all_paper_mixes() {
+    for wl in [
+        ycsb::Workload::read_intensive(10_000),
+        ycsb::Workload::balanced(10_000),
+        ycsb::Workload::write_intensive(10_000),
+    ] {
+        let mut rng = ycsb::Workload::rng(9);
+        let mut hot = 0u32;
+        for _ in 0..20_000 {
+            let k = match wl.next(&mut rng) {
+                ycsb::Op::Get(k) | ycsb::Op::Put(k) => k,
+            };
+            if k < 100 {
+                hot += 1;
+            }
+        }
+        assert!(hot > 6_000, "zipf skew too weak: {hot}/20000 in the hot 1%");
+    }
+}

@@ -1,0 +1,133 @@
+//! Semantic equivalence of every compared system: all nine map
+//! implementations and six queue implementations must agree with a model
+//! (std collections) on arbitrary operation sequences — otherwise the
+//! performance comparison would be apples to oranges.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use respct_repro::baselines::clobber::ClobberPolicy;
+use respct_repro::baselines::dali::DaliHashMap;
+use respct_repro::baselines::friedman::FriedmanQueue;
+use respct_repro::baselines::montage::{MontageHashMap, MontageQueue, MontageRuntime};
+use respct_repro::baselines::pmthreads::PmThreadsPolicy;
+use respct_repro::baselines::quadra::QuadraPolicy;
+use respct_repro::baselines::soft::SoftHashMap;
+use respct_repro::baselines::transient_nvmm::{NvmmHashMap, NvmmQueue};
+use respct_repro::baselines::undo::UndoPolicy;
+use respct_repro::baselines::{PolicyHashMap, PolicyQueue};
+use respct_repro::ds::traits::{BenchMap, BenchQueue};
+use respct_repro::ds::{PHashMap, PQueue, TransientHashMap, TransientQueue};
+use respct_repro::pmem::{Region, RegionConfig};
+use respct_repro::respct::{Pool, PoolConfig};
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn map_ops() -> impl Strategy<Value = Vec<MapOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u64..30, any::<u64>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+            2 => (0u64..30).prop_map(MapOp::Remove),
+            3 => (0u64..30).prop_map(MapOp::Get),
+        ],
+        1..80,
+    )
+}
+
+fn check_map_against_model<M: BenchMap>(map: &M, ops: &[MapOp]) -> Result<(), TestCaseError> {
+    let mut ctx = map.register();
+    let mut model = std::collections::HashMap::new();
+    for op in ops {
+        match op {
+            MapOp::Insert(k, v) => {
+                let newly = map.insert(&mut ctx, *k, *v);
+                let model_newly = model.insert(*k, *v).is_none();
+                prop_assert_eq!(newly, model_newly, "insert({}, {})", k, v);
+            }
+            MapOp::Remove(k) => {
+                prop_assert_eq!(map.remove(&mut ctx, *k), model.remove(k).is_some(), "remove({})", k);
+            }
+            MapOp::Get(k) => {
+                prop_assert_eq!(map.get(&mut ctx, *k), model.get(k).copied(), "get({})", k);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn region(mb: usize) -> Arc<Region> {
+    Region::new(RegionConfig::fast(mb << 20))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_maps_agree_with_model(ops in map_ops()) {
+        // ResPCT.
+        {
+            let pool = Pool::create(region(32), PoolConfig::default());
+            let h = pool.register();
+            let m = PHashMap::create(&h, 8);
+            drop(h);
+            check_map_against_model(&m, &ops)?;
+        }
+        check_map_against_model(&TransientHashMap::new(8), &ops)?;
+        check_map_against_model(&NvmmHashMap::new(region(16), 8), &ops)?;
+        check_map_against_model(&PolicyHashMap::new(Arc::new(UndoPolicy::new(region(16))), 8), &ops)?;
+        check_map_against_model(&PolicyHashMap::new(Arc::new(ClobberPolicy::new(region(16))), 8), &ops)?;
+        check_map_against_model(&PolicyHashMap::new(Arc::new(QuadraPolicy::new(region(32))), 8), &ops)?;
+        check_map_against_model(
+            &PolicyHashMap::new(Arc::new(PmThreadsPolicy::new(region(16), region(16))), 8),
+            &ops,
+        )?;
+        check_map_against_model(&MontageHashMap::new(MontageRuntime::new(region(16)), 8), &ops)?;
+        check_map_against_model(&*DaliHashMap::new(region(16), 8), &ops)?;
+        check_map_against_model(&SoftHashMap::new(region(16), region(16), 8), &ops)?;
+    }
+
+    #[test]
+    fn all_queues_agree_with_model(
+        ops in proptest::collection::vec(
+            prop_oneof![3 => any::<u64>().prop_map(Some), 2 => Just(None)],
+            1..80,
+        )
+    ) {
+        fn check<Q: BenchQueue>(q: &Q, ops: &[Option<u64>]) -> Result<(), TestCaseError> {
+            let mut ctx = q.register();
+            let mut model = std::collections::VecDeque::new();
+            for op in ops {
+                match op {
+                    Some(v) => {
+                        q.enqueue(&mut ctx, *v);
+                        model.push_back(*v);
+                    }
+                    None => {
+                        prop_assert_eq!(q.dequeue(&mut ctx), model.pop_front());
+                    }
+                }
+            }
+            Ok(())
+        }
+        {
+            let pool = Pool::create(region(32), PoolConfig::default());
+            let h = pool.register();
+            let q = PQueue::create(&h);
+            drop(h);
+            check(&q, &ops)?;
+        }
+        check(&TransientQueue::new(), &ops)?;
+        check(&NvmmQueue::new(region(16)), &ops)?;
+        check(&PolicyQueue::new(Arc::new(UndoPolicy::new(region(16)))), &ops)?;
+        check(&PolicyQueue::new(Arc::new(ClobberPolicy::new(region(16)))), &ops)?;
+        check(&PolicyQueue::new(Arc::new(QuadraPolicy::new(region(32)))), &ops)?;
+        check(&PolicyQueue::new(Arc::new(PmThreadsPolicy::new(region(16), region(16)))), &ops)?;
+        check(&MontageQueue::new(MontageRuntime::new(region(16))), &ops)?;
+        check(&FriedmanQueue::new(region(16)), &ops)?;
+    }
+}

@@ -1,0 +1,130 @@
+//! InCLL cells of every supported value type (1–16 bytes), exercised
+//! through the full crash → recovery cycle — the registry stores each
+//! cell's layout and recovery must reconstruct field offsets per type.
+
+use std::sync::Arc;
+
+use respct_repro::pmem::{sim::CrashMode, Region, RegionConfig, SimConfig};
+use respct_repro::respct::{Pool, PoolConfig};
+
+fn crash_recover(region: &Arc<Region>) -> Arc<Pool> {
+    let img = region.crash(CrashMode::PowerFailure);
+    region.restore(&img);
+    Pool::recover(Arc::clone(region), PoolConfig::default()).0
+}
+
+#[test]
+fn every_value_width_rolls_back() {
+    let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(2, 42)));
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+    let h = pool.register();
+
+    let c_u8 = h.alloc_cell(0x11u8);
+    let c_u16 = h.alloc_cell(0x2222u16);
+    let c_u32 = h.alloc_cell(0x3333_3333u32);
+    let c_u64 = h.alloc_cell(0x4444_4444_4444_4444u64);
+    let c_i64 = h.alloc_cell(-5i64);
+    let c_f64 = h.alloc_cell(2.5f64);
+    let c_pair = h.alloc_cell((7u64, 8u64));
+    h.checkpoint_here();
+
+    // Crashed epoch: overwrite everything.
+    h.update(c_u8, 0xff);
+    h.update(c_u16, 0xffff);
+    h.update(c_u32, 0xffff_ffff);
+    h.update(c_u64, u64::MAX);
+    h.update(c_i64, 99);
+    h.update(c_f64, -1.0);
+    h.update(c_pair, (100, 200));
+    drop(h);
+    drop(pool);
+
+    let pool = crash_recover(&region);
+    assert_eq!(pool.cell_get(c_u8), 0x11);
+    assert_eq!(pool.cell_get(c_u16), 0x2222);
+    assert_eq!(pool.cell_get(c_u32), 0x3333_3333);
+    assert_eq!(pool.cell_get(c_u64), 0x4444_4444_4444_4444);
+    assert_eq!(pool.cell_get(c_i64), -5);
+    assert_eq!(pool.cell_get(c_f64), 2.5);
+    assert_eq!(pool.cell_get(c_pair), (7, 8));
+    assert!(pool.verify().is_clean());
+}
+
+#[test]
+fn committed_values_of_every_width_survive() {
+    let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(3, 43)));
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+    let h = pool.register();
+    let c_u8 = h.alloc_cell(1u8);
+    let c_u16 = h.alloc_cell(2u16);
+    let c_f64 = h.alloc_cell(0.0f64);
+    let c_pair = h.alloc_cell((0u64, 0u64));
+    h.update(c_u8, 10);
+    h.update(c_u16, 20);
+    h.update(c_f64, 1.25);
+    h.update(c_pair, (3, 4));
+    h.checkpoint_here();
+    drop(h);
+    drop(pool);
+    let pool = crash_recover(&region);
+    assert_eq!(pool.cell_get(c_u8), 10);
+    assert_eq!(pool.cell_get(c_u16), 20);
+    assert_eq!(pool.cell_get(c_f64), 1.25);
+    assert_eq!(pool.cell_get(c_pair), (3, 4));
+}
+
+#[test]
+fn mixed_width_cells_share_lines_without_interference() {
+    // Several narrow cells allocated back-to-back may share cache lines;
+    // rollback of one must not disturb its neighbors.
+    let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(1, 44)));
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+    let h = pool.register();
+    let cells: Vec<_> = (0..64).map(|i| h.alloc_cell(i as u8)).collect();
+    h.checkpoint_here();
+    // Touch only the even cells in the crashed epoch.
+    for (i, c) in cells.iter().enumerate() {
+        if i % 2 == 0 {
+            h.update(*c, 200);
+        }
+    }
+    drop(h);
+    drop(pool);
+    let pool = crash_recover(&region);
+    for (i, c) in cells.iter().enumerate() {
+        assert_eq!(pool.cell_get(*c), i as u8, "cell {i}");
+    }
+}
+
+#[test]
+fn thread_slot_exhaustion_panics_cleanly() {
+    let pool = Pool::create(Region::new(RegionConfig::fast(32 << 20)), PoolConfig::default());
+    let mut handles = Vec::new();
+    // Slot 0 is reserved for the system; 127 remain.
+    for _ in 0..127 {
+        handles.push(pool.register());
+    }
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.register()));
+    assert!(result.is_err(), "129th registration must fail");
+    drop(handles);
+    // After dropping, registration works again.
+    let _h = pool.register();
+}
+
+#[test]
+fn upsert_on_fresh_vs_recycled_memory() {
+    let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::no_eviction(45)));
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+    let h = pool.register();
+    let a = h.alloc(32, 32);
+    // Fresh: initializes (registers).
+    let cell = h.upsert_cell::<u64>(a, 5);
+    h.checkpoint_here();
+    // Recycled-as-same-layout: updates (logs the old value).
+    h.upsert_cell::<u64>(a, 6);
+    assert_eq!(pool.cell_get(cell), 6);
+    drop(h);
+    drop(pool);
+    let pool = crash_recover(&region);
+    assert_eq!(pool.cell_get(cell), 5, "upsert on live cell must log for rollback");
+}

@@ -1,0 +1,193 @@
+//! End-to-end buffered durable linearizability (paper Proposition 4.11):
+//! after a crash at an arbitrary instant, recovery restores exactly the
+//! state of the last completed checkpoint — no more, no less.
+//!
+//! Property-based: random operation sequences on the persistent hash map
+//! and queue, with checkpoints interleaved at random points, a simulated
+//! power failure at the end, and a model (std collections) snapshotted at
+//! every checkpoint as the ground truth.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use respct_repro::ds::{PHashMap, PQueue};
+use respct_repro::pmem::{sim::CrashMode, PAddr, Region, RegionConfig, SimConfig};
+use respct_repro::respct::{Pool, PoolConfig};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Enqueue(u64),
+    Dequeue,
+    Checkpoint,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u64..40, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        3 => (0u64..40).prop_map(Op::Remove),
+        4 => any::<u64>().prop_map(Op::Enqueue),
+        3 => Just(Op::Dequeue),
+        1 => Just(Op::Checkpoint),
+    ]
+}
+
+#[derive(Default, Clone, PartialEq, Debug)]
+struct Model {
+    map: HashMap<u64, u64>,
+    queue: VecDeque<u64>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn recovery_restores_last_checkpoint(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        seed in 0u64..10_000,
+        evict_log2 in 1u32..6,
+    ) {
+        let region = Region::new(RegionConfig::sim(
+            16 << 20,
+            SimConfig::with_eviction(evict_log2, seed),
+        ));
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let h = pool.register();
+        let map = PHashMap::create(&h, 16);
+        let queue = PQueue::create(&h);
+        // Root block: map descriptor at +0, queue descriptor at +8.
+        let root = h.alloc(64, 64);
+        h.store_tracked(root, map.desc().0);
+        h.store_tracked(PAddr(root.0 + 8), queue.desc().0);
+        h.set_root(root);
+        h.checkpoint_here();
+
+        let mut model = Model::default();
+        let mut durable = model.clone(); // state at the last checkpoint
+
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    map.insert(&h, *k, *v);
+                    model.map.insert(*k, *v);
+                    h.rp(1);
+                }
+                Op::Remove(k) => {
+                    map.remove(&h, *k);
+                    model.map.remove(k);
+                    h.rp(2);
+                }
+                Op::Enqueue(v) => {
+                    queue.enqueue(&h, *v);
+                    model.queue.push_back(*v);
+                    h.rp(3);
+                }
+                Op::Dequeue => {
+                    let got = queue.dequeue(&h);
+                    prop_assert_eq!(got, model.queue.pop_front(), "live dequeue mismatch");
+                    h.rp(4);
+                }
+                Op::Checkpoint => {
+                    h.checkpoint_here();
+                    durable = model.clone();
+                }
+            }
+        }
+
+        // Power failure at an arbitrary point, then reboot + recovery.
+        drop(h);
+        drop(map);
+        drop(queue);
+        drop(pool);
+        let image = region.crash(CrashMode::PowerFailure);
+        region.restore(&image);
+        let (pool, _report) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+
+        let root = pool.root();
+        let map = PHashMap::open(&pool, PAddr(pool.region().load(root)));
+        let queue = PQueue::open(&pool, PAddr(pool.region().load::<u64>(PAddr(root.0 + 8))));
+
+        let mut got_map: Vec<(u64, u64)> = map.collect();
+        got_map.sort_unstable();
+        let mut want_map: Vec<(u64, u64)> = durable.map.iter().map(|(&k, &v)| (k, v)).collect();
+        want_map.sort_unstable();
+        prop_assert_eq!(got_map, want_map, "map must equal the last checkpoint");
+
+        let got_q = queue.collect();
+        let want_q: Vec<u64> = durable.queue.iter().copied().collect();
+        prop_assert_eq!(got_q, want_q, "queue must equal the last checkpoint");
+    }
+
+    #[test]
+    fn recovery_is_idempotent(
+        nops in 1usize..60,
+        seed in 0u64..1000,
+    ) {
+        // Recover twice from the same image: identical results (a crash
+        // during recovery is handled by re-running it).
+        let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(3, seed)));
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let h = pool.register();
+        let map = PHashMap::create(&h, 8);
+        h.set_root(map.desc());
+        for k in 0..nops as u64 {
+            map.insert(&h, k, k);
+        }
+        h.checkpoint_here();
+        for k in 0..nops as u64 {
+            map.insert(&h, k, k + 100);
+        }
+        drop(h);
+        drop(map);
+        drop(pool);
+        let image = region.crash(CrashMode::PowerFailure);
+
+        region.restore(&image);
+        let (pool1, r1) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let mut a = PHashMap::open(&pool1, pool1.root()).collect();
+        a.sort_unstable();
+        drop(pool1);
+
+        region.restore(&image);
+        let (pool2, r2) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let mut b = PHashMap::open(&pool2, pool2.root()).collect();
+        b.sort_unstable();
+
+        prop_assert_eq!(r1.failed_epoch, r2.failed_epoch);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// A crash *during* the checkpoint flush must still recover consistently:
+/// the epoch counter was not yet advanced, so the whole epoch rolls back.
+#[test]
+fn crash_mid_checkpoint_rolls_back_epoch() {
+    for seed in 0..20u64 {
+        let region =
+            Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(2, seed)));
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let h = pool.register();
+        let map = PHashMap::create(&h, 8);
+        h.set_root(map.desc());
+        map.insert(&h, 1, 11);
+        h.checkpoint_here();
+        map.insert(&h, 1, 22);
+        map.insert(&h, 2, 33);
+        // Simulate "crash mid-checkpoint": flush everything (as if the
+        // flush phase completed) but never advance the epoch counter.
+        region.persist_all();
+        drop(h);
+        drop(map);
+        drop(pool);
+        let image = region.crash(CrashMode::PowerFailure);
+        region.restore(&image);
+        let (pool, report) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        assert_eq!(report.failed_epoch, 2);
+        let map = PHashMap::open(&pool, pool.root());
+        let mut got = map.collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(1, 11)], "seed {seed}: mid-checkpoint crash must roll back");
+    }
+}

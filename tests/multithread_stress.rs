@@ -1,0 +1,172 @@
+//! Multi-threaded stress tests: workers + the periodic checkpointer +
+//! registration churn + condition variables, all running concurrently on
+//! the real runtime. These exercise the paper's liveness argument
+//! (Proposition 4.3 — checkpoints always complete) and the quiescence
+//! protocol under scheduling noise.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use respct_repro::ds::{PHashMap, PQueue};
+use respct_repro::pmem::{Region, RegionConfig};
+use respct_repro::respct::{Pool, PoolConfig, RCondvar};
+
+fn pool(mb: usize) -> Arc<Pool> {
+    Pool::create(Region::new(RegionConfig::fast(mb << 20)), PoolConfig::default())
+}
+
+#[test]
+fn map_and_queue_under_fast_checkpoints() {
+    let pool = pool(128);
+    let h = pool.register();
+    let map = Arc::new(PHashMap::create(&h, 256));
+    let queue = Arc::new(PQueue::create(&h));
+    drop(h);
+    let _ckpt = pool.start_checkpointer(Duration::from_millis(1));
+
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let (pool, map, queue) = (Arc::clone(&pool), Arc::clone(&map), Arc::clone(&queue));
+            s.spawn(move || {
+                let h = pool.register();
+                for i in 0..4_000u64 {
+                    map.insert(&h, t * 100_000 + i % 500, i);
+                    h.rp(1);
+                    queue.enqueue(&h, t * 100_000 + i);
+                    h.rp(2);
+                    if i % 3 == 0 {
+                        queue.dequeue(&h);
+                        h.rp(3);
+                    }
+                    if i % 7 == 0 {
+                        map.remove(&h, t * 100_000 + i % 500);
+                        h.rp(4);
+                    }
+                }
+            });
+        }
+    });
+    // Consistency: every remaining map entry belongs to some thread's range.
+    for (k, _v) in map.collect() {
+        assert!(k % 100_000 < 500);
+    }
+    // On a 1-CPU container the workload may finish before many timer ticks
+    // fire; require at least one periodic checkpoint and force one more.
+    pool.checkpoint_now();
+    assert!(pool.ckpt_stats().snapshot().count >= 2, "checkpoints must keep completing");
+}
+
+#[test]
+fn registration_churn_under_checkpoints() {
+    let pool = pool(64);
+    let _ckpt = pool.start_checkpointer(Duration::from_millis(1));
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let pool = Arc::clone(&pool);
+            s.spawn(move || {
+                for round in 0..50 {
+                    let h = pool.register();
+                    let c = h.alloc_cell((t * 1000 + round) as u64);
+                    h.update(c, 1 + t * 1000 + round);
+                    h.rp(5);
+                    assert_eq!(h.get(c), 1 + t * 1000 + round);
+                    drop(h); // deregister mid-flight
+                }
+            });
+        }
+    });
+    pool.checkpoint_now();
+    assert!(pool.epoch() > 1);
+}
+
+#[test]
+fn checkpoint_completes_with_mixed_blocked_and_running_threads() {
+    let pool = pool(64);
+    let mutex = Arc::new(Mutex::new(0u64));
+    let cv = Arc::new(RCondvar::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        // Two waiters blocked on the condvar.
+        for _ in 0..2 {
+            let (pool, mutex, cv) = (Arc::clone(&pool), Arc::clone(&mutex), Arc::clone(&cv));
+            s.spawn(move || {
+                let h = pool.register();
+                h.rp(1);
+                let mut guard = mutex.lock();
+                while *guard == 0 {
+                    guard = cv.wait(&h, &mutex, guard);
+                }
+            });
+        }
+        // Two busy workers hitting RPs.
+        for t in 0..2u64 {
+            let (pool, stop) = (Arc::clone(&pool), Arc::clone(&stop));
+            s.spawn(move || {
+                let h = pool.register();
+                let c = h.alloc_cell(0u64);
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    h.update(c, i);
+                    h.rp(10 + t);
+                    i += 1;
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        // Checkpoints must complete even with two threads parked in waits.
+        let before = pool.epoch();
+        pool.checkpoint_now();
+        pool.checkpoint_now();
+        assert_eq!(pool.epoch(), before + 2);
+        // Release everyone.
+        *mutex.lock() = 1;
+        cv.notify_all();
+        stop.store(true, Ordering::Relaxed);
+    });
+}
+
+#[test]
+fn many_threads_each_with_own_cells() {
+    let pool = pool(128);
+    let _ckpt = pool.start_checkpointer(Duration::from_millis(2));
+    let results: Vec<u64> = std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for t in 0..8u64 {
+            let pool = Arc::clone(&pool);
+            joins.push(s.spawn(move || {
+                let h = pool.register();
+                let acc = h.alloc_cell(0u64);
+                for i in 1..=2_000u64 {
+                    h.update(acc, h.get(acc) + i);
+                    if i % 50 == 0 {
+                        h.rp(100 + t);
+                    }
+                }
+                h.get(acc)
+            }));
+        }
+        joins.into_iter().map(|j| j.join().expect("worker")).collect()
+    });
+    for r in results {
+        assert_eq!(r, 2_000 * 2_001 / 2);
+    }
+}
+
+#[test]
+fn concurrent_checkpoint_now_calls_serialize() {
+    let pool = pool(32);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let pool = Arc::clone(&pool);
+            s.spawn(move || {
+                for _ in 0..10 {
+                    pool.checkpoint_now();
+                }
+            });
+        }
+    });
+    assert_eq!(pool.epoch(), 1 + 40, "every checkpoint advances exactly one epoch");
+}

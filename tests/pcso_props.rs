@@ -1,0 +1,149 @@
+//! Property tests for the PCSO persistence simulator itself — the substrate
+//! all crash tests stand on. The paper's §2.1 model guarantees:
+//!
+//! 1. a write to a cache line never reaches NVMM before any preceding write
+//!    (by any thread) to the same line — modeled as whole-line snapshots;
+//! 2. a `pwb` followed by `psync` makes the line's content (as of the
+//!    `pwb`) durable;
+//! 3. a crash preserves an arbitrary *per-line-consistent* subset of the
+//!    volatile state.
+//!
+//! For single-writer store sequences this means: each line's persisted
+//! image after a crash equals the image after some *prefix* of that line's
+//! store history.
+
+use proptest::prelude::*;
+use respct_repro::pmem::{sim::CrashMode, PAddr, Region, RegionConfig, SimConfig};
+
+const LINES: u64 = 8;
+
+/// Applies the first `k` stores of `ops` that touch `line` to a 64-byte
+/// model and returns the resulting image.
+fn line_image_after_prefix(ops: &[(u64, u8, u8)], line: u64, k: usize) -> [u8; 64] {
+    let mut img = [0u8; 64];
+    let mut applied = 0;
+    for &(l, off, val) in ops {
+        if l != line {
+            continue;
+        }
+        if applied == k {
+            break;
+        }
+        img[off as usize] = val;
+        applied += 1;
+    }
+    img
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Crash images are per-line prefixes of the store history.
+    #[test]
+    fn crash_image_is_per_line_prefix(
+        ops in proptest::collection::vec((0u64..LINES, 0u8..64, any::<u8>()), 1..120),
+        seed in 0u64..10_000,
+        evict_log2 in 0u32..4,
+        flush_every in proptest::option::of(1usize..20),
+    ) {
+        let region = Region::new(RegionConfig::sim(
+            (LINES * 64) as usize,
+            SimConfig::with_eviction(evict_log2, seed),
+        ));
+        for (n, &(line, off, val)) in ops.iter().enumerate() {
+            region.store(PAddr(line * 64 + off as u64), val);
+            if let Some(every) = flush_every {
+                if n % every == 0 {
+                    region.pwb_line(line);
+                    region.psync();
+                }
+            }
+        }
+        let image = region.crash(CrashMode::PowerFailure);
+        for line in 0..LINES {
+            let got: [u8; 64] =
+                image.bytes()[(line * 64) as usize..][..64].try_into().unwrap();
+            let nstores = ops.iter().filter(|&&(l, _, _)| l == line).count();
+            let matches_some_prefix = (0..=nstores)
+                .any(|k| line_image_after_prefix(&ops, line, k) == got);
+            prop_assert!(
+                matches_some_prefix,
+                "line {line}: persisted image is not a prefix of its store history"
+            );
+        }
+    }
+
+    /// pwb + psync guarantees durability of the line as of the pwb.
+    #[test]
+    fn flushed_lines_are_durable(
+        stores in proptest::collection::vec((0u64..LINES, 0u8..64, any::<u8>()), 1..60),
+        seed in 0u64..1_000,
+    ) {
+        let region = Region::new(RegionConfig::sim(
+            (LINES * 64) as usize,
+            SimConfig::no_eviction(seed),
+        ));
+        for &(line, off, val) in &stores {
+            region.store(PAddr(line * 64 + off as u64), val);
+        }
+        // Flush everything, fence, crash: full state must survive.
+        for line in 0..LINES {
+            region.pwb_line(line);
+        }
+        region.psync();
+        let image = region.crash(CrashMode::PowerFailure);
+        for line in 0..LINES {
+            let nstores = stores.iter().filter(|&&(l, _, _)| l == line).count();
+            let want = line_image_after_prefix(&stores, line, nstores);
+            let got: [u8; 64] =
+                image.bytes()[(line * 64) as usize..][..64].try_into().unwrap();
+            prop_assert_eq!(want, got, "line {} lost flushed data", line);
+        }
+    }
+
+    /// Without any flush and without eviction, nothing persists.
+    #[test]
+    fn unflushed_state_is_lost_without_eviction(
+        stores in proptest::collection::vec((0u64..LINES, 0u8..64, 1u8..=255), 1..60),
+        seed in 0u64..1_000,
+    ) {
+        let region = Region::new(RegionConfig::sim(
+            (LINES * 64) as usize,
+            SimConfig::no_eviction(seed),
+        ));
+        for &(line, off, val) in &stores {
+            region.store(PAddr(line * 64 + off as u64), val);
+        }
+        let image = region.crash(CrashMode::PowerFailure);
+        prop_assert!(image.bytes().iter().all(|&b| b == 0), "dirty data leaked to NVMM");
+    }
+
+    /// restore() + continue + crash again behaves like a fresh machine
+    /// whose initial NVMM content is the first crash image.
+    #[test]
+    fn restore_then_recrash_composes(
+        first in proptest::collection::vec((0u64..LINES, 0u8..64, any::<u8>()), 1..40),
+        second in proptest::collection::vec((0u64..LINES, 0u8..64, any::<u8>()), 1..40),
+        seed in 0u64..1_000,
+    ) {
+        let region = Region::new(RegionConfig::sim(
+            (LINES * 64) as usize,
+            SimConfig::no_eviction(seed),
+        ));
+        for &(line, off, val) in &first {
+            region.store(PAddr(line * 64 + off as u64), val);
+        }
+        for line in 0..LINES {
+            region.pwb_line(line);
+        }
+        region.psync();
+        let img1 = region.crash(CrashMode::PowerFailure);
+        region.restore(&img1);
+        // Second run: stores without flush → second crash must return img1.
+        for &(line, off, val) in &second {
+            region.store(PAddr(line * 64 + off as u64), val);
+        }
+        let img2 = region.crash(CrashMode::PowerFailure);
+        prop_assert_eq!(img1.bytes(), img2.bytes());
+    }
+}

@@ -1,0 +1,112 @@
+//! Edge cases of the emulated-NVMM region: odd sizes, line-crossing
+//! accesses, CAS under the simulator, and flush-range boundaries.
+
+use respct_repro::pmem::{sim::CrashMode, PAddr, Region, RegionConfig, SimConfig};
+
+#[test]
+fn sixteen_byte_pod_crossing_a_line_uses_slow_path() {
+    let r = Region::new(RegionConfig::fast(4096));
+    // Offset 56 is 8-aligned but 56 + 16 = 72 crosses the first line.
+    r.store(PAddr(56), (0x1111_u64, 0x2222_u64));
+    assert_eq!(r.load::<(u64, u64)>(PAddr(56)), (0x1111, 0x2222));
+    // And in sim mode the two halves land in their own line snapshots.
+    let s = Region::new(RegionConfig::sim(4096, SimConfig::no_eviction(1)));
+    s.store(PAddr(56), (0xaaaa_u64, 0xbbbb_u64));
+    s.flush_range(PAddr(56), 16);
+    let img = s.crash(CrashMode::PowerFailure);
+    assert_eq!(u64::from_ne_bytes(img.bytes()[56..64].try_into().unwrap()), 0xaaaa);
+    assert_eq!(u64::from_ne_bytes(img.bytes()[64..72].try_into().unwrap()), 0xbbbb);
+}
+
+#[test]
+fn bulk_store_spanning_many_lines_in_sim_mode() {
+    let r = Region::new(RegionConfig::sim(64 << 10, SimConfig::no_eviction(7)));
+    let data: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+    r.store_bytes(PAddr(100), &data); // unaligned start, ~17 lines
+    let mut out = vec![0u8; 1000];
+    r.load_bytes(PAddr(100), &mut out);
+    assert_eq!(out, data);
+    r.flush_range(PAddr(100), 1000);
+    let img = r.crash(CrashMode::PowerFailure);
+    assert_eq!(&img.bytes()[100..1100], &data[..]);
+}
+
+#[test]
+fn flush_range_zero_len_is_noop() {
+    let r = Region::new(RegionConfig::fast(4096));
+    let before = r.stats().snapshot();
+    r.flush_range(PAddr(64), 0);
+    let delta = r.stats().snapshot().since(&before);
+    assert_eq!(delta.pwb, 0);
+    assert_eq!(delta.psync, 0);
+}
+
+#[test]
+fn flush_range_covers_partial_first_and_last_lines() {
+    let r = Region::new(RegionConfig::sim(4096, SimConfig::no_eviction(3)));
+    // Bytes 60..70 touch lines 0 and 1.
+    for i in 60..70u64 {
+        r.store(PAddr(i), 0x5au8);
+    }
+    r.flush_range(PAddr(60), 10);
+    let img = r.crash(CrashMode::PowerFailure);
+    for i in 60..70usize {
+        assert_eq!(img.bytes()[i], 0x5a, "byte {i}");
+    }
+}
+
+#[test]
+fn cas_failure_does_not_dirty_the_line() {
+    let r = Region::new(RegionConfig::sim(4096, SimConfig::no_eviction(9)));
+    r.store(PAddr(64), 5u64);
+    r.flush_range(PAddr(64), 8);
+    // Failed CAS: no new store to persist.
+    assert_eq!(r.cas_u64(PAddr(64), 99, 100), Err(5));
+    let img = r.crash(CrashMode::PowerFailure);
+    assert_eq!(u64::from_ne_bytes(img.bytes()[64..72].try_into().unwrap()), 5);
+}
+
+#[test]
+fn last_line_of_region_is_usable() {
+    let r = Region::new(RegionConfig::fast(4096));
+    let last = PAddr(4096 - 8);
+    r.store(last, 0xdead_u64);
+    assert_eq!(r.load::<u64>(last), 0xdead);
+    r.pwb(last);
+    r.psync();
+}
+
+#[test]
+fn sub_word_types_roundtrip() {
+    let r = Region::new(RegionConfig::fast(4096));
+    r.store(PAddr(64), 0x7fu8);
+    r.store(PAddr(66), 0x1234u16);
+    r.store(PAddr(68), 0x9abc_def0u32);
+    r.store(PAddr(72), -3.5f32);
+    assert_eq!(r.load::<u8>(PAddr(64)), 0x7f);
+    assert_eq!(r.load::<u16>(PAddr(66)), 0x1234);
+    assert_eq!(r.load::<u32>(PAddr(68)), 0x9abc_def0);
+    assert_eq!(r.load::<f32>(PAddr(72)), -3.5);
+}
+
+#[test]
+fn eviction_respects_line_granularity() {
+    // With heavy eviction, any persisted line must contain *all* earlier
+    // stores to that line (same-line ordering), even across many lines.
+    for seed in 0..20u64 {
+        let r = Region::new(RegionConfig::sim(8192, SimConfig::with_eviction(0, seed)));
+        for line in 0..8u64 {
+            r.store(PAddr(line * 64), 1u64); // first word
+            r.store(PAddr(line * 64 + 8), 2u64); // second word, same line
+        }
+        let img = r.crash(CrashMode::PowerFailure);
+        for line in 0..8usize {
+            let w2 =
+                u64::from_ne_bytes(img.bytes()[line * 64 + 8..line * 64 + 16].try_into().unwrap());
+            let w1 = u64::from_ne_bytes(img.bytes()[line * 64..line * 64 + 8].try_into().unwrap());
+            if w2 == 2 {
+                assert_eq!(w1, 1, "seed {seed} line {line}: later store persisted without earlier");
+            }
+        }
+    }
+}
