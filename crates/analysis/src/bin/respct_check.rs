@@ -1,0 +1,226 @@
+//! `respct-check` — run the standard ResPCT workloads under the trace
+//! checker and report persistency-discipline findings.
+//!
+//! ```text
+//! respct-check [hashmap|queue|kvstore|recovery|all]
+//! ```
+//!
+//! Each workload runs on a sim-mode region (PCSO simulator with random
+//! evictions) with the [`respct_analysis::Checker`] attached as the trace
+//! sink, concurrent worker threads, and a timer-driven checkpointer. The
+//! process exits non-zero if any workload produced an error-severity
+//! diagnostic; redundant-flush perf advisories are printed but do not fail
+//! the run.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use respct::{PAddr, Pool, PoolConfig};
+use respct_analysis::{Checker, Report};
+use respct_ds::{rp_ids, PHashMap, PQueue};
+use respct_pmem::sim::CrashMode;
+use respct_pmem::{Region, RegionConfig, SimConfig};
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: u64 = 3_000;
+const CKPT_PERIOD: Duration = Duration::from_millis(5);
+
+/// A sim region with the checker attached, and a pool formatted on it.
+fn checked_pool(bytes: usize, seed: u64, flushers: usize) -> (Arc<Checker>, Arc<Pool>) {
+    // Eviction rate 4: roughly one line evicted per 2^4 stores — enough to
+    // exercise the eviction paths without swamping the trace.
+    let region = Region::new(RegionConfig::sim(bytes, SimConfig::with_eviction(4, seed)));
+    let checker = Checker::attach(&region);
+    let pool = Pool::create(
+        region,
+        PoolConfig {
+            flusher_threads: flushers,
+            ..PoolConfig::default()
+        },
+    );
+    (checker, pool)
+}
+
+fn run_hashmap() -> Report {
+    let (checker, pool) = checked_pool(64 << 20, 11, 0);
+    let map = {
+        let h = pool.register();
+        let map = PHashMap::create(&h, 512);
+        h.set_root(map.desc());
+        map
+    };
+    let _ckpt = pool.start_checkpointer(CKPT_PERIOD);
+    std::thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let (pool, map) = (&pool, &map);
+            s.spawn(move || {
+                let h = pool.register();
+                for i in 0..OPS_PER_THREAD {
+                    let k = t * OPS_PER_THREAD + i;
+                    map.insert(&h, k, k * 3);
+                    h.rp(rp_ids::MAP_INSERT);
+                    if i % 3 == 0 {
+                        map.get(&h, k);
+                        h.rp(rp_ids::MAP_GET);
+                    }
+                    if i % 5 == 0 {
+                        map.remove(&h, k);
+                        h.rp(rp_ids::MAP_REMOVE);
+                    }
+                }
+            });
+        }
+    });
+    pool.register().checkpoint_here();
+    checker.report()
+}
+
+fn run_queue() -> Report {
+    let (checker, pool) = checked_pool(64 << 20, 22, 0);
+    let queue = {
+        let h = pool.register();
+        let q = PQueue::create(&h);
+        h.set_root(q.desc());
+        q
+    };
+    let _ckpt = pool.start_checkpointer(CKPT_PERIOD);
+    std::thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let (pool, queue) = (&pool, &queue);
+            s.spawn(move || {
+                let h = pool.register();
+                for i in 0..OPS_PER_THREAD {
+                    queue.enqueue(&h, t * OPS_PER_THREAD + i);
+                    h.rp(rp_ids::QUEUE_ENQ);
+                    if i % 2 == 0 {
+                        queue.dequeue(&h);
+                        h.rp(rp_ids::QUEUE_DEQ);
+                    }
+                }
+            });
+        }
+    });
+    pool.register().checkpoint_here();
+    checker.report()
+}
+
+/// A memcached-style workload: persistent map from key to copy-on-write
+/// value blob (the shape of `respct_apps::kvstore`'s ResPCT store).
+fn run_kvstore() -> Report {
+    const VALUE: u64 = 128;
+    let (checker, pool) = checked_pool(128 << 20, 33, 0);
+    let map = {
+        let h = pool.register();
+        let map = PHashMap::create(&h, 512);
+        h.set_root(map.desc());
+        map
+    };
+    let _ckpt = pool.start_checkpointer(CKPT_PERIOD);
+    std::thread::scope(|s| {
+        for t in 0..THREADS as u64 {
+            let (pool, map) = (&pool, &map);
+            s.spawn(move || {
+                let h = pool.register();
+                let mut buf = vec![0u8; VALUE as usize];
+                for i in 0..OPS_PER_THREAD {
+                    // Keys are partitioned per thread (as in the kvstore
+                    // app): the get-old/insert-new/free-old sequence is not
+                    // atomic, so racing puts on one key would double-free
+                    // the old blob.
+                    let k = t * 1_000 + (i % 500);
+                    if i % 4 == 0 {
+                        // Get: read the blob through the map.
+                        if let Some(blob) = map.get(&h, k) {
+                            pool.region().load_bytes(PAddr(blob), &mut buf);
+                        }
+                        h.rp(601);
+                    } else {
+                        // Put: CoW blob, written + tracked while
+                        // unreachable, then the value cell swings to it.
+                        buf.fill((i % 251) as u8);
+                        let blob = h.alloc(VALUE, 64);
+                        pool.region().store_bytes(blob, &buf);
+                        h.add_modified(blob, VALUE as usize);
+                        let old = map.get(&h, k);
+                        map.insert(&h, k, blob.0);
+                        if let Some(old) = old {
+                            h.free(PAddr(old), VALUE);
+                        }
+                        h.rp(600);
+                    }
+                }
+            });
+        }
+    });
+    pool.register().checkpoint_here();
+    checker.report()
+}
+
+/// Crash in a dirty epoch, recover, re-execute, checkpoint, repeat.
+fn run_recovery() -> Report {
+    let region = Region::new(RegionConfig::sim(32 << 20, SimConfig::with_eviction(4, 44)));
+    let checker = Checker::attach(&region);
+    let mut cells = Vec::new();
+    {
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let h = pool.register();
+        for i in 0..200u64 {
+            cells.push(h.alloc_cell(i));
+        }
+        h.checkpoint_here();
+        for (i, c) in cells.iter().enumerate() {
+            h.update(*c, 1_000 + i as u64); // crashed-epoch updates
+        }
+    }
+    for round in 0..3u64 {
+        let img = region.crash(CrashMode::PowerFailure);
+        region.restore(&img);
+        let (pool, _report) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let h = pool.register();
+        for (i, c) in cells.iter().enumerate() {
+            h.update(*c, (round + 2) * 1_000 + i as u64); // re-execution
+        }
+        h.checkpoint_here();
+        for c in &cells {
+            h.update(*c, 7); // dirty the next epoch, then crash again
+        }
+    }
+    checker.report()
+}
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    type Workload = (&'static str, fn() -> Report);
+    let all: [Workload; 4] = [
+        ("hashmap", run_hashmap),
+        ("queue", run_queue),
+        ("kvstore", run_kvstore),
+        ("recovery", run_recovery),
+    ];
+    let selected: Vec<_> = match arg.as_str() {
+        "all" => all.to_vec(),
+        name => {
+            let Some(w) = all.iter().find(|(n, _)| *n == name) else {
+                eprintln!("unknown workload {name:?}; expected hashmap|queue|kvstore|recovery|all");
+                return ExitCode::FAILURE;
+            };
+            vec![*w]
+        }
+    };
+    let mut failed = false;
+    for (name, run) in selected {
+        println!("== {name} ==");
+        let report = run();
+        print!("{report}");
+        if !report.is_clean() {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("persistency violations found");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

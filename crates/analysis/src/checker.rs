@@ -1,0 +1,742 @@
+//! The trace checker: a cache-line state machine replaying the persistency
+//! event stream.
+//!
+//! The checker implements the [`TraceSink`] trait and consumes events
+//! *online* as the traced run emits them (same spirit as pmemcheck's
+//! store-tracking and PMTest's ordering rules, but specialized to ResPCT's
+//! epoch discipline). Per cache line it keeps two counters:
+//!
+//! * `gen` — bumped on every store to the line (volatile content version);
+//! * `persisted_gen` — the newest version known durable, advanced by
+//!   `pwb`+`psync` pairs, simulator evictions, and crash/persist events.
+//!
+//! On top of that it tracks the runtime's own claims, delivered as
+//! [`TraceMarker`]s: which byte spans are InCLL cells (and for which epoch
+//! each was last logged), which lines the epoch's tracking lists promise to
+//! flush, and where the checkpoint/recovery phase boundaries lie. The rules:
+//!
+//! 1. **Missed flush** — at `EpochAdvance` closing a *full* checkpoint,
+//!    every tracked line must satisfy `persisted_gen == gen`.
+//! 2. **Logging rule** — a store overlapping a live cell's record span is
+//!    only legal when the cell has been logged (`CellLogged`) for the
+//!    current epoch, except while recovery rewrites records wholesale.
+//! 3. **Cross-line ordering** — at `OrderBarrier` (just before the
+//!    epoch-counter store) no thread may hold an unfenced `pwb` of a
+//!    tracked line: the commit's durability must not race its data.
+//! 4. **Redundant flush** — a `pwb` of a line that is already durable (and
+//!    not merely because the simulator happened to evict it) wastes
+//!    write-back bandwidth. Perf severity.
+//! 5. **Epoch discipline** — epochs advance by exactly 1; checkpoint, log,
+//!    and recovery markers must carry the epoch the checker believes is
+//!    current.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use respct_pmem::{Region, TraceEvent, TraceMarker, TraceSink};
+
+use crate::report::{Diagnostic, DiagnosticKind, Report};
+
+/// Per-kind cap on recorded diagnostics; a systematically broken run would
+/// otherwise allocate one diagnostic per store.
+const MAX_PER_KIND: usize = 64;
+
+#[derive(Default, Clone, Copy)]
+struct LineState {
+    /// Volatile content version (bumped per store).
+    gen: u64,
+    /// Newest version known durable.
+    persisted_gen: u64,
+    /// The last durability transition was simulator-initiated (eviction /
+    /// `persist_all`), which the runtime cannot observe — suppresses the
+    /// redundant-flush advisory for the next `pwb`.
+    evicted: bool,
+}
+
+#[derive(Clone, Copy)]
+struct CellState {
+    vsize: u32,
+    /// Plain (unmixed) epoch this cell was last logged for, if known.
+    logged_epoch: Option<u64>,
+}
+
+#[derive(Default)]
+struct CheckerState {
+    lines: HashMap<u64, LineState>,
+    /// Unfenced write-backs per thread: `(line, gen snapshot at pwb)`.
+    pending: HashMap<u64, Vec<(u64, u64)>>,
+    /// Live InCLL cells by record address (BTreeMap for overlap queries).
+    cells: BTreeMap<u64, CellState>,
+    /// Lines the current epoch's tracking lists promise to flush.
+    tracked: HashSet<u64>,
+    /// Current plain epoch, adopted from the first marker that names one
+    /// (the checker may attach to an already-running pool).
+    epoch: Option<u64>,
+    /// The in-progress checkpoint flushes its tracked lines (`Full` mode).
+    ckpt_full: bool,
+    in_checkpoint: bool,
+    in_recovery: bool,
+    events: u64,
+    diagnostics: Vec<Diagnostic>,
+    per_kind: HashMap<&'static str, usize>,
+    suppressed: u64,
+}
+
+impl CheckerState {
+    fn diag(&mut self, kind: DiagnosticKind, line: Option<u64>, addr: Option<u64>, detail: String) {
+        let key = match kind {
+            DiagnosticKind::MissedFlush => "missed",
+            DiagnosticKind::LoggingViolation => "logging",
+            DiagnosticKind::CrossLineOrdering => "ordering",
+            DiagnosticKind::RedundantFlush => "redundant",
+            DiagnosticKind::EpochDiscipline => "epoch",
+        };
+        let n = self.per_kind.entry(key).or_insert(0);
+        if *n >= MAX_PER_KIND {
+            self.suppressed += 1;
+            return;
+        }
+        *n += 1;
+        self.diagnostics.push(Diagnostic {
+            kind,
+            line,
+            addr,
+            epoch: self.epoch,
+            detail,
+        });
+    }
+
+    fn line_mut(&mut self, line: u64) -> &mut LineState {
+        self.lines.entry(line).or_default()
+    }
+
+    fn apply(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        match *ev {
+            TraceEvent::Store { tid: _, addr, len } => self.on_store(addr, len),
+            TraceEvent::Pwb { tid, line } => self.on_pwb(tid, line),
+            TraceEvent::Psync { tid } => {
+                for (line, g) in self.pending.remove(&tid).unwrap_or_default() {
+                    let l = self.line_mut(line);
+                    l.persisted_gen = l.persisted_gen.max(g);
+                    l.evicted = false;
+                }
+            }
+            TraceEvent::Eviction { line } => {
+                let l = self.line_mut(line);
+                l.persisted_gen = l.gen;
+                l.evicted = true;
+            }
+            TraceEvent::PersistAll => {
+                for l in self.lines.values_mut() {
+                    l.persisted_gen = l.gen;
+                    l.evicted = true;
+                }
+                self.pending.clear();
+            }
+            TraceEvent::Crash { all_persisted } => {
+                // PowerFailure: in-flight write-backs are lost with the
+                // volatile domain (the conservative PCSO reading). EvictAll:
+                // every dirty line reached NVMM on the way down.
+                self.pending.clear();
+                if all_persisted {
+                    for l in self.lines.values_mut() {
+                        l.persisted_gen = l.gen;
+                    }
+                }
+            }
+            TraceEvent::Restore => {
+                // Volatile image := persisted image; all volatile context
+                // (tracking lists, logging knowledge) is gone.
+                for l in self.lines.values_mut() {
+                    l.gen = l.persisted_gen;
+                    l.evicted = false;
+                }
+                self.pending.clear();
+                self.tracked.clear();
+                for c in self.cells.values_mut() {
+                    c.logged_epoch = None;
+                }
+                self.in_checkpoint = false;
+                self.in_recovery = false;
+            }
+            TraceEvent::Marker { tid: _, marker } => self.on_marker(marker),
+        }
+    }
+
+    fn on_store(&mut self, addr: u64, len: u64) {
+        let first = addr / 64;
+        let last = (addr + len.max(1) - 1) / 64;
+        for line in first..=last {
+            self.line_mut(line).gen += 1;
+        }
+        if self.in_recovery {
+            return; // recovery rewrites records from their backups wholesale
+        }
+        // Logging rule: does this store overlap a live cell's record span
+        // that has not been logged for the current epoch? Record spans are
+        // at most 24 bytes, so only cells starting shortly before `addr`
+        // can overlap.
+        let epoch = self.epoch;
+        let mut hits: Vec<(u64, String)> = Vec::new();
+        for (&cell_addr, cell) in self.cells.range(addr.saturating_sub(63)..addr + len) {
+            let record_end = cell_addr + cell.vsize as u64;
+            let overlaps = cell_addr < addr + len && addr < record_end;
+            if !overlaps {
+                continue;
+            }
+            match (cell.logged_epoch, epoch) {
+                (Some(le), Some(e)) if le == e => {}
+                _ => hits.push((
+                    cell_addr,
+                    format!(
+                        "store [{addr:#x}, {:#x}) hits record of cell {cell_addr:#x} logged \
+                         for epoch {:?}, current {epoch:?}",
+                        addr + len,
+                        cell.logged_epoch,
+                    ),
+                )),
+            }
+        }
+        for (cell_addr, detail) in hits {
+            self.diag(
+                DiagnosticKind::LoggingViolation,
+                None,
+                Some(cell_addr),
+                detail,
+            );
+        }
+    }
+
+    fn on_pwb(&mut self, tid: u64, line: u64) {
+        let (gen, durable, evicted) = {
+            let l = self.line_mut(line);
+            (l.gen, l.persisted_gen >= l.gen, l.evicted)
+        };
+        let dup_pending = self
+            .pending
+            .get(&tid)
+            .is_some_and(|v| v.iter().any(|&(pl, pg)| pl == line && pg == gen));
+        if (durable && !evicted) || dup_pending {
+            self.diag(
+                DiagnosticKind::RedundantFlush,
+                Some(line),
+                None,
+                format!("pwb of line {line} whose content is already durable"),
+            );
+        }
+        self.pending.entry(tid).or_default().push((line, gen));
+    }
+
+    fn on_marker(&mut self, marker: TraceMarker) {
+        match marker {
+            TraceMarker::CellDeclare { addr, vsize, .. } => {
+                self.cells.insert(
+                    addr,
+                    CellState {
+                        vsize,
+                        logged_epoch: self.epoch,
+                    },
+                );
+            }
+            TraceMarker::CellLogged { addr, epoch } => {
+                if self.epoch.is_none() {
+                    self.epoch = Some(epoch);
+                } else if self.epoch != Some(epoch) {
+                    self.diag(
+                        DiagnosticKind::EpochDiscipline,
+                        None,
+                        Some(addr),
+                        format!(
+                            "cell {addr:#x} logged for epoch {epoch}, current {:?}",
+                            self.epoch
+                        ),
+                    );
+                }
+                if let Some(cell) = self.cells.get_mut(&addr) {
+                    cell.logged_epoch = Some(epoch);
+                } else {
+                    // Cells declared before the sink attached are adopted on
+                    // their first log record.
+                    self.cells.insert(
+                        addr,
+                        CellState {
+                            vsize: 8,
+                            logged_epoch: Some(epoch),
+                        },
+                    );
+                }
+            }
+            TraceMarker::CellRetire { addr, len } => {
+                let doomed: Vec<u64> = self
+                    .cells
+                    .range(addr..addr + len)
+                    .map(|(&a, _)| a)
+                    .collect();
+                for a in doomed {
+                    self.cells.remove(&a);
+                }
+            }
+            TraceMarker::TrackLine { line } => {
+                self.tracked.insert(line);
+            }
+            TraceMarker::CheckpointBegin { epoch, full } => {
+                match self.epoch {
+                    None => self.epoch = Some(epoch),
+                    Some(e) if e != epoch => self.diag(
+                        DiagnosticKind::EpochDiscipline,
+                        None,
+                        None,
+                        format!("checkpoint begins for epoch {epoch}, current {e}"),
+                    ),
+                    _ => {}
+                }
+                self.ckpt_full = full;
+                self.in_checkpoint = true;
+            }
+            TraceMarker::OrderBarrier => {
+                // Rule 3: the epoch-counter store that follows assumes every
+                // data write-back is durable. An unfenced pwb of a tracked
+                // line at this point can reach NVMM *after* the commit.
+                let mut unfenced: Vec<u64> = Vec::new();
+                for pends in self.pending.values() {
+                    for &(line, _) in pends {
+                        if self.tracked.contains(&line) {
+                            unfenced.push(line);
+                        }
+                    }
+                }
+                unfenced.sort_unstable();
+                unfenced.dedup();
+                for line in unfenced {
+                    self.diag(
+                        DiagnosticKind::CrossLineOrdering,
+                        Some(line),
+                        None,
+                        format!(
+                            "tracked line {line} has an unfenced pwb at the epoch commit \
+                             barrier (missing psync)"
+                        ),
+                    );
+                }
+            }
+            TraceMarker::EpochAdvance { epoch } => {
+                // Rule 1: the epoch counter is durable; everything the closed
+                // epoch tracked must have been durable first.
+                if self.in_checkpoint && self.ckpt_full {
+                    let mut missed: Vec<u64> = self
+                        .tracked
+                        .iter()
+                        .copied()
+                        .filter(|l| self.lines.get(l).is_some_and(|s| s.persisted_gen < s.gen))
+                        .collect();
+                    missed.sort_unstable();
+                    for line in missed {
+                        self.diag(
+                            DiagnosticKind::MissedFlush,
+                            Some(line),
+                            None,
+                            format!(
+                                "line {line} was tracked for the closed epoch but not durable \
+                                 when the epoch counter committed"
+                            ),
+                        );
+                    }
+                }
+                self.tracked.clear();
+                match self.epoch {
+                    Some(e) if epoch != e + 1 => self.diag(
+                        DiagnosticKind::EpochDiscipline,
+                        None,
+                        None,
+                        format!("epoch advanced {e} -> {epoch} (must be +1)"),
+                    ),
+                    _ => {}
+                }
+                self.epoch = Some(epoch);
+            }
+            TraceMarker::CheckpointEnd { epoch } => {
+                if let Some(e) = self.epoch {
+                    if epoch + 1 != e {
+                        self.diag(
+                            DiagnosticKind::EpochDiscipline,
+                            None,
+                            None,
+                            format!("checkpoint end for epoch {epoch}, current {e}"),
+                        );
+                    }
+                }
+                self.in_checkpoint = false;
+            }
+            TraceMarker::RecoveryBegin { failed_epoch } => {
+                self.epoch = Some(failed_epoch);
+                self.in_recovery = true;
+            }
+            TraceMarker::RecoveryApply { addr } => {
+                // The rolled-back cell keeps its failed-epoch tag: the
+                // runtime will (correctly) skip re-logging it when the
+                // resumed epoch re-executes.
+                let epoch = self.epoch;
+                if let Some(cell) = self.cells.get_mut(&addr) {
+                    cell.logged_epoch = epoch;
+                } else {
+                    self.cells.insert(
+                        addr,
+                        CellState {
+                            vsize: 8,
+                            logged_epoch: epoch,
+                        },
+                    );
+                }
+            }
+            TraceMarker::RecoveryEnd { epoch } => {
+                if self.epoch != Some(epoch) {
+                    self.diag(
+                        DiagnosticKind::EpochDiscipline,
+                        None,
+                        None,
+                        format!("recovery ends in epoch {epoch}, began in {:?}", self.epoch),
+                    );
+                }
+                self.in_recovery = false;
+            }
+            TraceMarker::RestartPoint { .. } => {}
+        }
+    }
+
+    fn report(&self) -> Report {
+        Report {
+            diagnostics: self.diagnostics.clone(),
+            events: self.events,
+            suppressed: self.suppressed,
+        }
+    }
+}
+
+/// The online persistency checker. Attach to a region before running a
+/// workload; ask for a [`Report`] afterwards.
+#[derive(Default)]
+pub struct Checker {
+    state: Mutex<CheckerState>,
+}
+
+impl Checker {
+    /// A detached checker (feed it events manually, or via
+    /// [`Region::set_trace_sink`]).
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// Creates a checker and attaches it to `region` as its trace sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region already has a sink.
+    pub fn attach(region: &Region) -> Arc<Checker> {
+        let checker = Arc::new(Checker::new());
+        region.set_trace_sink(Arc::<Checker>::clone(&checker));
+        checker
+    }
+
+    /// Snapshot of everything found so far.
+    pub fn report(&self) -> Report {
+        self.state.lock().report()
+    }
+
+    /// Panics with the full report if any error-severity diagnostic was
+    /// recorded. Perf advisories do not fail the assertion.
+    ///
+    /// # Panics
+    ///
+    /// See above — that is the point.
+    pub fn assert_clean(&self) {
+        let report = self.report();
+        assert!(
+            report.is_clean(),
+            "trace checker found violations:\n{report}"
+        );
+    }
+}
+
+impl TraceSink for Checker {
+    fn event(&self, ev: &TraceEvent) {
+        self.state.lock().apply(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::DiagnosticKind;
+
+    fn marker(m: TraceMarker) -> TraceEvent {
+        TraceEvent::Marker { tid: 1, marker: m }
+    }
+
+    /// Feeds a synthetic event stream and returns the report.
+    fn replay(events: &[TraceEvent]) -> Report {
+        let c = Checker::new();
+        for ev in events {
+            c.event(ev);
+        }
+        c.report()
+    }
+
+    #[test]
+    fn clean_epoch_cycle() {
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            TraceEvent::Store {
+                tid: 1,
+                addr: 640,
+                len: 8,
+            },
+            marker(TraceMarker::TrackLine { line: 10 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 1,
+                full: true,
+            }),
+            TraceEvent::Pwb { tid: 1, line: 10 },
+            TraceEvent::Psync { tid: 1 },
+            marker(TraceMarker::OrderBarrier),
+            marker(TraceMarker::EpochAdvance { epoch: 2 }),
+            marker(TraceMarker::CheckpointEnd { epoch: 1 }),
+        ]);
+        assert!(r.is_clean(), "{r}");
+        assert!(r.diagnostics.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn missed_flush_detected() {
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            TraceEvent::Store {
+                tid: 1,
+                addr: 640,
+                len: 8,
+            },
+            marker(TraceMarker::TrackLine { line: 10 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 1,
+                full: true,
+            }),
+            // no pwb/psync of line 10
+            marker(TraceMarker::OrderBarrier),
+            marker(TraceMarker::EpochAdvance { epoch: 2 }),
+        ]);
+        assert_eq!(r.of_kind(DiagnosticKind::MissedFlush).len(), 1, "{r}");
+    }
+
+    #[test]
+    fn noflush_checkpoint_suspends_missed_flush() {
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            TraceEvent::Store {
+                tid: 1,
+                addr: 640,
+                len: 8,
+            },
+            marker(TraceMarker::TrackLine { line: 10 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 1,
+                full: false,
+            }),
+            marker(TraceMarker::OrderBarrier),
+            marker(TraceMarker::EpochAdvance { epoch: 2 }),
+        ]);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn eviction_satisfies_flush_promise() {
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            TraceEvent::Store {
+                tid: 1,
+                addr: 640,
+                len: 8,
+            },
+            marker(TraceMarker::TrackLine { line: 10 }),
+            TraceEvent::Eviction { line: 10 },
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 1,
+                full: true,
+            }),
+            marker(TraceMarker::OrderBarrier),
+            marker(TraceMarker::EpochAdvance { epoch: 2 }),
+        ]);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn unfenced_pwb_at_barrier_is_ordering_violation() {
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            TraceEvent::Store {
+                tid: 1,
+                addr: 640,
+                len: 8,
+            },
+            marker(TraceMarker::TrackLine { line: 10 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 1,
+                full: true,
+            }),
+            TraceEvent::Pwb { tid: 1, line: 10 },
+            // missing Psync
+            marker(TraceMarker::OrderBarrier),
+        ]);
+        assert_eq!(r.of_kind(DiagnosticKind::CrossLineOrdering).len(), 1, "{r}");
+    }
+
+    #[test]
+    fn logging_rule_enforced() {
+        let cell = 1024u64;
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            marker(TraceMarker::CellDeclare {
+                addr: cell,
+                vsize: 8,
+                backup_off: 8,
+                epoch_off: 16,
+            }),
+            marker(TraceMarker::CellLogged {
+                addr: cell,
+                epoch: 1,
+            }),
+            TraceEvent::Store {
+                tid: 1,
+                addr: cell,
+                len: 8,
+            }, // logged: fine
+            marker(TraceMarker::EpochAdvance { epoch: 2 }),
+            TraceEvent::Store {
+                tid: 1,
+                addr: cell,
+                len: 8,
+            }, // new epoch, no log
+        ]);
+        let v = r.of_kind(DiagnosticKind::LoggingViolation);
+        assert_eq!(v.len(), 1, "{r}");
+        assert_eq!(v[0].addr, Some(cell));
+    }
+
+    #[test]
+    fn retired_cell_may_be_overwritten() {
+        let cell = 1024u64;
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            marker(TraceMarker::CellDeclare {
+                addr: cell,
+                vsize: 8,
+                backup_off: 8,
+                epoch_off: 16,
+            }),
+            marker(TraceMarker::CellLogged {
+                addr: cell,
+                epoch: 1,
+            }),
+            marker(TraceMarker::EpochAdvance { epoch: 2 }),
+            marker(TraceMarker::CellRetire {
+                addr: cell,
+                len: 32,
+            }),
+            TraceEvent::Store {
+                tid: 1,
+                addr: cell,
+                len: 8,
+            }, // free-list link
+        ]);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn recovery_stores_are_exempt_and_reapply_marks_logged() {
+        let cell = 1024u64;
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            marker(TraceMarker::CellDeclare {
+                addr: cell,
+                vsize: 8,
+                backup_off: 8,
+                epoch_off: 16,
+            }),
+            marker(TraceMarker::CellLogged {
+                addr: cell,
+                epoch: 1,
+            }),
+            TraceEvent::Crash {
+                all_persisted: false,
+            },
+            TraceEvent::Restore,
+            marker(TraceMarker::RecoveryBegin { failed_epoch: 1 }),
+            marker(TraceMarker::RecoveryApply { addr: cell }),
+            TraceEvent::Store {
+                tid: 1,
+                addr: cell,
+                len: 8,
+            }, // rollback write
+            marker(TraceMarker::RecoveryEnd { epoch: 1 }),
+            // Resumed epoch re-executes; tag == failed epoch, no re-log.
+            TraceEvent::Store {
+                tid: 1,
+                addr: cell,
+                len: 8,
+            },
+        ]);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn redundant_flush_is_perf_advisory() {
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            TraceEvent::Store {
+                tid: 1,
+                addr: 640,
+                len: 8,
+            },
+            TraceEvent::Pwb { tid: 1, line: 10 },
+            TraceEvent::Psync { tid: 1 },
+            TraceEvent::Pwb { tid: 1, line: 10 }, // already durable
+        ]);
+        assert_eq!(r.of_kind(DiagnosticKind::RedundantFlush).len(), 1, "{r}");
+        assert!(r.is_clean(), "perf advisories don't dirty the run: {r}");
+    }
+
+    #[test]
+    fn skipping_epoch_advance_flagged() {
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            marker(TraceMarker::EpochAdvance { epoch: 3 }),
+        ]);
+        assert_eq!(r.of_kind(DiagnosticKind::EpochDiscipline).len(), 1, "{r}");
+    }
+
+    #[test]
+    fn diagnostics_are_capped_per_kind() {
+        let c = Checker::new();
+        c.event(&marker(TraceMarker::EpochAdvance { epoch: 1 }));
+        for i in 0..(MAX_PER_KIND as u64 + 40) {
+            c.event(&marker(TraceMarker::CellDeclare {
+                addr: i * 64,
+                vsize: 8,
+                backup_off: 8,
+                epoch_off: 16,
+            }));
+            c.event(&marker(TraceMarker::EpochAdvance { epoch: 2 + i }));
+            c.event(&TraceEvent::Store {
+                tid: 1,
+                addr: i * 64,
+                len: 8,
+            });
+        }
+        let r = c.report();
+        assert_eq!(
+            r.of_kind(DiagnosticKind::LoggingViolation).len(),
+            MAX_PER_KIND
+        );
+        assert!(r.suppressed > 0);
+    }
+}

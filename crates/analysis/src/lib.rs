@@ -1,0 +1,47 @@
+//! # respct-analysis — trace-based persistency checking for ResPCT
+//!
+//! Dynamic analysis in the pmemcheck/PMTest tradition, specialized to the
+//! ResPCT algorithm. The `respct-pmem` region emits a typed event stream
+//! (stores, `pwb`/`psync`, simulator evictions, crash/restore) interleaved
+//! with semantic markers from the runtime (InCLL cell declarations and log
+//! records, tracking-list appends, checkpoint and recovery phases). The
+//! [`Checker`] replays that stream online against a cache-line state
+//! machine and reports violations of the paper's persistency discipline as
+//! structured [`Diagnostic`]s:
+//!
+//! * **missed flush** — a tracked line not durable when its epoch committed;
+//! * **logging violation** — an InCLL record overwritten before its
+//!   in-line backup + epoch tag for the running epoch (Fig. 4 lines 24–29);
+//! * **cross-line ordering** — the epoch-counter commit racing an unfenced
+//!   data write-back (a missing `psync`);
+//! * **redundant flush** — a `pwb` of already-durable content (perf
+//!   advisory, [`Severity::Perf`]);
+//! * **epoch discipline** — non-+1 epoch advances, wrong-epoch checkpoint /
+//!   log / recovery markers.
+//!
+//! ## Usage
+//!
+//! ```
+//! use respct::{Pool, PoolConfig};
+//! use respct_analysis::Checker;
+//! use respct_pmem::{Region, RegionConfig, SimConfig};
+//!
+//! let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::no_eviction(1)));
+//! let checker = Checker::attach(&region);       // before any pool traffic
+//! let pool = Pool::create(region, PoolConfig::default());
+//! let h = pool.register();
+//! let c = h.alloc_cell(1u64);
+//! h.update(c, 2);
+//! h.checkpoint_here();
+//! checker.assert_clean();                        // no discipline violations
+//! ```
+//!
+//! The `respct-check` binary runs the standard workloads (hash map, queue,
+//! KV store, plus crash/recovery cycles) under the checker and prints each
+//! report — a smoke test for the runtime's persistency discipline.
+
+pub mod checker;
+pub mod report;
+
+pub use checker::Checker;
+pub use report::{Diagnostic, DiagnosticKind, Report, Severity};

@@ -1,0 +1,202 @@
+//! Structured diagnostics produced by the trace checker.
+//!
+//! Mirrors the shape of `respct::verify` (`Violation` / `VerifyReport`):
+//! typed kinds, human-readable detail, and a report object tests can assert
+//! on. The extra dimension here is [`Severity`]: persistency *bugs* are
+//! `Error`s, while redundant flushes are `Perf` advisories — correct code
+//! that wastes write-back bandwidth (paper Fig. 10 shows flushing is the
+//! dominant checkpoint cost, so spotting double flushes matters even though
+//! they can never lose data).
+
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A persistency-discipline violation: a crash at the wrong moment can
+    /// lose or corrupt committed state.
+    Error,
+    /// A performance diagnostic: correctness is unaffected.
+    Perf,
+}
+
+/// Category of a trace-checker diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagnosticKind {
+    /// A cache line tracked for the closing epoch was not durable when the
+    /// epoch counter committed: a crash right after the epoch advance would
+    /// recover state missing that line's updates.
+    MissedFlush,
+    /// An InCLL cell's record was overwritten in an epoch that had not yet
+    /// written the in-line backup + epoch tag (paper Fig. 4 lines 24–29):
+    /// rollback of a crashed epoch would restore a stale or torn value.
+    LoggingViolation,
+    /// The epoch-counter store relies on earlier cross-line writes being
+    /// durable, but a write-back of a tracked line was still unfenced at the
+    /// ordering barrier (missing `psync` between data flush and commit).
+    CrossLineOrdering,
+    /// A `pwb` of a line whose content was already durable (nothing dirty
+    /// to write back). Wasted write-back bandwidth.
+    RedundantFlush,
+    /// Epoch bookkeeping broke its own rules: a non-monotonic or skipping
+    /// epoch advance, a checkpoint or log record stamped with the wrong
+    /// epoch, or recovery resuming in the wrong epoch.
+    EpochDiscipline,
+}
+
+impl DiagnosticKind {
+    /// The severity class of this kind.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagnosticKind::RedundantFlush => Severity::Perf,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// One finding from a checked run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub kind: DiagnosticKind,
+    /// Cache line involved, if the finding is line-granular.
+    pub line: Option<u64>,
+    /// Region offset involved, if the finding is address-granular.
+    pub addr: Option<u64>,
+    /// Epoch in effect when the finding was made.
+    pub epoch: Option<u64>,
+    /// Human-readable details.
+    pub detail: String,
+}
+
+impl Diagnostic {
+    /// The severity class (derived from the kind).
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity() {
+            Severity::Error => "error",
+            Severity::Perf => "perf",
+        };
+        write!(f, "[{sev}] {:?}: {}", self.kind, self.detail)?;
+        if let Some(line) = self.line {
+            write!(f, " (line {line})")?;
+        }
+        if let Some(addr) = self.addr {
+            write!(f, " (addr {addr:#x})")?;
+        }
+        if let Some(epoch) = self.epoch {
+            write!(f, " (epoch {epoch})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything the checker found over one traced run.
+#[derive(Debug, Default, Clone)]
+pub struct Report {
+    /// All findings, in observation order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Total events replayed.
+    pub events: u64,
+    /// Findings dropped after the per-kind reporting cap was hit (a broken
+    /// run can otherwise produce one diagnostic per store).
+    pub suppressed: u64,
+}
+
+impl Report {
+    /// Error-severity findings only.
+    pub fn errors(&self) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .collect()
+    }
+
+    /// Perf-severity findings only.
+    pub fn perf(&self) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Perf)
+            .collect()
+    }
+
+    /// Findings of one kind.
+    pub fn of_kind(&self, kind: DiagnosticKind) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.kind == kind).collect()
+    }
+
+    /// True when the run had no error-severity findings (perf advisories
+    /// are allowed — they depend on eviction timing, which the runtime
+    /// cannot observe).
+    pub fn is_clean(&self) -> bool {
+        self.errors().is_empty()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let errors = self.errors().len();
+        let perf = self.perf().len();
+        writeln!(
+            f,
+            "trace check: {} events, {errors} error(s), {perf} perf advisor{}{}",
+            self.events,
+            if perf == 1 { "y" } else { "ies" },
+            if self.suppressed > 0 {
+                format!(", {} suppressed", self.suppressed)
+            } else {
+                String::new()
+            }
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(kind: DiagnosticKind) -> Diagnostic {
+        Diagnostic {
+            kind,
+            line: Some(3),
+            addr: None,
+            epoch: Some(2),
+            detail: "t".into(),
+        }
+    }
+
+    #[test]
+    fn severity_split() {
+        let r = Report {
+            diagnostics: vec![
+                diag(DiagnosticKind::MissedFlush),
+                diag(DiagnosticKind::RedundantFlush),
+            ],
+            events: 10,
+            suppressed: 0,
+        };
+        assert_eq!(r.errors().len(), 1);
+        assert_eq!(r.perf().len(), 1);
+        assert!(!r.is_clean());
+        let clean = Report {
+            diagnostics: vec![diag(DiagnosticKind::RedundantFlush)],
+            events: 5,
+            suppressed: 0,
+        };
+        assert!(clean.is_clean(), "perf advisories do not dirty a run");
+    }
+
+    #[test]
+    fn display_mentions_kind_and_line() {
+        let s = diag(DiagnosticKind::MissedFlush).to_string();
+        assert!(s.contains("MissedFlush") && s.contains("line 3"), "{s}");
+    }
+}

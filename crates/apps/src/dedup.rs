@@ -84,7 +84,10 @@ struct Chan<T> {
 impl<T> Chan<T> {
     fn new(cap: usize, rp_id: u64) -> Chan<T> {
         Chan {
-            state: Mutex::new(ChanState { q: std::collections::VecDeque::new(), closed: false }),
+            state: Mutex::new(ChanState {
+                q: std::collections::VecDeque::new(),
+                closed: false,
+            }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             cap,
@@ -259,7 +262,8 @@ mod respct_baselines_stub {
             let node = self.bump.fetch_add(16, Ordering::Relaxed);
             assert!(node + 16 <= self.region.size() as u64, "NvmmLikeMap full");
             self.region.store(PAddr(node), k);
-            self.region.store(PAddr(node + 8), self.region.load::<u64>(head));
+            self.region
+                .store(PAddr(node + 8), self.region.load::<u64>(head));
             self.region.store(head, node);
             true
         }
@@ -272,9 +276,13 @@ mod respct_baselines_stub {
 pub fn run(cfg: DedupConfig) -> DedupOutput {
     assert!(cfg.unique >= 1 && cfg.unique <= cfg.chunks);
     let (pool, store) = match cfg.mode {
-        Mode::TransientDram => {
-            (None, Store::Dram(TransientHashMap::new(4096), std::sync::atomic::AtomicU64::new(0)))
-        }
+        Mode::TransientDram => (
+            None,
+            Store::Dram(
+                TransientHashMap::new(4096),
+                std::sync::atomic::AtomicU64::new(0),
+            ),
+        ),
         Mode::TransientNvmm => {
             let region = Region::new(RegionConfig::optane(64 << 20));
             (
@@ -314,7 +322,7 @@ pub fn run(cfg: DedupConfig) -> DedupOutput {
         {
             let pool = pool.clone();
             s.spawn(move || {
-                let h = pool.as_ref().map(|p| p.register());
+                let h = pool.as_ref().map(respct::Pool::register);
                 for cid in 0..cfg.chunks {
                     ch.push(h.as_ref(), cid);
                 }
@@ -325,7 +333,7 @@ pub fn run(cfg: DedupConfig) -> DedupOutput {
         for _ in 0..cfg.hashers {
             let pool = pool.clone();
             s.spawn(move || {
-                let h = pool.as_ref().map(|p| p.register());
+                let h = pool.as_ref().map(respct::Pool::register);
                 while let Some(cid) = ch.pop(h.as_ref()) {
                     let content = cid % cfg.unique;
                     let data = chunk_bytes(content, cfg.chunk_size);
@@ -340,7 +348,7 @@ pub fn run(cfg: DedupConfig) -> DedupOutput {
         for _ in 0..cfg.compressors {
             let pool = pool.clone();
             s.spawn(move || {
-                let h = pool.as_ref().map(|p| p.register());
+                let h = pool.as_ref().map(respct::Pool::register);
                 while let Some((cid, hash)) = cc.pop(h.as_ref()) {
                     let content = cid % cfg.unique;
                     let data = chunk_bytes(content, cfg.chunk_size);
@@ -355,7 +363,7 @@ pub fn run(cfg: DedupConfig) -> DedupOutput {
         {
             let pool = pool.clone();
             s.spawn(move || {
-                let h = pool.as_ref().map(|p| p.register());
+                let h = pool.as_ref().map(respct::Pool::register);
                 let mut nvctx = ();
                 let _ = &mut nvctx;
                 while let Some((hash, csize)) = cs.pop(h.as_ref()) {
@@ -394,9 +402,7 @@ pub fn run(cfg: DedupConfig) -> DedupOutput {
     let duration = t0.elapsed();
     let compressed_bytes = match store {
         Store::Dram(_, bytes) | Store::Nvmm { bytes, .. } => bytes.load(Ordering::SeqCst),
-        Store::Respct { bytes_cell, .. } => {
-            pool.as_ref().expect("pool").cell_get(*bytes_cell)
-        }
+        Store::Respct { bytes_cell, .. } => pool.as_ref().expect("pool").cell_get(*bytes_cell),
     };
     DedupOutput {
         duration_us: duration.as_micros(),
@@ -420,7 +426,11 @@ mod tests {
 
     #[test]
     fn dedup_counts_unique_contents() {
-        let out = run(DedupConfig { chunks: 400, unique: 100, ..Default::default() });
+        let out = run(DedupConfig {
+            chunks: 400,
+            unique: 100,
+            ..Default::default()
+        });
         assert_eq!(out.unique_stored, 100);
         assert_eq!(out.chunks, 400);
     }
@@ -434,7 +444,10 @@ mod tests {
             ckpt_period: Duration::from_millis(4),
             ..Default::default()
         };
-        let reference = run(DedupConfig { mode: Mode::TransientDram, ..base });
+        let reference = run(DedupConfig {
+            mode: Mode::TransientDram,
+            ..base
+        });
         for mode in [Mode::TransientNvmm, Mode::Respct] {
             let out = run(DedupConfig { mode, ..base });
             assert_eq!(out.unique_stored, reference.unique_stored, "{mode:?}");

@@ -84,6 +84,13 @@ trait KvStore: Send + Sync {
     fn put(&self, ctx: &mut Self::Ctx, k: u64, val_seed: u64);
     /// Returns a checksum of the value (forces a full value read).
     fn get(&self, ctx: &mut Self::Ctx, k: u64) -> Option<u64>;
+    /// Called before a worker blocks waiting for requests, and after it
+    /// wakes (the paper's blocking-call protocol, §3.3.3). A store whose
+    /// workers hold registered thread handles must allow checkpoints to
+    /// complete while the worker sits in `recv`, or the checkpointer waits
+    /// forever for a thread that is not going to reach an RP.
+    fn before_block(&self, _ctx: &mut Self::Ctx) {}
+    fn after_block(&self, _ctx: &mut Self::Ctx) {}
 }
 
 /// Deterministic value bytes for (key, seed).
@@ -100,18 +107,24 @@ fn fill_value(buf: &mut [u8], k: u64, seed: u64) {
 }
 
 fn checksum(buf: &[u8]) -> u64 {
-    buf.iter().fold(0u64, |acc, &b| acc.wrapping_mul(31).wrapping_add(b as u64))
+    buf.iter()
+        .fold(0u64, |acc, &b| acc.wrapping_mul(31).wrapping_add(b as u64))
 }
 
 // DRAM store: sharded std HashMap with owned value buffers.
+type DramShard = Mutex<std::collections::HashMap<u64, Vec<u8>>>;
+
 struct DramStore {
-    shards: Box<[Mutex<std::collections::HashMap<u64, Vec<u8>>>]>,
+    shards: Box<[DramShard]>,
     value_size: usize,
 }
 
 impl DramStore {
     fn new(value_size: usize) -> DramStore {
-        DramStore { shards: (0..64).map(|_| Mutex::new(Default::default())).collect(), value_size }
+        DramStore {
+            shards: (0..64).map(|_| Mutex::new(Default::default())).collect(),
+            value_size,
+        }
     }
 }
 
@@ -127,7 +140,10 @@ impl KvStore for DramStore {
     }
 
     fn get(&self, _ctx: &mut (), k: u64) -> Option<u64> {
-        self.shards[(hash_u64(k) % 64) as usize].lock().get(&k).map(|v| checksum(v))
+        self.shards[(hash_u64(k) % 64) as usize]
+            .lock()
+            .get(&k)
+            .map(|v| checksum(v))
     }
 }
 
@@ -162,8 +178,14 @@ impl KvStore for NvmmStore {
         fill_value(buf, k, seed);
         let mut shard = self.shards[(hash_u64(k) % 64) as usize].lock();
         let addr = *shard.entry(k).or_insert_with(|| {
-            let a = self.bump.fetch_add(respct_pmem::align_up(self.value_size as u64, 64), Ordering::Relaxed);
-            assert!(a + self.value_size as u64 <= self.region.size() as u64, "NvmmStore full");
+            let a = self.bump.fetch_add(
+                respct_pmem::align_up(self.value_size as u64, 64),
+                Ordering::Relaxed,
+            );
+            assert!(
+                a + self.value_size as u64 <= self.region.size() as u64,
+                "NvmmStore full"
+            );
             a
         });
         self.region.store_bytes(PAddr(addr), buf);
@@ -208,7 +230,10 @@ impl KvStore for RespctStore {
     type Ctx = RespctCtx;
 
     fn ctx(&self) -> RespctCtx {
-        RespctCtx { handle: self.pool.register(), buf: vec![0u8; self.value_size] }
+        RespctCtx {
+            handle: self.pool.register(),
+            buf: vec![0u8; self.value_size],
+        }
     }
 
     fn put(&self, ctx: &mut RespctCtx, k: u64, seed: u64) {
@@ -235,6 +260,14 @@ impl KvStore for RespctStore {
         self.pool.region().load_bytes(PAddr(blob), &mut ctx.buf);
         h.rp(601);
         Some(checksum(&ctx.buf))
+    }
+
+    fn before_block(&self, ctx: &mut RespctCtx) {
+        ctx.handle.checkpoint_allow();
+    }
+
+    fn after_block(&self, ctx: &mut RespctCtx) {
+        ctx.handle.checkpoint_prevent();
     }
 }
 
@@ -272,9 +305,16 @@ fn serve<S: KvStore + 'static>(cfg: &KvConfig, store: Arc<S>) -> KvOutput {
                 let mut seed = 1u64;
                 let mut local_lat = Vec::new();
                 let mut n = 0u64;
-                while let Ok(op) = rx.recv() {
+                loop {
+                    // Blocking-call protocol around the blocking receive
+                    // (§3.3.3): with the flag raised, a checkpoint can
+                    // complete while this worker waits for requests.
+                    store.before_block(&mut ctx);
+                    let msg = rx.recv();
+                    store.after_block(&mut ctx);
+                    let Ok(op) = msg else { break };
                     // Sample every 32nd request's service time.
-                    let t = (n % 32 == 0).then(Instant::now);
+                    let t = n.is_multiple_of(32).then(Instant::now);
                     n += 1;
                     match op {
                         Op::Get(k) => {
@@ -301,7 +341,7 @@ fn serve<S: KvStore + 'static>(cfg: &KvConfig, store: Arc<S>) -> KvOutput {
             let ops = cfg.ops_per_client;
             let senders = senders.clone();
             s.spawn(move || {
-                let mut rng = Workload::rng(0xc11e_47 + c as u64);
+                let mut rng = Workload::rng(0xc11e47 + c as u64);
                 for _ in 0..ops {
                     let op = workload.next(&mut rng);
                     let key = match op {
@@ -359,7 +399,11 @@ pub fn run(cfg: &KvConfig) -> KvOutput {
             let region = Region::new(RegionConfig::optane(bytes));
             let pool = Pool::create(region, PoolConfig::default());
             let _ckpt = pool.start_checkpointer(cfg.ckpt_period);
-            let store = Arc::new(RespctStore::new(Arc::clone(&pool), cfg.nkeys / 2 + 1, cfg.value_size));
+            let store = Arc::new(RespctStore::new(
+                Arc::clone(&pool),
+                cfg.nkeys / 2 + 1,
+                cfg.value_size,
+            ));
             serve(cfg, store)
         }
     }
@@ -372,9 +416,16 @@ mod tests {
     #[test]
     fn all_modes_complete_all_ops() {
         for mode in Mode::ALL {
-            let cfg = KvConfig { ops_per_client: 500, ..KvConfig::small(mode) };
+            let cfg = KvConfig {
+                ops_per_client: 500,
+                ..KvConfig::small(mode)
+            };
             let out = run(&cfg);
-            assert_eq!(out.ops, (cfg.clients * cfg.ops_per_client) as u64, "{mode:?}");
+            assert_eq!(
+                out.ops,
+                (cfg.clients * cfg.ops_per_client) as u64,
+                "{mode:?}"
+            );
             assert!(out.gets > 0 && out.puts > 0, "{mode:?}");
         }
     }
@@ -402,14 +453,14 @@ mod tests {
         let d = DramStore::new(100);
         let region = Region::new(RegionConfig::fast(8 << 20));
         let n = NvmmStore::new(region, 100);
-        let mut dc = d.ctx();
+        d.ctx();
         let mut nc = n.ctx();
         for k in 0..50 {
-            d.put(&mut dc, k, k + 1);
+            d.put(&mut (), k, k + 1);
             n.put(&mut nc, k, k + 1);
         }
         for k in 0..50 {
-            assert_eq!(d.get(&mut dc, k), n.get(&mut nc, k));
+            assert_eq!(d.get(&mut (), k), n.get(&mut nc, k));
         }
     }
 }

@@ -88,7 +88,8 @@ impl Sums {
     }
 
     fn solve(&self) -> (f64, f64) {
-        let slope = (self.n * self.sxy - self.sx * self.sy) / (self.n * self.sxx - self.sx * self.sx);
+        let slope =
+            (self.n * self.sxy - self.sx * self.sy) / (self.n * self.sxx - self.sx * self.sx);
         let intercept = (self.sy - slope * self.sx) / self.n;
         (slope, intercept)
     }
@@ -136,13 +137,20 @@ fn run_transient(cfg: LinregConfig, nvmm_tax: bool) -> LinregOutput {
                 sums
             }));
         }
-        joins.into_iter().map(|j| j.join().expect("linreg worker")).collect()
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("linreg worker"))
+            .collect()
     });
     for p in parts {
         total.merge(p);
     }
     let (slope, intercept) = total.solve();
-    LinregOutput { duration: t0.elapsed(), slope, intercept }
+    LinregOutput {
+        duration: t0.elapsed(),
+        slope,
+        intercept,
+    }
 }
 
 fn run_respct(cfg: LinregConfig) -> LinregOutput {
@@ -196,14 +204,21 @@ fn run_respct(cfg: LinregConfig) -> LinregOutput {
                 }
             }));
         }
-        joins.into_iter().map(|j| j.join().expect("linreg worker")).collect()
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("linreg worker"))
+            .collect()
     });
     let mut total = Sums::default();
     for p in parts {
         total.merge(p);
     }
     let (slope, intercept) = total.solve();
-    LinregOutput { duration: t0.elapsed(), slope, intercept }
+    LinregOutput {
+        duration: t0.elapsed(),
+        slope,
+        intercept,
+    }
 }
 
 #[cfg(test)]
@@ -212,19 +227,36 @@ mod tests {
 
     #[test]
     fn recovers_known_line() {
-        let out = run(LinregConfig { npoints: 50_000, ..Default::default() });
+        let out = run(LinregConfig {
+            npoints: 50_000,
+            ..Default::default()
+        });
         assert!((out.slope - 3.0).abs() < 0.05, "slope {}", out.slope);
-        assert!((out.intercept - 7.0).abs() < 0.2, "intercept {}", out.intercept);
+        assert!(
+            (out.intercept - 7.0).abs() < 0.2,
+            "intercept {}",
+            out.intercept
+        );
     }
 
     #[test]
     fn all_modes_agree() {
-        let base = LinregConfig { npoints: 20_000, threads: 2, ..Default::default() };
-        let reference = run(LinregConfig { mode: Mode::TransientDram, ..base });
+        let base = LinregConfig {
+            npoints: 20_000,
+            threads: 2,
+            ..Default::default()
+        };
+        let reference = run(LinregConfig {
+            mode: Mode::TransientDram,
+            ..base
+        });
         for mode in [Mode::TransientNvmm, Mode::Respct] {
             let out = run(LinregConfig { mode, ..base });
             assert!((out.slope - reference.slope).abs() < 1e-9, "{mode:?}");
-            assert!((out.intercept - reference.intercept).abs() < 1e-9, "{mode:?}");
+            assert!(
+                (out.intercept - reference.intercept).abs() < 1e-9,
+                "{mode:?}"
+            );
         }
     }
 

@@ -100,7 +100,10 @@ fn run_dram(cfg: MatmulConfig) -> MatmulOutput {
             });
         }
     });
-    MatmulOutput { duration: t0.elapsed(), checksum: c.iter().sum() }
+    MatmulOutput {
+        duration: t0.elapsed(),
+        checksum: c.iter().sum(),
+    }
 }
 
 /// Shared NVMM layout: A at 64, B after A, C after B (ResPCT mode offsets
@@ -146,7 +149,7 @@ fn run_region(cfg: MatmulConfig, region: Arc<Region>, pool: Option<Arc<Pool>>) -
             let region = Arc::clone(&region);
             let pool = pool.clone();
             s.spawn(move || {
-                let handle = pool.as_ref().map(|p| p.register());
+                let handle = pool.as_ref().map(respct::Pool::register);
                 let row_lo = t * rows_per;
                 let row_hi = ((t + 1) * rows_per).min(n);
                 if row_lo >= n {
@@ -201,8 +204,15 @@ mod tests {
 
     #[test]
     fn all_modes_agree() {
-        let base = MatmulConfig { n: 24, threads: 2, ..Default::default() };
-        let reference = run(MatmulConfig { mode: Mode::TransientDram, ..base });
+        let base = MatmulConfig {
+            n: 24,
+            threads: 2,
+            ..Default::default()
+        };
+        let reference = run(MatmulConfig {
+            mode: Mode::TransientDram,
+            ..base
+        });
         for mode in [Mode::TransientNvmm, Mode::Respct] {
             let out = run(MatmulConfig { mode, ..base });
             assert!(
@@ -216,8 +226,17 @@ mod tests {
 
     #[test]
     fn odd_sizes_and_more_threads_than_rows() {
-        let out = run(MatmulConfig { n: 7, threads: 16, mode: Mode::Respct, ..Default::default() });
-        let reference = run(MatmulConfig { n: 7, threads: 1, ..Default::default() });
+        let out = run(MatmulConfig {
+            n: 7,
+            threads: 16,
+            mode: Mode::Respct,
+            ..Default::default()
+        });
+        let reference = run(MatmulConfig {
+            n: 7,
+            threads: 1,
+            ..Default::default()
+        });
         assert!((out.checksum - reference.checksum).abs() < 1e-9);
     }
 }

@@ -94,8 +94,8 @@ fn run_transient(cfg: SwaptionsConfig) -> SwaptionsOutput {
     // Swaptions is compute-bound with a tiny working set; the paper's
     // NVMM variant differs only marginally, which we model by streaming
     // accumulator updates through a region in NVMM mode.
-    let region = (cfg.mode == Mode::TransientNvmm)
-        .then(|| Region::new(RegionConfig::optane(1 << 20)));
+    let region =
+        (cfg.mode == Mode::TransientNvmm).then(|| Region::new(RegionConfig::optane(1 << 20)));
     let t0 = Instant::now();
     let per = cfg.nswaptions.div_ceil(cfg.threads);
     let prices: Vec<f64> = std::thread::scope(|s| {
@@ -119,12 +119,17 @@ fn run_transient(cfg: SwaptionsConfig) -> SwaptionsOutput {
                 out
             }));
         }
-        let mut all: Vec<(usize, f64)> =
-            joins.into_iter().flat_map(|j| j.join().expect("worker")).collect();
+        let mut all: Vec<(usize, f64)> = joins
+            .into_iter()
+            .flat_map(|j| j.join().expect("worker"))
+            .collect();
         all.sort_by_key(|&(sw, _)| sw);
         all.into_iter().map(|(_, p)| p).collect()
     });
-    SwaptionsOutput { duration: t0.elapsed(), prices }
+    SwaptionsOutput {
+        duration: t0.elapsed(),
+        prices,
+    }
 }
 
 fn run_respct(cfg: SwaptionsConfig) -> SwaptionsOutput {
@@ -163,12 +168,17 @@ fn run_respct(cfg: SwaptionsConfig) -> SwaptionsOutput {
                 out
             }));
         }
-        let mut all: Vec<(usize, f64)> =
-            joins.into_iter().flat_map(|j| j.join().expect("worker")).collect();
+        let mut all: Vec<(usize, f64)> = joins
+            .into_iter()
+            .flat_map(|j| j.join().expect("worker"))
+            .collect();
         all.sort_by_key(|&(sw, _)| sw);
         all.into_iter().map(|(_, p)| p).collect()
     });
-    SwaptionsOutput { duration: t0.elapsed(), prices }
+    SwaptionsOutput {
+        duration: t0.elapsed(),
+        prices,
+    }
 }
 
 #[cfg(test)]
@@ -177,8 +187,16 @@ mod tests {
 
     #[test]
     fn all_modes_agree() {
-        let base = SwaptionsConfig { nswaptions: 6, trials: 400, threads: 2, ..Default::default() };
-        let reference = run(SwaptionsConfig { mode: Mode::TransientDram, ..base });
+        let base = SwaptionsConfig {
+            nswaptions: 6,
+            trials: 400,
+            threads: 2,
+            ..Default::default()
+        };
+        let reference = run(SwaptionsConfig {
+            mode: Mode::TransientDram,
+            ..base
+        });
         for mode in [Mode::TransientNvmm, Mode::Respct] {
             let out = run(SwaptionsConfig { mode, ..base });
             assert_eq!(out.prices.len(), reference.prices.len());
@@ -190,7 +208,11 @@ mod tests {
 
     #[test]
     fn prices_are_positive_and_strike_ordered() {
-        let out = run(SwaptionsConfig { nswaptions: 8, trials: 800, ..Default::default() });
+        let out = run(SwaptionsConfig {
+            nswaptions: 8,
+            trials: 800,
+            ..Default::default()
+        });
         for p in &out.prices {
             assert!(*p >= 0.0);
         }

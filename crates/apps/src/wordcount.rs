@@ -78,8 +78,7 @@ pub fn run(cfg: WordCountConfig) -> WordCountOutput {
 
 fn run_transient(cfg: WordCountConfig) -> WordCountOutput {
     // NVMM-mode tax: stream counts through an Optane-latency region.
-    let tax = (cfg.mode == Mode::TransientNvmm)
-        .then(|| Region::new(RegionConfig::optane(1 << 20)));
+    let tax = (cfg.mode == Mode::TransientNvmm).then(|| Region::new(RegionConfig::optane(1 << 20)));
     let map = TransientHashMap::new((cfg.vocab / 2).max(8) as usize);
     let per = cfg.blocks.div_ceil(cfg.threads);
     let t0 = Instant::now();
@@ -147,17 +146,17 @@ fn run_respct(cfg: WordCountConfig) -> WordCountOutput {
     finish(t0, |word| map.get(&h, word).unwrap_or(0), cfg.vocab)
 }
 
-fn finish(
-    t0: Instant,
-    get: impl Fn(u64) -> u64,
-    vocab: u64,
-) -> WordCountOutput {
+fn finish(t0: Instant, get: impl Fn(u64) -> u64, vocab: u64) -> WordCountOutput {
     let duration = t0.elapsed();
     let mut total = 0;
     for word in 0..vocab {
         total += get(word);
     }
-    WordCountOutput { duration, total, count_word0: get(0) }
+    WordCountOutput {
+        duration,
+        total,
+        count_word0: get(0),
+    }
 }
 
 #[cfg(test)]
@@ -166,7 +165,11 @@ mod tests {
 
     #[test]
     fn counts_every_word_once() {
-        let cfg = WordCountConfig { blocks: 50, words_per_block: 200, ..Default::default() };
+        let cfg = WordCountConfig {
+            blocks: 50,
+            words_per_block: 200,
+            ..Default::default()
+        };
         let out = run(cfg);
         assert_eq!(out.total, 50 * 200);
     }
@@ -181,7 +184,10 @@ mod tests {
             ckpt_period: Duration::from_millis(4),
             ..Default::default()
         };
-        let reference = run(WordCountConfig { mode: Mode::TransientDram, ..base });
+        let reference = run(WordCountConfig {
+            mode: Mode::TransientDram,
+            ..base
+        });
         for mode in [Mode::TransientNvmm, Mode::Respct] {
             let out = run(WordCountConfig { mode, ..base });
             assert_eq!(out.total, reference.total, "{mode:?}");

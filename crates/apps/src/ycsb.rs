@@ -34,7 +34,14 @@ impl Zipfian {
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipfian { n, theta, alpha, zetan, eta, zeta2 }
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
     }
 
     fn zeta(n: u64, theta: f64) -> f64 {
@@ -90,17 +97,26 @@ pub struct Workload {
 impl Workload {
     /// The paper's three Memcached mixes.
     pub fn read_intensive(nkeys: u64) -> Workload {
-        Workload { zipf: Zipfian::new(nkeys, 0.99), read_pct: 90 }
+        Workload {
+            zipf: Zipfian::new(nkeys, 0.99),
+            read_pct: 90,
+        }
     }
 
     /// 50/50 mix.
     pub fn balanced(nkeys: u64) -> Workload {
-        Workload { zipf: Zipfian::new(nkeys, 0.99), read_pct: 50 }
+        Workload {
+            zipf: Zipfian::new(nkeys, 0.99),
+            read_pct: 50,
+        }
     }
 
     /// 10/90 mix.
     pub fn write_intensive(nkeys: u64) -> Workload {
-        Workload { zipf: Zipfian::new(nkeys, 0.99), read_pct: 10 }
+        Workload {
+            zipf: Zipfian::new(nkeys, 0.99),
+            read_pct: 10,
+        }
     }
 
     /// Draws the next request.
@@ -147,7 +163,9 @@ mod tests {
     fn mix_ratio_approximate() {
         let w = Workload::read_intensive(1000);
         let mut rng = Workload::rng(7);
-        let reads = (0..10_000).filter(|_| matches!(w.next(&mut rng), Op::Get(_))).count();
+        let reads = (0..10_000)
+            .filter(|_| matches!(w.next(&mut rng), Op::Get(_)))
+            .count();
         assert!((8_700..9_300).contains(&reads), "reads = {reads}");
     }
 

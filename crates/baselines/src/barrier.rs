@@ -34,7 +34,9 @@ impl EpochBarrier {
     pub fn new() -> EpochBarrier {
         EpochBarrier {
             pause: AtomicBool::new(false),
-            in_op: (0..MAX_OPS).map(|_| CachePadded::new(AtomicBool::new(false))).collect(),
+            in_op: (0..MAX_OPS)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
             free: Mutex::new((0..MAX_OPS).rev().collect()),
         }
     }
@@ -79,7 +81,7 @@ impl EpochBarrier {
     /// Stops new operations, waits for in-flight ones, runs `f`, resumes.
     pub fn quiesce<R>(&self, f: impl FnOnce() -> R) -> R {
         self.pause.store(true, Ordering::SeqCst);
-        for flag in self.in_op.iter() {
+        for flag in &self.in_op {
             let mut spins = 0u32;
             while flag.load(Ordering::SeqCst) {
                 spins += 1;
@@ -132,7 +134,11 @@ mod tests {
             .collect();
         for _ in 0..50 {
             b.quiesce(|| {
-                assert_eq!(counter.load(Ordering::SeqCst), 0, "op in flight during quiesce");
+                assert_eq!(
+                    counter.load(Ordering::SeqCst),
+                    0,
+                    "op in flight during quiesce"
+                );
             });
         }
         stop.store(true, Ordering::Relaxed);

@@ -34,7 +34,9 @@ pub struct ClobberCtx {
 impl ClobberPolicy {
     /// Creates the policy over `region`.
     pub fn new(region: Arc<Region>) -> ClobberPolicy {
-        ClobberPolicy { heap: Arc::new(NvHeap::new(region)) }
+        ClobberPolicy {
+            heap: Arc::new(NvHeap::new(region)),
+        }
     }
 
     fn region(&self) -> &Arc<Region> {
@@ -49,7 +51,12 @@ impl PersistPolicy for ClobberPolicy {
         let mut alloc = self.heap.ctx();
         let log = self.heap.alloc(&mut alloc, LOG_BYTES);
         self.region().store(log, 0u64);
-        ClobberCtx { alloc, log, log_len: 0, modified: Vec::new() }
+        ClobberCtx {
+            alloc,
+            log,
+            log_len: 0,
+            modified: Vec::new(),
+        }
     }
 
     fn stride(&self) -> u64 {
@@ -123,7 +130,9 @@ mod tests {
     use respct_pmem::RegionConfig;
 
     fn policy() -> Arc<ClobberPolicy> {
-        Arc::new(ClobberPolicy::new(Region::new(RegionConfig::fast(32 << 20))))
+        Arc::new(ClobberPolicy::new(Region::new(RegionConfig::fast(
+            32 << 20,
+        ))))
     }
 
     #[test]

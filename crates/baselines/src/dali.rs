@@ -71,14 +71,19 @@ impl DaliHashMap {
             locks: (0..nbuckets).map(|_| Mutex::new(())).collect(),
             barrier: EpochBarrier::new(),
             epoch: AtomicU64::new(1),
-            dirty: (0..crate::barrier::MAX_OPS).map(|_| Mutex::new(Vec::new())).collect(),
+            dirty: (0..crate::barrier::MAX_OPS)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
             epoch_addr,
         })
     }
 
     /// Per-thread context.
     pub fn ctx(&self) -> DaliCtx {
-        DaliCtx { alloc: self.heap.ctx(), slot: self.barrier.register() }
+        DaliCtx {
+            alloc: self.heap.ctx(),
+            slot: self.barrier.register(),
+        }
     }
 
     fn head_addr(&self, b: u64) -> PAddr {
@@ -103,10 +108,6 @@ impl DaliHashMap {
             }
             cur = region.load(PAddr(cur + 24));
         }
-        let changed = match (prev_state, is_put) {
-            (Some(true), true) | (None, false) | (Some(false), false) => !is_put && false,
-            _ => true,
-        };
         // A delete of an absent key writes no record.
         if !is_put && !prev_state.unwrap_or(false) {
             drop(_g);
@@ -128,7 +129,6 @@ impl DaliHashMap {
         self.barrier.op_end(ctx.slot);
         if is_put {
             // "Newly inserted" = key was absent or deleted before.
-            let _ = changed;
             !prev_state.unwrap_or(false)
         } else {
             true
@@ -197,7 +197,7 @@ impl DaliHashMap {
             let region = self.heap.region();
             let mut flushed = 0u64;
             let mut buckets: Vec<u64> = Vec::new();
-            for list in self.dirty.iter() {
+            for list in &self.dirty {
                 buckets.append(&mut list.lock());
             }
             buckets.sort_unstable();
@@ -244,7 +244,10 @@ impl DaliHashMap {
                 }
             })
             .expect("spawn dali checkpointer");
-        DaliCheckpointer { stop, handle: Some(handle) }
+        DaliCheckpointer {
+            stop,
+            handle: Some(handle),
+        }
     }
 }
 
@@ -297,12 +300,18 @@ mod tests {
         let m = map(16);
         let mut ctx = m.ctx();
         assert!(m.prepend(&mut ctx, 1, 10, true));
-        assert!(!m.prepend(&mut ctx, 1, 11, true), "update is not a new insert");
+        assert!(
+            !m.prepend(&mut ctx, 1, 11, true),
+            "update is not a new insert"
+        );
         assert_eq!(m.get(&mut ctx, 1), Some(11));
         assert!(m.prepend(&mut ctx, 1, 0, false));
         assert!(!m.prepend(&mut ctx, 1, 0, false));
         assert_eq!(m.get(&mut ctx, 1), None);
-        assert!(m.prepend(&mut ctx, 1, 12, true), "re-insert after delete is new");
+        assert!(
+            m.prepend(&mut ctx, 1, 12, true),
+            "re-insert after delete is new"
+        );
         assert_eq!(m.get(&mut ctx, 1), Some(12));
     }
 
@@ -321,7 +330,7 @@ mod tests {
         // Chain stays bounded.
         let region = m.heap.region();
         let mut len = 0;
-        let mut cur: u64 = region.load(m.head_addr(hash_u64(7) % 1));
+        let mut cur: u64 = region.load(m.head_addr(0));
         while cur != 0 {
             len += 1;
             cur = region.load(PAddr(cur + 24));

@@ -47,7 +47,11 @@ impl FriedmanQueue {
         r.store(anchor, sentinel.0);
         r.store(PAddr(anchor.0 + 8), sentinel.0);
         r.flush_range(anchor, 16);
-        FriedmanQueue { heap, anchor, reg: Mutex::new(()) }
+        FriedmanQueue {
+            heap,
+            anchor,
+            reg: Mutex::new(()),
+        }
     }
 
     fn region(&self) -> &Arc<Region> {
@@ -144,7 +148,7 @@ impl BenchQueue for FriedmanQueue {
     }
 
     fn enqueue(&self, ctx: &mut NvCtx, v: u64) {
-        FriedmanQueue::enqueue(self, ctx, v)
+        FriedmanQueue::enqueue(self, ctx, v);
     }
 
     fn dequeue(&self, ctx: &mut NvCtx) -> Option<u64> {
@@ -173,7 +177,9 @@ mod tests {
 
     #[test]
     fn concurrent_mpmc_conserves_elements() {
-        let q = Arc::new(FriedmanQueue::new(Region::new(RegionConfig::fast(64 << 20))));
+        let q = Arc::new(FriedmanQueue::new(Region::new(RegionConfig::fast(
+            64 << 20,
+        ))));
         let produced: u64 = 4 * 2000;
         let sum = std::sync::atomic::AtomicU64::new(0);
         let count = std::sync::atomic::AtomicU64::new(0);
@@ -218,6 +224,10 @@ mod tests {
         q.enqueue(&mut ctx, 1);
         q.dequeue(&mut ctx);
         let delta = region.stats().snapshot().since(&before);
-        assert!(delta.psync >= 3, "expected ≥3 fences for enq+deq, saw {}", delta.psync);
+        assert!(
+            delta.psync >= 3,
+            "expected ≥3 fences for enq+deq, saw {}",
+            delta.psync
+        );
     }
 }

@@ -56,7 +56,9 @@ impl MontageRuntime {
             heap,
             epoch: AtomicU64::new(1),
             barrier: EpochBarrier::new(),
-            fresh: (0..crate::barrier::MAX_OPS).map(|_| Mutex::new(Vec::new())).collect(),
+            fresh: (0..crate::barrier::MAX_OPS)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
             retired: Mutex::new((Vec::new(), Vec::new())),
             epoch_addr,
         })
@@ -64,7 +66,10 @@ impl MontageRuntime {
 
     /// Registers a thread.
     pub fn register(&self) -> MontageCtx {
-        MontageCtx { alloc: self.heap.ctx(), slot: self.barrier.register() }
+        MontageCtx {
+            alloc: self.heap.ctx(),
+            slot: self.barrier.register(),
+        }
     }
 
     /// Allocates and fills a payload for `(k, v)`; records it for the
@@ -93,7 +98,7 @@ impl MontageRuntime {
         self.barrier.quiesce(|| {
             let region = self.heap.region();
             let mut flushed = 0u64;
-            for list in self.fresh.iter() {
+            for list in &self.fresh {
                 let drained = std::mem::take(&mut *list.lock());
                 for p in drained {
                     region.pwb(PAddr(p));
@@ -134,7 +139,10 @@ impl MontageRuntime {
                 }
             })
             .expect("spawn montage checkpointer");
-        MontageCheckpointer { stop, handle: Some(handle) }
+        MontageCheckpointer {
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// The region (diagnostics).
@@ -213,7 +221,11 @@ impl BenchMap for MontageHashMap {
                 Some(node) => cur = node.next.as_deref_mut(),
                 None => {
                     let old = head.take();
-                    *head = Some(Box::new(MNode { k, payload, next: old }));
+                    *head = Some(Box::new(MNode {
+                        k,
+                        payload,
+                        next: old,
+                    }));
                     break;
                 }
             }
@@ -284,7 +296,11 @@ impl MontageQueue {
         let mut boot = rt.heap.ctx();
         let seqno_addr = rt.heap.alloc(&mut boot, 64);
         rt.region().store(seqno_addr, 0u64);
-        MontageQueue { rt, inner: Mutex::new(std::collections::VecDeque::new()), seqno_addr }
+        MontageQueue {
+            rt,
+            inner: Mutex::new(std::collections::VecDeque::new()),
+            seqno_addr,
+        }
     }
 
     /// The runtime (to drive epochs).
@@ -387,7 +403,10 @@ mod tests {
         rt.checkpoint();
         rt.checkpoint(); // retirement generation ages out, block freed
         m.insert(&mut ctx, 1, 12); // should reuse the freed block
-        assert!(rt.heap.used() <= used_after_insert + 64, "allocator should recycle");
+        assert!(
+            rt.heap.used() <= used_after_insert + 64,
+            "allocator should recycle"
+        );
         assert_eq!(m.get(&mut ctx, 1), Some(12));
     }
 

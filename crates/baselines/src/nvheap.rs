@@ -46,7 +46,10 @@ impl NvHeap {
     pub fn new(region: Arc<Region>) -> NvHeap {
         NvHeap {
             region,
-            shared: Mutex::new(Shared { bump: BASE, free: Default::default() }),
+            shared: Mutex::new(Shared {
+                bump: BASE,
+                free: Default::default(),
+            }),
         }
     }
 

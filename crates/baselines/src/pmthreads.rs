@@ -50,7 +50,11 @@ impl PmThreadsPolicy {
     /// Creates the policy: `work` is the DRAM working region, `nvmm` the
     /// persistent region (must be the same size).
     pub fn new(work: Arc<Region>, nvmm: Arc<Region>) -> PmThreadsPolicy {
-        assert_eq!(work.size(), nvmm.size(), "shadow and NVMM regions must match");
+        assert_eq!(
+            work.size(),
+            nvmm.size(),
+            "shadow and NVMM regions must match"
+        );
         let pages = (work.size() as u64).div_ceil(PAGE);
         let words = pages.div_ceil(64) as usize;
         PmThreadsPolicy {
@@ -111,7 +115,10 @@ impl PmThreadsPolicy {
                 }
             })
             .expect("spawn pmthreads checkpointer");
-        PmCheckpointer { stop, handle: Some(handle) }
+        PmCheckpointer {
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// The NVMM region (flush-count diagnostics).
@@ -139,7 +146,10 @@ impl PersistPolicy for PmThreadsPolicy {
     type Ctx = PmCtx;
 
     fn register(&self) -> PmCtx {
-        PmCtx { alloc: self.heap.ctx(), slot: self.barrier.register() }
+        PmCtx {
+            alloc: self.heap.ctx(),
+            slot: self.barrier.register(),
+        }
     }
 
     fn stride(&self) -> u64 {

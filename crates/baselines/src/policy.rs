@@ -84,7 +84,12 @@ impl<P: PersistPolicy> PolicyHashMap<P> {
         }
         policy.commit(&mut ctx);
         let locks = (0..nbuckets).map(|_| Mutex::new(())).collect::<Vec<_>>();
-        PolicyHashMap { policy, buckets, nbuckets, locks: locks.into_boxed_slice() }
+        PolicyHashMap {
+            policy,
+            buckets,
+            nbuckets,
+            locks: locks.into_boxed_slice(),
+        }
     }
 
     /// The policy (for epoch drivers etc.).
@@ -113,7 +118,8 @@ impl<P: PersistPolicy> PolicyHashMap<P> {
                 let node = self.policy.alloc(ctx, self.node_size());
                 self.policy.init(ctx, node, k);
                 self.policy.init(ctx, PAddr(node.0 + s), v);
-                self.policy.init(ctx, PAddr(node.0 + 2 * s), self.policy.read(head));
+                self.policy
+                    .init(ctx, PAddr(node.0 + 2 * s), self.policy.read(head));
                 self.policy.write(ctx, head, node.0, WriteKind::War);
                 break true;
             }
@@ -144,7 +150,8 @@ impl<P: PersistPolicy> PolicyHashMap<P> {
                 if prev == 0 {
                     self.policy.write(ctx, head, next, WriteKind::War);
                 } else {
-                    self.policy.write(ctx, PAddr(prev + 2 * s), next, WriteKind::War);
+                    self.policy
+                        .write(ctx, PAddr(prev + 2 * s), next, WriteKind::War);
                 }
                 self.policy.free(ctx, PAddr(cur), self.node_size());
                 break true;
@@ -215,7 +222,11 @@ impl<P: PersistPolicy> PolicyQueue<P> {
         policy.init(&mut ctx, desc, 0);
         policy.init(&mut ctx, PAddr(desc.0 + s), 0);
         policy.commit(&mut ctx);
-        PolicyQueue { policy, desc, lock: Mutex::new(()) }
+        PolicyQueue {
+            policy,
+            desc,
+            lock: Mutex::new(()),
+        }
     }
 
     /// The policy (for epoch drivers etc.).
@@ -235,9 +246,11 @@ impl<P: PersistPolicy> PolicyQueue<P> {
         if tail == 0 {
             self.policy.write(ctx, self.desc, node.0, WriteKind::War);
         } else {
-            self.policy.write(ctx, PAddr(tail + s), node.0, WriteKind::Blind);
+            self.policy
+                .write(ctx, PAddr(tail + s), node.0, WriteKind::Blind);
         }
-        self.policy.write(ctx, PAddr(self.desc.0 + s), node.0, WriteKind::War);
+        self.policy
+            .write(ctx, PAddr(self.desc.0 + s), node.0, WriteKind::War);
         self.policy.commit(ctx);
     }
 
@@ -254,7 +267,8 @@ impl<P: PersistPolicy> PolicyQueue<P> {
             let next = self.policy.read(PAddr(head + s));
             self.policy.write(ctx, self.desc, next, WriteKind::War);
             if next == 0 {
-                self.policy.write(ctx, PAddr(self.desc.0 + s), 0, WriteKind::War);
+                self.policy
+                    .write(ctx, PAddr(self.desc.0 + s), 0, WriteKind::War);
             }
             self.policy.free(ctx, PAddr(head), 2 * s);
             Some(v)
@@ -272,7 +286,7 @@ impl<P: PersistPolicy> BenchQueue for PolicyQueue<P> {
     }
 
     fn enqueue(&self, ctx: &mut P::Ctx, v: u64) {
-        PolicyQueue::enqueue(self, ctx, v)
+        PolicyQueue::enqueue(self, ctx, v);
     }
 
     fn dequeue(&self, ctx: &mut P::Ctx) -> Option<u64> {

@@ -43,7 +43,10 @@ pub struct QuadraCtx {
 impl QuadraPolicy {
     /// Creates the policy over `region`.
     pub fn new(region: Arc<Region>) -> QuadraPolicy {
-        QuadraPolicy { heap: Arc::new(NvHeap::new(region)), next_thread: AtomicU64::new(1) }
+        QuadraPolicy {
+            heap: Arc::new(NvHeap::new(region)),
+            next_thread: AtomicU64::new(1),
+        }
     }
 
     fn region(&self) -> &Arc<Region> {
@@ -56,7 +59,11 @@ impl PersistPolicy for QuadraPolicy {
 
     fn register(&self) -> QuadraCtx {
         let tid = self.next_thread.fetch_add(1, Ordering::Relaxed);
-        QuadraCtx { alloc: self.heap.ctx(), op_tag: tid << 40, modified: Vec::new() }
+        QuadraCtx {
+            alloc: self.heap.ctx(),
+            op_tag: tid << 40,
+            modified: Vec::new(),
+        }
     }
 
     fn stride(&self) -> u64 {
@@ -161,7 +168,11 @@ mod tests {
         // Exactly one fence per op (plus none for the lookups inside), and
         // no separate log writes: pwb count ≈ modified lines.
         assert_eq!(delta.psync, 50, "one fence per op, saw {}", delta.psync);
-        assert!(delta.pwb <= 60, "no separate log flushes expected, saw {}", delta.pwb);
+        assert!(
+            delta.pwb <= 60,
+            "no separate log flushes expected, saw {}",
+            delta.pwb
+        );
     }
 
     #[test]

@@ -169,7 +169,10 @@ impl SoftHashMap {
 
     /// Per-thread context.
     pub fn ctx(&self) -> SoftCtx {
-        SoftCtx { palloc: self.pheap.ctx(), valloc: self.vheap.ctx() }
+        SoftCtx {
+            palloc: self.pheap.ctx(),
+            valloc: self.vheap.ctx(),
+        }
     }
 }
 

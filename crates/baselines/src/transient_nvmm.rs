@@ -11,8 +11,8 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use respct_ds::traits::{BenchMap, BenchQueue};
 use respct_ds::hash_u64;
+use respct_ds::traits::{BenchMap, BenchQueue};
 use respct_pmem::{PAddr, Region};
 
 use crate::nvheap::{NvCtx, NvHeap};
@@ -41,7 +41,12 @@ impl NvmmHashMap {
             heap.region().store(PAddr(buckets.0 + b * 8), 0u64);
         }
         let locks = (0..nbuckets).map(|_| Mutex::new(())).collect::<Vec<_>>();
-        NvmmHashMap { heap, buckets, nbuckets, locks: locks.into_boxed_slice() }
+        NvmmHashMap {
+            heap,
+            buckets,
+            nbuckets,
+            locks: locks.into_boxed_slice(),
+        }
     }
 
     fn bucket(&self, k: u64) -> (u64, PAddr) {
@@ -140,7 +145,10 @@ pub struct NvmmQueue {
 impl NvmmQueue {
     /// Creates an empty queue over `region`.
     pub fn new(region: Arc<Region>) -> NvmmQueue {
-        NvmmQueue { heap: Arc::new(NvHeap::new(region)), state: Mutex::new((0, 0)) }
+        NvmmQueue {
+            heap: Arc::new(NvHeap::new(region)),
+            state: Mutex::new((0, 0)),
+        }
     }
 
     /// Appends a value.
@@ -186,7 +194,7 @@ impl BenchQueue for NvmmQueue {
     }
 
     fn enqueue(&self, ctx: &mut NvCtx, v: u64) {
-        NvmmQueue::enqueue(self, ctx, v)
+        NvmmQueue::enqueue(self, ctx, v);
     }
 
     fn dequeue(&self, ctx: &mut NvCtx) -> Option<u64> {

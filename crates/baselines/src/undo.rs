@@ -35,7 +35,9 @@ pub struct UndoCtx {
 impl UndoPolicy {
     /// Creates the policy over `region`.
     pub fn new(region: Arc<Region>) -> UndoPolicy {
-        UndoPolicy { heap: Arc::new(NvHeap::new(region)) }
+        UndoPolicy {
+            heap: Arc::new(NvHeap::new(region)),
+        }
     }
 
     fn region(&self) -> &Arc<Region> {
@@ -62,7 +64,12 @@ impl PersistPolicy for UndoPolicy {
         let mut alloc = self.heap.ctx();
         let log = self.heap.alloc(&mut alloc, LOG_BYTES);
         self.region().store(log, 0u64);
-        UndoCtx { alloc, log, log_len: 0, modified: Vec::new() }
+        UndoCtx {
+            alloc,
+            log,
+            log_len: 0,
+            modified: Vec::new(),
+        }
     }
 
     fn stride(&self) -> u64 {
@@ -162,7 +169,11 @@ mod tests {
             m.insert(&mut ctx, k, k);
         }
         let delta = region.stats().snapshot().since(&before);
-        assert!(delta.psync >= 200, "expected ≥2 fences/op, saw {}", delta.psync);
+        assert!(
+            delta.psync >= 200,
+            "expected ≥2 fences/op, saw {}",
+            delta.psync
+        );
         assert!(delta.pwb >= 200);
     }
 }

@@ -21,7 +21,7 @@ fn bench_store_primitives(c: &mut Criterion) {
         b.iter(|| {
             dram.store(PAddr(4096), i);
             i = i.wrapping_add(1);
-        })
+        });
     });
 
     // Plain persistent store with Optane latency model.
@@ -31,11 +31,14 @@ fn bench_store_primitives(c: &mut Criterion) {
         b.iter(|| {
             optane.store(PAddr(4096), i);
             i = i.wrapping_add(1);
-        })
+        });
     });
 
     // update_InCLL: the paper's claim is that this is nearly free.
-    let pool = Pool::create(Region::new(RegionConfig::optane(8 << 20)), PoolConfig::default());
+    let pool = Pool::create(
+        Region::new(RegionConfig::optane(8 << 20)),
+        PoolConfig::default(),
+    );
     let h = pool.register();
     let cell = h.alloc_cell(0u64);
     g.bench_function("update_incll", |b| {
@@ -43,7 +46,7 @@ fn bench_store_primitives(c: &mut Criterion) {
         b.iter(|| {
             h.update(cell, i);
             i = i.wrapping_add(1);
-        })
+        });
     });
 
     // Undo-logged store with flush + fence: the competing discipline.
@@ -58,7 +61,7 @@ fn bench_store_primitives(c: &mut Criterion) {
             optane.psync();
             optane.store(PAddr(4096), i);
             i = i.wrapping_add(1);
-        })
+        });
     });
 
     // Restart point declaration.
@@ -70,7 +73,10 @@ fn bench_store_primitives(c: &mut Criterion) {
 
 fn bench_alloc(c: &mut Criterion) {
     let mut g = c.benchmark_group("allocator");
-    let pool = Pool::create(Region::new(RegionConfig::fast(512 << 20)), PoolConfig::default());
+    let pool = Pool::create(
+        Region::new(RegionConfig::fast(512 << 20)),
+        PoolConfig::default(),
+    );
     let h = pool.register();
     // Deferred frees only recycle at checkpoints: drain every 500k frees.
     // The counter lives outside the bench closures (criterion re-enters
@@ -89,7 +95,7 @@ fn bench_alloc(c: &mut Criterion) {
             let a = h.alloc(64, 8);
             h.free(a, 64);
             recycle(&mut n);
-        })
+        });
     });
     g.bench_function("alloc_cell_u64", |b| {
         let mut n = 0u32;
@@ -97,7 +103,7 @@ fn bench_alloc(c: &mut Criterion) {
             let c = h.alloc_cell(7u64);
             h.free(c.addr(), 24);
             recycle(&mut n);
-        })
+        });
     });
     g.finish();
 }
@@ -105,8 +111,10 @@ fn bench_alloc(c: &mut Criterion) {
 fn bench_flush_batch(c: &mut Criterion) {
     let mut g = c.benchmark_group("checkpoint_flush");
     for lines in [100u64, 1_000, 10_000] {
-        let pool =
-            Pool::create(Region::new(RegionConfig::optane(64 << 20)), PoolConfig::default());
+        let pool = Pool::create(
+            Region::new(RegionConfig::optane(64 << 20)),
+            PoolConfig::default(),
+        );
         let h = pool.register();
         g.throughput(Throughput::Elements(lines));
         g.bench_function(format!("flush_{lines}_lines"), |b| {
@@ -118,7 +126,7 @@ fn bench_flush_batch(c: &mut Criterion) {
                 },
                 |()| h.checkpoint_here(),
                 BatchSize::PerIteration,
-            )
+            );
         });
     }
     g.finish();
@@ -154,7 +162,7 @@ fn bench_recovery_scan(c: &mut Criterion) {
                 },
                 |region| Pool::recover(region, PoolConfig::default()),
                 BatchSize::PerIteration,
-            )
+            );
         });
     }
     g.finish();

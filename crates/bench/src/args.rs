@@ -16,7 +16,12 @@ pub struct BenchArgs {
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        BenchArgs { threads: vec![1, 2, 4, 8], secs: 0.4, full: false, json: false }
+        BenchArgs {
+            threads: vec![1, 2, 4, 8],
+            secs: 0.4,
+            full: false,
+            json: false,
+        }
     }
 }
 

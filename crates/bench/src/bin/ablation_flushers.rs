@@ -25,13 +25,21 @@ fn main() {
     let nbuckets = args.scaled(50_000, 1_000_000);
     let region_bytes = if args.full { 1536 << 20 } else { 256 << 20 };
     println!("# Flusher-pool ablation: write-intensive map, {threads} worker threads");
-    let mut table =
-        Table::new(&["flushers", "mops", "mean_ckpt_ms", "mean_lines/ckpt", "ckpts"]);
+    let mut table = Table::new(&[
+        "flushers",
+        "mops",
+        "mean_ckpt_ms",
+        "mean_lines/ckpt",
+        "ckpts",
+    ]);
     for flushers in [0usize, 1, 2, 4] {
         let region = Region::new(RegionConfig::optane(region_bytes));
         let pool = Pool::create(
             region,
-            PoolConfig { flusher_threads: flushers, mode: CheckpointMode::Full },
+            PoolConfig {
+                flusher_threads: flushers,
+                mode: CheckpointMode::Full,
+            },
         );
         let h = pool.register();
         let map = PHashMap::create(&h, nbuckets);

@@ -28,7 +28,12 @@ fn main() {
     .duration
     .as_secs_f64()
         * 1e3;
-    table.row(vec!["linreg".into(), "transient".into(), f3(lr_base), f3(1.0)]);
+    table.row(vec![
+        "linreg".into(),
+        "transient".into(),
+        f3(lr_base),
+        f3(1.0),
+    ]);
     for (label, batch) in [("per-point (naive)", 1usize), ("per-1000 (tuned)", 1000)] {
         let ms = linreg::run(linreg::LinregConfig {
             npoints,
@@ -40,7 +45,12 @@ fn main() {
         .duration
         .as_secs_f64()
             * 1e3;
-        table.row(vec!["linreg".into(), label.into(), f3(ms), f3(ms / lr_base)]);
+        table.row(vec![
+            "linreg".into(),
+            label.into(),
+            f3(ms),
+            f3(ms / lr_base),
+        ]);
         if args.json {
             json_line(
                 "ablation_rp",
@@ -63,11 +73,27 @@ fn main() {
         batch,
         ckpt_period: period,
     };
-    let sw_base = swaptions::run(sw_cfg(Mode::TransientDram, 500)).duration.as_secs_f64() * 1e3;
-    table.row(vec!["swaptions".into(), "transient".into(), f3(sw_base), f3(1.0)]);
+    let sw_base = swaptions::run(sw_cfg(Mode::TransientDram, 500))
+        .duration
+        .as_secs_f64()
+        * 1e3;
+    table.row(vec![
+        "swaptions".into(),
+        "transient".into(),
+        f3(sw_base),
+        f3(1.0),
+    ]);
     for (label, batch) in [("per-trial (naive)", 1usize), ("per-500 (tuned)", 500)] {
-        let ms = swaptions::run(sw_cfg(Mode::Respct, batch)).duration.as_secs_f64() * 1e3;
-        table.row(vec!["swaptions".into(), label.into(), f3(ms), f3(ms / sw_base)]);
+        let ms = swaptions::run(sw_cfg(Mode::Respct, batch))
+            .duration
+            .as_secs_f64()
+            * 1e3;
+        table.row(vec![
+            "swaptions".into(),
+            label.into(),
+            f3(ms),
+            f3(ms / sw_base),
+        ]);
         if args.json {
             json_line(
                 "ablation_rp",

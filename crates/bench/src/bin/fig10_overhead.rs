@@ -2,10 +2,10 @@
 //! count. Configurations, each normalized to Transient<DRAM>:
 //!
 //! * `transient-nvmm`  — just running on the slower medium;
-//! * `respct-incll`    — + InCLL logging and modification tracking,
-//!                        but no checkpoints;
+//! * `respct-incll`    — + InCLL logging and modification tracking, but no
+//!   checkpoints;
 //! * `respct-noflush`  — + the full checkpoint protocol except the data
-//!                        flushes;
+//!   flushes;
 //! * `respct`          — the complete system.
 //!
 //! Reported for the queue and for the read-/write-intensive hash map
@@ -21,8 +21,13 @@ use respct_bench::systems::{
 };
 use respct_bench::table::{f3, json_line, Table};
 
-const CONFIGS: &[&str] =
-    &["transient-dram", "transient-nvmm", "respct-incll", "respct-noflush", "respct"];
+const CONFIGS: &[&str] = &[
+    "transient-dram",
+    "transient-nvmm",
+    "respct-incll",
+    "respct-noflush",
+    "respct",
+];
 
 fn main() {
     let args = BenchArgs::parse();
@@ -30,7 +35,9 @@ fn main() {
     let keyspace = args.scaled(100_000, 2_000_000);
     let nbuckets = args.scaled(50_000, 1_000_000);
     let region_bytes = if args.full { 1536 << 20 } else { 256 << 20 };
-    println!("# Fig. 10 — overhead decomposition at {threads} threads (normalized to Transient<DRAM>)");
+    println!(
+        "# Fig. 10 — overhead decomposition at {threads} threads (normalized to Transient<DRAM>)"
+    );
 
     let mut table = Table::new(&["workload", "config", "mops", "normalized"]);
     for (wl, update_pct) in [("map read-intensive", 10u64), ("map write-intensive", 90)] {
@@ -85,7 +92,12 @@ fn main() {
                 base = t.mops();
             }
             let norm = t.mops() / base;
-            table.row(vec!["queue".into(), cfg.to_string(), f3(t.mops()), f3(norm)]);
+            table.row(vec![
+                "queue".into(),
+                cfg.to_string(),
+                f3(t.mops()),
+                f3(norm),
+            ]);
             if args.json {
                 json_line(
                     "fig10",

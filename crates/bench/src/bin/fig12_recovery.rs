@@ -19,9 +19,13 @@ fn main() {
     let args = BenchArgs::parse();
     let threads = *args.threads.iter().max().unwrap_or(&4);
     let scale: u64 = if args.full { 1 } else { 10 };
-    let bucket_counts: Vec<u64> =
-        [500_000u64, 1_000_000, 2_000_000, 4_000_000].iter().map(|b| b / scale).collect();
-    println!("# Fig. 12 — recovery time vs buckets (~2 elements/bucket), {threads} recovery threads");
+    let bucket_counts: Vec<u64> = [500_000u64, 1_000_000, 2_000_000, 4_000_000]
+        .iter()
+        .map(|b| b / scale)
+        .collect();
+    println!(
+        "# Fig. 12 — recovery time vs buckets (~2 elements/bucket), {threads} recovery threads"
+    );
     let mut table = Table::new(&[
         "buckets",
         "elements",
@@ -45,7 +49,7 @@ fn main() {
         // The epoch that will crash: touch a spread of values.
         let mut rng = FastRng::new(12);
         for _ in 0..elements / 4 {
-            let k = rng.next() % elements;
+            let k = rng.next_u64() % elements;
             map.insert(&h, k, 999);
         }
         drop(h);

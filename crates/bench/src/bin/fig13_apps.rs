@@ -15,7 +15,8 @@ fn main() {
     println!("# Fig. 13 — compute applications, {threads} threads, normalized exec time");
     let mut table = Table::new(&["app", "mode", "time_ms", "normalized"]);
 
-    let apps: Vec<(&str, Box<dyn Fn(Mode) -> f64>)> = vec![
+    type AppRun = Box<dyn Fn(Mode) -> f64>;
+    let apps: Vec<(&str, AppRun)> = vec![
         (
             "dedup",
             Box::new(move |mode| {
@@ -95,7 +96,12 @@ fn main() {
                 base = ms;
             }
             let norm = ms / base;
-            table.row(vec![name.to_string(), mode.label().into(), f3(ms), f3(norm)]);
+            table.row(vec![
+                name.to_string(),
+                mode.label().into(),
+                f3(ms),
+                f3(norm),
+            ]);
             if args.json {
                 json_line(
                     "fig13",

@@ -22,8 +22,14 @@ fn main() {
     println!(
         "# Fig. 14 — KV store: keys={nkeys} value=100B clients={clients} workers={workers} ops/client={ops_per_client}"
     );
-    let mut table =
-        Table::new(&["workload", "mode", "kops/s", "normalized", "p50_us", "p99_us"]);
+    let mut table = Table::new(&[
+        "workload",
+        "mode",
+        "kops/s",
+        "normalized",
+        "p50_us",
+        "p99_us",
+    ]);
     for (label, wl) in [
         ("read-intensive (90/10)", Workload::read_intensive(nkeys)),
         ("balanced (50/50)", Workload::balanced(nkeys)),

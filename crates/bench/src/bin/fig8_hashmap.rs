@@ -22,7 +22,11 @@ fn main() {
         "# Fig. 8 — HashMap: keyspace={keyspace} buckets={nbuckets} secs/point={} period=64ms",
         args.secs
     );
-    for (label, update_pct) in [("1:9 (read-intensive)", 10u64), ("1:1 (balanced)", 50), ("9:1 (write-intensive)", 90)] {
+    for (label, update_pct) in [
+        ("1:9 (read-intensive)", 10u64),
+        ("1:1 (balanced)", 50),
+        ("9:1 (write-intensive)", 90),
+    ] {
         println!("\n## update:search = {label}");
         let mut header = vec!["threads"];
         header.extend_from_slice(MAP_SYSTEMS);

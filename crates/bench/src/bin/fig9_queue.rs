@@ -11,7 +11,10 @@ use respct_bench::table::{f3, json_line, Table};
 fn main() {
     let args = BenchArgs::parse();
     let region_bytes = if args.full { 1536 << 20 } else { 512 << 20 };
-    println!("# Fig. 9 — Queue: prefill=1000 enq:deq=1:1 secs/point={} period=64ms", args.secs);
+    println!(
+        "# Fig. 9 — Queue: prefill=1000 enq:deq=1:1 secs/point={} period=64ms",
+        args.secs
+    );
     let mut header = vec!["threads"];
     header.extend_from_slice(QUEUE_SYSTEMS);
     let mut table = Table::new(&header);

@@ -21,7 +21,7 @@ impl FastRng {
     }
 
     #[inline]
-    pub fn next(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         let mut x = self.0;
         x ^= x << 13;
         x ^= x >> 7;
@@ -84,11 +84,11 @@ pub fn run_map_mix<M: BenchMap>(
                 let mut ops = 0u64;
                 'outer: loop {
                     for _ in 0..64 {
-                        let r = rng.next();
+                        let r = rng.next_u64();
                         let key = (r >> 8) % keyspace;
                         let roll = r % 100;
                         if roll < update_pct {
-                            if roll % 2 == 0 {
+                            if roll.is_multiple_of(2) {
                                 map.insert(&mut ctx, key, r);
                             } else {
                                 map.remove(&mut ctx, key);
@@ -112,7 +112,10 @@ pub fn run_map_mix<M: BenchMap>(
             stop.store(true, Ordering::Relaxed);
         });
     });
-    Throughput { ops: total.load(Ordering::Relaxed), duration: t0.elapsed() }
+    Throughput {
+        ops: total.load(Ordering::Relaxed),
+        duration: t0.elapsed(),
+    }
 }
 
 /// Pre-fills `queue` with `n` elements (paper: 1k).
@@ -138,7 +141,7 @@ pub fn run_queue_mix<Q: BenchQueue>(queue: &Q, threads: usize, secs: f64, seed: 
                 let mut ops = 0u64;
                 'outer: loop {
                     for _ in 0..64 {
-                        if rng.next() % 2 == 0 {
+                        if rng.next_u64().is_multiple_of(2) {
                             queue.enqueue(&mut ctx, ops);
                         } else {
                             let _ = queue.dequeue(&mut ctx);
@@ -158,7 +161,10 @@ pub fn run_queue_mix<Q: BenchQueue>(queue: &Q, threads: usize, secs: f64, seed: 
             stop.store(true, Ordering::Relaxed);
         });
     });
-    Throughput { ops: total.load(Ordering::Relaxed), duration: t0.elapsed() }
+    Throughput {
+        ops: total.load(Ordering::Relaxed),
+        duration: t0.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -188,7 +194,7 @@ mod tests {
         let mut a = FastRng::new(7);
         let mut b = FastRng::new(7);
         for _ in 0..100 {
-            assert_eq!(a.next(), b.next());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 }

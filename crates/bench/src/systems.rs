@@ -78,7 +78,10 @@ pub fn measure_map_system(name: &str, s: MapBenchSpec) -> Throughput {
             run_map_mix(&m, s.threads, s.secs, s.keyspace, s.update_pct, s.seed)
         }
         "transient-nvmm" => {
-            let m = NvmmHashMap::new(Region::new(RegionConfig::optane(s.region_bytes)), s.nbuckets);
+            let m = NvmmHashMap::new(
+                Region::new(RegionConfig::optane(s.region_bytes)),
+                s.nbuckets,
+            );
             prefill_map(&m, s.keyspace);
             run_map_mix(&m, s.threads, s.secs, s.keyspace, s.update_pct, s.seed)
         }
@@ -89,7 +92,13 @@ pub fn measure_map_system(name: &str, s: MapBenchSpec) -> Throughput {
                 CheckpointMode::Full
             };
             let region = Region::new(RegionConfig::optane(s.region_bytes));
-            let pool = Pool::create(region, PoolConfig { flusher_threads: 0, mode });
+            let pool = Pool::create(
+                region,
+                PoolConfig {
+                    flusher_threads: 0,
+                    mode,
+                },
+            );
             let h = pool.register();
             let m = PHashMap::create(&h, s.nbuckets);
             drop(h);
@@ -116,19 +125,26 @@ pub fn measure_map_system(name: &str, s: MapBenchSpec) -> Throughput {
             run_map_mix(&m, s.threads, s.secs, s.keyspace, s.update_pct, s.seed)
         }
         "dali" => {
-            let m = DaliHashMap::new(Region::new(RegionConfig::optane(s.region_bytes)), s.nbuckets);
+            let m = DaliHashMap::new(
+                Region::new(RegionConfig::optane(s.region_bytes)),
+                s.nbuckets,
+            );
             prefill_map(&*m, s.keyspace);
             let _ckpt = m.start_checkpointer(s.period);
             run_map_mix(&*m, s.threads, s.secs, s.keyspace, s.update_pct, s.seed)
         }
         "clobber" => {
-            let p = Arc::new(ClobberPolicy::new(Region::new(RegionConfig::optane(s.region_bytes))));
+            let p = Arc::new(ClobberPolicy::new(Region::new(RegionConfig::optane(
+                s.region_bytes,
+            ))));
             let m = PolicyHashMap::new(p, s.nbuckets);
             prefill_map(&m, s.keyspace);
             run_map_mix(&m, s.threads, s.secs, s.keyspace, s.update_pct, s.seed)
         }
         "undo" => {
-            let p = Arc::new(UndoPolicy::new(Region::new(RegionConfig::optane(s.region_bytes))));
+            let p = Arc::new(UndoPolicy::new(Region::new(RegionConfig::optane(
+                s.region_bytes,
+            ))));
             let m = PolicyHashMap::new(p, s.nbuckets);
             prefill_map(&m, s.keyspace);
             run_map_mix(&m, s.threads, s.secs, s.keyspace, s.update_pct, s.seed)
@@ -189,7 +205,13 @@ pub fn measure_queue_system(name: &str, s: QueueBenchSpec) -> Throughput {
                 CheckpointMode::Full
             };
             let region = Region::new(RegionConfig::optane(s.region_bytes));
-            let pool = Pool::create(region, PoolConfig { flusher_threads: 0, mode });
+            let pool = Pool::create(
+                region,
+                PoolConfig {
+                    flusher_threads: 0,
+                    mode,
+                },
+            );
             let h = pool.register();
             let q = PQueue::create(&h);
             drop(h);
@@ -215,19 +237,25 @@ pub fn measure_queue_system(name: &str, s: QueueBenchSpec) -> Throughput {
             run_queue_mix(&q, s.threads, s.secs, s.seed)
         }
         "clobber" => {
-            let p = Arc::new(ClobberPolicy::new(Region::new(RegionConfig::optane(s.region_bytes))));
+            let p = Arc::new(ClobberPolicy::new(Region::new(RegionConfig::optane(
+                s.region_bytes,
+            ))));
             let q = PolicyQueue::new(p);
             prefill_queue(&q, s.prefill);
             run_queue_mix(&q, s.threads, s.secs, s.seed)
         }
         "undo" => {
-            let p = Arc::new(UndoPolicy::new(Region::new(RegionConfig::optane(s.region_bytes))));
+            let p = Arc::new(UndoPolicy::new(Region::new(RegionConfig::optane(
+                s.region_bytes,
+            ))));
             let q = PolicyQueue::new(p);
             prefill_queue(&q, s.prefill);
             run_queue_mix(&q, s.threads, s.secs, s.seed)
         }
         "quadra" => {
-            let p = Arc::new(QuadraPolicy::new(Region::new(RegionConfig::optane(s.region_bytes))));
+            let p = Arc::new(QuadraPolicy::new(Region::new(RegionConfig::optane(
+                s.region_bytes,
+            ))));
             let q = PolicyQueue::new(p);
             prefill_queue(&q, s.prefill);
             run_queue_mix(&q, s.threads, s.secs, s.seed)

@@ -9,7 +9,13 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header length).
@@ -21,7 +27,7 @@ impl Table {
     /// Renders the table.
     pub fn render(&self) -> String {
         let ncols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(std::string::String::len).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
                 widths[i] = widths[i].max(c.len());

@@ -80,13 +80,22 @@ impl PHashMap {
     pub fn open(pool: &Arc<Pool>, desc: PAddr) -> PHashMap {
         let nbuckets: u64 = pool.region().load(PAddr(desc.0 + DESC_NBUCKETS));
         let buckets: u64 = pool.region().load(PAddr(desc.0 + DESC_BUCKETS));
-        assert!(nbuckets > 0, "descriptor at {desc:?} is not an initialized map");
+        assert!(
+            nbuckets > 0,
+            "descriptor at {desc:?} is not an initialized map"
+        );
         Self::build(Arc::clone(pool), desc, nbuckets, PAddr(buckets))
     }
 
     fn build(pool: Arc<Pool>, desc: PAddr, nbuckets: u64, buckets: PAddr) -> PHashMap {
         let locks = (0..nbuckets).map(|_| Mutex::new(())).collect::<Vec<_>>();
-        PHashMap { pool, desc, nbuckets, buckets, locks: locks.into_boxed_slice() }
+        PHashMap {
+            pool,
+            desc,
+            nbuckets,
+            buckets,
+            locks: locks.into_boxed_slice(),
+        }
     }
 
     /// Persistent descriptor address.
@@ -264,7 +273,10 @@ mod tests {
     use respct_pmem::{Region, RegionConfig};
 
     fn setup(nbuckets: u64) -> (Arc<Pool>, ThreadHandle, PHashMap) {
-        let pool = Pool::create(Region::new(RegionConfig::fast(64 << 20)), PoolConfig::default());
+        let pool = Pool::create(
+            Region::new(RegionConfig::fast(64 << 20)),
+            PoolConfig::default(),
+        );
         let h = pool.register();
         let map = PHashMap::create(&h, nbuckets);
         (pool, h, map)

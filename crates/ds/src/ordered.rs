@@ -80,12 +80,20 @@ impl POrderedMap {
         let desc = h.alloc(DESC_SIZE, 64);
         h.init_cell_at::<u64>(PAddr(desc.0 + D_ROOT), 0);
         h.init_cell_at::<u64>(PAddr(desc.0 + D_LEN), 0);
-        POrderedMap { pool: Arc::clone(h.pool()), desc, lock: Mutex::new(()) }
+        POrderedMap {
+            pool: Arc::clone(h.pool()),
+            desc,
+            lock: Mutex::new(()),
+        }
     }
 
     /// Re-opens from a descriptor (after recovery).
     pub fn open(pool: &Arc<Pool>, desc: PAddr) -> POrderedMap {
-        POrderedMap { pool: Arc::clone(pool), desc, lock: Mutex::new(()) }
+        POrderedMap {
+            pool: Arc::clone(pool),
+            desc,
+            lock: Mutex::new(()),
+        }
     }
 
     /// Persistent descriptor address.
@@ -138,7 +146,11 @@ impl POrderedMap {
                 h.update(val_cell(cur), v);
                 return false;
             }
-            link = if sk < shuffle(ck) { left_cell(cur) } else { right_cell(cur) };
+            link = if sk < shuffle(ck) {
+                left_cell(cur)
+            } else {
+                right_cell(cur)
+            };
         }
     }
 
@@ -152,7 +164,11 @@ impl POrderedMap {
             if ck == k {
                 return Some(h.get(val_cell(cur)));
             }
-            cur = if sk < shuffle(ck) { h.get(left_cell(cur)) } else { h.get(right_cell(cur)) };
+            cur = if sk < shuffle(ck) {
+                h.get(left_cell(cur))
+            } else {
+                h.get(right_cell(cur))
+            };
         }
         None
     }
@@ -170,7 +186,11 @@ impl POrderedMap {
             }
             let ck = self.key_of(cur);
             if ck != k {
-                link = if sk < shuffle(ck) { left_cell(cur) } else { right_cell(cur) };
+                link = if sk < shuffle(ck) {
+                    left_cell(cur)
+                } else {
+                    right_cell(cur)
+                };
                 continue;
             }
             // Found: splice.
@@ -236,7 +256,10 @@ impl POrderedMap {
     /// Inclusive range query `[lo, hi]`, sorted by key.
     pub fn range(&self, h: &ThreadHandle, lo: u64, hi: u64) -> Vec<(u64, u64)> {
         let _ = h;
-        self.collect_sorted().into_iter().filter(|&(k, _)| k >= lo && k <= hi).collect()
+        self.collect_sorted()
+            .into_iter()
+            .filter(|&(k, _)| k >= lo && k <= hi)
+            .collect()
     }
 
     /// Tree height (diagnostics: expected O(log n)).
@@ -286,7 +309,10 @@ mod tests {
     use respct_pmem::{sim::CrashMode, Region, RegionConfig, SimConfig};
 
     fn setup() -> (Arc<Pool>, ThreadHandle, POrderedMap) {
-        let pool = Pool::create(Region::new(RegionConfig::fast(64 << 20)), PoolConfig::default());
+        let pool = Pool::create(
+            Region::new(RegionConfig::fast(64 << 20)),
+            PoolConfig::default(),
+        );
         let h = pool.register();
         let m = POrderedMap::create(&h);
         (pool, h, m)
@@ -338,7 +364,18 @@ mod tests {
             m.insert(&h, k * 3, k);
         }
         let r = m.range(&h, 10, 30);
-        assert_eq!(r, vec![(12, 4), (15, 5), (18, 6), (21, 7), (24, 8), (27, 9), (30, 10)]);
+        assert_eq!(
+            r,
+            vec![
+                (12, 4),
+                (15, 5),
+                (18, 6),
+                (21, 7),
+                (24, 8),
+                (27, 9),
+                (30, 10)
+            ]
+        );
     }
 
     #[test]
@@ -370,8 +407,7 @@ mod tests {
         region.restore(&img);
         let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
         let m = POrderedMap::open(&pool, pool.root());
-        let want: Vec<(u64, u64)> =
-            (0..60).filter(|&k| k != 10).map(|k| (k, k + 500)).collect();
+        let want: Vec<(u64, u64)> = (0..60).filter(|&k| k != 10).map(|k| (k, k + 500)).collect();
         assert_eq!(m.collect_sorted(), want);
         // Usable after recovery.
         let h = pool.register();

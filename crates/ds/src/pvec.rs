@@ -52,12 +52,18 @@ impl PVec {
         h.init_cell_at::<u64>(PAddr(desc.0 + D_LEN), 0);
         h.init_cell_at::<u64>(PAddr(desc.0 + D_CAP), capacity);
         h.init_cell_at::<u64>(PAddr(desc.0 + D_DATA), data.0);
-        PVec { pool: Arc::clone(h.pool()), desc }
+        PVec {
+            pool: Arc::clone(h.pool()),
+            desc,
+        }
     }
 
     /// Re-opens a vector from its descriptor (after recovery).
     pub fn open(pool: &Arc<Pool>, desc: PAddr) -> PVec {
-        PVec { pool: Arc::clone(pool), desc }
+        PVec {
+            pool: Arc::clone(pool),
+            desc,
+        }
     }
 
     /// Persistent descriptor address.
@@ -175,7 +181,10 @@ mod tests {
     use respct_pmem::{sim::CrashMode, Region, RegionConfig, SimConfig};
 
     fn setup() -> (Arc<Pool>, ThreadHandle, PVec) {
-        let pool = Pool::create(Region::new(RegionConfig::fast(16 << 20)), PoolConfig::default());
+        let pool = Pool::create(
+            Region::new(RegionConfig::fast(16 << 20)),
+            PoolConfig::default(),
+        );
         let h = pool.register();
         let v = PVec::create(&h, 4);
         (pool, h, v)
@@ -224,13 +233,15 @@ mod tests {
         for i in 0..1000 {
             v.push(&h, i ^ 0xabcd);
         }
-        assert_eq!(v.collect(), (0..1000).map(|i| i ^ 0xabcd).collect::<Vec<_>>());
+        assert_eq!(
+            v.collect(),
+            (0..1000).map(|i| i ^ 0xabcd).collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn crash_rolls_back_all_mutations() {
-        let region =
-            Region::new(RegionConfig::sim(16 << 20, SimConfig::with_eviction(3, 11)));
+        let region = Region::new(RegionConfig::sim(16 << 20, SimConfig::with_eviction(3, 11)));
         let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
         let h = pool.register();
         let v = PVec::create(&h, 4);
@@ -266,8 +277,7 @@ mod tests {
     fn pop_then_push_then_crash_recovers_old_element() {
         // The upsert distinction: the recycled slot must roll back to the
         // *pre-pop* element, not the re-pushed one.
-        let region =
-            Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(2, 3)));
+        let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(2, 3)));
         let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
         let h = pool.register();
         let v = PVec::create(&h, 8);
@@ -283,6 +293,10 @@ mod tests {
         region.restore(&img);
         let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
         let v = PVec::open(&pool, pool.root());
-        assert_eq!(v.collect(), vec![111, 222], "slot must roll back to the pre-pop value");
+        assert_eq!(
+            v.collect(),
+            vec![111, 222],
+            "slot must roll back to the pre-pop value"
+        );
     }
 }

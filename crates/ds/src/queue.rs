@@ -48,12 +48,20 @@ impl PQueue {
         let desc = h.alloc(DESC_SIZE, 64);
         h.init_cell_at::<u64>(PAddr(desc.0 + DESC_HEAD), 0);
         h.init_cell_at::<u64>(PAddr(desc.0 + DESC_TAIL), 0);
-        PQueue { pool: Arc::clone(h.pool()), desc, lock: Mutex::new(()) }
+        PQueue {
+            pool: Arc::clone(h.pool()),
+            desc,
+            lock: Mutex::new(()),
+        }
     }
 
     /// Re-opens a queue from its descriptor (after recovery).
     pub fn open(pool: &Arc<Pool>, desc: PAddr) -> PQueue {
-        PQueue { pool: Arc::clone(pool), desc, lock: Mutex::new(()) }
+        PQueue {
+            pool: Arc::clone(pool),
+            desc,
+            lock: Mutex::new(()),
+        }
     }
 
     /// Persistent descriptor address.
@@ -153,7 +161,10 @@ mod tests {
     use respct_pmem::{Region, RegionConfig};
 
     fn setup() -> (Arc<Pool>, ThreadHandle, PQueue) {
-        let pool = Pool::create(Region::new(RegionConfig::fast(32 << 20)), PoolConfig::default());
+        let pool = Pool::create(
+            Region::new(RegionConfig::fast(32 << 20)),
+            PoolConfig::default(),
+        );
         let h = pool.register();
         let q = PQueue::create(&h);
         (pool, h, q)
@@ -217,7 +228,10 @@ mod tests {
             }
         });
         assert_eq!(popped.load(std::sync::atomic::Ordering::Relaxed), 1000);
-        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 999 * 1000 / 2);
+        assert_eq!(
+            total.load(std::sync::atomic::Ordering::Relaxed),
+            999 * 1000 / 2
+        );
         assert!(q.is_empty());
     }
 

@@ -30,7 +30,9 @@ impl TransientHashMap {
     pub fn new(nbuckets: usize) -> TransientHashMap {
         assert!(nbuckets > 0);
         let buckets = (0..nbuckets).map(|_| Mutex::new(None)).collect::<Vec<_>>();
-        TransientHashMap { buckets: buckets.into_boxed_slice() }
+        TransientHashMap {
+            buckets: buckets.into_boxed_slice(),
+        }
     }
 
     /// Inserts or updates; `true` when newly inserted.
@@ -96,7 +98,11 @@ impl TransientHashMap {
             cur = node.next.as_deref_mut();
         }
         let old = head.take();
-        *head = Some(Box::new(TNode { k, v: delta, next: old }));
+        *head = Some(Box::new(TNode {
+            k,
+            v: delta,
+            next: old,
+        }));
         delta
     }
 
@@ -126,7 +132,7 @@ impl TransientHashMap {
 impl BenchMap for TransientHashMap {
     type Ctx = ();
 
-    fn register(&self) -> () {}
+    fn register(&self) {}
 
     fn insert(&self, _ctx: &mut (), k: u64, v: u64) -> bool {
         TransientHashMap::insert(self, k, v)
@@ -172,7 +178,12 @@ impl Default for TransientQueue {
 impl TransientQueue {
     /// Creates an empty queue.
     pub fn new() -> TransientQueue {
-        TransientQueue { inner: Mutex::new(QInner { head: None, tail: std::ptr::null_mut() }) }
+        TransientQueue {
+            inner: Mutex::new(QInner {
+                head: None,
+                tail: std::ptr::null_mut(),
+            }),
+        }
     }
 
     /// Appends a value.
@@ -233,10 +244,10 @@ impl Drop for TransientQueue {
 impl BenchQueue for TransientQueue {
     type Ctx = ();
 
-    fn register(&self) -> () {}
+    fn register(&self) {}
 
     fn enqueue(&self, _ctx: &mut (), v: u64) {
-        TransientQueue::enqueue(self, v)
+        TransientQueue::enqueue(self, v);
     }
 
     fn dequeue(&self, _ctx: &mut ()) -> Option<u64> {

@@ -137,7 +137,13 @@ impl Default for LatencyModel {
 impl LatencyModel {
     /// DRAM: no extra cost.
     pub const fn dram() -> Self {
-        LatencyModel { pwb_ns: 0, pwb_drain_ns: 0, psync_ns: 0, store_ns: 0, load_ns: 0 }
+        LatencyModel {
+            pwb_ns: 0,
+            pwb_drain_ns: 0,
+            psync_ns: 0,
+            store_ns: 0,
+            load_ns: 0,
+        }
     }
 
     /// Optane-like: ~90 ns extra per flushed line, ~50 ns drain, a small
@@ -148,7 +154,13 @@ impl LatencyModel {
     /// for the transient queue on NVMM; these constants land the
     /// mini-benchmarks in the same band on this container).
     pub const fn optane() -> Self {
-        LatencyModel { pwb_ns: 2, pwb_drain_ns: 8, psync_ns: 50, store_ns: 1, load_ns: 1 }
+        LatencyModel {
+            pwb_ns: 2,
+            pwb_drain_ns: 8,
+            psync_ns: 50,
+            store_ns: 1,
+            load_ns: 1,
+        }
     }
 
     /// True when every component is zero (lets the hot path skip the spin).

@@ -33,10 +33,12 @@ pub mod latency;
 pub mod region;
 pub mod sim;
 pub mod stats;
+pub mod trace;
 
 pub use region::{Region, RegionConfig, RegionMode};
 pub use sim::{CacheSim, CrashImage, SimConfig};
 pub use stats::PmemStats;
+pub use trace::{TraceEvent, TraceMarker, TraceSink};
 
 /// Size of a cache line in bytes on every platform we model (x86-64).
 pub const CACHE_LINE: usize = 64;

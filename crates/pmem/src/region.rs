@@ -18,6 +18,7 @@ use std::sync::Arc;
 use crate::latency::{charge_ns, drain_psync, note_pwb, LatencyModel};
 use crate::sim::{CacheSim, CrashImage, CrashMode, SimConfig};
 use crate::stats::PmemStats;
+use crate::trace::{trace_tid, TraceEvent, TraceMarker, TraceSink};
 use crate::{arch, PAddr, Pod, CACHE_LINE};
 
 /// Operating mode of a [`Region`].
@@ -42,17 +43,26 @@ pub struct RegionConfig {
 impl RegionConfig {
     /// A fast-mode region with no modeled latency (DRAM-like).
     pub fn fast(size: usize) -> Self {
-        RegionConfig { size, mode: RegionMode::Fast(LatencyModel::dram()) }
+        RegionConfig {
+            size,
+            mode: RegionMode::Fast(LatencyModel::dram()),
+        }
     }
 
     /// A fast-mode region charging Optane-like latency.
     pub fn optane(size: usize) -> Self {
-        RegionConfig { size, mode: RegionMode::Fast(LatencyModel::optane()) }
+        RegionConfig {
+            size,
+            mode: RegionMode::Fast(LatencyModel::optane()),
+        }
     }
 
     /// A sim-mode region with the given simulator configuration.
     pub fn sim(size: usize, cfg: SimConfig) -> Self {
-        RegionConfig { size, mode: RegionMode::Sim(cfg) }
+        RegionConfig {
+            size,
+            mode: RegionMode::Sim(cfg),
+        }
     }
 }
 
@@ -65,6 +75,9 @@ pub struct Region {
     latency_free: bool,
     sim: Option<CacheSim>,
     stats: Arc<PmemStats>,
+    /// Optional persistency-event observer (set once, read on every access;
+    /// a single relaxed-ish atomic load when unset).
+    trace: std::sync::OnceLock<Arc<dyn TraceSink>>,
 }
 
 // SAFETY: the raw buffer is only accessed through atomic operations (or
@@ -110,6 +123,7 @@ impl Region {
             latency_free: latency.is_free(),
             sim,
             stats,
+            trace: std::sync::OnceLock::new(),
         };
         if let Some(sim) = &region.sim {
             sim.attach(region.buf);
@@ -134,6 +148,51 @@ impl Region {
         &self.stats
     }
 
+    /// Attaches a persistency-event observer. Every subsequent store, `pwb`,
+    /// `psync`, eviction, crash/restore, and runtime marker is reported to
+    /// `sink` (from the emitting thread). Works in both fast and sim mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sink is already attached (a region carries at most one
+    /// observer for its lifetime; create a fresh region per checked run).
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) {
+        assert!(self.trace.set(sink).is_ok(), "trace sink already attached");
+    }
+
+    /// Whether a trace sink is attached.
+    #[inline]
+    pub fn is_traced(&self) -> bool {
+        self.trace.get().is_some()
+    }
+
+    /// Reports a semantic runtime marker to the attached sink, if any.
+    /// Called by the ResPCT runtime at epoch/checkpoint/recovery boundaries.
+    #[inline]
+    pub fn trace_marker(&self, marker: TraceMarker) {
+        if let Some(sink) = self.trace.get() {
+            sink.event(&TraceEvent::Marker {
+                tid: trace_tid(),
+                marker,
+            });
+        }
+    }
+
+    #[inline]
+    fn emit(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.trace.get() {
+            sink.event(&f());
+        }
+    }
+
+    /// Reports an eviction the simulator performed while absorbing a store.
+    #[inline]
+    fn emit_eviction(&self, victim: Option<u64>) {
+        if let Some(line) = victim {
+            self.emit(|| TraceEvent::Eviction { line });
+        }
+    }
+
     #[inline]
     fn check(&self, addr: PAddr, size: usize, align: usize) {
         let off = addr.0 as usize;
@@ -142,7 +201,10 @@ impl Region {
             "pmem access out of bounds: {addr:?} + {size} > {}",
             self.size
         );
-        assert!(off % align == 0, "misaligned pmem access: {addr:?} align {align}");
+        assert!(
+            off.is_multiple_of(align),
+            "misaligned pmem access: {addr:?} align {align}"
+        );
     }
 
     #[inline]
@@ -161,13 +223,22 @@ impl Region {
     pub fn store<T: Pod>(&self, addr: PAddr, val: T) {
         let size = std::mem::size_of::<T>();
         self.check(addr, size, std::mem::align_of::<T>());
+        self.emit(|| TraceEvent::Store {
+            tid: trace_tid(),
+            addr: addr.0,
+            len: size as u64,
+        });
         // Fast path: word-sized stores compile to a single relaxed mov
         // (plus the amortized latency charge in NVMM-latency mode).
         if size == 8 && self.sim.is_none() {
             let mut w = 0u64;
             // SAFETY: `T` is Pod with size 8; copying its representation.
             unsafe {
-                std::ptr::copy_nonoverlapping(&val as *const T as *const u8, &mut w as *mut u64 as *mut u8, 8)
+                std::ptr::copy_nonoverlapping(
+                    &val as *const T as *const u8,
+                    &mut w as *mut u64 as *mut u8,
+                    8,
+                );
             };
             // SAFETY: in-bounds, 8-aligned (checked above).
             unsafe { (*(self.ptr(addr) as *const AtomicU64)).store(w, Ordering::Relaxed) };
@@ -181,7 +252,7 @@ impl Region {
         // SAFETY: `T: Pod` is plain data of `size <= 16` bytes; copying its
         // object representation into a byte buffer is valid.
         unsafe {
-            std::ptr::copy_nonoverlapping(&val as *const T as *const u8, bytes.as_mut_ptr(), size)
+            std::ptr::copy_nonoverlapping(&val as *const T as *const u8, bytes.as_mut_ptr(), size);
         };
         if let Some(sim) = &self.sim {
             self.store_bytes_sim(sim, addr, &bytes[..size]);
@@ -218,13 +289,18 @@ impl Region {
             charge_ns(self.latency.load_ns);
         }
         // SAFETY: `T: Pod` is valid for any bit pattern of its size.
-        let val = unsafe { std::ptr::read_unaligned(bytes.as_ptr() as *const T) };
-        val
+
+        unsafe { std::ptr::read_unaligned(bytes.as_ptr() as *const T) }
     }
 
     /// Bulk store (used for payload blocks, registry entries, app data).
     pub fn store_bytes(&self, addr: PAddr, data: &[u8]) {
         self.check(addr, data.len(), 1);
+        self.emit(|| TraceEvent::Store {
+            tid: trace_tid(),
+            addr: addr.0,
+            len: data.len() as u64,
+        });
         if let Some(sim) = &self.sim {
             self.store_bytes_sim(sim, addr, data);
         } else {
@@ -259,7 +335,7 @@ impl Region {
             // SAFETY: in-bounds (checked by caller); the shard lock
             // serializes against simulator line snapshots.
             unsafe { atomic_store_raw(self.buf.wrapping_add(cur), &data[off..off + chunk]) };
-            sim.note_store(guard, line);
+            self.emit_eviction(sim.note_store(guard, line));
             off += chunk;
         }
     }
@@ -271,6 +347,10 @@ impl Region {
     #[inline]
     pub fn pwb(&self, addr: PAddr) {
         self.check(addr, 1, 1);
+        self.emit(|| TraceEvent::Pwb {
+            tid: trace_tid(),
+            line: addr.line(),
+        });
         if let Some(sim) = &self.sim {
             sim.pwb(addr.line());
         } else {
@@ -297,6 +377,7 @@ impl Region {
     /// i.e. `sfence`).
     #[inline]
     pub fn psync(&self) {
+        self.emit(|| TraceEvent::Psync { tid: trace_tid() });
         if let Some(sim) = &self.sim {
             sim.psync();
         } else {
@@ -344,14 +425,32 @@ impl Region {
             );
             match res {
                 Ok(v) => {
-                    sim.note_store(guard, line);
+                    self.emit(|| TraceEvent::Store {
+                        tid: trace_tid(),
+                        addr: addr.0,
+                        len: 8,
+                    });
+                    self.emit_eviction(sim.note_store(guard, line));
                     Ok(v)
                 }
                 Err(v) => Err(v),
             }
         } else {
             // SAFETY: as above.
-            unsafe { &*ptr }.compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+            let res = unsafe { &*ptr }.compare_exchange(
+                current,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            if res.is_ok() {
+                self.emit(|| TraceEvent::Store {
+                    tid: trace_tid(),
+                    addr: addr.0,
+                    len: 8,
+                });
+            }
+            res
         }
     }
 
@@ -368,13 +467,18 @@ impl Region {
     #[inline]
     pub fn store_release_u64(&self, addr: PAddr, val: u64) {
         self.check(addr, 8, 8);
+        self.emit(|| TraceEvent::Store {
+            tid: trace_tid(),
+            addr: addr.0,
+            len: 8,
+        });
         if let Some(sim) = &self.sim {
             let line = addr.line();
             let guard = sim.lock_line(line);
             // SAFETY: in-bounds, 8-aligned (checked); serialized with the
             // simulator by the shard lock.
             unsafe { &*(self.ptr(addr) as *const AtomicU64) }.store(val, Ordering::Release);
-            sim.note_store(guard, line);
+            self.emit_eviction(sim.note_store(guard, line));
         } else {
             // SAFETY: as above.
             unsafe { &*(self.ptr(addr) as *const AtomicU64) }.store(val, Ordering::Release);
@@ -387,7 +491,13 @@ impl Region {
     ///
     /// Panics in fast mode (no simulator).
     pub fn crash(&self, mode: CrashMode) -> CrashImage {
-        let sim = self.sim.as_ref().expect("crash() requires a sim-mode region");
+        let sim = self
+            .sim
+            .as_ref()
+            .expect("crash() requires a sim-mode region");
+        self.emit(|| TraceEvent::Crash {
+            all_persisted: mode == CrashMode::EvictAll,
+        });
         sim.crash(mode)
     }
 
@@ -395,11 +505,15 @@ impl Region {
     /// the same region) and resets the simulator so persisted == volatile.
     pub fn restore(&self, image: &CrashImage) {
         assert_eq!(image.bytes.len(), self.size, "crash image size mismatch");
-        let sim = self.sim.as_ref().expect("restore() requires a sim-mode region");
+        let sim = self
+            .sim
+            .as_ref()
+            .expect("restore() requires a sim-mode region");
         // SAFETY: copying the full image into the owned buffer; callers only
         // restore while no application threads are running (reboot).
         unsafe { atomic_store_raw(self.buf, &image.bytes) };
         sim.reset_to(image);
+        self.emit(|| TraceEvent::Restore);
     }
 
     /// Forces every dirty line to the persisted image (clean shutdown /
@@ -407,6 +521,7 @@ impl Region {
     pub fn persist_all(&self) {
         if let Some(sim) = &self.sim {
             sim.persist_all();
+            self.emit(|| TraceEvent::PersistAll);
         }
     }
 
@@ -434,10 +549,16 @@ impl Region {
         if bytes.is_empty() || bytes.len() % CACHE_LINE != 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
-                format!("region file length {} is not a positive line multiple", bytes.len()),
+                format!(
+                    "region file length {} is not a positive line multiple",
+                    bytes.len()
+                ),
             ));
         }
-        let region = Region::new(RegionConfig { size: bytes.len(), mode });
+        let region = Region::new(RegionConfig {
+            size: bytes.len(),
+            mode,
+        });
         // SAFETY: writing the full owned buffer before any other handle to
         // the region exists.
         unsafe { atomic_store_raw(region.buf, &bytes) };
@@ -699,8 +820,11 @@ mod file_tests {
         let r = Region::new(RegionConfig::fast(8192));
         r.store(PAddr(128), 0xfeed_u64);
         r.save_file(&path).unwrap();
-        let r2 = Region::load_file(&path, RegionMode::Fast(crate::latency::LatencyModel::dram()))
-            .unwrap();
+        let r2 = Region::load_file(
+            &path,
+            RegionMode::Fast(crate::latency::LatencyModel::dram()),
+        )
+        .unwrap();
         assert_eq!(r2.size(), 8192);
         assert_eq!(r2.load::<u64>(PAddr(128)), 0xfeed);
         std::fs::remove_file(&path).unwrap();
@@ -714,8 +838,7 @@ mod file_tests {
         let r = Region::new(RegionConfig::fast(4096));
         r.store(PAddr(64), 7u64);
         r.save_file(&path).unwrap();
-        let r2 =
-            Region::load_file(&path, RegionMode::Sim(SimConfig::no_eviction(1))).unwrap();
+        let r2 = Region::load_file(&path, RegionMode::Sim(SimConfig::no_eviction(1))).unwrap();
         // The loaded content counts as already persistent.
         let img = r2.crash(crate::sim::CrashMode::PowerFailure);
         let v = u64::from_ne_bytes(img.bytes()[64..72].try_into().unwrap());

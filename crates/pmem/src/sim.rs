@@ -49,19 +49,28 @@ impl Default for SimConfig {
     fn default() -> Self {
         // Evict roughly one line per 32 stores: aggressive enough that
         // crash tests exercise partially-persisted epochs.
-        SimConfig { evict_one_in_log2: 5, seed: 0x5e5_0c75 }
+        SimConfig {
+            evict_one_in_log2: 5,
+            seed: 0x5e5_0c75,
+        }
     }
 }
 
 impl SimConfig {
     /// No random eviction: persistence only via `pwb`+`psync`.
     pub fn no_eviction(seed: u64) -> Self {
-        SimConfig { evict_one_in_log2: u32::MAX, seed }
+        SimConfig {
+            evict_one_in_log2: u32::MAX,
+            seed,
+        }
     }
 
     /// Evict one line in `2^log2` stores.
     pub fn with_eviction(log2: u32, seed: u64) -> Self {
-        SimConfig { evict_one_in_log2: log2, seed }
+        SimConfig {
+            evict_one_in_log2: log2,
+            seed,
+        }
     }
 }
 
@@ -86,6 +95,9 @@ pub(crate) struct Shard {
     rng: SmallRng,
 }
 
+/// Per-thread `pwb` snapshots awaiting a fence: (line index, line image).
+type PendingWrites = HashMap<ThreadId, Vec<(u64, [u8; CACHE_LINE])>>;
+
 /// The persistence simulator. One per sim-mode [`Region`](crate::Region).
 pub struct CacheSim {
     cfg: SimConfig,
@@ -95,7 +107,7 @@ pub struct CacheSim {
     size: usize,
     shards: Box<[Mutex<Shard>]>,
     /// Snapshots taken by `pwb` but not yet committed by `psync`, per thread.
-    pending: Mutex<HashMap<ThreadId, Vec<(u64, [u8; CACHE_LINE])>>>,
+    pending: Mutex<PendingWrites>,
     /// Content of lines with no entry in any shard's `persisted` map.
     baseline: Mutex<Vec<u8>>,
     stats: Arc<PmemStats>,
@@ -170,19 +182,17 @@ impl CacheSim {
         // region size recorded at construction). The shard lock serializes
         // this read against all sim-mode stores to the same line.
         unsafe {
-            std::ptr::copy_nonoverlapping(
-                (base + off) as *const u8,
-                out.as_mut_ptr(),
-                CACHE_LINE,
-            );
+            std::ptr::copy_nonoverlapping((base + off) as *const u8, out.as_mut_ptr(), CACHE_LINE);
         }
         out
     }
 
     /// Marks `line` dirty after a store and rolls the eviction dice.
+    /// Returns the evicted line, if the dice chose a victim (reported to the
+    /// region's trace sink by the caller).
     ///
     /// Consumes the shard guard that was held across the volatile write.
-    pub(crate) fn note_store(&self, mut guard: MutexGuard<'_, Shard>, line: u64) {
+    pub(crate) fn note_store(&self, mut guard: MutexGuard<'_, Shard>, line: u64) -> Option<u64> {
         self.stats.count_store();
         if !guard.dirty.contains(&line) {
             guard.dirty.push(line);
@@ -197,8 +207,10 @@ impl CacheSim {
                 let bytes = self.read_line(victim);
                 guard.persisted.insert(victim, bytes);
                 self.stats.count_eviction();
+                return Some(victim);
             }
         }
+        None
     }
 
     /// Simulates `pwb`: snapshot the line now; it persists at `psync`.
@@ -209,7 +221,11 @@ impl CacheSim {
             self.read_line(line)
         };
         let tid = std::thread::current().id();
-        self.pending.lock().entry(tid).or_default().push((line, bytes));
+        self.pending
+            .lock()
+            .entry(tid)
+            .or_default()
+            .push((line, bytes));
     }
 
     /// Simulates `psync`: commit this thread's pending `pwb` snapshots.
@@ -247,7 +263,7 @@ impl CacheSim {
             }
         }
         if mode == CrashMode::EvictAll {
-            for shard in self.shards.iter() {
+            for shard in &self.shards {
                 let mut guard = shard.lock();
                 let dirty = std::mem::take(&mut guard.dirty);
                 for line in dirty {
@@ -257,9 +273,9 @@ impl CacheSim {
             }
         }
         let mut bytes = self.baseline.lock().clone();
-        for shard in self.shards.iter() {
+        for shard in &self.shards {
             let guard = shard.lock();
-            for (&line, content) in guard.persisted.iter() {
+            for (&line, content) in &guard.persisted {
                 let off = line as usize * CACHE_LINE;
                 bytes[off..off + CACHE_LINE].copy_from_slice(content);
             }
@@ -270,7 +286,7 @@ impl CacheSim {
     /// Resets the simulator after the region restored from `image`: the
     /// persisted and volatile images are now identical.
     pub(crate) fn reset_to(&self, image: &CrashImage) {
-        for shard in self.shards.iter() {
+        for shard in &self.shards {
             let mut guard = shard.lock();
             guard.dirty.clear();
             guard.persisted.clear();
@@ -281,7 +297,7 @@ impl CacheSim {
 
     /// Forces every dirty line to the persisted image (clean shutdown).
     pub(crate) fn persist_all(&self) {
-        for shard in self.shards.iter() {
+        for shard in &self.shards {
             let mut guard = shard.lock();
             let dirty = std::mem::take(&mut guard.dirty);
             for line in dirty {

@@ -104,8 +104,18 @@ mod tests {
 
     #[test]
     fn since_saturates() {
-        let a = StatsSnapshot { pwb: 5, psync: 1, stores: 0, evictions: 0 };
-        let b = StatsSnapshot { pwb: 2, psync: 3, stores: 0, evictions: 0 };
+        let a = StatsSnapshot {
+            pwb: 5,
+            psync: 1,
+            stores: 0,
+            evictions: 0,
+        };
+        let b = StatsSnapshot {
+            pwb: 2,
+            psync: 3,
+            stores: 0,
+            evictions: 0,
+        };
         let d = a.since(&b);
         assert_eq!(d.pwb, 3);
         assert_eq!(d.psync, 0);

@@ -1,0 +1,167 @@
+//! Typed persistency-event tracing.
+//!
+//! A [`TraceSink`] attached to a [`Region`](crate::Region) observes every
+//! persistence-relevant action as a typed [`TraceEvent`]: raw stores, write
+//! backs (`pwb`), fences (`psync`), simulator evictions, crash/restore
+//! lifecycle, and semantic [`TraceMarker`]s emitted by the ResPCT runtime
+//! (epoch advances, checkpoint phases, InCLL logging, recovery). The event
+//! stream is what the `respct-analysis` crate replays against a cache-line
+//! state machine to check the algorithm's persistency discipline — the same
+//! division of labor as pmemcheck/PMTest, but with ResPCT-specific rules.
+//!
+//! Emission is zero-cost when no sink is attached (a single atomic load per
+//! operation) and the sink is deliberately `&self`-only so it can be shared
+//! across all application, checkpointer, and flusher threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically assigned per-thread token. Stable for the thread's
+/// lifetime; used instead of `std::thread::ThreadId` so events carry a small
+/// integer that is meaningful in diagnostics.
+pub fn trace_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Semantic markers emitted by the ResPCT runtime (not by the region
+/// itself). They give the trace checker the algorithm-level context that raw
+/// stores cannot convey: which bytes form an InCLL cell, when an epoch
+/// closes, what recovery rolled back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMarker {
+    /// An InCLL cell now lives at `addr`: `vsize` record bytes at offset 0,
+    /// a backup at `backup_off`, an 8-byte epoch tag at `epoch_off`.
+    CellDeclare {
+        addr: u64,
+        vsize: u32,
+        backup_off: u32,
+        epoch_off: u32,
+    },
+    /// The runtime wrote the in-line backup + epoch tag of the cell at
+    /// `addr` for `epoch`. Must precede the first record overwrite of that
+    /// epoch (the logging rule of paper Fig. 4, lines 24–29).
+    CellLogged { addr: u64, epoch: u64 },
+    /// `[addr, addr + len)` was freed: any cells inside are retired and the
+    /// memory may be rewritten as raw bytes (free-list links, new payload).
+    CellRetire { addr: u64, len: u64 },
+    /// `line` joined an epoch's tracking list (`add_modified` / cell
+    /// tracking): the next full checkpoint promises to flush it.
+    TrackLine { line: u64 },
+    /// Checkpoint started for the current `epoch` after quiescence. `full`
+    /// is false in `NoFlush` mode (tracked lines intentionally not written
+    /// back, so the missed-flush rule is suspended).
+    CheckpointBegin { epoch: u64, full: bool },
+    /// All checkpoint data flushes are claimed complete; the epoch-counter
+    /// store that commits the checkpoint follows. At this point no thread
+    /// may have an unfenced `pwb` of a tracked line in flight (the
+    /// cross-line ordering rule).
+    OrderBarrier,
+    /// The durable epoch counter advanced to `epoch` (must be the previous
+    /// epoch + 1).
+    EpochAdvance { epoch: u64 },
+    /// Checkpoint finished; `epoch` is the epoch it closed.
+    CheckpointEnd { epoch: u64 },
+    /// Recovery started; `failed_epoch` is the epoch being rolled back and
+    /// then re-executed.
+    RecoveryBegin { failed_epoch: u64 },
+    /// Recovery restored the cell at `addr` from its in-line backup.
+    RecoveryApply { addr: u64 },
+    /// Recovery finished; execution resumes in `epoch` (== the failed
+    /// epoch: ResPCT re-executes, it does not skip).
+    RecoveryEnd { epoch: u64 },
+    /// A thread passed the restart point `id` (diagnostic context only).
+    RestartPoint { slot: u64, id: u64 },
+}
+
+/// One persistence-relevant event, in global observation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `len` bytes were stored at region offset `addr` by thread `tid`.
+    Store { tid: u64, addr: u64, len: u64 },
+    /// Thread `tid` initiated a write-back of cache line `line`
+    /// (asynchronous: durable only after that thread's next `Psync`).
+    Pwb { tid: u64, line: u64 },
+    /// Thread `tid` drained its outstanding write-backs.
+    Psync { tid: u64 },
+    /// The simulator evicted `line`: its current content became durable at
+    /// an arbitrary moment, as PCSO allows.
+    Eviction { line: u64 },
+    /// A simulated crash. `all_persisted` is true for `EvictAll` (clean
+    /// shutdown: every dirty line and pending write-back reached NVMM).
+    Crash { all_persisted: bool },
+    /// The region's volatile image was restored from a crash image; the
+    /// persisted and volatile images are identical again.
+    Restore,
+    /// Every dirty line was forced to the persisted image (test setup).
+    PersistAll,
+    /// A semantic runtime marker. See [`TraceMarker`].
+    Marker { tid: u64, marker: TraceMarker },
+}
+
+/// Observer of a region's event stream.
+///
+/// Implementations must be cheap and re-entrant-safe: events arrive from
+/// every thread that touches the region, including the checkpointer and
+/// flusher pool, and may be emitted while region-internal locks are *not*
+/// held (event order across threads is observation order, which matches
+/// program order wherever the ResPCT quiescence protocol serializes the
+/// threads — exactly the windows the checker's rules care about).
+pub trait TraceSink: Send + Sync {
+    /// Called once per event.
+    fn event(&self, ev: &TraceEvent);
+}
+
+/// A sink that appends every event to a vector (tests, trace dumps).
+#[derive(Default)]
+pub struct VecSink {
+    events: parking_lot::Mutex<Vec<TraceEvent>>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the events recorded so far.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events.lock())
+    }
+}
+
+impl TraceSink for VecSink {
+    fn event(&self, ev: &TraceEvent) {
+        self.events.lock().push(*ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tids_are_stable_and_distinct() {
+        let a = trace_tid();
+        let b = trace_tid();
+        assert_eq!(a, b);
+        let other = std::thread::spawn(trace_tid).join().unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn vec_sink_records() {
+        let sink = VecSink::new();
+        sink.event(&TraceEvent::Psync { tid: 1 });
+        sink.event(&TraceEvent::Marker {
+            tid: 1,
+            marker: TraceMarker::OrderBarrier,
+        });
+        let evs = sink.drain();
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(evs[0], TraceEvent::Psync { tid: 1 }));
+        assert!(sink.drain().is_empty());
+    }
+}

@@ -123,6 +123,11 @@ impl Pool {
     /// Caller must have exclusive use of `slot` (see [`Pool::slot_state`]).
     pub(crate) unsafe fn free_raw(&self, slot: usize, addr: PAddr, size: u64) {
         if let Some(c) = class_of(size) {
+            self.region
+                .trace_marker(respct_pmem::TraceMarker::CellRetire {
+                    addr: addr.0,
+                    len: class_size(c),
+                });
             // SAFETY: forwarded caller contract.
             unsafe { self.slot_state(slot) }.frees.push((addr, c));
         }
@@ -212,18 +217,28 @@ mod tests {
     use std::sync::Arc;
 
     fn pool() -> Arc<Pool> {
-        Pool::create(Region::new(RegionConfig::fast(4 << 20)), PoolConfig::default())
+        Pool::create(
+            Region::new(RegionConfig::fast(4 << 20)),
+            PoolConfig::default(),
+        )
     }
 
     #[test]
     fn alloc_is_aligned_and_disjoint() {
         let p = pool();
         let mut seen: Vec<(u64, u64)> = Vec::new();
-        for (size, align) in [(8u64, 8u64), (24, 8), (64, 64), (100, 8), (4096, 64), (40, 8)] {
+        for (size, align) in [
+            (8u64, 8u64),
+            (24, 8),
+            (64, 64),
+            (100, 8),
+            (4096, 64),
+            (40, 8),
+        ] {
             // SAFETY: single-threaded test.
             let a = unsafe { p.alloc_raw(SYSTEM_SLOT, size, align) };
             assert_eq!(a.0 % align, 0, "misaligned block for ({size},{align})");
-            let block = class_of(size).map(class_size).unwrap_or(size);
+            let block = class_of(size).map_or(size, class_size);
             for &(s, e) in &seen {
                 assert!(a.0 + block <= s || a.0 >= e, "overlap");
             }

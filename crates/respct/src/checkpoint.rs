@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use respct_pmem::Region;
+use respct_pmem::{Region, TraceMarker};
 
 use crate::layout::{MAX_THREADS, OFF_EPOCH};
 use crate::pool::{CheckpointMode, Pool, SYSTEM_SLOT};
@@ -52,6 +52,11 @@ impl Pool {
             }
         }
         let waited = t0.elapsed();
+        let closing = self.epoch_mirror.load(Ordering::Relaxed);
+        self.region.trace_marker(TraceMarker::CheckpointBegin {
+            epoch: closing,
+            full: self.cfg.mode == CheckpointMode::Full,
+        });
 
         // All threads are parked: first sync the deferred allocator and
         // registry cursors into their InCLL cells (so the flush below
@@ -74,28 +79,59 @@ impl Pool {
                 }
             }
         }
+        // The per-slot lists only skip *adjacent* duplicates, and hot lines
+        // (bucket heads, shared descriptors) are tracked by several slots:
+        // without a global dedup a checkpoint writes the same line back many
+        // times over (the trace checker's RedundantFlush advisory counts
+        // them). One sort makes every write-back unique.
+        lines.sort_unstable();
+        lines.dedup();
         let nlines = lines.len() as u64;
 
         let tf = Instant::now();
         if self.cfg.mode == CheckpointMode::Full && !lines.is_empty() {
+            // Test-only injected faults: drop one write-back, or the fence
+            // that makes the write-backs durable before the epoch advance.
+            #[cfg(feature = "fault-inject")]
+            let skip_line: Option<u64> = self
+                .take_fault(crate::pool::Fault::SkipOneFlush)
+                .then(|| lines[lines.len() / 2]);
+            #[cfg(not(feature = "fault-inject"))]
+            let skip_line: Option<u64> = None;
+            #[cfg(feature = "fault-inject")]
+            let skip_fence = self.take_fault(crate::pool::Fault::SkipFence);
+            #[cfg(not(feature = "fault-inject"))]
+            let skip_fence = false;
             match &self.flushers {
-                Some(pool) => pool.flush(lines),
-                None => {
+                Some(pool) if skip_line.is_none() && !skip_fence => {
+                    pool.flush(lines);
+                }
+                _ => {
                     for &line in &lines {
+                        if Some(line) == skip_line {
+                            continue;
+                        }
                         self.region.pwb_line(line);
                     }
-                    self.region.psync();
+                    if !skip_fence {
+                        self.region.psync();
+                    }
                 }
             }
         }
         let flushed = tf.elapsed();
 
-        // Advance and persist the epoch counter (Fig. 4 lines 56–58).
+        // Advance and persist the epoch counter (Fig. 4 lines 56–58). The
+        // barrier marker asserts the ordering dependency this store has on
+        // every data flush above: all of them must be fenced by now.
+        self.region.trace_marker(TraceMarker::OrderBarrier);
         let closed = self.epoch_mirror.load(Ordering::Relaxed);
         self.region.store(OFF_EPOCH, closed + 1);
         self.region.pwb(OFF_EPOCH);
         self.region.psync();
         self.epoch_mirror.store(closed + 1, Ordering::SeqCst);
+        self.region
+            .trace_marker(TraceMarker::EpochAdvance { epoch: closed + 1 });
 
         // Blocks freed during the closed epoch are now safe to recycle;
         // push them onto the persistent free lists in the new epoch.
@@ -104,8 +140,14 @@ impl Pool {
         unsafe { self.drain_frees(SYSTEM_SLOT) };
 
         self.timer.store(false, Ordering::SeqCst);
-        self.ckpt_stats.record(nlines, waited, flushed, t0.elapsed());
-        CkptReport { closed_epoch: closed, lines: nlines }
+        self.ckpt_stats
+            .record(nlines, waited, flushed, t0.elapsed());
+        self.region
+            .trace_marker(TraceMarker::CheckpointEnd { epoch: closed });
+        CkptReport {
+            closed_epoch: closed,
+            lines: nlines,
+        }
     }
 
     /// Spawns a background thread that checkpoints every `period`.
@@ -127,7 +169,10 @@ impl Pool {
                 }
             })
             .expect("spawn checkpointer");
-        CheckpointerGuard { stop, handle: Some(handle) }
+        CheckpointerGuard {
+            stop,
+            handle: Some(handle),
+        }
     }
 }
 
@@ -187,7 +232,12 @@ impl FlusherPool {
                     .expect("spawn flusher"),
             );
         }
-        FlusherPool { workers, job_tx, done_rx, n }
+        FlusherPool {
+            workers,
+            job_tx,
+            done_rx,
+            n,
+        }
     }
 
     /// Flushes `lines`, partitioned across the pool; returns when all
@@ -265,7 +315,10 @@ mod tests {
         let region = Region::new(RegionConfig::sim(1 << 20, SimConfig::no_eviction(7)));
         let pool = Pool::create(
             Arc::clone(&region),
-            PoolConfig { mode: CheckpointMode::NoFlush, ..Default::default() },
+            PoolConfig {
+                mode: CheckpointMode::NoFlush,
+                ..Default::default()
+            },
         );
         let addr = PAddr(crate::layout::heap_start().0);
         region.store(addr, 0xabcdu64);

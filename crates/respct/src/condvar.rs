@@ -88,14 +88,21 @@ mod tests {
 
     #[test]
     fn checkpoint_completes_while_thread_waits() {
-        let pool = Pool::create(Region::new(RegionConfig::fast(4 << 20)), PoolConfig::default());
+        let pool = Pool::create(
+            Region::new(RegionConfig::fast(4 << 20)),
+            PoolConfig::default(),
+        );
         let mutex = Arc::new(Mutex::new(false));
         let cv = Arc::new(RCondvar::new());
         let released = Arc::new(AtomicBool::new(false));
 
         let waiter = {
-            let (pool, mutex, cv, released) =
-                (Arc::clone(&pool), Arc::clone(&mutex), Arc::clone(&cv), Arc::clone(&released));
+            let (pool, mutex, cv, released) = (
+                Arc::clone(&pool),
+                Arc::clone(&mutex),
+                Arc::clone(&cv),
+                Arc::clone(&released),
+            );
             std::thread::spawn(move || {
                 let h = pool.register();
                 h.rp(1);
@@ -128,7 +135,10 @@ mod tests {
         // Wake a waiter while a checkpoint is being held open by a second
         // worker; the waiter must park in checkpoint_prevent and only
         // proceed after the checkpoint finishes.
-        let pool = Pool::create(Region::new(RegionConfig::fast(4 << 20)), PoolConfig::default());
+        let pool = Pool::create(
+            Region::new(RegionConfig::fast(4 << 20)),
+            PoolConfig::default(),
+        );
         let mutex = Arc::new(Mutex::new(false));
         let cv = Arc::new(RCondvar::new());
         let resumed = Arc::new(AtomicBool::new(false));
@@ -148,8 +158,12 @@ mod tests {
 
         // Worker B: waits on the condvar.
         let worker_b = {
-            let (pool, mutex, cv, resumed) =
-                (Arc::clone(&pool), Arc::clone(&mutex), Arc::clone(&cv), Arc::clone(&resumed));
+            let (pool, mutex, cv, resumed) = (
+                Arc::clone(&pool),
+                Arc::clone(&mutex),
+                Arc::clone(&cv),
+                Arc::clone(&resumed),
+            );
             std::thread::spawn(move || {
                 let h = pool.register();
                 h.rp(2);
@@ -176,7 +190,10 @@ mod tests {
             cv.notify_all();
         }
         std::thread::sleep(Duration::from_millis(20));
-        assert!(!resumed.load(Ordering::SeqCst), "B must wait for the ongoing checkpoint");
+        assert!(
+            !resumed.load(Ordering::SeqCst),
+            "B must wait for the ongoing checkpoint"
+        );
         // Let A reach its RP; checkpoint completes; B resumes.
         a_go.store(true, Ordering::SeqCst);
         ck.join().unwrap();
@@ -187,7 +204,10 @@ mod tests {
 
     #[test]
     fn wait_for_times_out() {
-        let pool = Pool::create(Region::new(RegionConfig::fast(4 << 20)), PoolConfig::default());
+        let pool = Pool::create(
+            Region::new(RegionConfig::fast(4 << 20)),
+            PoolConfig::default(),
+        );
         let mutex = Mutex::new(());
         let cv = RCondvar::new();
         let h = pool.register();

@@ -69,7 +69,12 @@ impl<T: Pod> Copy for ICell<T> {}
 
 impl<T: Pod> std::fmt::Debug for ICell<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ICell<{}>({:#x})", std::any::type_name::<T>(), self.addr.0)
+        write!(
+            f,
+            "ICell<{}>({:#x})",
+            std::any::type_name::<T>(),
+            self.addr.0
+        )
     }
 }
 
@@ -81,8 +86,14 @@ impl<T: Pod> ICell<T> {
     /// address must point at a cell previously initialized with the same
     /// `T` (checked structurally: placement is validated on first use).
     pub fn from_addr(addr: PAddr) -> ICell<T> {
-        debug_assert!(cell_layout::<T>().fits_at(addr), "ICell at {addr:?} straddles a line");
-        ICell { addr, _marker: PhantomData }
+        debug_assert!(
+            cell_layout::<T>().fits_at(addr),
+            "ICell at {addr:?} straddles a line"
+        );
+        ICell {
+            addr,
+            _marker: PhantomData,
+        }
     }
 
     /// The cell's base address (also the address of `record`).

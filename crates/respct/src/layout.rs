@@ -54,12 +54,21 @@ impl CellLayout {
     /// two.
     pub const fn new(vsize: usize, valign: usize) -> CellLayout {
         assert!(valign.is_power_of_two());
-        assert!(vsize >= 1 && vsize <= 24, "InCLL values must be 1..=24 bytes");
+        assert!(
+            vsize >= 1 && vsize <= 24,
+            "InCLL values must be 1..=24 bytes"
+        );
         assert!(valign <= 8, "InCLL values align at most to 8");
         let backup_off = align_up(vsize as u64, valign as u64) as u32;
         let epoch_off = align_up(backup_off as u64 + vsize as u64, 8) as u32;
         let total = epoch_off + 8;
-        CellLayout { vsize: vsize as u32, valign: valign as u32, backup_off, epoch_off, total }
+        CellLayout {
+            vsize: vsize as u32,
+            valign: valign as u32,
+            backup_off,
+            epoch_off,
+            total,
+        }
     }
 
     /// Alignment the cell itself needs so that *any* in-bounds placement at
@@ -79,8 +88,8 @@ impl CellLayout {
     /// is aligned for its value type.
     pub const fn fits_at(&self, addr: PAddr) -> bool {
         let off = addr.0 % CACHE_LINE as u64;
-        addr.0 % self.valign as u64 == 0
-            && (addr.0 + self.epoch_off as u64) % 8 == 0
+        addr.0.is_multiple_of(self.valign as u64)
+            && (addr.0 + self.epoch_off as u64).is_multiple_of(8)
             && off + self.total as u64 <= CACHE_LINE as u64
     }
 
@@ -181,6 +190,12 @@ pub const fn reg_entry_off(i: u64) -> u64 {
     8 + i * 16
 }
 
+const _HEADER_FIELDS_DISJOINT: () = {
+    assert!(OFF_ROOT.0 >= OFF_EPOCH.0 + 8);
+    assert!(OFF_BUMP.0 >= OFF_ROOT.0 + 24);
+    assert!(OFF_FREELISTS.0 >= OFF_BUMP.0 + 24);
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,11 +255,10 @@ mod tests {
         assert_eq!(class_of(4097), None);
     }
 
+    // The purely-constant field bounds are checked at compile time below
+    // (`_HEADER_FIELDS_DISJOINT`); this test covers the computed ones.
     #[test]
     fn header_fields_do_not_overlap() {
-        assert!(OFF_ROOT.0 >= OFF_EPOCH.0 + 8);
-        assert!(OFF_BUMP.0 >= OFF_ROOT.0 + 24);
-        assert!(OFF_FREELISTS.0 >= OFF_BUMP.0 + 24);
         assert!(OFF_SLOTS.0 >= OFF_FREELISTS.0 + NUM_CLASSES as u64 * U64_CELL_SLOT);
         assert!(heap_start().0 >= slot_base(MAX_THREADS).0);
         // Every u64 cell slot in the header must fit its line.

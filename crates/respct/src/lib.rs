@@ -62,6 +62,8 @@ pub use alloc::CHUNK_SIZE;
 pub use checkpoint::{CheckpointerGuard, CkptReport};
 pub use condvar::RCondvar;
 pub use incll::{cell_layout, epoch_tag, tag_epoch, ICell};
+#[cfg(feature = "fault-inject")]
+pub use pool::Fault;
 pub use pool::{CheckpointMode, Pool, PoolConfig};
 pub use recovery::RecoveryReport;
 pub use stats::{CkptSnapshot, CkptStats};

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 
-use respct_pmem::{PAddr, Pod, Region};
+use respct_pmem::{PAddr, Pod, Region, TraceMarker};
 
 use crate::incll::{cell_layout, ICell};
 use crate::layout::{
@@ -34,6 +34,24 @@ pub enum CheckpointMode {
     NoFlush,
 }
 
+/// A persistency fault to inject into the runtime (test-only; behind the
+/// `fault-inject` feature). Each injected fault fires exactly once, at the
+/// next opportunity, and exists so tests can prove the trace checker
+/// actually detects the corresponding violation (non-vacuity).
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The next full checkpoint skips the `pwb` of one tracked line
+    /// (inline-flush path): a missed-flush bug.
+    SkipOneFlush,
+    /// The next first-update-in-epoch of an InCLL cell skips writing the
+    /// in-line backup + epoch tag: a logging-rule bug.
+    SkipLog,
+    /// The next full checkpoint omits the `psync` between the data flushes
+    /// and the epoch-counter store: a cross-line ordering bug.
+    SkipFence,
+}
+
 /// Pool construction parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct PoolConfig {
@@ -46,7 +64,10 @@ pub struct PoolConfig {
 
 impl Default for PoolConfig {
     fn default() -> Self {
-        PoolConfig { flusher_threads: 0, mode: CheckpointMode::Full }
+        PoolConfig {
+            flusher_threads: 0,
+            mode: CheckpointMode::Full,
+        }
     }
 }
 
@@ -108,6 +129,9 @@ pub struct Pool {
     pub(crate) ckpt_lock: Mutex<()>,
     pub(crate) ckpt_stats: CkptStats,
     pub(crate) flushers: Option<crate::checkpoint::FlusherPool>,
+    /// One-shot injected fault (test-only). See [`Fault`].
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fault: Mutex<Option<Fault>>,
 }
 
 /// The reserved slot used by the checkpointer and recovery.
@@ -135,7 +159,11 @@ impl Pool {
         Self::format_cell_u64(&region, OFF_ROOT, 0);
         Self::format_cell_u64(&region, OFF_BUMP, heap.0);
         for c in 0..NUM_CLASSES {
-            Self::format_cell_u64(&region, PAddr(OFF_FREELISTS.0 + c as u64 * U64_CELL_SLOT), 0);
+            Self::format_cell_u64(
+                &region,
+                PAddr(OFF_FREELISTS.0 + c as u64 * U64_CELL_SLOT),
+                0,
+            );
         }
         for i in 0..MAX_THREADS {
             let b = layout::slot_base(i);
@@ -156,6 +184,12 @@ impl Pool {
         region.store(addr, val);
         region.store(addr.offset(l.backup_off as u64), val);
         region.store(addr.offset(l.epoch_off as u64), 0u64);
+        region.trace_marker(TraceMarker::CellDeclare {
+            addr: addr.0,
+            vsize: l.vsize,
+            backup_off: l.backup_off,
+            epoch_off: l.epoch_off,
+        });
     }
 
     /// Builds the volatile side of a pool over an already-valid region.
@@ -164,7 +198,9 @@ impl Pool {
             .map(|i| CachePadded::new(AtomicBool::new(i == SYSTEM_SLOT)))
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        let active = (0..MAX_THREADS).map(|_| AtomicBool::new(false)).collect::<Vec<_>>();
+        let active = (0..MAX_THREADS)
+            .map(|_| AtomicBool::new(false))
+            .collect::<Vec<_>>();
         let u64_cell = |addr: PAddr| -> u64 { region.load(addr) };
         let slots = (0..MAX_THREADS)
             .map(|i| {
@@ -185,7 +221,10 @@ impl Pool {
             .collect::<Vec<_>>();
         let bump_vol = Mutex::new(u64_cell(OFF_BUMP));
         let flushers = if cfg.flusher_threads > 0 {
-            Some(crate::checkpoint::FlusherPool::new(cfg.flusher_threads, Arc::clone(&region)))
+            Some(crate::checkpoint::FlusherPool::new(
+                cfg.flusher_threads,
+                Arc::clone(&region),
+            ))
         } else {
             None
         };
@@ -205,7 +244,28 @@ impl Pool {
             ckpt_lock: Mutex::new(()),
             ckpt_stats: CkptStats::default(),
             flushers,
+            #[cfg(feature = "fault-inject")]
+            fault: Mutex::new(None),
         })
+    }
+
+    /// Arms a one-shot persistency fault. Test-only: lets the analysis
+    /// crate prove its checker catches real protocol violations.
+    #[cfg(feature = "fault-inject")]
+    pub fn inject_fault(&self, fault: Fault) {
+        *self.fault.lock() = Some(fault);
+    }
+
+    /// Consumes the armed fault if it matches `want`.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn take_fault(&self, want: Fault) -> bool {
+        let mut f = self.fault.lock();
+        if *f == Some(want) {
+            *f = None;
+            true
+        } else {
+            false
+        }
     }
 
     /// The underlying region.
@@ -256,8 +316,15 @@ impl Pool {
     /// `cell` if it is shared.
     #[inline]
     pub(crate) unsafe fn cell_update_raw<T: Pod>(&self, slot: usize, cell: ICell<T>, val: T) {
-        let epoch = crate::incll::epoch_tag(cell.addr(), self.epoch_mirror.load(Ordering::Relaxed));
+        let plain_epoch = self.epoch_mirror.load(Ordering::Relaxed);
+        let epoch = crate::incll::epoch_tag(cell.addr(), plain_epoch);
         let eid: u64 = self.region.load(cell.epoch_addr());
+        #[cfg(feature = "fault-inject")]
+        let eid = if self.take_fault(Fault::SkipLog) {
+            epoch
+        } else {
+            eid
+        };
         if eid != epoch {
             let old: T = self.region.load(cell.addr());
             self.region.store(cell.backup_addr(), old);
@@ -268,12 +335,17 @@ impl Pool {
             // (x86-TSO pins the hardware order).
             std::sync::atomic::compiler_fence(Ordering::Release);
             self.region.store(cell.epoch_addr(), epoch);
+            self.region.trace_marker(TraceMarker::CellLogged {
+                addr: cell.addr().0,
+                epoch: plain_epoch,
+            });
             // SAFETY: slot exclusivity per caller contract.
             let list = &mut unsafe { self.slot_state(slot) }.to_flush;
             let line = cell.addr().line();
             if list.last() != Some(&line) {
                 list.push(line);
             }
+            self.region.trace_marker(TraceMarker::TrackLine { line });
         }
         std::sync::atomic::compiler_fence(Ordering::Release);
         self.region.store(cell.addr(), val);
@@ -286,9 +358,17 @@ impl Pool {
     ///
     /// Slot exclusivity as for [`Pool::cell_update_raw`]; `addr` must be a
     /// fresh allocation that fits the cell (checked).
-    pub(crate) unsafe fn cell_init_raw<T: Pod>(&self, slot: usize, addr: PAddr, val: T) -> ICell<T> {
+    pub(crate) unsafe fn cell_init_raw<T: Pod>(
+        &self,
+        slot: usize,
+        addr: PAddr,
+        val: T,
+    ) -> ICell<T> {
         let l = cell_layout::<T>();
-        assert!(l.fits_at(addr), "ICell at {addr:?} would straddle a cache line");
+        assert!(
+            l.fits_at(addr),
+            "ICell at {addr:?} would straddle a cache line"
+        );
         let cell = ICell::<T>::from_addr(addr);
         let epoch = self.epoch_mirror.load(Ordering::Relaxed);
         // If this address already carries a valid tag (a recycled cell of
@@ -300,7 +380,20 @@ impl Pool {
         let already_registered = prev_epoch >= 1 && prev_epoch <= epoch;
         self.region.store(cell.addr(), val);
         self.region.store(cell.backup_addr(), val);
-        self.region.store(cell.epoch_addr(), crate::incll::epoch_tag(cell.addr(), epoch));
+        self.region.store(
+            cell.epoch_addr(),
+            crate::incll::epoch_tag(cell.addr(), epoch),
+        );
+        self.region.trace_marker(TraceMarker::CellDeclare {
+            addr: addr.0,
+            vsize: l.vsize,
+            backup_off: l.backup_off,
+            epoch_off: l.epoch_off,
+        });
+        self.region.trace_marker(TraceMarker::CellLogged {
+            addr: addr.0,
+            epoch,
+        });
         // SAFETY: forwarded caller contract.
         unsafe {
             if !already_registered {
@@ -308,6 +401,8 @@ impl Pool {
             }
             self.slot_state(slot).to_flush.push(addr.line());
         }
+        self.region
+            .trace_marker(TraceMarker::TrackLine { line: addr.line() });
         cell
     }
 
@@ -320,7 +415,12 @@ impl Pool {
     /// # Safety
     ///
     /// As for [`Pool::cell_init_raw`].
-    pub(crate) unsafe fn cell_upsert_raw<T: Pod>(&self, slot: usize, addr: PAddr, val: T) -> ICell<T> {
+    pub(crate) unsafe fn cell_upsert_raw<T: Pod>(
+        &self,
+        slot: usize,
+        addr: PAddr,
+        val: T,
+    ) -> ICell<T> {
         let cell = ICell::<T>::from_addr(addr);
         let epoch = self.epoch_mirror.load(Ordering::Relaxed);
         let stored: u64 = self.region.load(cell.epoch_addr());
@@ -366,6 +466,7 @@ impl Pool {
             if st.to_flush.last() != Some(&line) {
                 st.to_flush.push(line);
             }
+            self.region.trace_marker(TraceMarker::TrackLine { line });
         }
     }
 
@@ -440,7 +541,13 @@ mod tests {
         // Only one tracking entry despite two updates.
         // SAFETY: single-threaded test.
         let st = unsafe { pool.slot_state(SYSTEM_SLOT) };
-        assert_eq!(st.to_flush.iter().filter(|&&l| l == cell.addr().line()).count(), 1);
+        assert_eq!(
+            st.to_flush
+                .iter()
+                .filter(|&&l| l == cell.addr().line())
+                .count(),
+            1
+        );
     }
 
     #[test]

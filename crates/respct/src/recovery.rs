@@ -24,7 +24,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use respct_pmem::{PAddr, Region};
+use respct_pmem::{PAddr, Region, TraceMarker};
 
 use crate::layout::{
     self, CellLayout, MAGIC, MAX_THREADS, NUM_CLASSES, OFF_BUMP, OFF_EPOCH, OFF_FREELISTS,
@@ -65,6 +65,7 @@ fn roll_back_cell(
     let mut buf = [0u8; 24];
     let v = &mut buf[..l.vsize as usize];
     region.load_bytes(addr.offset(l.backup_off as u64), v);
+    region.trace_marker(TraceMarker::RecoveryApply { addr: addr.0 });
     region.store_bytes(addr, v);
     lines.push(addr.line());
     true
@@ -91,8 +92,13 @@ impl Pool {
         let threads = threads.max(1);
         let t0 = Instant::now();
         assert_eq!(region.load::<u64>(OFF_MAGIC), MAGIC, "not a ResPCT pool");
-        assert_eq!(region.load::<u64>(layout::OFF_SIZE), region.size() as u64, "size mismatch");
+        assert_eq!(
+            region.load::<u64>(layout::OFF_SIZE),
+            region.size() as u64,
+            "size mismatch"
+        );
         let failed_epoch: u64 = region.load(OFF_EPOCH);
+        region.trace_marker(TraceMarker::RecoveryBegin { failed_epoch });
 
         let u64_layout = CellLayout::new(8, 8);
         let mut lines: Vec<u64> = Vec::new();
@@ -161,7 +167,10 @@ impl Pool {
                         (scanned, rolled, lines)
                     }));
                 }
-                joins.into_iter().map(|j| j.join().expect("recovery worker")).collect()
+                joins
+                    .into_iter()
+                    .map(|j| j.join().expect("recovery worker"))
+                    .collect()
             });
             for (s, r, mut l) in results {
                 scanned += s;
@@ -175,7 +184,15 @@ impl Pool {
         // checkpoint.
         // SAFETY: no application thread is registered yet; recovery has
         // exclusive access to the system slot.
-        unsafe { pool.slot_state(SYSTEM_SLOT) }.to_flush.append(&mut lines);
+        for &line in &lines {
+            region.trace_marker(TraceMarker::TrackLine { line });
+        }
+        unsafe { pool.slot_state(SYSTEM_SLOT) }
+            .to_flush
+            .append(&mut lines);
+        region.trace_marker(TraceMarker::RecoveryEnd {
+            epoch: failed_epoch,
+        });
 
         let report = RecoveryReport {
             failed_epoch,
@@ -195,7 +212,10 @@ mod tests {
     use respct_pmem::{RegionConfig, SimConfig};
 
     fn sim_region(seed: u64) -> Arc<Region> {
-        Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(3, seed)))
+        Region::new(RegionConfig::sim(
+            8 << 20,
+            SimConfig::with_eviction(3, seed),
+        ))
     }
 
     /// Crash the pool and come back up on the same region.
@@ -217,7 +237,11 @@ mod tests {
         drop(pool);
         let (pool2, report) = crash_and_recover(&region);
         assert_eq!(report.failed_epoch, 2);
-        assert_eq!(pool2.cell_get(c), 10, "update from the crashed epoch must roll back");
+        assert_eq!(
+            pool2.cell_get(c),
+            10,
+            "update from the crashed epoch must roll back"
+        );
     }
 
     #[test]
@@ -300,7 +324,11 @@ mod tests {
         drop(pool2);
         let (pool3, report3) = crash_and_recover(&region);
         assert_eq!(report3.failed_epoch, 3);
-        assert_eq!(pool3.cell_get(c), 60, "checkpointed re-execution must survive");
+        assert_eq!(
+            pool3.cell_get(c),
+            60,
+            "checkpointed re-execution must survive"
+        );
     }
 
     #[test]

@@ -36,7 +36,8 @@ impl Pool {
         let (tail, used) = if tail == 0 || used == REG_CHUNK_ENTRIES {
             // SAFETY: forwarded caller contract.
             let chunk = unsafe { self.alloc_raw(slot, REG_CHUNK_SIZE, 64) };
-            self.region.store(PAddr(chunk.0 + layout::REG_CHUNK_NEXT), 0u64);
+            self.region
+                .store(PAddr(chunk.0 + layout::REG_CHUNK_NEXT), 0u64);
             // SAFETY: forwarded caller contract.
             unsafe { self.add_modified_raw(slot, chunk, 8) };
             if tail == 0 {
@@ -76,8 +77,9 @@ impl Pool {
     pub(crate) unsafe fn rebuild_registry_cache(&self, slot: usize) {
         // SAFETY: forwarded caller contract.
         let len = unsafe { self.slot_state(slot) }.reg_len;
-        let head: u64 =
-            self.region.load(PAddr(layout::slot_base(slot).0 + layout::SLOT_REG_HEAD));
+        let head: u64 = self
+            .region
+            .load(PAddr(layout::slot_base(slot).0 + layout::SLOT_REG_HEAD));
         let (tail, used) = if len == 0 {
             // An earlier incarnation may have linked chunks whose entries
             // all rolled back; reuse the first chunk if present.
@@ -106,11 +108,15 @@ impl Pool {
         len: u64,
         mut f: impl FnMut(PAddr, CellLayout),
     ) {
-        let mut chunk: u64 =
-            self.region.load(PAddr(layout::slot_base(slot).0 + layout::SLOT_REG_HEAD));
+        let mut chunk: u64 = self
+            .region
+            .load(PAddr(layout::slot_base(slot).0 + layout::SLOT_REG_HEAD));
         let mut seen = 0u64;
         while seen < len {
-            assert!(chunk != 0, "registry chain truncated: {seen} of {len} entries");
+            assert!(
+                chunk != 0,
+                "registry chain truncated: {seen} of {len} entries"
+            );
             let in_chunk = (len - seen).min(REG_CHUNK_ENTRIES);
             for i in 0..in_chunk {
                 let entry = PAddr(chunk + layout::reg_entry_off(i));
@@ -134,7 +140,9 @@ impl Pool {
     /// Total registered cells across all slots, as of the last checkpoint
     /// (the volatile cursors are synced to their cells at each checkpoint).
     pub fn registered_cells(&self) -> u64 {
-        (0..layout::MAX_THREADS).map(|s| self.reg_len_persistent(s)).sum()
+        (0..layout::MAX_THREADS)
+            .map(|s| self.reg_len_persistent(s))
+            .sum()
     }
 }
 
@@ -146,7 +154,10 @@ mod tests {
 
     #[test]
     fn register_and_iterate() {
-        let p = Pool::create(Region::new(RegionConfig::fast(8 << 20)), PoolConfig::default());
+        let p = Pool::create(
+            Region::new(RegionConfig::fast(8 << 20)),
+            PoolConfig::default(),
+        );
         let l = cell_layout::<u64>();
         let mut expect = Vec::new();
         for _ in 0..600 {
@@ -169,7 +180,10 @@ mod tests {
 
     #[test]
     fn rebuild_cache_matches_append_state() {
-        let p = Pool::create(Region::new(RegionConfig::fast(8 << 20)), PoolConfig::default());
+        let p = Pool::create(
+            Region::new(RegionConfig::fast(8 << 20)),
+            PoolConfig::default(),
+        );
         let l = cell_layout::<u32>();
         for _ in 0..300 {
             // SAFETY: single-threaded test.
@@ -198,7 +212,10 @@ mod tests {
 
     #[test]
     fn empty_registry_iterates_nothing() {
-        let p = Pool::create(Region::new(RegionConfig::fast(1 << 20)), PoolConfig::default());
+        let p = Pool::create(
+            Region::new(RegionConfig::fast(1 << 20)),
+            PoolConfig::default(),
+        );
         let mut n = 0;
         p.for_each_registered(3, p.reg_len_persistent(3), |_a: PAddr, _l| n += 1);
         assert_eq!(n, 0);

@@ -32,9 +32,12 @@ impl CkptStats {
     pub(crate) fn record(&self, lines: u64, wait: Duration, flush: Duration, total: Duration) {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.lines_flushed.fetch_add(lines, Ordering::Relaxed);
-        self.wait_ns.fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
-        self.flush_ns.fetch_add(flush.as_nanos() as u64, Ordering::Relaxed);
-        self.total_ns.fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
+        self.wait_ns
+            .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+        self.flush_ns
+            .fetch_add(flush.as_nanos() as u64, Ordering::Relaxed);
+        self.total_ns
+            .fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Snapshot of the counters.
@@ -61,11 +64,9 @@ impl CkptSnapshot {
 
     /// Mean checkpoint duration.
     pub fn mean_duration(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(self.total_ns / self.count)
-        }
+        self.total_ns
+            .checked_div(self.count)
+            .map_or(Duration::ZERO, Duration::from_nanos)
     }
 }
 
@@ -76,8 +77,18 @@ mod tests {
     #[test]
     fn record_and_means() {
         let s = CkptStats::default();
-        s.record(100, Duration::from_micros(10), Duration::from_micros(20), Duration::from_micros(40));
-        s.record(300, Duration::from_micros(10), Duration::from_micros(20), Duration::from_micros(60));
+        s.record(
+            100,
+            Duration::from_micros(10),
+            Duration::from_micros(20),
+            Duration::from_micros(40),
+        );
+        s.record(
+            300,
+            Duration::from_micros(10),
+            Duration::from_micros(20),
+            Duration::from_micros(60),
+        );
         let snap = s.snapshot();
         assert_eq!(snap.count, 2);
         assert_eq!(snap.lines_flushed, 400);

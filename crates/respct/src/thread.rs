@@ -93,7 +93,9 @@ impl ThreadHandle {
         // SAFETY: this thread owns `slot` (handle is `!Sync`) and is not
         // parked (it is running this code outside `rp()`).
         unsafe {
-            let addr = self.pool.alloc_raw(self.slot, l.total as u64, l.natural_align());
+            let addr = self
+                .pool
+                .alloc_raw(self.slot, l.total as u64, l.natural_align());
             self.pool.cell_init_raw(self.slot, addr, val)
         }
     }
@@ -181,6 +183,12 @@ impl ThreadHandle {
     /// resume), then parks if a checkpoint is pending.
     pub fn rp(&self, id: u64) {
         let epoch = self.pool.epoch();
+        self.pool
+            .region
+            .trace_marker(respct_pmem::TraceMarker::RestartPoint {
+                slot: self.slot as u64,
+                id,
+            });
         if self.last_rp.get() != (id, epoch) {
             let rp_cell = self.pool.slot_cell(self.slot, layout::SLOT_RP_ID);
             self.update(rp_cell, id);
@@ -193,7 +201,8 @@ impl ThreadHandle {
 
     /// The last restart-point id persisted by this thread slot.
     pub fn last_rp(&self) -> u64 {
-        self.pool.cell_get(self.pool.slot_cell(self.slot, layout::SLOT_RP_ID))
+        self.pool
+            .cell_get(self.pool.slot_cell(self.slot, layout::SLOT_RP_ID))
     }
 
     /// Parks until no checkpoint is pending, with the flag raised while
@@ -283,7 +292,9 @@ impl ThreadHandle {
 
 impl std::fmt::Debug for ThreadHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadHandle").field("slot", &self.slot).finish()
+        f.debug_struct("ThreadHandle")
+            .field("slot", &self.slot)
+            .finish()
     }
 }
 
@@ -305,7 +316,10 @@ mod tests {
     use std::time::Duration;
 
     fn pool() -> Arc<Pool> {
-        Pool::create(Region::new(RegionConfig::fast(8 << 20)), PoolConfig::default())
+        Pool::create(
+            Region::new(RegionConfig::fast(8 << 20)),
+            PoolConfig::default(),
+        )
     }
 
     #[test]

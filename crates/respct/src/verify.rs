@@ -7,8 +7,10 @@
 
 use respct_pmem::PAddr;
 
+use crate::incll::tag_epoch;
 use crate::layout::{
-    self, CellLayout, MAGIC, MAX_THREADS, NUM_CLASSES, OFF_MAGIC, OFF_SIZE, REG_CHUNK_ENTRIES,
+    self, CellLayout, MAGIC, MAX_THREADS, NUM_CLASSES, OFF_BUMP, OFF_EPOCH, OFF_FREELISTS,
+    OFF_MAGIC, OFF_ROOT, OFF_SIZE, REG_CHUNK_ENTRIES, U64_CELL_SLOT,
 };
 use crate::pool::Pool;
 
@@ -35,6 +37,11 @@ pub enum ViolationKind {
     FreeList,
     /// An allocator cursor is out of bounds or inconsistent.
     Allocator,
+    /// Epoch-tag indiscipline: the persistent epoch counter disagrees with
+    /// the volatile mirror, or a cell's tag decodes to an epoch the pool has
+    /// not reached yet (a tag from the future can silently suppress logging
+    /// when that epoch arrives, destroying the undo chain).
+    Epoch,
 }
 
 /// Result of [`Pool::verify`].
@@ -64,8 +71,7 @@ impl Pool {
         let region = self.region();
         let size = region.size() as u64;
         // Collect, don't abort: report everything found.
-        let mut fail =
-            |kind, detail: String| violations.push(Violation { kind, detail });
+        let mut fail = |kind, detail: String| violations.push(Violation { kind, detail });
 
         // Header.
         if region.load::<u64>(OFF_MAGIC) != MAGIC {
@@ -75,11 +81,63 @@ impl Pool {
             fail(ViolationKind::Header, "recorded size != region size".into());
         }
 
+        // Epoch-tag discipline. In any quiescent state the persistent epoch
+        // counter matches the volatile mirror, and no cell carries a tag
+        // from an epoch the pool has not reached (a "future" tag would make
+        // `update_InCLL` skip logging when that epoch arrives). Tags that
+        // decode far beyond the horizon are uninitialized noise (the
+        // address mixing spreads garbage over the full u64 range), so only
+        // the plausible window is flagged.
+        let epoch = self.epoch();
+        let persistent_epoch = region.load::<u64>(OFF_EPOCH);
+        if persistent_epoch != epoch {
+            fail(
+                ViolationKind::Epoch,
+                format!("persistent epoch {persistent_epoch} != volatile mirror {epoch}"),
+            );
+        }
+        const EPOCH_HORIZON: u64 = 1 << 20;
+        let bad_tag = |addr: PAddr, l: CellLayout| -> Option<u64> {
+            let stored: u64 = region.load(addr.offset(l.epoch_off as u64));
+            let e = tag_epoch(addr, stored);
+            (e > epoch && e <= epoch + EPOCH_HORIZON).then_some(e)
+        };
+        let u64_layout = CellLayout::new(8, 8);
+        let mut fixed: Vec<(PAddr, &str)> = vec![(OFF_ROOT, "root cell"), (OFF_BUMP, "bump cell")];
+        for c in 0..NUM_CLASSES {
+            fixed.push((
+                PAddr(OFF_FREELISTS.0 + c as u64 * U64_CELL_SLOT),
+                "free-list cell",
+            ));
+        }
+        for slot in 0..MAX_THREADS {
+            let b = layout::slot_base(slot).0;
+            for f in [
+                layout::SLOT_RP_ID,
+                layout::SLOT_ALLOC_CUR,
+                layout::SLOT_ALLOC_END,
+                layout::SLOT_REG_LEN,
+            ] {
+                fixed.push((PAddr(b + f), "slot cell"));
+            }
+        }
+        for (addr, what) in fixed {
+            if let Some(e) = bad_tag(addr, u64_layout) {
+                fail(
+                    ViolationKind::Epoch,
+                    format!("{what} at {addr:?}: tag epoch {e} > pool epoch {epoch}"),
+                );
+            }
+        }
+
         // Allocator cursors.
         let heap = layout::heap_start().0;
         let bump = self.cell_get(self.bump_cell());
         if !(heap..=size).contains(&bump) {
-            fail(ViolationKind::Allocator, format!("bump cell {bump} outside [{heap}, {size}]"));
+            fail(
+                ViolationKind::Allocator,
+                format!("bump cell {bump} outside [{heap}, {size}]"),
+            );
         }
 
         // Registries + registered cells.
@@ -114,8 +172,14 @@ impl Pool {
                             } else if !l.fits_at(PAddr(addr)) {
                                 fail(
                                     ViolationKind::CellPlacement,
+                                    format!("slot {slot} entry {i}: cell {addr} straddles a line"),
+                                );
+                            } else if let Some(e) = bad_tag(PAddr(addr), l) {
+                                fail(
+                                    ViolationKind::Epoch,
                                     format!(
-                                        "slot {slot} entry {i}: cell {addr} straddles a line"
+                                        "slot {slot} entry {i}: cell {addr} tag epoch {e} > \
+                                         pool epoch {epoch}"
                                     ),
                                 );
                             }
@@ -139,20 +203,25 @@ impl Pool {
             let mut steps = 0u64;
             let limit = size / 16 + 1;
             while cur != 0 {
-                if cur % 8 != 0 || cur >= size {
-                    fail(ViolationKind::FreeList, format!("class {c}: wild pointer {cur:#x}"));
+                if !cur.is_multiple_of(8) || cur >= size {
+                    fail(
+                        ViolationKind::FreeList,
+                        format!("class {c}: wild pointer {cur:#x}"),
+                    );
                     break;
                 }
                 report.free_blocks += 1;
                 steps += 1;
                 if steps > limit {
-                    fail(ViolationKind::FreeList, format!("class {c}: cycle detected"));
+                    fail(
+                        ViolationKind::FreeList,
+                        format!("class {c}: cycle detected"),
+                    );
                     break;
                 }
                 cur = region.load(PAddr(cur));
             }
         }
-        drop(fail);
         report.violations = violations;
         report
     }
@@ -164,10 +233,7 @@ impl CellLayout {
     pub fn decode_checked(meta: u64) -> Option<CellLayout> {
         let vsize = (meta & 0xff) as usize;
         let valign = ((meta >> 8) & 0xff) as usize;
-        if meta >> 16 != 0
-            || !(1..=24).contains(&vsize)
-            || !valign.is_power_of_two()
-            || valign > 8
+        if meta >> 16 != 0 || !(1..=24).contains(&vsize) || !valign.is_power_of_two() || valign > 8
         {
             return None;
         }
@@ -184,14 +250,20 @@ mod tests {
 
     #[test]
     fn fresh_pool_is_clean() {
-        let pool = Pool::create(Region::new(RegionConfig::fast(4 << 20)), PoolConfig::default());
+        let pool = Pool::create(
+            Region::new(RegionConfig::fast(4 << 20)),
+            PoolConfig::default(),
+        );
         let r = pool.verify();
         assert!(r.is_clean(), "{:?}", r.violations);
     }
 
     #[test]
     fn pool_with_cells_and_frees_is_clean() {
-        let pool = Pool::create(Region::new(RegionConfig::fast(16 << 20)), PoolConfig::default());
+        let pool = Pool::create(
+            Region::new(RegionConfig::fast(16 << 20)),
+            PoolConfig::default(),
+        );
         let h = pool.register();
         let mut blocks = Vec::new();
         for i in 0..500u64 {
@@ -233,7 +305,10 @@ mod tests {
 
     #[test]
     fn corrupted_magic_detected() {
-        let pool = Pool::create(Region::new(RegionConfig::fast(4 << 20)), PoolConfig::default());
+        let pool = Pool::create(
+            Region::new(RegionConfig::fast(4 << 20)),
+            PoolConfig::default(),
+        );
         pool.region().store(OFF_MAGIC, 0xbad_c0de_u64);
         let r = pool.verify();
         assert!(!r.is_clean());
@@ -242,7 +317,10 @@ mod tests {
 
     #[test]
     fn corrupted_registry_detected() {
-        let pool = Pool::create(Region::new(RegionConfig::fast(4 << 20)), PoolConfig::default());
+        let pool = Pool::create(
+            Region::new(RegionConfig::fast(4 << 20)),
+            PoolConfig::default(),
+        );
         let h = pool.register();
         for i in 0..10u64 {
             h.alloc_cell(i);
@@ -250,9 +328,51 @@ mod tests {
         h.checkpoint_here();
         // Smash the slot's registry head.
         let slot_base = layout::slot_base(h.slot()).0;
-        pool.region().store(PAddr(slot_base + layout::SLOT_REG_HEAD), u64::MAX);
+        pool.region()
+            .store(PAddr(slot_base + layout::SLOT_REG_HEAD), u64::MAX);
         let r = pool.verify();
-        assert!(r.violations.iter().any(|v| v.kind == ViolationKind::Registry), "{r:?}");
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::Registry),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn epoch_counter_mismatch_detected() {
+        let pool = Pool::create(
+            Region::new(RegionConfig::fast(4 << 20)),
+            PoolConfig::default(),
+        );
+        pool.region().store(OFF_EPOCH, 99u64); // persistent counter diverges
+        let r = pool.verify();
+        assert!(
+            r.violations.iter().any(|v| v.kind == ViolationKind::Epoch),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn future_epoch_tag_detected() {
+        let pool = Pool::create(
+            Region::new(RegionConfig::fast(4 << 20)),
+            PoolConfig::default(),
+        );
+        let h = pool.register();
+        let c = h.alloc_cell(7u64);
+        h.checkpoint_here();
+        // Stamp the cell with a tag from an epoch the pool hasn't reached:
+        // update_InCLL would skip logging when that epoch arrives.
+        let l = crate::incll::cell_layout::<u64>();
+        let tag = crate::incll::epoch_tag(c.addr(), pool.epoch() + 5);
+        pool.region()
+            .store(c.addr().offset(l.epoch_off as u64), tag);
+        let r = pool.verify();
+        assert!(
+            r.violations.iter().any(|v| v.kind == ViolationKind::Epoch),
+            "{r:?}"
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ fn main() {
     });
 
     let live_total: u64 = cells.iter().map(|&c| pool.cell_get(c)).sum();
-    println!("after {} transfers: live total = {live_total}", THREADS * TRANSFERS);
+    println!(
+        "after {} transfers: live total = {live_total}",
+        THREADS * TRANSFERS
+    );
     assert_eq!(live_total, (ACCOUNTS as u64) * INITIAL);
 
     // Crash mid-flight (whatever epoch is open is lost), then recover.
@@ -96,7 +99,9 @@ fn main() {
     let recovered_total: u64 = (0..ACCOUNTS)
         .map(|i| {
             let cell_addr: u64 = pool.region().load(table.offset(i as u64 * 8));
-            pool.cell_get(ICell::<u64>::from_addr(respct_repro::pmem::PAddr(cell_addr)))
+            pool.cell_get(ICell::<u64>::from_addr(respct_repro::pmem::PAddr(
+                cell_addr,
+            )))
         })
         .sum();
     println!("recovered total = {recovered_total}");

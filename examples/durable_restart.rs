@@ -25,10 +25,13 @@ fn main() {
         }
         h.set_root(map.desc());
         h.checkpoint_here(); // consistent cut
-        // Mutations after the checkpoint are *not* durable yet…
+                             // Mutations after the checkpoint are *not* durable yet…
         map.insert(&h, 99, 1);
         region.save_file(&path).expect("save pool image");
-        println!("process 1: saved pool ({} entries live, 5 checkpointed)", map.len());
+        println!(
+            "process 1: saved pool ({} entries live, 5 checkpointed)",
+            map.len()
+        );
     }
 
     // ---- Process 2: load the image, recover, verify, continue.

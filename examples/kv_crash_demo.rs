@@ -17,7 +17,10 @@ use respct_repro::respct::{Pool, PoolConfig};
 fn main() {
     // Aggressive random eviction: roughly one line in eight writes back at
     // an arbitrary moment, so the crashed epoch is *partially* persistent.
-    let region = Region::new(RegionConfig::sim(64 << 20, SimConfig::with_eviction(3, 2024)));
+    let region = Region::new(RegionConfig::sim(
+        64 << 20,
+        SimConfig::with_eviction(3, 2024),
+    ));
     let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
 
     let h = pool.register();
@@ -29,7 +32,10 @@ fn main() {
         map.insert(&h, k, k + 1_000);
     }
     let report = h.checkpoint_here();
-    println!("checkpointed {} lines; epoch {} closed", report.lines, report.closed_epoch);
+    println!(
+        "checkpointed {} lines; epoch {} closed",
+        report.lines, report.closed_epoch
+    );
 
     // Epoch 2: mutate heavily... and crash before the next checkpoint.
     for k in 0..100 {
@@ -73,5 +79,8 @@ fn main() {
     let h = pool.register();
     map.insert(&h, 7, 42);
     h.checkpoint_here();
-    println!("post-recovery update checkpointed; map[7] = {:?}", map.get(&h, 7));
+    println!(
+        "post-recovery update checkpointed; map[7] = {:?}",
+        map.get(&h, 7)
+    );
 }

@@ -14,8 +14,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use respct_repro::respct::{Pool, PoolConfig, RCondvar};
 use respct_repro::pmem::{Region, RegionConfig};
+use respct_repro::respct::{Pool, PoolConfig, RCondvar};
 
 const ITEMS: u64 = 50_000;
 const CAPACITY: usize = 32;
@@ -75,5 +75,8 @@ fn main() {
     assert_eq!(total, ITEMS * (ITEMS + 1) / 2);
     let ckpts = pool.ckpt_stats().snapshot().count;
     println!("{ckpts} checkpoints completed while the pipeline ran ✓");
-    assert!(ckpts > 0, "checkpoints must complete despite blocked waiters");
+    assert!(
+        ckpts > 0,
+        "checkpoints must complete despite blocked waiters"
+    );
 }

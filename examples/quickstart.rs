@@ -10,8 +10,8 @@
 
 use std::time::Duration;
 
-use respct_repro::respct::{Pool, PoolConfig};
 use respct_repro::pmem::{PAddr, Region, RegionConfig};
+use respct_repro::respct::{Pool, PoolConfig};
 
 fn main() {
     // 1. An emulated-NVMM region and a formatted ResPCT pool.
@@ -51,5 +51,9 @@ fn main() {
         "checkpoint closed epoch {} and flushed {} cache lines",
         report.closed_epoch, report.lines
     );
-    println!("pool epoch is now {}, heap used: {} bytes", pool.epoch(), pool.heap_used());
+    println!(
+        "pool epoch is now {}, heap used: {} bytes",
+        pool.epoch(),
+        pool.heap_used()
+    );
 }

@@ -1,0 +1,304 @@
+//! Integration tests for the trace-based persistency checker
+//! (`respct-analysis`) against the real runtime.
+//!
+//! Two directions, both required for the checker to be trustworthy:
+//!
+//! * **Soundness on clean runs** — the standard workloads (hash map, queue,
+//!   CoW kv-store, crash/recovery cycles) produce *zero* diagnostics, not
+//!   even perf advisories, on a deterministic no-eviction simulator.
+//! * **Sensitivity to injected faults** — each `respct::Fault` (one dropped
+//!   write-back, one skipped fence, one skipped InCLL log) yields a
+//!   non-empty diagnostic list of exactly the matching kind.
+//!
+//! The root crate's dev-dependencies enable the `fault-inject` feature, so
+//! `Pool::inject_fault` is available here without cfg gates.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use respct::{Fault, PAddr, Pool, PoolConfig};
+use respct_analysis::{Checker, DiagnosticKind};
+use respct_ds::{rp_ids, PHashMap, PQueue};
+use respct_pmem::sim::CrashMode;
+use respct_pmem::{Region, RegionConfig, SimConfig};
+
+/// Deterministic sim region (no evictions) with the checker attached.
+fn checked_pool(bytes: usize, seed: u64) -> (Arc<Checker>, Arc<Pool>) {
+    let region = Region::new(RegionConfig::sim(bytes, SimConfig::no_eviction(seed)));
+    let checker = Checker::attach(&region);
+    let pool = Pool::create(region, PoolConfig::default());
+    (checker, pool)
+}
+
+// ---------------------------------------------------------------------------
+// Clean workloads: zero diagnostics end to end.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hashmap_workload_is_clean() {
+    let (checker, pool) = checked_pool(32 << 20, 1);
+    let map = {
+        let h = pool.register();
+        let map = PHashMap::create(&h, 64);
+        h.set_root(map.desc());
+        map
+    };
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let (pool, map) = (&pool, &map);
+            s.spawn(move || {
+                let h = pool.register();
+                for i in 0..400 {
+                    let k = t * 1_000 + i;
+                    map.insert(&h, k, k + 7);
+                    h.rp(rp_ids::MAP_INSERT);
+                    if i % 4 == 0 {
+                        map.remove(&h, k);
+                        h.rp(rp_ids::MAP_REMOVE);
+                    }
+                    if i % 100 == 0 {
+                        h.checkpoint_here();
+                    }
+                }
+            });
+        }
+    });
+    pool.register().checkpoint_here();
+    let report = checker.report();
+    assert!(
+        report.diagnostics.is_empty() && report.suppressed == 0,
+        "clean hashmap run produced diagnostics:\n{report}"
+    );
+}
+
+#[test]
+fn queue_workload_is_clean() {
+    let (checker, pool) = checked_pool(32 << 20, 2);
+    let queue = {
+        let h = pool.register();
+        let q = PQueue::create(&h);
+        h.set_root(q.desc());
+        q
+    };
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let (pool, queue) = (&pool, &queue);
+            s.spawn(move || {
+                let h = pool.register();
+                for i in 0..400 {
+                    queue.enqueue(&h, t * 1_000 + i);
+                    h.rp(rp_ids::QUEUE_ENQ);
+                    if i % 2 == 0 {
+                        queue.dequeue(&h);
+                        h.rp(rp_ids::QUEUE_DEQ);
+                    }
+                    if i % 100 == 0 {
+                        h.checkpoint_here();
+                    }
+                }
+            });
+        }
+    });
+    pool.register().checkpoint_here();
+    let report = checker.report();
+    assert!(
+        report.diagnostics.is_empty() && report.suppressed == 0,
+        "clean queue run produced diagnostics:\n{report}"
+    );
+}
+
+#[test]
+fn kvstore_workload_is_clean() {
+    const VALUE: u64 = 96;
+    let (checker, pool) = checked_pool(64 << 20, 3);
+    let map = {
+        let h = pool.register();
+        let map = PHashMap::create(&h, 64);
+        h.set_root(map.desc());
+        map
+    };
+    {
+        let h = pool.register();
+        let mut buf = vec![0u8; VALUE as usize];
+        for i in 0..600u64 {
+            let k = i % 100;
+            buf.fill((i % 251) as u8);
+            let blob = h.alloc(VALUE, 64);
+            pool.region().store_bytes(blob, &buf);
+            h.add_modified(blob, VALUE as usize);
+            let old = map.get(&h, k);
+            map.insert(&h, k, blob.0);
+            if let Some(old) = old {
+                h.free(PAddr(old), VALUE);
+            }
+            h.rp(600);
+            if i % 150 == 0 {
+                h.checkpoint_here();
+            }
+        }
+        h.checkpoint_here();
+    }
+    let report = checker.report();
+    assert!(
+        report.diagnostics.is_empty() && report.suppressed == 0,
+        "clean kvstore run produced diagnostics:\n{report}"
+    );
+}
+
+#[test]
+fn timer_checkpointer_run_is_clean() {
+    let (checker, pool) = checked_pool(32 << 20, 4);
+    let map = {
+        let h = pool.register();
+        let map = PHashMap::create(&h, 64);
+        h.set_root(map.desc());
+        map
+    };
+    {
+        let _ckpt = pool.start_checkpointer(Duration::from_millis(2));
+        let h = pool.register();
+        for i in 0..2_000u64 {
+            map.insert(&h, i % 300, i);
+            h.rp(rp_ids::MAP_INSERT);
+        }
+    }
+    pool.register().checkpoint_here();
+    checker.assert_clean();
+    assert!(
+        checker.report().perf().is_empty(),
+        "timer run had perf advisories"
+    );
+}
+
+#[test]
+fn crash_recovery_cycles_are_clean() {
+    let region = Region::new(RegionConfig::sim(16 << 20, SimConfig::no_eviction(5)));
+    let checker = Checker::attach(&region);
+    let mut cells = Vec::new();
+    {
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let h = pool.register();
+        for i in 0..100u64 {
+            cells.push(h.alloc_cell(i));
+        }
+        h.checkpoint_here();
+        for (i, c) in cells.iter().enumerate() {
+            h.update(*c, 500 + i as u64); // dirty the epoch, then crash
+        }
+    }
+    for round in 0..2u64 {
+        let img = region.crash(CrashMode::PowerFailure);
+        region.restore(&img);
+        let (pool, _report) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let h = pool.register();
+        for (i, c) in cells.iter().enumerate() {
+            h.update(*c, (round + 1) * 1_000 + i as u64); // re-execution
+        }
+        h.checkpoint_here();
+        for c in &cells {
+            h.update(*c, 9);
+        }
+    }
+    let report = checker.report();
+    assert!(
+        report.diagnostics.is_empty() && report.suppressed == 0,
+        "clean crash/recovery run produced diagnostics:\n{report}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Injected faults: the checker must catch each one, as the right kind.
+// ---------------------------------------------------------------------------
+
+/// A pool with a few dirty cells spread over multiple cache lines, ready to
+/// checkpoint — the setup every fault test shares.
+fn dirty_pool(seed: u64) -> (Arc<Checker>, Arc<Pool>, Vec<respct::ICell<u64>>) {
+    let (checker, pool) = checked_pool(16 << 20, seed);
+    let h = pool.register();
+    let cells: Vec<_> = (0..32u64).map(|i| h.alloc_cell(i)).collect();
+    h.checkpoint_here();
+    for (i, c) in cells.iter().enumerate() {
+        h.update(*c, 100 + i as u64);
+    }
+    assert!(
+        checker.report().diagnostics.is_empty(),
+        "setup must be clean"
+    );
+    (checker, pool, cells)
+}
+
+#[test]
+fn checker_catches_skipped_flush() {
+    let (checker, pool, _cells) = dirty_pool(6);
+    pool.inject_fault(Fault::SkipOneFlush);
+    pool.register().checkpoint_here();
+    let report = checker.report();
+    let missed = report.of_kind(DiagnosticKind::MissedFlush);
+    assert!(
+        !missed.is_empty(),
+        "dropped write-back not detected:\n{report}"
+    );
+    assert!(
+        report
+            .errors()
+            .iter()
+            .all(|d| d.kind == DiagnosticKind::MissedFlush),
+        "dropped write-back misclassified:\n{report}"
+    );
+}
+
+#[test]
+fn checker_catches_skipped_fence() {
+    let (checker, pool, _cells) = dirty_pool(7);
+    pool.inject_fault(Fault::SkipFence);
+    pool.register().checkpoint_here();
+    let report = checker.report();
+    let ordering = report.of_kind(DiagnosticKind::CrossLineOrdering);
+    assert!(
+        !ordering.is_empty(),
+        "skipped fence not detected:\n{report}"
+    );
+    assert!(
+        report
+            .errors()
+            .iter()
+            .all(|d| d.kind == DiagnosticKind::CrossLineOrdering),
+        "skipped fence misclassified:\n{report}"
+    );
+}
+
+#[test]
+fn checker_catches_skipped_incll_log() {
+    let (checker, pool, cells) = dirty_pool(8);
+    pool.register().checkpoint_here(); // cells now logged for an older epoch
+    pool.inject_fault(Fault::SkipLog);
+    pool.register().update(cells[0], 777); // first update of the new epoch
+    let report = checker.report();
+    let logging = report.of_kind(DiagnosticKind::LoggingViolation);
+    assert!(
+        !logging.is_empty(),
+        "skipped InCLL log not detected:\n{report}"
+    );
+    assert!(
+        report
+            .errors()
+            .iter()
+            .all(|d| d.kind == DiagnosticKind::LoggingViolation),
+        "skipped InCLL log misclassified:\n{report}"
+    );
+}
+
+#[test]
+fn faulty_run_still_counts_events_and_reports_lines() {
+    let (checker, pool, _cells) = dirty_pool(9);
+    pool.inject_fault(Fault::SkipOneFlush);
+    pool.register().checkpoint_here();
+    let report = checker.report();
+    assert!(report.events > 0);
+    let missed = report.of_kind(DiagnosticKind::MissedFlush);
+    assert!(
+        missed.iter().all(|d| d.line.is_some()),
+        "missed-flush diagnostics must name the cache line:\n{report}"
+    );
+    assert!(!report.is_clean());
+}

@@ -32,8 +32,16 @@ fn linreg_fits_the_planted_line_in_every_mode() {
             batch: 500,
             ckpt_period: Duration::from_millis(4),
         });
-        assert!((out.slope - 3.0).abs() < 0.05, "{mode:?}: slope {}", out.slope);
-        assert!((out.intercept - 7.0).abs() < 0.2, "{mode:?}: intercept {}", out.intercept);
+        assert!(
+            (out.slope - 3.0).abs() < 0.05,
+            "{mode:?}: slope {}",
+            out.slope
+        );
+        assert!(
+            (out.intercept - 7.0).abs() < 0.2,
+            "{mode:?}: intercept {}",
+            out.intercept
+        );
     }
 }
 

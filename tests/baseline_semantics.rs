@@ -50,7 +50,12 @@ fn check_map_against_model<M: BenchMap>(map: &M, ops: &[MapOp]) -> Result<(), Te
                 prop_assert_eq!(newly, model_newly, "insert({}, {})", k, v);
             }
             MapOp::Remove(k) => {
-                prop_assert_eq!(map.remove(&mut ctx, *k), model.remove(k).is_some(), "remove({})", k);
+                prop_assert_eq!(
+                    map.remove(&mut ctx, *k),
+                    model.remove(k).is_some(),
+                    "remove({})",
+                    k
+                );
             }
             MapOp::Get(k) => {
                 prop_assert_eq!(map.get(&mut ctx, *k), model.get(k).copied(), "get({})", k);

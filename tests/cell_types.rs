@@ -98,7 +98,10 @@ fn mixed_width_cells_share_lines_without_interference() {
 
 #[test]
 fn thread_slot_exhaustion_panics_cleanly() {
-    let pool = Pool::create(Region::new(RegionConfig::fast(32 << 20)), PoolConfig::default());
+    let pool = Pool::create(
+        Region::new(RegionConfig::fast(32 << 20)),
+        PoolConfig::default(),
+    );
     let mut handles = Vec::new();
     // Slot 0 is reserved for the system; 127 remain.
     for _ in 0..127 {
@@ -126,5 +129,9 @@ fn upsert_on_fresh_vs_recycled_memory() {
     drop(h);
     drop(pool);
     let pool = crash_recover(&region);
-    assert_eq!(pool.cell_get(cell), 5, "upsert on live cell must log for rollback");
+    assert_eq!(
+        pool.cell_get(cell),
+        5,
+        "upsert on live cell must log for rollback"
+    );
 }

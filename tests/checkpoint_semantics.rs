@@ -31,7 +31,10 @@ fn epochs_are_monotonic_and_persisted_in_order() {
 
 #[test]
 fn tracking_lists_are_drained_each_checkpoint() {
-    let pool = Pool::create(Region::new(RegionConfig::fast(8 << 20)), PoolConfig::default());
+    let pool = Pool::create(
+        Region::new(RegionConfig::fast(8 << 20)),
+        PoolConfig::default(),
+    );
     let h = pool.register();
     let c = h.alloc_cell(0u64);
     for round in 1..10u64 {
@@ -39,7 +42,11 @@ fn tracking_lists_are_drained_each_checkpoint() {
         let r = h.checkpoint_here();
         // Exactly the cell's line (+ cursor-sync lines) per round — not an
         // accumulation of earlier rounds.
-        assert!(r.lines < 32, "round {round}: {} lines (list not drained?)", r.lines);
+        assert!(
+            r.lines < 32,
+            "round {round}: {} lines (list not drained?)",
+            r.lines
+        );
     }
 }
 
@@ -47,7 +54,10 @@ fn tracking_lists_are_drained_each_checkpoint() {
 fn noflush_mode_still_quiesces_and_advances() {
     let pool = Pool::create(
         Region::new(RegionConfig::fast(8 << 20)),
-        PoolConfig { flusher_threads: 0, mode: CheckpointMode::NoFlush },
+        PoolConfig {
+            flusher_threads: 0,
+            mode: CheckpointMode::NoFlush,
+        },
     );
     let h = pool.register();
     let c = h.alloc_cell(1u64);
@@ -70,7 +80,10 @@ fn flusher_pool_config_produces_identical_persistence() {
         let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::no_eviction(5)));
         let pool = Pool::create(
             Arc::clone(&region),
-            PoolConfig { flusher_threads: flushers, mode: CheckpointMode::Full },
+            PoolConfig {
+                flusher_threads: flushers,
+                mode: CheckpointMode::Full,
+            },
         );
         let h = pool.register();
         let cells: Vec<_> = (0..200u64).map(|i| h.alloc_cell(i)).collect();
@@ -96,7 +109,10 @@ fn flusher_pool_config_produces_identical_persistence() {
 #[test]
 fn consistent_cut_across_causally_ordered_cells() {
     for seed in 0..25u64 {
-        let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(1, seed)));
+        let region = Region::new(RegionConfig::sim(
+            8 << 20,
+            SimConfig::with_eviction(1, seed),
+        ));
         let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
         let lock = Arc::new(Mutex::new(()));
         let stop = Arc::new(AtomicBool::new(false));

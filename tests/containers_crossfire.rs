@@ -30,7 +30,12 @@ fn create_world(pool: &Arc<Pool>) -> World {
     h.store_tracked(PAddr(root.0 + 16), vec.desc().0);
     h.store_tracked(PAddr(root.0 + 24), ordered.desc().0);
     h.set_root(root);
-    World { map, queue, vec, ordered }
+    World {
+        map,
+        queue,
+        vec,
+        ordered,
+    }
 }
 
 fn open_world(pool: &Arc<Pool>) -> World {
@@ -76,14 +81,20 @@ fn four_containers_one_pool_crash_and_recover() {
     let mut map_got = w.map.collect();
     map_got.sort_unstable();
     assert_eq!(map_got, (0..40).map(|i| (i, i + 1)).collect::<Vec<_>>());
-    assert_eq!(w.queue.collect(), (0..40).map(|i| i * 2).collect::<Vec<_>>());
+    assert_eq!(
+        w.queue.collect(),
+        (0..40).map(|i| i * 2).collect::<Vec<_>>()
+    );
     assert_eq!(w.vec.collect(), (0..40).map(|i| i * 3).collect::<Vec<_>>());
     assert_eq!(w.ordered.len(), 40);
 }
 
 #[test]
 fn concurrent_mutation_of_all_containers_with_checkpoints() {
-    let pool = Pool::create(Region::new(RegionConfig::fast(128 << 20)), PoolConfig::default());
+    let pool = Pool::create(
+        Region::new(RegionConfig::fast(128 << 20)),
+        PoolConfig::default(),
+    );
     let w = Arc::new(create_world(&pool));
     let _ckpt = pool.start_checkpointer(Duration::from_millis(2));
     std::thread::scope(|s| {
@@ -113,8 +124,8 @@ fn concurrent_mutation_of_all_containers_with_checkpoints() {
         }
     });
     assert!(pool.verify().is_clean());
-    assert!(w.map.len() > 0);
-    assert!(w.ordered.len() > 0);
+    assert!(!w.map.is_empty());
+    assert!(!w.ordered.is_empty());
 }
 
 #[test]

@@ -11,6 +11,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use proptest::prelude::*;
+use respct_analysis::Checker;
 use respct_repro::ds::{PHashMap, PQueue};
 use respct_repro::pmem::{sim::CrashMode, PAddr, Region, RegionConfig, SimConfig};
 use respct_repro::respct::{Pool, PoolConfig};
@@ -53,6 +54,9 @@ proptest! {
             16 << 20,
             SimConfig::with_eviction(evict_log2, seed),
         ));
+        // Every case doubles as a persistency-model check: the trace
+        // checker audits the whole run, crash and recovery included.
+        let checker = Checker::attach(&region);
         let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
         let h = pool.register();
         let map = PHashMap::create(&h, 16);
@@ -118,6 +122,12 @@ proptest! {
         let got_q = queue.collect();
         let want_q: Vec<u64> = durable.queue.iter().copied().collect();
         prop_assert_eq!(got_q, want_q, "queue must equal the last checkpoint");
+
+        let report = checker.report();
+        prop_assert!(
+            report.errors().is_empty(),
+            "persistency discipline violated:\n{}", report
+        );
     }
 
     #[test]
@@ -165,8 +175,11 @@ proptest! {
 #[test]
 fn crash_mid_checkpoint_rolls_back_epoch() {
     for seed in 0..20u64 {
-        let region =
-            Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(2, seed)));
+        let region = Region::new(RegionConfig::sim(
+            8 << 20,
+            SimConfig::with_eviction(2, seed),
+        ));
+        let checker = Checker::attach(&region);
         let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
         let h = pool.register();
         let map = PHashMap::create(&h, 8);
@@ -188,6 +201,11 @@ fn crash_mid_checkpoint_rolls_back_epoch() {
         let map = PHashMap::open(&pool, pool.root());
         let mut got = map.collect();
         got.sort_unstable();
-        assert_eq!(got, vec![(1, 11)], "seed {seed}: mid-checkpoint crash must roll back");
+        assert_eq!(
+            got,
+            vec![(1, 11)],
+            "seed {seed}: mid-checkpoint crash must roll back"
+        );
+        checker.assert_clean();
     }
 }

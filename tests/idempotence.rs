@@ -20,7 +20,10 @@ use respct_repro::respct::{Pool, PoolConfig};
 #[test]
 fn war_with_incll_reexecutes_correctly() {
     for seed in 0..30u64 {
-        let region = Region::new(RegionConfig::sim(4 << 20, SimConfig::with_eviction(1, seed)));
+        let region = Region::new(RegionConfig::sim(
+            4 << 20,
+            SimConfig::with_eviction(1, seed),
+        ));
         let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
         let h = pool.register();
         let x = h.alloc_cell(2u64);
@@ -38,7 +41,11 @@ fn war_with_incll_reexecutes_correctly() {
         let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
 
         // Recovery rolled x back to 2; re-execution computes 2^8 again.
-        assert_eq!(pool.cell_get(x), 2, "seed {seed}: x must roll back to the RP value");
+        assert_eq!(
+            pool.cell_get(x),
+            2,
+            "seed {seed}: x must roll back to the RP value"
+        );
         let h = pool.register();
         for _ in 0..3 {
             h.update(x, h.get(x).wrapping_mul(h.get(x)));
@@ -55,12 +62,15 @@ fn war_with_incll_reexecutes_correctly() {
 fn war_without_logging_can_break() {
     let mut saw_partial = false;
     for seed in 0..200u64 {
-        let region = Region::new(RegionConfig::sim(1 << 20, SimConfig::with_eviction(0, seed)));
+        let region = Region::new(RegionConfig::sim(
+            1 << 20,
+            SimConfig::with_eviction(0, seed),
+        ));
         // Plain (unlogged, untracked-rollback) variable at a fixed address.
         let x = PAddr(4096);
         region.store(x, 2u64);
         region.flush_range(x, 8); // "checkpointed" initial value
-        // The WAR sequence of the crashed epoch, unlogged:
+                                  // The WAR sequence of the crashed epoch, unlogged:
         for _ in 0..3 {
             let v: u64 = region.load(x);
             region.store(x, v.wrapping_mul(v));
@@ -87,7 +97,10 @@ fn war_without_logging_can_break() {
 #[test]
 fn raw_with_add_modified_is_idempotent() {
     for seed in 0..30u64 {
-        let region = Region::new(RegionConfig::sim(4 << 20, SimConfig::with_eviction(1, seed)));
+        let region = Region::new(RegionConfig::sim(
+            4 << 20,
+            SimConfig::with_eviction(1, seed),
+        ));
         let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
         let h = pool.register();
         let out = h.alloc(256, 64);

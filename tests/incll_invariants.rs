@@ -81,7 +81,10 @@ fn respct_decode(cell: ICell<u64>, stored: u64) -> u64 {
 #[test]
 fn rollback_restores_checkpointed_values_under_all_schedules() {
     for seed in 0..60u64 {
-        let region = Region::new(RegionConfig::sim(4 << 20, SimConfig::with_eviction(1, seed)));
+        let region = Region::new(RegionConfig::sim(
+            4 << 20,
+            SimConfig::with_eviction(1, seed),
+        ));
         let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
         let h = pool.register();
         let cells: Vec<ICell<u64>> = (0..16).map(|i| h.alloc_cell(100 + i as u64)).collect();

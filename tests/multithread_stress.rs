@@ -14,7 +14,10 @@ use respct_repro::pmem::{Region, RegionConfig};
 use respct_repro::respct::{Pool, PoolConfig, RCondvar};
 
 fn pool(mb: usize) -> Arc<Pool> {
-    Pool::create(Region::new(RegionConfig::fast(mb << 20)), PoolConfig::default())
+    Pool::create(
+        Region::new(RegionConfig::fast(mb << 20)),
+        PoolConfig::default(),
+    )
 }
 
 #[test]
@@ -55,7 +58,10 @@ fn map_and_queue_under_fast_checkpoints() {
     // On a 1-CPU container the workload may finish before many timer ticks
     // fire; require at least one periodic checkpoint and force one more.
     pool.checkpoint_now();
-    assert!(pool.ckpt_stats().snapshot().count >= 2, "checkpoints must keep completing");
+    assert!(
+        pool.ckpt_stats().snapshot().count >= 2,
+        "checkpoints must keep completing"
+    );
 }
 
 #[test]
@@ -68,7 +74,7 @@ fn registration_churn_under_checkpoints() {
             s.spawn(move || {
                 for round in 0..50 {
                     let h = pool.register();
-                    let c = h.alloc_cell((t * 1000 + round) as u64);
+                    let c = h.alloc_cell(t * 1000 + round);
                     h.update(c, 1 + t * 1000 + round);
                     h.rp(5);
                     assert_eq!(h.get(c), 1 + t * 1000 + round);
@@ -148,7 +154,10 @@ fn many_threads_each_with_own_cells() {
                 h.get(acc)
             }));
         }
-        joins.into_iter().map(|j| j.join().expect("worker")).collect()
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("worker"))
+            .collect()
     });
     for r in results {
         assert_eq!(r, 2_000 * 2_001 / 2);
@@ -168,5 +177,9 @@ fn concurrent_checkpoint_now_calls_serialize() {
             });
         }
     });
-    assert_eq!(pool.epoch(), 1 + 40, "every checkpoint advances exactly one epoch");
+    assert_eq!(
+        pool.epoch(),
+        1 + 40,
+        "every checkpoint advances exactly one epoch"
+    );
 }

@@ -14,8 +14,14 @@ fn sixteen_byte_pod_crossing_a_line_uses_slow_path() {
     s.store(PAddr(56), (0xaaaa_u64, 0xbbbb_u64));
     s.flush_range(PAddr(56), 16);
     let img = s.crash(CrashMode::PowerFailure);
-    assert_eq!(u64::from_ne_bytes(img.bytes()[56..64].try_into().unwrap()), 0xaaaa);
-    assert_eq!(u64::from_ne_bytes(img.bytes()[64..72].try_into().unwrap()), 0xbbbb);
+    assert_eq!(
+        u64::from_ne_bytes(img.bytes()[56..64].try_into().unwrap()),
+        0xaaaa
+    );
+    assert_eq!(
+        u64::from_ne_bytes(img.bytes()[64..72].try_into().unwrap()),
+        0xbbbb
+    );
 }
 
 #[test]
@@ -63,7 +69,10 @@ fn cas_failure_does_not_dirty_the_line() {
     // Failed CAS: no new store to persist.
     assert_eq!(r.cas_u64(PAddr(64), 99, 100), Err(5));
     let img = r.crash(CrashMode::PowerFailure);
-    assert_eq!(u64::from_ne_bytes(img.bytes()[64..72].try_into().unwrap()), 5);
+    assert_eq!(
+        u64::from_ne_bytes(img.bytes()[64..72].try_into().unwrap()),
+        5
+    );
 }
 
 #[test]
@@ -101,11 +110,17 @@ fn eviction_respects_line_granularity() {
         }
         let img = r.crash(CrashMode::PowerFailure);
         for line in 0..8usize {
-            let w2 =
-                u64::from_ne_bytes(img.bytes()[line * 64 + 8..line * 64 + 16].try_into().unwrap());
+            let w2 = u64::from_ne_bytes(
+                img.bytes()[line * 64 + 8..line * 64 + 16]
+                    .try_into()
+                    .unwrap(),
+            );
             let w1 = u64::from_ne_bytes(img.bytes()[line * 64..line * 64 + 8].try_into().unwrap());
             if w2 == 2 {
-                assert_eq!(w1, 1, "seed {seed} line {line}: later store persisted without earlier");
+                assert_eq!(
+                    w1, 1,
+                    "seed {seed} line {line}: later store persisted without earlier"
+                );
             }
         }
     }

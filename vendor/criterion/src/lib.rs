@@ -1,0 +1,300 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the group / `bench_function` / `Bencher` API surface this
+//! workspace's benches use, over a plain wall-clock measurement loop. Good
+//! enough to compare the relative cost of primitives on one machine; it does
+//! none of criterion's statistics (no outlier rejection, no regression
+//! tracking, no plots).
+//!
+//! Behavioral notes:
+//!
+//! * Each `bench_function` warms up once, then measures batches until the
+//!   sample budget or a per-bench time cap (~250 ms) is spent, and prints
+//!   `name  time: [median ns/iter]` in a criterion-like line.
+//! * Unless argv carries `--bench` (which `cargo bench` passes to
+//!   harness=false targets), every routine runs exactly once, so `cargo
+//!   test`-driven invocations double as smoke tests.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units for throughput annotation. Recorded and echoed; no rate math beyond
+/// elements/sec is printed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The stub runs one setup per
+/// routine invocation regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh setup for every iteration.
+    PerIteration,
+    /// Small batches (treated as `PerIteration` here).
+    SmallInput,
+    /// Large batches (treated as `PerIteration` here).
+    LargeInput,
+}
+
+/// Per-iteration measurement hook handed to bench closures.
+pub struct Bencher {
+    target_iters: u64,
+    deadline: Instant,
+    smoke: bool,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back until the sample budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            black_box(routine());
+            self.iters = 1;
+            self.total = Duration::from_nanos(1);
+            return;
+        }
+        black_box(routine()); // warm-up, untimed
+        while self.iters < self.target_iters && Instant::now() < self.deadline {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke {
+            black_box(routine(setup()));
+            self.iters = 1;
+            self.total = Duration::from_nanos(1);
+            return;
+        }
+        black_box(routine(setup())); // warm-up, untimed
+        while self.iters < self.target_iters && Instant::now() < self.deadline {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return f64::NAN;
+        }
+        self.total.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    smoke: bool,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Caps the number of measured iterations per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Runs one benchmark. `id` accepts `&str` and `String` alike.
+    pub fn bench_function<N: Into<String>, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            target_iters: self.sample_size,
+            deadline: Instant::now() + Duration::from_millis(250),
+            smoke: self.smoke,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if self.smoke {
+            println!("{}/{id}: ok (smoke)", self.name);
+            return self;
+        }
+        let ns = b.ns_per_iter();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                format!("  thrpt: {:.3} Melem/s", n as f64 * 1_000.0 / ns)
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                format!(
+                    "  thrpt: {:.3} MiB/s",
+                    n as f64 * 1e9 / ns / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}  time: [{ns:.1} ns/iter] ({} iters){rate}",
+            self.name, b.iters
+        );
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op marker).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point type; one per process, threaded through the group macros.
+pub struct Criterion {
+    sample_size: u64,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Same convention as the real crate: `cargo bench` passes --bench to
+        // harness=false targets; any other invocation (notably `cargo test`)
+        // is a smoke run where every routine executes exactly once.
+        let smoke = !std::env::args().skip(1).any(|a| a == "--bench");
+        Criterion {
+            sample_size: 200,
+            smoke,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI configuration (accepted for API parity; flags beyond the
+    /// smoke-test detection in `default()` are ignored).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let (sample_size, smoke) = (self.sample_size, self.smoke);
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            throughput: None,
+            smoke,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<N: Into<String>, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group-runner function from a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from a list of group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion {
+            sample_size: 8,
+            smoke: false,
+        };
+        let mut g = c.benchmark_group("t");
+        let mut count = 0u64;
+        g.sample_size(8).bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+            });
+        });
+        g.finish();
+        // warm-up + up to 8 measured iterations
+        assert!((2..=9).contains(&count), "ran {count} times");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion {
+            sample_size: 4,
+            smoke: false,
+        };
+        let mut g = c.benchmark_group("t");
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        g.sample_size(4).bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| {
+                    runs += 1;
+                },
+                BatchSize::PerIteration,
+            );
+        });
+        assert_eq!(setups, runs);
+        assert!(runs >= 2);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            sample_size: 100,
+            smoke: true,
+        };
+        let mut g = c.benchmark_group("t");
+        let mut count = 0u64;
+        g.bench_function("once", |b| {
+            b.iter(|| {
+                count += 1;
+            });
+        });
+        assert_eq!(count, 1);
+    }
+}

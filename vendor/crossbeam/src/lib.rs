@@ -1,0 +1,277 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces this workspace uses, with matching semantics:
+//!
+//! * [`channel::bounded`] — a multi-producer **multi-consumer** bounded
+//!   channel (std's `mpsc` is single-consumer, so this is a small
+//!   `Mutex`+`Condvar` queue instead). `send` blocks when full and fails
+//!   once every receiver is gone; `recv` blocks when empty and fails once
+//!   every sender is gone and the queue is drained.
+//! * [`utils::CachePadded`] — aligns a value to 128 bytes to keep it on its
+//!   own cache-line pair (matching crossbeam's x86-64 choice, where spatial
+//!   prefetching pulls line pairs).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        cap: usize,
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    /// Carries the unsent message, like the real crossbeam type.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate: no `T: Debug` bound, the payload is elided.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a channel. Clonable (multi-producer).
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a channel. Clonable (multi-consumer).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Creates a bounded channel with room for `cap` in-flight messages.
+    ///
+    /// `cap == 0` is treated as capacity 1 (the real crate implements a
+    /// rendezvous channel; no caller in this workspace uses capacity 0).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            cap: cap.max(1),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking while the channel is full. Fails if every
+        /// receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().expect("channel mutex");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if st.queue.len() < self.chan.cap {
+                    st.queue.push_back(msg);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.chan.not_full.wait(st).expect("channel mutex");
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next message, blocking while the channel is empty.
+        /// Fails once every sender is gone and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().expect("channel mutex");
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.not_empty.wait(st).expect("channel mutex");
+            }
+        }
+
+        /// Non-blocking receive (None when empty right now).
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().expect("channel mutex");
+            match st.queue.pop_front() {
+                Some(msg) => {
+                    self.chan.not_full.notify_one();
+                    Ok(msg)
+                }
+                None => Err(RecvError),
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel mutex").senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel mutex").receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().expect("channel mutex");
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake receivers so they can observe disconnection.
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().expect("channel mutex");
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                // Wake senders so they can observe disconnection.
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+}
+
+pub mod utils {
+    /// Pads and aligns a value to 128 bytes so it never shares a (prefetched
+    /// pair of) cache line(s) with a neighbor.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in padding.
+        pub const fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+
+        /// Unwraps the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, RecvError};
+    use super::utils::CachePadded;
+
+    #[test]
+    fn mpmc_roundtrip() {
+        let (tx, rx) = bounded::<u32>(4);
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx2.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = bounded::<u32>(2);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_recv() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).map_err(|_| ()));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn workers_drain_shared_receiver() {
+        let (tx, rx) = bounded::<u64>(16);
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let rx = rx.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut sum = 0u64;
+                while let Ok(v) = rx.recv() {
+                    sum += v;
+                }
+                sum
+            }));
+        }
+        drop(rx);
+        for i in 1..=100u64 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn cache_padded_is_aligned() {
+        let v = CachePadded::new(5u8);
+        assert_eq!(*v, 5);
+        assert_eq!(std::mem::align_of_val(&v), 128);
+    }
+}
