@@ -32,18 +32,19 @@ fn checked_pool(bytes: usize, seed: u64, flushers: usize) -> (Arc<Checker>, Arc<
     // exercise the eviction paths without swamping the trace.
     let region = Region::new(RegionConfig::sim(bytes, SimConfig::with_eviction(4, seed)));
     let checker = Checker::attach(&region);
-    let pool = Pool::create(
-        region,
-        PoolConfig {
-            flusher_threads: flushers,
-            ..PoolConfig::default()
-        },
-    );
+    let cfg = PoolConfig::builder()
+        .flusher_threads(flushers)
+        .build()
+        .expect("config");
+    let pool = Pool::create(region, cfg).expect("pool");
     (checker, pool)
 }
 
 fn run_hashmap() -> Report {
-    let (checker, pool) = checked_pool(64 << 20, 11, 0);
+    // Two dedicated flushers: the hashmap workload exercises the sharded
+    // parallel flush path (shard claiming + per-worker fences) under the
+    // checker's shard-fence rule, not just the inline fallback.
+    let (checker, pool) = checked_pool(64 << 20, 11, 2);
     let map = {
         let h = pool.register();
         let map = PHashMap::create(&h, 512);
@@ -163,7 +164,7 @@ fn run_recovery() -> Report {
     let checker = Checker::attach(&region);
     let mut cells = Vec::new();
     {
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         for i in 0..200u64 {
             cells.push(h.alloc_cell(i));
@@ -176,7 +177,8 @@ fn run_recovery() -> Report {
     for round in 0..3u64 {
         let img = region.crash(CrashMode::PowerFailure);
         region.restore(&img);
-        let (pool, _report) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, _report) =
+            Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         let h = pool.register();
         for (i, c) in cells.iter().enumerate() {
             h.update(*c, (round + 2) * 1_000 + i as u64); // re-execution

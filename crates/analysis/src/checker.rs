@@ -29,6 +29,11 @@
 //! 5. **Epoch discipline** — epochs advance by exactly 1; checkpoint, log,
 //!    and recovery markers must carry the epoch the checker believes is
 //!    current.
+//! 6. **Shard fence protocol** — the sharded flush pipeline brackets each
+//!    shard's write-backs with `ShardFlushBegin`/`ShardFlushEnd`, and `End`
+//!    asserts the shard's pwbs are covered by a fence. Every opened shard
+//!    must be closed before the `OrderBarrier`; double-opens and closes
+//!    without a begin are protocol violations too.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -70,6 +75,9 @@ struct CheckerState {
     cells: BTreeMap<u64, CellState>,
     /// Lines the current epoch's tracking lists promise to flush.
     tracked: HashSet<u64>,
+    /// Flush shards opened (`ShardFlushBegin`) but not yet fenced-and-closed
+    /// (`ShardFlushEnd`) in the current checkpoint.
+    open_shards: HashSet<u64>,
     /// Current plain epoch, adopted from the first marker that names one
     /// (the checker may attach to an already-running pool).
     epoch: Option<u64>,
@@ -91,6 +99,7 @@ impl CheckerState {
             DiagnosticKind::CrossLineOrdering => "ordering",
             DiagnosticKind::RedundantFlush => "redundant",
             DiagnosticKind::EpochDiscipline => "epoch",
+            DiagnosticKind::ShardFence => "shard",
         };
         let n = self.per_kind.entry(key).or_insert(0);
         if *n >= MAX_PER_KIND {
@@ -155,6 +164,7 @@ impl CheckerState {
                 }
                 self.pending.clear();
                 self.tracked.clear();
+                self.open_shards.clear();
                 for c in self.cells.values_mut() {
                     c.logged_epoch = None;
                 }
@@ -294,8 +304,46 @@ impl CheckerState {
                 }
                 self.ckpt_full = full;
                 self.in_checkpoint = true;
+                self.open_shards.clear();
+            }
+            TraceMarker::ShardFlushBegin { shard, lines: _ } => {
+                if !self.open_shards.insert(shard) {
+                    self.diag(
+                        DiagnosticKind::ShardFence,
+                        None,
+                        None,
+                        format!("flush shard {shard} opened twice without an intervening end"),
+                    );
+                }
+            }
+            TraceMarker::ShardFlushEnd { shard } => {
+                if !self.open_shards.remove(&shard) {
+                    self.diag(
+                        DiagnosticKind::ShardFence,
+                        None,
+                        None,
+                        format!("flush shard {shard} closed without a begin"),
+                    );
+                }
             }
             TraceMarker::OrderBarrier => {
+                // Rule 6: every shard the flush pipeline opened must have
+                // been fenced and closed before the commit barrier; an open
+                // shard means its write-backs may still be in flight when
+                // the epoch counter becomes durable.
+                let mut open: Vec<u64> = self.open_shards.drain().collect();
+                open.sort_unstable();
+                for shard in open {
+                    self.diag(
+                        DiagnosticKind::ShardFence,
+                        None,
+                        None,
+                        format!(
+                            "flush shard {shard} still open at the epoch commit barrier \
+                             (missing shard fence)"
+                        ),
+                    );
+                }
                 // Rule 3: the epoch-counter store that follows assumes every
                 // data write-back is durable. An unfenced pwb of a tracked
                 // line at this point can reach NVMM *after* the commit.
@@ -368,6 +416,7 @@ impl CheckerState {
                     }
                 }
                 self.in_checkpoint = false;
+                self.open_shards.clear();
             }
             TraceMarker::RecoveryBegin { failed_epoch } => {
                 self.epoch = Some(failed_epoch);
@@ -712,6 +761,77 @@ mod tests {
             marker(TraceMarker::EpochAdvance { epoch: 3 }),
         ]);
         assert_eq!(r.of_kind(DiagnosticKind::EpochDiscipline).len(), 1, "{r}");
+    }
+
+    #[test]
+    fn sharded_flush_cycle_is_clean() {
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            TraceEvent::Store {
+                tid: 1,
+                addr: 640,
+                len: 8,
+            },
+            marker(TraceMarker::TrackLine { line: 10 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 1,
+                full: true,
+            }),
+            marker(TraceMarker::ShardFlushBegin { shard: 3, lines: 1 }),
+            TraceEvent::Pwb { tid: 1, line: 10 },
+            TraceEvent::Psync { tid: 1 },
+            marker(TraceMarker::ShardFlushEnd { shard: 3 }),
+            marker(TraceMarker::OrderBarrier),
+            marker(TraceMarker::EpochAdvance { epoch: 2 }),
+            marker(TraceMarker::CheckpointEnd { epoch: 1 }),
+        ]);
+        assert!(r.is_clean(), "{r}");
+        assert!(r.diagnostics.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn open_shard_at_barrier_flagged() {
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            TraceEvent::Store {
+                tid: 1,
+                addr: 640,
+                len: 8,
+            },
+            marker(TraceMarker::TrackLine { line: 10 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 1,
+                full: true,
+            }),
+            marker(TraceMarker::ShardFlushBegin { shard: 3, lines: 1 }),
+            TraceEvent::Pwb { tid: 1, line: 10 },
+            // no psync, no ShardFlushEnd: the shard's fence was skipped
+            marker(TraceMarker::OrderBarrier),
+        ]);
+        let v = r.of_kind(DiagnosticKind::ShardFence);
+        assert_eq!(v.len(), 1, "{r}");
+        assert!(v[0].detail.contains("still open"), "{r}");
+        // The unfenced pwb is also an ordering violation in its own right.
+        assert_eq!(r.of_kind(DiagnosticKind::CrossLineOrdering).len(), 1, "{r}");
+    }
+
+    #[test]
+    fn unbalanced_shard_markers_flagged() {
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 1,
+                full: true,
+            }),
+            marker(TraceMarker::ShardFlushBegin { shard: 1, lines: 2 }),
+            marker(TraceMarker::ShardFlushBegin { shard: 1, lines: 2 }), // double open
+            marker(TraceMarker::ShardFlushEnd { shard: 1 }),
+            marker(TraceMarker::ShardFlushEnd { shard: 2 }), // end without begin
+            marker(TraceMarker::OrderBarrier),
+            marker(TraceMarker::EpochAdvance { epoch: 2 }),
+            marker(TraceMarker::CheckpointEnd { epoch: 1 }),
+        ]);
+        assert_eq!(r.of_kind(DiagnosticKind::ShardFence).len(), 2, "{r}");
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //!
 //! let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::no_eviction(1)));
 //! let checker = Checker::attach(&region);       // before any pool traffic
-//! let pool = Pool::create(region, PoolConfig::default());
+//! let pool = Pool::create(region, PoolConfig::default()).expect("pool");
 //! let h = pool.register();
 //! let c = h.alloc_cell(1u64);
 //! h.update(c, 2);

@@ -42,6 +42,12 @@ pub enum DiagnosticKind {
     /// epoch advance, a checkpoint or log record stamped with the wrong
     /// epoch, or recovery resuming in the wrong epoch.
     EpochDiscipline,
+    /// The sharded flush pipeline broke its fence protocol: a shard was
+    /// opened twice, closed without a begin, or was still open (write-backs
+    /// issued but not yet covered by a fence) when the epoch commit barrier
+    /// ran. A crash between the barrier and the missing fence would commit
+    /// an epoch whose shard data may not be durable.
+    ShardFence,
 }
 
 impl DiagnosticKind {

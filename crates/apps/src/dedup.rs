@@ -105,9 +105,9 @@ impl<T> Chan<T> {
             Some(h) => {
                 // §3.3.3: allow checkpoints while blocked; on wake-up, wait
                 // out any in-flight checkpoint (releasing the lock).
-                h.checkpoint_allow();
+                let allow = h.allow_checkpoints();
                 cv.wait(&mut guard);
-                h.checkpoint_prevent_locked(&self.state, guard)
+                allow.rearm_locked(&self.state, guard)
             }
             None => {
                 cv.wait(&mut guard);
@@ -295,7 +295,7 @@ pub fn run(cfg: DedupConfig) -> DedupOutput {
         }
         Mode::Respct => {
             let region = Region::new(RegionConfig::optane(128 << 20));
-            let pool = Pool::create(region, PoolConfig::default());
+            let pool = Pool::create(region, PoolConfig::default()).expect("pool");
             let h = pool.register();
             let map = PHashMap::create(&h, 4096);
             let bytes_cell = h.alloc_cell(0u64);

@@ -84,13 +84,16 @@ trait KvStore: Send + Sync {
     fn put(&self, ctx: &mut Self::Ctx, k: u64, val_seed: u64);
     /// Returns a checksum of the value (forces a full value read).
     fn get(&self, ctx: &mut Self::Ctx, k: u64) -> Option<u64>;
-    /// Called before a worker blocks waiting for requests, and after it
-    /// wakes (the paper's blocking-call protocol, §3.3.3). A store whose
-    /// workers hold registered thread handles must allow checkpoints to
-    /// complete while the worker sits in `recv`, or the checkpointer waits
-    /// forever for a thread that is not going to reach an RP.
-    fn before_block(&self, _ctx: &mut Self::Ctx) {}
-    fn after_block(&self, _ctx: &mut Self::Ctx) {}
+    /// Runs `block` — a call that waits on something outside the store,
+    /// like a channel receive — under the paper's blocking-call protocol
+    /// (§3.3.3). A store whose workers hold registered thread handles must
+    /// allow checkpoints to complete while the worker sits in `recv`, or
+    /// the checkpointer waits forever for a thread that is not going to
+    /// reach an RP. The default store has no such obligation and just runs
+    /// the call.
+    fn blocked<R>(&self, _ctx: &mut Self::Ctx, block: impl FnOnce() -> R) -> R {
+        block()
+    }
 }
 
 /// Deterministic value bytes for (key, seed).
@@ -262,12 +265,11 @@ impl KvStore for RespctStore {
         Some(checksum(&ctx.buf))
     }
 
-    fn before_block(&self, ctx: &mut RespctCtx) {
-        ctx.handle.checkpoint_allow();
-    }
-
-    fn after_block(&self, ctx: &mut RespctCtx) {
-        ctx.handle.checkpoint_prevent();
+    fn blocked<R>(&self, ctx: &mut RespctCtx, block: impl FnOnce() -> R) -> R {
+        // The guard's Drop re-arms prevention (waiting out any in-flight
+        // checkpoint) once the blocking call returns.
+        let _allow = ctx.handle.allow_checkpoints();
+        block()
     }
 }
 
@@ -309,9 +311,7 @@ fn serve<S: KvStore + 'static>(cfg: &KvConfig, store: Arc<S>) -> KvOutput {
                     // Blocking-call protocol around the blocking receive
                     // (§3.3.3): with the flag raised, a checkpoint can
                     // complete while this worker waits for requests.
-                    store.before_block(&mut ctx);
-                    let msg = rx.recv();
-                    store.after_block(&mut ctx);
+                    let msg = store.blocked(&mut ctx, || rx.recv());
                     let Ok(op) = msg else { break };
                     // Sample every 32nd request's service time.
                     let t = n.is_multiple_of(32).then(Instant::now);
@@ -397,7 +397,7 @@ pub fn run(cfg: &KvConfig) -> KvOutput {
             // checkpoints hold blobs until the deferred free drains).
             let bytes = cfg.nkeys as usize * cfg.value_size.next_multiple_of(64) * 8 + (64 << 20);
             let region = Region::new(RegionConfig::optane(bytes));
-            let pool = Pool::create(region, PoolConfig::default());
+            let pool = Pool::create(region, PoolConfig::default()).expect("pool");
             let _ckpt = pool.start_checkpointer(cfg.ckpt_period);
             let store = Arc::new(RespctStore::new(
                 Arc::clone(&pool),
@@ -433,7 +433,7 @@ mod tests {
     #[test]
     fn respct_store_roundtrip() {
         let region = Region::new(RegionConfig::fast(64 << 20));
-        let pool = Pool::create(region, PoolConfig::default());
+        let pool = Pool::create(region, PoolConfig::default()).expect("pool");
         let store = RespctStore::new(Arc::clone(&pool), 64, 100);
         let mut ctx = store.ctx();
         store.put(&mut ctx, 5, 1);

@@ -155,7 +155,7 @@ fn run_transient(cfg: LinregConfig, nvmm_tax: bool) -> LinregOutput {
 
 fn run_respct(cfg: LinregConfig) -> LinregOutput {
     let region = Region::new(RegionConfig::optane(64 << 20));
-    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
     let _ckpt = pool.start_checkpointer(cfg.ckpt_period);
     let per = cfg.npoints.div_ceil(cfg.threads);
     let t0 = Instant::now();

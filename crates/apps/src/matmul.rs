@@ -60,7 +60,7 @@ pub fn run(cfg: MatmulConfig) -> MatmulOutput {
         Mode::TransientNvmm => run_region(cfg, Region::new(region_cfg(cfg, true)), None),
         Mode::Respct => {
             let region = Region::new(region_cfg(cfg, false));
-            let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+            let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
             run_region(cfg, region, Some(pool))
         }
     }

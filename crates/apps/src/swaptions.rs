@@ -134,7 +134,7 @@ fn run_transient(cfg: SwaptionsConfig) -> SwaptionsOutput {
 
 fn run_respct(cfg: SwaptionsConfig) -> SwaptionsOutput {
     let region = Region::new(RegionConfig::optane(64 << 20));
-    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
     let _ckpt = pool.start_checkpointer(cfg.ckpt_period);
     let t0 = Instant::now();
     let per = cfg.nswaptions.div_ceil(cfg.threads);

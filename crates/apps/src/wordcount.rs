@@ -106,7 +106,7 @@ fn run_transient(cfg: WordCountConfig) -> WordCountOutput {
 
 fn run_respct(cfg: WordCountConfig) -> WordCountOutput {
     let region = Region::new(RegionConfig::optane(256 << 20));
-    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
     let map = {
         let h = pool.register();
         let m = PHashMap::create(&h, (cfg.vocab / 2).max(8));

@@ -38,7 +38,8 @@ fn bench_store_primitives(c: &mut Criterion) {
     let pool = Pool::create(
         Region::new(RegionConfig::optane(8 << 20)),
         PoolConfig::default(),
-    );
+    )
+    .expect("pool");
     let h = pool.register();
     let cell = h.alloc_cell(0u64);
     g.bench_function("update_incll", |b| {
@@ -76,7 +77,8 @@ fn bench_alloc(c: &mut Criterion) {
     let pool = Pool::create(
         Region::new(RegionConfig::fast(512 << 20)),
         PoolConfig::default(),
-    );
+    )
+    .expect("pool");
     let h = pool.register();
     // Deferred frees only recycle at checkpoints: drain every 500k frees.
     // The counter lives outside the bench closures (criterion re-enters
@@ -114,7 +116,8 @@ fn bench_flush_batch(c: &mut Criterion) {
         let pool = Pool::create(
             Region::new(RegionConfig::optane(64 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .expect("pool");
         let h = pool.register();
         g.throughput(Throughput::Elements(lines));
         g.bench_function(format!("flush_{lines}_lines"), |b| {
@@ -149,7 +152,8 @@ fn bench_recovery_scan(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let region = Region::new(RegionConfig::fast(64 << 20));
-                    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+                    let pool =
+                        Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
                     let h = pool.register();
                     let cs: Vec<_> = (0..cells).map(|i| h.alloc_cell(i)).collect();
                     h.checkpoint_here();
@@ -160,7 +164,7 @@ fn bench_recovery_scan(c: &mut Criterion) {
                     drop(pool);
                     region
                 },
-                |region| Pool::recover(region, PoolConfig::default()),
+                |region| Pool::recover(region, PoolConfig::default()).expect("recover"),
                 BatchSize::PerIteration,
             );
         });

@@ -1,22 +1,24 @@
-//! Ablation: the parallel flusher pool (paper §5 "a pool of flusher
+//! Ablation: the sharded parallel flusher pool (paper §5 "a pool of flusher
 //! threads flushes data to NVMM in parallel during checkpoints", with a
 //! one-to-one thread pinning).
 //!
 //! Sweeps the number of dedicated flusher threads for the write-intensive
-//! hash-map workload and reports throughput plus mean checkpoint duration.
-//! On this 1-CPU container extra flushers cannot help (they time-slice) —
-//! the interesting output is that the machinery works and what fraction of
-//! the epoch the checkpoint occupies; on a multicore host the sweep shows
-//! the paper's scaling.
+//! hash-map workload and reports throughput plus the checkpoint phase
+//! decomposition: the serial gather/partition time and the (parallelized)
+//! sort+flush+fence time, per checkpoint. On this 1-CPU container extra
+//! flushers cannot help (they time-slice) — the interesting output is that
+//! the machinery works and how the phases split; on a multicore host the
+//! sweep shows the paper's scaling of the flush phase.
+//!
+//! Also writes the sweep as machine-readable `BENCH_flush.json` (path
+//! overridable via `$BENCH_FLUSH_JSON`) for CI and plotting.
 
 use std::time::Duration;
 
-use respct::{CheckpointMode, Pool, PoolConfig};
+use respct::PoolConfig;
 use respct_bench::args::BenchArgs;
-use respct_bench::driver::{prefill_map, run_map_mix};
-use respct_bench::table::{f3, Table};
-use respct_ds::PHashMap;
-use respct_pmem::{Region, RegionConfig};
+use respct_bench::systems::{measure_respct_map, MapBenchSpec};
+use respct_bench::table::{f3, write_flush_json, FlushRecord, Table};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -27,36 +29,61 @@ fn main() {
     println!("# Flusher-pool ablation: write-intensive map, {threads} worker threads");
     let mut table = Table::new(&[
         "flushers",
+        "shards",
         "mops",
-        "mean_ckpt_ms",
-        "mean_lines/ckpt",
         "ckpts",
+        "mean_lines/ckpt",
+        "partition_us",
+        "flush_us",
+        "mean_ckpt_ms",
     ]);
+    let mut records = Vec::new();
     for flushers in [0usize, 1, 2, 4] {
-        let region = Region::new(RegionConfig::optane(region_bytes));
-        let pool = Pool::create(
-            region,
-            PoolConfig {
-                flusher_threads: flushers,
-                mode: CheckpointMode::Full,
+        let shards = PoolConfig::builder()
+            .flusher_threads(flushers)
+            .build()
+            .expect("config")
+            .resolved_shards();
+        let (t, snap) = measure_respct_map(
+            "respct",
+            MapBenchSpec {
+                threads,
+                secs: args.secs,
+                keyspace,
+                nbuckets,
+                update_pct: 90,
+                // A short period (vs the paper's 64 ms default elsewhere)
+                // so even brief sweeps record many checkpoints — this
+                // ablation is about the per-checkpoint flush phases, not
+                // the failure-free window.
+                period: Duration::from_millis(10),
+                region_bytes,
+                seed: 0xab1a,
             },
+            flushers,
+            0,
         );
-        let h = pool.register();
-        let map = PHashMap::create(&h, nbuckets);
-        drop(h);
-        prefill_map(&map, keyspace);
-        let t = {
-            let _ckpt = pool.start_checkpointer(Duration::from_millis(64));
-            run_map_mix(&map, threads, args.secs, keyspace, 90, 0xab1a)
-        };
-        let snap = pool.ckpt_stats().snapshot();
         table.row(vec![
             flushers.to_string(),
+            shards.to_string(),
             f3(t.mops()),
-            f3(snap.mean_duration().as_secs_f64() * 1e3),
-            f3(snap.mean_lines()),
             snap.count.to_string(),
+            f3(snap.mean_lines()),
+            f3(snap.mean_partition().as_secs_f64() * 1e6),
+            f3(snap.mean_flush().as_secs_f64() * 1e6),
+            f3(snap.mean_duration().as_secs_f64() * 1e3),
         ]);
+        records.push(FlushRecord {
+            threads,
+            flushers,
+            shards,
+            mops: t.mops(),
+            snap,
+        });
     }
     table.print();
+    match write_flush_json("ablation_flushers", &records) {
+        Ok(path) => println!("(flush sweep written to {path})"),
+        Err(e) => eprintln!("failed to write BENCH_flush.json: {e}"),
+    }
 }

@@ -50,7 +50,7 @@ fn main() {
     ]);
     for period_ms in [1u64, 2, 4, 8, 16, 32, 64] {
         let region = Region::new(RegionConfig::optane(region_bytes));
-        let pool = Pool::create(region, PoolConfig::default());
+        let pool = Pool::create(region, PoolConfig::default()).expect("pool");
         let h = pool.register();
         let map = PHashMap::create(&h, nbuckets);
         drop(h);
@@ -101,6 +101,7 @@ impl SnapDiff for respct::CkptSnapshot {
             count: self.count - earlier.count,
             lines_flushed: self.lines_flushed - earlier.lines_flushed,
             wait_ns: self.wait_ns - earlier.wait_ns,
+            partition_ns: self.partition_ns - earlier.partition_ns,
             flush_ns: self.flush_ns - earlier.flush_ns,
             total_ns: self.total_ns - earlier.total_ns,
         }

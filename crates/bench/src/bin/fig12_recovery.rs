@@ -38,7 +38,7 @@ fn main() {
         // Size: buckets (32 B) + nodes (64 B) + registry (~48 B/node).
         let bytes = (nbuckets * 32 + elements * 64 + elements * 3 * 16 + (256 << 20)) as usize;
         let region = Region::new(RegionConfig::fast(bytes));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         let map = PHashMap::create(&h, nbuckets);
         h.set_root(map.desc());
@@ -58,7 +58,8 @@ fn main() {
         // "Reboot": recover on the same region (the volatile image stands in
         // for the persisted one — identical scan + rollback work).
         let (pool2, report) =
-            Pool::recover_with_threads(Arc::clone(&region), PoolConfig::default(), threads);
+            Pool::recover_with_threads(Arc::clone(&region), PoolConfig::default(), threads)
+                .expect("recover");
         let ms = report.duration.as_secs_f64() * 1e3;
         table.row(vec![
             nbuckets.to_string(),

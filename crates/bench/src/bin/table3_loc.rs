@@ -18,6 +18,8 @@ const API_MARKERS: &[&str] = &[
     ".store_tracked(",
     ".checkpoint_allow(",
     ".checkpoint_prevent",
+    ".allow_checkpoints(",
+    ".rearm_locked(",
     ".checkpoint_here(",
     "pool.register(",
     "Pool::create(",

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use respct::{CheckpointMode, Pool, PoolConfig};
+use respct::{CheckpointMode, CkptSnapshot, Pool, PoolConfig};
 use respct_baselines::clobber::ClobberPolicy;
 use respct_baselines::dali::DaliHashMap;
 use respct_baselines::friedman::FriedmanQueue;
@@ -85,28 +85,7 @@ pub fn measure_map_system(name: &str, s: MapBenchSpec) -> Throughput {
             prefill_map(&m, s.keyspace);
             run_map_mix(&m, s.threads, s.secs, s.keyspace, s.update_pct, s.seed)
         }
-        "respct" | "respct-incll" | "respct-noflush" => {
-            let mode = if name == "respct-noflush" {
-                CheckpointMode::NoFlush
-            } else {
-                CheckpointMode::Full
-            };
-            let region = Region::new(RegionConfig::optane(s.region_bytes));
-            let pool = Pool::create(
-                region,
-                PoolConfig {
-                    flusher_threads: 0,
-                    mode,
-                },
-            );
-            let h = pool.register();
-            let m = PHashMap::create(&h, s.nbuckets);
-            drop(h);
-            prefill_map(&m, s.keyspace);
-            // "respct-incll" = logging + tracking but no checkpoints.
-            let _ckpt = (name != "respct-incll").then(|| pool.start_checkpointer(s.period));
-            run_map_mix(&m, s.threads, s.secs, s.keyspace, s.update_pct, s.seed)
-        }
+        "respct" | "respct-incll" | "respct-noflush" => measure_respct_map(name, s, 0, 0).0,
         "pmthreads" => {
             let p = Arc::new(PmThreadsPolicy::new(
                 Region::new(RegionConfig::fast(s.region_bytes)),
@@ -170,6 +149,46 @@ pub fn measure_map_system(name: &str, s: MapBenchSpec) -> Throughput {
     }
 }
 
+/// Builds + pre-fills + measures a ResPCT map variant, returning the pool's
+/// checkpoint statistics alongside the throughput (feeds the flush-pipeline
+/// study and `BENCH_flush.json`). `flushers` sizes the dedicated flusher
+/// pool; `shards == 0` sizes the flush shard count automatically.
+///
+/// # Panics
+///
+/// Panics on an unknown variant name or an invalid flusher/shard combination.
+pub fn measure_respct_map(
+    name: &str,
+    s: MapBenchSpec,
+    flushers: usize,
+    shards: usize,
+) -> (Throughput, CkptSnapshot) {
+    let mode = match name {
+        "respct-noflush" => CheckpointMode::NoFlush,
+        "respct" | "respct-incll" => CheckpointMode::Full,
+        other => panic!("unknown respct variant {other}"),
+    };
+    let region = Region::new(RegionConfig::optane(s.region_bytes));
+    let cfg = PoolConfig::builder()
+        .mode(mode)
+        .flusher_threads(flushers)
+        .flush_shards(shards)
+        .build()
+        .expect("pool config");
+    let pool = Pool::create(region, cfg).expect("pool");
+    let h = pool.register();
+    let m = PHashMap::create(&h, s.nbuckets);
+    drop(h);
+    prefill_map(&m, s.keyspace);
+    let t = {
+        // "respct-incll" = logging + tracking but no checkpoints.
+        let _ckpt = (name != "respct-incll").then(|| pool.start_checkpointer(s.period));
+        run_map_mix(&m, s.threads, s.secs, s.keyspace, s.update_pct, s.seed)
+    };
+    let snap = pool.ckpt_stats().snapshot();
+    (t, snap)
+}
+
 /// Parameters of one queue measurement.
 #[derive(Debug, Clone, Copy)]
 pub struct QueueBenchSpec {
@@ -205,13 +224,8 @@ pub fn measure_queue_system(name: &str, s: QueueBenchSpec) -> Throughput {
                 CheckpointMode::Full
             };
             let region = Region::new(RegionConfig::optane(s.region_bytes));
-            let pool = Pool::create(
-                region,
-                PoolConfig {
-                    flusher_threads: 0,
-                    mode,
-                },
-            );
+            let cfg = PoolConfig::builder().mode(mode).build().expect("config");
+            let pool = Pool::create(region, cfg).expect("pool");
             let h = pool.register();
             let q = PQueue::create(&h);
             drop(h);

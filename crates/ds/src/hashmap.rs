@@ -276,7 +276,8 @@ mod tests {
         let pool = Pool::create(
             Region::new(RegionConfig::fast(64 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .expect("pool");
         let h = pool.register();
         let map = PHashMap::create(&h, nbuckets);
         (pool, h, map)
@@ -359,7 +360,7 @@ mod tests {
             64 << 20,
             respct_pmem::SimConfig::with_eviction(4, 99),
         ));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         let map = PHashMap::create(&h, 32);
         for k in 0..50 {
@@ -381,7 +382,8 @@ mod tests {
         drop(pool);
         let img = region.crash(respct_pmem::sim::CrashMode::PowerFailure);
         region.restore(&img);
-        let (pool2, _rep) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool2, _rep) =
+            Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         let map2 = PHashMap::open(&pool2, pool2.root());
         let mut got = map2.collect();
         got.sort_unstable();

@@ -312,7 +312,8 @@ mod tests {
         let pool = Pool::create(
             Region::new(RegionConfig::fast(64 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .expect("pool");
         let h = pool.register();
         let m = POrderedMap::create(&h);
         (pool, h, m)
@@ -381,7 +382,7 @@ mod tests {
     #[test]
     fn crash_recovers_to_checkpoint() {
         let region = Region::new(RegionConfig::sim(32 << 20, SimConfig::with_eviction(3, 17)));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         let m = POrderedMap::create(&h);
         for k in 0..60u64 {
@@ -405,7 +406,7 @@ mod tests {
         drop(pool);
         let img = region.crash(CrashMode::PowerFailure);
         region.restore(&img);
-        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         let m = POrderedMap::open(&pool, pool.root());
         let want: Vec<(u64, u64)> = (0..60).filter(|&k| k != 10).map(|k| (k, k + 500)).collect();
         assert_eq!(m.collect_sorted(), want);

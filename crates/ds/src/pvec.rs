@@ -184,7 +184,8 @@ mod tests {
         let pool = Pool::create(
             Region::new(RegionConfig::fast(16 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .expect("pool");
         let h = pool.register();
         let v = PVec::create(&h, 4);
         (pool, h, v)
@@ -242,7 +243,7 @@ mod tests {
     #[test]
     fn crash_rolls_back_all_mutations() {
         let region = Region::new(RegionConfig::sim(16 << 20, SimConfig::with_eviction(3, 11)));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         let v = PVec::create(&h, 4);
         for i in 0..50 {
@@ -264,7 +265,7 @@ mod tests {
         drop(pool);
         let img = region.crash(CrashMode::PowerFailure);
         region.restore(&img);
-        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         let v = PVec::open(&pool, pool.root());
         assert_eq!(v.collect(), (0..50).collect::<Vec<u64>>());
         // Usable after recovery.
@@ -278,7 +279,7 @@ mod tests {
         // The upsert distinction: the recycled slot must roll back to the
         // *pre-pop* element, not the re-pushed one.
         let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(2, 3)));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         let v = PVec::create(&h, 8);
         v.push(&h, 111);
@@ -291,7 +292,7 @@ mod tests {
         drop(pool);
         let img = region.crash(CrashMode::PowerFailure);
         region.restore(&img);
-        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         let v = PVec::open(&pool, pool.root());
         assert_eq!(
             v.collect(),

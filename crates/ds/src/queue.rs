@@ -164,7 +164,8 @@ mod tests {
         let pool = Pool::create(
             Region::new(RegionConfig::fast(32 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .expect("pool");
         let h = pool.register();
         let q = PQueue::create(&h);
         (pool, h, q)
@@ -241,7 +242,7 @@ mod tests {
             32 << 20,
             respct_pmem::SimConfig::with_eviction(4, 7),
         ));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         let q = PQueue::create(&h);
         for v in 1..=10u64 {
@@ -260,7 +261,8 @@ mod tests {
         drop(pool);
         let img = region.crash(respct_pmem::sim::CrashMode::PowerFailure);
         region.restore(&img);
-        let (pool2, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool2, _) =
+            Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         let q2 = PQueue::open(&pool2, pool2.root());
         assert_eq!(q2.collect(), (2..=10).collect::<Vec<u64>>());
         // The queue remains usable after recovery.

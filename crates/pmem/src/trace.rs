@@ -62,6 +62,15 @@ pub enum TraceMarker {
     /// The durable epoch counter advanced to `epoch` (must be the previous
     /// epoch + 1).
     EpochAdvance { epoch: u64 },
+    /// A flusher (or the checkpointer, inline) started writing back flush
+    /// shard `shard` of the current checkpoint: `lines` unique cache lines,
+    /// already sorted + deduplicated. Hash partitioning guarantees a line
+    /// belongs to exactly one shard, so shards never overlap.
+    ShardFlushBegin { shard: u64, lines: u64 },
+    /// Every write-back of flush shard `shard` is covered by a fence. All
+    /// shards opened since `CheckpointBegin` must be closed before the
+    /// `OrderBarrier` that precedes the epoch commit.
+    ShardFlushEnd { shard: u64 },
     /// Checkpoint finished; `epoch` is the epoch it closed.
     CheckpointEnd { epoch: u64 },
     /// Recovery started; `failed_epoch` is the epoch being rolled back and

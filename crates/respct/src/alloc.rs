@@ -221,6 +221,7 @@ mod tests {
             Region::new(RegionConfig::fast(4 << 20)),
             PoolConfig::default(),
         )
+        .unwrap()
     }
 
     #[test]

@@ -1,24 +1,88 @@
 //! The checkpoint procedure (paper Fig. 4, lines 46–59) and its periodic
-//! driver, plus the parallel flusher pool (§5 "a pool of flusher threads
-//! flushes data to NVMM in parallel during checkpoints").
+//! driver, plus the sharded parallel flush pipeline (§5 "a pool of flusher
+//! threads flushes data to NVMM in parallel during checkpoints").
+//!
+//! # The sharded flush pipeline
+//!
+//! Every tracked cache line is hash-partitioned into one of
+//! `Pool::nshards` **flush shards** at append time
+//! ([`shard_of_line`]); each per-thread `to_be_flushed` list is really a
+//! vector of per-shard lists. Because the shard is a pure function of the
+//! line address, the same line tracked by any number of threads always
+//! lands in the same shard — so a *per-shard* sort + dedup is exactly as
+//! strong as the global sort + dedup the pipeline replaces, with no
+//! cross-shard coordination.
+//!
+//! At checkpoint time the stop-the-world section merely *moves* the
+//! per-slot shard lists into per-shard gather vectors (O(slots × shards)
+//! pointer swaps, no sorting). Flusher threads then claim whole shards
+//! from a shared counter; each claimer sorts + dedups its shard locally,
+//! writes the lines back, and issues **one** fence after its last shard.
+//! The serial O(n log n) sort and the old chunk-scatter/ack channel
+//! round-trip per chunk are both gone: the checkpointer sends one job
+//! message per flusher and waits for one ack per flusher.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
 use respct_pmem::{Region, TraceMarker};
 
 use crate::layout::{MAX_THREADS, OFF_EPOCH};
 use crate::pool::{CheckpointMode, Pool, SYSTEM_SLOT};
 
-/// Outcome of one checkpoint.
+/// The flush shard a cache line belongs to. `nshards` must be a power of
+/// two (guaranteed by [`PoolConfig::resolved_shards`]).
+///
+/// Fibonacci (multiplicative) hashing: consecutive lines — the common
+/// pattern from `add_modified` over a byte range — spread across shards
+/// instead of clustering on one flusher, and the mixed high bits behave
+/// well for any allocation stride.
+///
+/// [`PoolConfig::resolved_shards`]: crate::PoolConfig::resolved_shards
+#[inline]
+pub fn shard_of_line(line: u64, nshards: usize) -> usize {
+    debug_assert!(nshards.is_power_of_two());
+    ((line.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (nshards - 1)
+}
+
+/// What one flusher (or the checkpointer, inline) did for one shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Unique lines written back.
+    pub lines: u64,
+    /// Nanoseconds sorting + deduplicating the shard.
+    pub sort_ns: u64,
+    /// Nanoseconds issuing the shard's write-backs.
+    pub flush_ns: u64,
+}
+
+/// Outcome of one checkpoint, with the per-phase breakdown the paper's
+/// Fig. 10 decomposes overhead into.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CkptReport {
     /// Epoch that was just closed (the new epoch is `closed_epoch + 1`).
     pub closed_epoch: u64,
-    /// Cache lines flushed.
+    /// Unique cache lines flushed (counted even in `NoFlush` mode, where
+    /// they are deliberately not written back).
     pub lines: u64,
+    /// Nanoseconds waiting for every thread to park (quiescence).
+    pub wait_ns: u64,
+    /// Nanoseconds moving per-slot shard lists into the gather vectors —
+    /// the only per-line work left on the serial path, and it is O(1) per
+    /// *list*, not per line.
+    pub partition_ns: u64,
+    /// Nanoseconds in the flush phase, wall-clock across all flushers
+    /// (sort + dedup + write-backs + fences).
+    pub flush_ns: u64,
+    /// Nanoseconds for the whole checkpoint.
+    pub total_ns: u64,
+    /// Per-shard breakdown, one entry per non-empty shard.
+    pub shards: Vec<ShardReport>,
 }
 
 impl Pool {
@@ -60,65 +124,35 @@ impl Pool {
 
         // All threads are parked: first sync the deferred allocator and
         // registry cursors into their InCLL cells (so the flush below
-        // persists end-of-epoch metadata), then drain the tracking lists.
+        // persists end-of-epoch metadata), then gather the tracking lists.
         // SAFETY: quiescence established above; `ckpt_lock` held.
         unsafe { self.sync_deferred_cells() };
 
-        // Drain every slot's tracking list.
-        let mut lines: Vec<u64> = Vec::new();
+        // Gather: move each slot's per-shard lists into per-shard vectors.
+        // No sorting and no per-line work here — dedup happens per shard,
+        // in parallel, inside the flush phase.
+        let tp = Instant::now();
+        let mut shards: Vec<Vec<u64>> = vec![Vec::new(); self.nshards];
         for slot in 0..MAX_THREADS {
             // SAFETY: `timer` is set and every active owner's flag was
             // observed true with SeqCst, so owners are parked; inactive
             // slots have no owner. The checkpointer has exclusive access.
             let st = unsafe { self.slot_state(slot) };
-            if !st.to_flush.is_empty() {
-                if lines.is_empty() {
-                    lines = std::mem::take(&mut st.to_flush);
+            for (s, list) in st.to_flush.iter_mut().enumerate() {
+                if list.is_empty() {
+                    continue;
+                }
+                if shards[s].is_empty() {
+                    shards[s] = std::mem::take(list);
                 } else {
-                    lines.append(&mut st.to_flush);
+                    shards[s].append(list);
                 }
             }
         }
-        // The per-slot lists only skip *adjacent* duplicates, and hot lines
-        // (bucket heads, shared descriptors) are tracked by several slots:
-        // without a global dedup a checkpoint writes the same line back many
-        // times over (the trace checker's RedundantFlush advisory counts
-        // them). One sort makes every write-back unique.
-        lines.sort_unstable();
-        lines.dedup();
-        let nlines = lines.len() as u64;
+        let partitioned = tp.elapsed();
 
         let tf = Instant::now();
-        if self.cfg.mode == CheckpointMode::Full && !lines.is_empty() {
-            // Test-only injected faults: drop one write-back, or the fence
-            // that makes the write-backs durable before the epoch advance.
-            #[cfg(feature = "fault-inject")]
-            let skip_line: Option<u64> = self
-                .take_fault(crate::pool::Fault::SkipOneFlush)
-                .then(|| lines[lines.len() / 2]);
-            #[cfg(not(feature = "fault-inject"))]
-            let skip_line: Option<u64> = None;
-            #[cfg(feature = "fault-inject")]
-            let skip_fence = self.take_fault(crate::pool::Fault::SkipFence);
-            #[cfg(not(feature = "fault-inject"))]
-            let skip_fence = false;
-            match &self.flushers {
-                Some(pool) if skip_line.is_none() && !skip_fence => {
-                    pool.flush(lines);
-                }
-                _ => {
-                    for &line in &lines {
-                        if Some(line) == skip_line {
-                            continue;
-                        }
-                        self.region.pwb_line(line);
-                    }
-                    if !skip_fence {
-                        self.region.psync();
-                    }
-                }
-            }
-        }
+        let (nlines, shard_reports) = self.flush_phase(shards);
         let flushed = tf.elapsed();
 
         // Advance and persist the epoch counter (Fig. 4 lines 56–58). The
@@ -140,14 +174,149 @@ impl Pool {
         unsafe { self.drain_frees(SYSTEM_SLOT) };
 
         self.timer.store(false, Ordering::SeqCst);
-        self.ckpt_stats
-            .record(nlines, waited, flushed, t0.elapsed());
-        self.region
-            .trace_marker(TraceMarker::CheckpointEnd { epoch: closed });
-        CkptReport {
+        let report = CkptReport {
             closed_epoch: closed,
             lines: nlines,
+            wait_ns: waited.as_nanos() as u64,
+            partition_ns: partitioned.as_nanos() as u64,
+            flush_ns: flushed.as_nanos() as u64,
+            total_ns: t0.elapsed().as_nanos() as u64,
+            shards: shard_reports,
+        };
+        self.ckpt_stats.record(&report);
+        self.region
+            .trace_marker(TraceMarker::CheckpointEnd { epoch: closed });
+        report
+    }
+
+    /// The flush phase of a checkpoint: per-shard sort, dedup, write-back
+    /// and fence — parallel when a flusher pool exists, inline otherwise.
+    /// Returns the unique line count and the per-shard breakdown.
+    fn flush_phase(&self, shards: Vec<Vec<u64>>) -> (u64, Vec<ShardReport>) {
+        if self.cfg.mode != CheckpointMode::Full {
+            // NoFlush: still sort + dedup per shard so the reported line
+            // count matches what a full checkpoint would have written back.
+            let mut total = 0u64;
+            let mut reports = Vec::new();
+            for (s, mut lines) in shards.into_iter().enumerate() {
+                if lines.is_empty() {
+                    continue;
+                }
+                lines.sort_unstable();
+                lines.dedup();
+                total += lines.len() as u64;
+                reports.push(ShardReport {
+                    shard: s,
+                    lines: lines.len() as u64,
+                    sort_ns: 0,
+                    flush_ns: 0,
+                });
+            }
+            return (total, reports);
         }
+        if shards.iter().all(std::vec::Vec::is_empty) {
+            return (0, Vec::new());
+        }
+        // Test-only injected faults: drop one write-back, the global fence,
+        // or one shard's fence (the parallel pipeline's failure mode).
+        #[cfg(feature = "fault-inject")]
+        let skip_one = self.take_fault(crate::pool::Fault::SkipOneFlush);
+        #[cfg(feature = "fault-inject")]
+        let skip_fence = self.take_fault(crate::pool::Fault::SkipFence);
+        #[cfg(feature = "fault-inject")]
+        let skip_fence_shard: Option<usize> = self
+            .take_fault(crate::pool::Fault::SkipShardFence)
+            .then(|| shards.iter().rposition(|s| !s.is_empty()).unwrap());
+        #[cfg(not(feature = "fault-inject"))]
+        let (skip_one, skip_fence, skip_fence_shard) = (false, false, None::<usize>);
+
+        match &self.flushers {
+            Some(pool) if !skip_one && !skip_fence => pool.flush_shards(shards, skip_fence_shard),
+            _ => self.flush_inline(shards, skip_one, skip_fence, skip_fence_shard),
+        }
+    }
+
+    /// Inline flush on the checkpointing thread: every shard sorted,
+    /// deduped, written back; one fence at the end covers them all.
+    fn flush_inline(
+        &self,
+        shards: Vec<Vec<u64>>,
+        skip_one: bool,
+        skip_fence: bool,
+        skip_fence_shard: Option<usize>,
+    ) -> (u64, Vec<ShardReport>) {
+        // SkipOneFlush target: the middle line of the largest shard.
+        let skip_one_shard = skip_one.then(|| {
+            shards
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, l)| l.len())
+                .map(|(i, _)| i)
+                .unwrap()
+        });
+        let mut total = 0u64;
+        let mut reports: Vec<ShardReport> = Vec::new();
+        // Shards written back but not yet covered by a fence.
+        let mut unfenced: Vec<usize> = Vec::new();
+        for (s, mut lines) in shards.into_iter().enumerate() {
+            if lines.is_empty() {
+                continue;
+            }
+            if skip_fence_shard == Some(s) {
+                // Fence everything written so far, so exactly this shard's
+                // write-backs race the epoch advance. (The marked shard is
+                // the last non-empty one, so the loop ends right after.)
+                self.region.psync();
+                for &sh in &unfenced {
+                    self.region
+                        .trace_marker(TraceMarker::ShardFlushEnd { shard: sh as u64 });
+                }
+                unfenced.clear();
+            }
+            let ts = Instant::now();
+            lines.sort_unstable();
+            lines.dedup();
+            let sort_ns = ts.elapsed().as_nanos() as u64;
+            self.region.trace_marker(TraceMarker::ShardFlushBegin {
+                shard: s as u64,
+                lines: lines.len() as u64,
+            });
+            let skip_line = (skip_one_shard == Some(s)).then(|| lines[lines.len() / 2]);
+            let tw = Instant::now();
+            for &line in &lines {
+                if Some(line) == skip_line {
+                    continue;
+                }
+                self.region.pwb_line(line);
+            }
+            total += lines.len() as u64;
+            reports.push(ShardReport {
+                shard: s,
+                lines: lines.len() as u64,
+                sort_ns,
+                flush_ns: tw.elapsed().as_nanos() as u64,
+            });
+            if skip_fence_shard != Some(s) {
+                unfenced.push(s);
+            }
+        }
+        // The marked shard is the last non-empty one, so skipping the final
+        // fence here leaves exactly its write-backs unfenced (earlier shards
+        // were covered by the psync issued when the marked shard was
+        // reached).
+        if !skip_fence && skip_fence_shard.is_none() {
+            self.region.psync();
+        }
+        if skip_fence_shard.is_none() {
+            // SkipFence still emits the End markers: the buggy runtime
+            // *claims* the shards are done, and the checker catches the
+            // unfenced write-backs at the order barrier.
+            for &sh in &unfenced {
+                self.region
+                    .trace_marker(TraceMarker::ShardFlushEnd { shard: sh as u64 });
+            }
+        }
+        (total, reports)
     }
 
     /// Spawns a background thread that checkpoints every `period`.
@@ -193,22 +362,38 @@ impl Drop for CheckpointerGuard {
 
 // ---- Flusher pool ----------------------------------------------------------
 
-enum FlushJob {
-    /// Flush `lines[range]`, then `psync`, then acknowledge.
-    Run(Arc<Vec<u64>>, std::ops::Range<usize>),
+/// One shard of one checkpoint's flush work.
+struct ShardTask {
+    shard: usize,
+    state: Mutex<ShardTaskState>,
 }
 
-/// A fixed pool of threads that write back cache lines in parallel.
+struct ShardTaskState {
+    lines: Vec<u64>,
+    report: Option<ShardReport>,
+}
+
+/// One checkpoint's flush job, shared by every flusher. Workers claim
+/// whole shards by bumping `next`; a shard is sorted, deduped, and written
+/// back entirely by its claimer, which fences once after its last shard.
+struct ShardJob {
+    tasks: Vec<ShardTask>,
+    next: AtomicUsize,
+    /// Fault injection: the worker that claims this shard skips its fence.
+    skip_fence_shard: Option<usize>,
+}
+
+/// A fixed pool of threads that write back flush shards in parallel.
 pub(crate) struct FlusherPool {
     workers: Vec<std::thread::JoinHandle<()>>,
-    job_tx: Sender<FlushJob>,
+    job_tx: Sender<Arc<ShardJob>>,
     done_rx: Receiver<()>,
     n: usize,
 }
 
 impl FlusherPool {
     pub(crate) fn new(n: usize, region: Arc<Region>) -> FlusherPool {
-        let (job_tx, job_rx) = bounded::<FlushJob>(n * 2);
+        let (job_tx, job_rx) = bounded::<Arc<ShardJob>>(n * 2);
         let (done_tx, done_rx) = bounded::<()>(n * 2);
         let mut workers = Vec::with_capacity(n);
         for i in 0..n {
@@ -219,11 +404,8 @@ impl FlusherPool {
                 std::thread::Builder::new()
                     .name(format!("respct-flusher-{i}"))
                     .spawn(move || {
-                        while let Ok(FlushJob::Run(lines, range)) = rx.recv() {
-                            for &line in &lines[range] {
-                                region.pwb_line(line);
-                            }
-                            region.psync();
+                        while let Ok(job) = rx.recv() {
+                            Self::work(&region, &job);
                             if tx.send(()).is_err() {
                                 break;
                             }
@@ -240,28 +422,101 @@ impl FlusherPool {
         }
     }
 
-    /// Flushes `lines`, partitioned across the pool; returns when all
-    /// partitions are written back and fenced.
-    pub(crate) fn flush(&self, lines: Vec<u64>) {
-        let total = lines.len();
-        if total == 0 {
-            return;
+    /// One worker's share of a job: claim shards until none remain, then
+    /// fence once and close the claimed shards.
+    fn work(region: &Region, job: &ShardJob) {
+        let mut claimed: Vec<usize> = Vec::new();
+        let mut skip_fence = false;
+        loop {
+            let idx = job.next.fetch_add(1, Ordering::Relaxed);
+            let Some(task) = job.tasks.get(idx) else {
+                break;
+            };
+            let mut st = task.state.lock();
+            let ts = Instant::now();
+            let mut lines = std::mem::take(&mut st.lines);
+            lines.sort_unstable();
+            lines.dedup();
+            let sort_ns = ts.elapsed().as_nanos() as u64;
+            region.trace_marker(TraceMarker::ShardFlushBegin {
+                shard: task.shard as u64,
+                lines: lines.len() as u64,
+            });
+            let tw = Instant::now();
+            for &line in &lines {
+                region.pwb_line(line);
+            }
+            st.report = Some(ShardReport {
+                shard: task.shard,
+                lines: lines.len() as u64,
+                sort_ns,
+                flush_ns: tw.elapsed().as_nanos() as u64,
+            });
+            drop(st);
+            if job.skip_fence_shard == Some(task.shard) {
+                skip_fence = true;
+            }
+            claimed.push(idx);
         }
-        let lines = Arc::new(lines);
-        let per = total.div_ceil(self.n);
-        let mut jobs = 0;
-        let mut start = 0;
-        while start < total {
-            let end = (start + per).min(total);
+        if !skip_fence {
+            region.psync();
+            for &idx in &claimed {
+                region.trace_marker(TraceMarker::ShardFlushEnd {
+                    shard: job.tasks[idx].shard as u64,
+                });
+            }
+        }
+    }
+
+    /// Flushes the non-empty shards across the pool; returns when every
+    /// claimed shard is written back and fenced (one ack per worker, sent
+    /// after that worker's fence).
+    pub(crate) fn flush_shards(
+        &self,
+        shards: Vec<Vec<u64>>,
+        skip_fence_shard: Option<usize>,
+    ) -> (u64, Vec<ShardReport>) {
+        let tasks: Vec<ShardTask> = shards
+            .into_iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(s, l)| ShardTask {
+                shard: s,
+                state: Mutex::new(ShardTaskState {
+                    lines: l,
+                    report: None,
+                }),
+            })
+            .collect();
+        if tasks.is_empty() {
+            return (0, Vec::new());
+        }
+        let job = Arc::new(ShardJob {
+            tasks,
+            next: AtomicUsize::new(0),
+            skip_fence_shard,
+        });
+        // One message per worker. A fast worker may consume several
+        // messages; the extra receives claim nothing and ack immediately,
+        // so n acks still imply every claimed shard was fenced by its
+        // claimer before that claimer's ack.
+        for _ in 0..self.n {
             self.job_tx
-                .send(FlushJob::Run(Arc::clone(&lines), start..end))
+                .send(Arc::clone(&job))
                 .expect("flusher pool alive");
-            jobs += 1;
-            start = end;
         }
-        for _ in 0..jobs {
+        for _ in 0..self.n {
             self.done_rx.recv().expect("flusher pool alive");
         }
+        let mut total = 0u64;
+        let mut reports = Vec::with_capacity(job.tasks.len());
+        for t in &job.tasks {
+            if let Some(r) = t.state.lock().report.take() {
+                total += r.lines;
+                reports.push(r);
+            }
+        }
+        (total, reports)
     }
 }
 
@@ -285,7 +540,7 @@ mod tests {
     #[test]
     fn checkpoint_advances_and_persists_epoch() {
         let region = Region::new(RegionConfig::sim(1 << 20, SimConfig::no_eviction(7)));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).unwrap();
         assert_eq!(pool.epoch(), 1);
         let r = pool.checkpoint_now();
         assert_eq!(r.closed_epoch, 1);
@@ -298,13 +553,15 @@ mod tests {
     #[test]
     fn checkpoint_flushes_tracked_lines() {
         let region = Region::new(RegionConfig::sim(1 << 20, SimConfig::no_eviction(7)));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).unwrap();
         let addr = PAddr(crate::layout::heap_start().0);
         region.store(addr, 0xabcdu64);
         // SAFETY: single-threaded test.
         unsafe { pool.add_modified_raw(SYSTEM_SLOT, addr, 8) };
         let r = pool.checkpoint_now();
         assert_eq!(r.lines, 1);
+        assert_eq!(r.shards.len(), 1);
+        assert_eq!(r.shards[0].lines, 1);
         let img = region.crash(respct_pmem::sim::CrashMode::PowerFailure);
         let v = u64::from_ne_bytes(img.bytes()[addr.0 as usize..][..8].try_into().unwrap());
         assert_eq!(v, 0xabcd);
@@ -313,18 +570,17 @@ mod tests {
     #[test]
     fn noflush_mode_advances_epoch_without_flushing_data() {
         let region = Region::new(RegionConfig::sim(1 << 20, SimConfig::no_eviction(7)));
-        let pool = Pool::create(
-            Arc::clone(&region),
-            PoolConfig {
-                mode: CheckpointMode::NoFlush,
-                ..Default::default()
-            },
-        );
+        let cfg = PoolConfig::builder()
+            .mode(CheckpointMode::NoFlush)
+            .build()
+            .unwrap();
+        let pool = Pool::create(Arc::clone(&region), cfg).unwrap();
         let addr = PAddr(crate::layout::heap_start().0);
         region.store(addr, 0xabcdu64);
         // SAFETY: single-threaded test.
         unsafe { pool.add_modified_raw(SYSTEM_SLOT, addr, 8) };
-        pool.checkpoint_now();
+        let r = pool.checkpoint_now();
+        assert_eq!(r.lines, 1, "NoFlush still counts tracked lines");
         assert_eq!(pool.epoch(), 2);
         let img = region.crash(respct_pmem::sim::CrashMode::PowerFailure);
         let v = u64::from_ne_bytes(img.bytes()[addr.0 as usize..][..8].try_into().unwrap());
@@ -332,18 +588,48 @@ mod tests {
     }
 
     #[test]
+    fn shard_of_line_is_stable_and_in_range() {
+        for nshards in [1usize, 2, 8, 64, 4096] {
+            for line in 0..1000u64 {
+                let s = shard_of_line(line, nshards);
+                assert!(s < nshards);
+                assert_eq!(s, shard_of_line(line, nshards));
+            }
+        }
+        // With 1 shard everything collapses to shard 0.
+        assert_eq!(shard_of_line(u64::MAX, 1), 0);
+    }
+
+    #[test]
+    fn shard_of_line_spreads_consecutive_lines() {
+        // 256 consecutive lines over 8 shards must not all land in one
+        // shard (the whole point of mixing the address).
+        let mut counts = [0usize; 8];
+        for line in 0..256u64 {
+            counts[shard_of_line(line, 8)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "empty shard: {counts:?}");
+    }
+
+    #[test]
     fn flusher_pool_flushes_everything() {
         let region = Region::new(RegionConfig::sim(1 << 20, SimConfig::no_eviction(9)));
         let heap = crate::layout::heap_start().0;
-        let mut lines = Vec::new();
+        let nshards = 8;
+        let mut shards: Vec<Vec<u64>> = vec![Vec::new(); nshards];
         for i in 0..100u64 {
             let a = PAddr(heap + i * 64);
             region.store(a, i + 1);
-            lines.push(a.line());
+            let line = a.line();
+            shards[shard_of_line(line, nshards)].push(line);
+            // Duplicates must be deduped per shard.
+            shards[shard_of_line(line, nshards)].push(line);
         }
         let pool = FlusherPool::new(4, Arc::clone(&region));
-        pool.flush(lines);
+        let (total, reports) = pool.flush_shards(shards, None);
         drop(pool);
+        assert_eq!(total, 100);
+        assert_eq!(reports.iter().map(|r| r.lines).sum::<u64>(), 100);
         let img = region.crash(respct_pmem::sim::CrashMode::PowerFailure);
         for i in 0..100u64 {
             let off = (heap + i * 64) as usize;
@@ -353,9 +639,32 @@ mod tests {
     }
 
     #[test]
+    fn parallel_checkpoint_flushes_tracked_lines() {
+        let region = Region::new(RegionConfig::sim(1 << 20, SimConfig::no_eviction(5)));
+        let cfg = PoolConfig::builder().flusher_threads(2).build().unwrap();
+        let pool = Pool::create(Arc::clone(&region), cfg).unwrap();
+        let heap = crate::layout::heap_start().0;
+        for i in 0..64u64 {
+            let a = PAddr(heap + i * 64);
+            region.store(a, i + 7);
+            // SAFETY: single-threaded test.
+            unsafe { pool.add_modified_raw(SYSTEM_SLOT, a, 8) };
+        }
+        let r = pool.checkpoint_now();
+        assert_eq!(r.lines, 64);
+        assert!(r.shards.len() > 1, "expected several non-empty shards");
+        let img = region.crash(respct_pmem::sim::CrashMode::PowerFailure);
+        for i in 0..64u64 {
+            let off = (heap + i * 64) as usize;
+            let v = u64::from_ne_bytes(img.bytes()[off..off + 8].try_into().unwrap());
+            assert_eq!(v, i + 7);
+        }
+    }
+
+    #[test]
     fn periodic_checkpointer_runs_and_stops() {
         let region = Region::new(RegionConfig::fast(1 << 20));
-        let pool = Pool::create(region, PoolConfig::default());
+        let pool = Pool::create(region, PoolConfig::default()).unwrap();
         let guard = pool.start_checkpointer(Duration::from_millis(5));
         std::thread::sleep(Duration::from_millis(60));
         drop(guard);
@@ -369,7 +678,7 @@ mod tests {
     #[test]
     fn stats_mean_lines() {
         let region = Region::new(RegionConfig::fast(1 << 20));
-        let pool = Pool::create(region, PoolConfig::default());
+        let pool = Pool::create(region, PoolConfig::default()).unwrap();
         let addr = PAddr(crate::layout::heap_start().0);
         // SAFETY: single-threaded test.
         unsafe { pool.add_modified_raw(SYSTEM_SLOT, addr, 128) };

@@ -9,9 +9,9 @@
 //! RP();                       // restart at the critical-section entrance
 //! lock(mutex);
 //! while !condition {
-//!     checkpoint_allow();
+//!     allow = allow_checkpoints();
 //!     cond_wait(cv, mutex);
-//!     checkpoint_prevent(mutex);   // may release/re-acquire the lock
+//!     allow.rearm_locked(mutex);   // may release/re-acquire the lock
 //! }
 //! ...
 //! unlock(mutex);
@@ -47,9 +47,9 @@ impl RCondvar {
         mutex: &'a Mutex<T>,
         mut guard: MutexGuard<'a, T>,
     ) -> MutexGuard<'a, T> {
-        handle.checkpoint_allow();
+        let allow = handle.allow_checkpoints();
         self.cv.wait(&mut guard);
-        handle.checkpoint_prevent_locked(mutex, guard)
+        allow.rearm_locked(mutex, guard)
     }
 
     /// Timed variant of [`RCondvar::wait`]; the boolean reports whether the
@@ -61,9 +61,9 @@ impl RCondvar {
         mut guard: MutexGuard<'a, T>,
         timeout: Duration,
     ) -> (MutexGuard<'a, T>, bool) {
-        handle.checkpoint_allow();
+        let allow = handle.allow_checkpoints();
         let res = self.cv.wait_for(&mut guard, timeout);
-        let guard = handle.checkpoint_prevent_locked(mutex, guard);
+        let guard = allow.rearm_locked(mutex, guard);
         (guard, res.timed_out())
     }
 
@@ -91,7 +91,8 @@ mod tests {
         let pool = Pool::create(
             Region::new(RegionConfig::fast(4 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .unwrap();
         let mutex = Arc::new(Mutex::new(false));
         let cv = Arc::new(RCondvar::new());
         let released = Arc::new(AtomicBool::new(false));
@@ -138,7 +139,8 @@ mod tests {
         let pool = Pool::create(
             Region::new(RegionConfig::fast(4 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .unwrap();
         let mutex = Arc::new(Mutex::new(false));
         let cv = Arc::new(RCondvar::new());
         let resumed = Arc::new(AtomicBool::new(false));
@@ -207,7 +209,8 @@ mod tests {
         let pool = Pool::create(
             Region::new(RegionConfig::fast(4 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .unwrap();
         let mutex = Mutex::new(());
         let cv = RCondvar::new();
         let h = pool.register();

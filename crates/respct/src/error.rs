@@ -1,0 +1,77 @@
+//! Typed construction/recovery errors.
+//!
+//! [`Pool::create`](crate::Pool::create) and
+//! [`Pool::recover`](crate::Pool::recover) return `Result<_, PoolError>`
+//! instead of panicking: a region that is too small, not formatted, or a
+//! config that makes no sense are all conditions an embedding application
+//! can hit with user-supplied inputs and must be able to handle.
+
+/// Why a pool could not be created, recovered, or configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// The region cannot hold the pool header plus a minimal heap.
+    RegionTooSmall {
+        /// Minimum region size in bytes.
+        need: u64,
+        /// Actual region size in bytes.
+        got: u64,
+    },
+    /// The region does not start with the ResPCT magic number — it was
+    /// never formatted by [`Pool::create`](crate::Pool::create), or the
+    /// image is corrupt.
+    NotAPool,
+    /// The size recorded in the pool header disagrees with the region
+    /// (a crash image restored into a differently-sized region).
+    SizeMismatch {
+        /// Size recorded in the persistent header.
+        header: u64,
+        /// Size of the region being recovered.
+        region: u64,
+    },
+    /// A [`PoolConfig`](crate::PoolConfig) validation failure (bad flusher
+    /// or shard count, contradictory mode combination). Produced by
+    /// [`PoolConfig::builder`](crate::PoolConfig::builder).
+    InvalidConfig(&'static str),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::RegionTooSmall { need, got } => {
+                write!(
+                    f,
+                    "region too small: need more than {need} bytes, got {got}"
+                )
+            }
+            PoolError::NotAPool => write!(f, "not a ResPCT pool (magic mismatch)"),
+            PoolError::SizeMismatch { header, region } => write!(
+                f,
+                "size mismatch: header says {header} bytes, region is {region}"
+            ),
+            PoolError::InvalidConfig(why) => write!(f, "invalid pool config: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PoolError::RegionTooSmall { need: 100, got: 10 };
+        assert!(e.to_string().contains("region too small"));
+        assert!(PoolError::NotAPool.to_string().contains("magic"));
+        assert!(PoolError::SizeMismatch {
+            header: 1,
+            region: 2
+        }
+        .to_string()
+        .contains("size mismatch"));
+        assert!(PoolError::InvalidConfig("shards")
+            .to_string()
+            .contains("shards"));
+    }
+}

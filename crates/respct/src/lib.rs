@@ -26,9 +26,10 @@
 //! use respct::{Pool, PoolConfig};
 //! use respct_pmem::{Region, RegionConfig};
 //!
-//! // An emulated-NVMM region + a formatted pool.
+//! // An emulated-NVMM region + a formatted pool. `create` is fallible —
+//! // a too-small region is an error, not a panic.
 //! let region = Region::new(RegionConfig::fast(8 << 20));
-//! let pool = Pool::create(region, PoolConfig::default());
+//! let pool = Pool::create(region, PoolConfig::default()).expect("pool");
 //!
 //! // Register the thread, allocate a logged variable, update it.
 //! let h = pool.register();
@@ -43,12 +44,29 @@
 //! h.checkpoint_here();
 //! ```
 //!
+//! Non-default knobs go through the validated config builder — e.g. a pool
+//! with two dedicated flusher threads and 16 flush shards:
+//!
+//! ```
+//! use respct::{Pool, PoolConfig};
+//! use respct_pmem::{Region, RegionConfig};
+//!
+//! let cfg = PoolConfig::builder()
+//!     .flusher_threads(2)
+//!     .flush_shards(16)
+//!     .build()
+//!     .expect("valid config");
+//! let pool = Pool::create(Region::new(RegionConfig::fast(8 << 20)), cfg).expect("pool");
+//! # drop(pool);
+//! ```
+//!
 //! Crash testing uses a sim-mode region; see `Pool::recover` and the
 //! integration tests for the full crash → restore → recover cycle.
 
 mod alloc;
 mod checkpoint;
 mod condvar;
+mod error;
 mod incll;
 pub mod layout;
 mod pool;
@@ -59,15 +77,18 @@ mod thread;
 mod verify;
 
 pub use alloc::CHUNK_SIZE;
-pub use checkpoint::{CheckpointerGuard, CkptReport};
+pub use checkpoint::{shard_of_line, CheckpointerGuard, CkptReport, ShardReport};
 pub use condvar::RCondvar;
+pub use error::PoolError;
 pub use incll::{cell_layout, epoch_tag, tag_epoch, ICell};
 #[cfg(feature = "fault-inject")]
 pub use pool::Fault;
-pub use pool::{CheckpointMode, Pool, PoolConfig};
+pub use pool::{
+    CheckpointMode, Pool, PoolConfig, PoolConfigBuilder, MAX_FLUSHERS, MAX_FLUSH_SHARDS,
+};
 pub use recovery::RecoveryReport;
 pub use stats::{CkptSnapshot, CkptStats};
-pub use thread::ThreadHandle;
+pub use thread::{AllowGuard, ThreadHandle};
 pub use verify::{VerifyReport, Violation, ViolationKind};
 
 // Re-export the substrate types users need alongside the pool API.

@@ -50,16 +50,29 @@ pub enum Fault {
     /// The next full checkpoint omits the `psync` between the data flushes
     /// and the epoch-counter store: a cross-line ordering bug.
     SkipFence,
+    /// The flusher claiming the last non-empty shard of the next full
+    /// checkpoint skips its fence: one shard's write-backs race the epoch
+    /// advance while every other shard is properly fenced — the parallel
+    /// pipeline's characteristic failure mode.
+    SkipShardFence,
 }
 
 /// Pool construction parameters.
+///
+/// Construct via [`PoolConfig::default`] or, for anything non-default,
+/// [`PoolConfig::builder`] — the builder validates knob combinations so an
+/// invalid config is unrepresentable as a live `PoolConfig`.
 #[derive(Debug, Clone, Copy)]
 pub struct PoolConfig {
     /// Number of dedicated flusher threads; 0 flushes inline on the
     /// checkpointing thread. The paper uses a pool of flusher threads
     /// pinned one-to-one with program threads (§5).
-    pub flusher_threads: usize,
-    pub mode: CheckpointMode,
+    pub(crate) flusher_threads: usize,
+    pub(crate) mode: CheckpointMode,
+    /// Number of flush shards each thread's tracking list is partitioned
+    /// into at append time; 0 = auto-size from `flusher_threads`. Always a
+    /// power of two once resolved.
+    pub(crate) flush_shards: usize,
 }
 
 impl Default for PoolConfig {
@@ -67,14 +80,121 @@ impl Default for PoolConfig {
         PoolConfig {
             flusher_threads: 0,
             mode: CheckpointMode::Full,
+            flush_shards: 0,
         }
+    }
+}
+
+impl PoolConfig {
+    /// Starts building a validated config.
+    pub fn builder() -> PoolConfigBuilder {
+        PoolConfigBuilder {
+            cfg: PoolConfig::default(),
+        }
+    }
+
+    /// Number of dedicated flusher threads (0 = inline flushing).
+    pub fn flusher_threads(&self) -> usize {
+        self.flusher_threads
+    }
+
+    /// The checkpoint mode.
+    pub fn mode(&self) -> CheckpointMode {
+        self.mode
+    }
+
+    /// The configured shard count (0 = auto). See
+    /// [`PoolConfig::resolved_shards`] for the effective value.
+    pub fn flush_shards(&self) -> usize {
+        self.flush_shards
+    }
+
+    /// The effective shard count: the configured power of two, or — when
+    /// auto-sized — enough shards that each flusher claims several (4×,
+    /// rounded up to a power of two), which keeps the claim race
+    /// load-balanced when shard sizes are skewed.
+    pub fn resolved_shards(&self) -> usize {
+        if self.flush_shards != 0 {
+            self.flush_shards
+        } else {
+            (4 * self.flusher_threads.max(1)).next_power_of_two()
+        }
+    }
+}
+
+/// Maximum dedicated flusher threads.
+pub const MAX_FLUSHERS: usize = 64;
+/// Maximum flush shards.
+pub const MAX_FLUSH_SHARDS: usize = 4096;
+
+/// Builder for [`PoolConfig`]. Terminate with [`build`](Self::build), which
+/// validates the combination of knobs.
+#[derive(Debug, Clone)]
+#[must_use = "call .build() to obtain the validated PoolConfig"]
+pub struct PoolConfigBuilder {
+    cfg: PoolConfig,
+}
+
+impl PoolConfigBuilder {
+    /// Sets the number of dedicated flusher threads (0 = flush inline on
+    /// the checkpointing thread).
+    pub fn flusher_threads(mut self, n: usize) -> Self {
+        self.cfg.flusher_threads = n;
+        self
+    }
+
+    /// Sets the checkpoint mode.
+    pub fn mode(mut self, mode: CheckpointMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Sets the flush shard count: 0 for auto-sizing, otherwise a power of
+    /// two no smaller than the flusher count.
+    pub fn flush_shards(mut self, n: usize) -> Self {
+        self.cfg.flush_shards = n;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<PoolConfig, crate::error::PoolError> {
+        use crate::error::PoolError::InvalidConfig;
+        let c = &self.cfg;
+        if c.flusher_threads > MAX_FLUSHERS {
+            return Err(InvalidConfig("flusher_threads exceeds MAX_FLUSHERS (64)"));
+        }
+        if c.flush_shards != 0 && !c.flush_shards.is_power_of_two() {
+            return Err(InvalidConfig(
+                "flush_shards must be 0 (auto) or a power of two",
+            ));
+        }
+        if c.flush_shards > MAX_FLUSH_SHARDS {
+            return Err(InvalidConfig(
+                "flush_shards exceeds MAX_FLUSH_SHARDS (4096)",
+            ));
+        }
+        if c.flush_shards != 0 && c.flush_shards < c.flusher_threads {
+            return Err(InvalidConfig(
+                "flush_shards must be at least flusher_threads so every flusher can claim a shard",
+            ));
+        }
+        if c.mode == CheckpointMode::NoFlush && c.flusher_threads > 0 {
+            return Err(InvalidConfig(
+                "NoFlush mode never flushes; flusher_threads must be 0",
+            ));
+        }
+        Ok(self.cfg)
     }
 }
 
 /// Volatile per-slot state, owned by the registered thread.
 pub(crate) struct SlotState {
-    /// Cache lines modified this epoch (`to_be_flushed`, paper Fig. 3).
-    pub to_flush: Vec<u64>,
+    /// Cache lines modified this epoch (`to_be_flushed`, paper Fig. 3),
+    /// hash-partitioned by line address into `Pool::nshards` shard lists at
+    /// append time. A given line always lands in the same shard (the shard
+    /// is a pure function of the address), so checkpoint-time dedup can run
+    /// per shard with no cross-shard coordination.
+    pub to_flush: Vec<Vec<u64>>,
     /// Tail chunk of the slot's registry chain (0 = none). Volatile cache;
     /// reconstructed from persistent state on registration.
     pub reg_tail: u64,
@@ -106,6 +226,10 @@ unsafe impl Sync for SlotCell {}
 pub struct Pool {
     pub(crate) region: Arc<Region>,
     pub(crate) cfg: PoolConfig,
+    /// Resolved flush shard count (power of two; see
+    /// [`PoolConfig::resolved_shards`]). Shard index of a line is
+    /// [`crate::checkpoint::shard_of_line`]`(line, nshards)`.
+    pub(crate) nshards: usize,
     /// Volatile mirror of the NVMM epoch counter. Written only by the
     /// checkpointer while every worker is parked.
     pub(crate) epoch_mirror: AtomicU64,
@@ -140,17 +264,21 @@ pub(crate) const SYSTEM_SLOT: usize = 0;
 impl Pool {
     /// Formats `region` as a fresh pool and returns it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the region is too small to hold the header plus a minimal
-    /// heap.
-    pub fn create(region: Arc<Region>, cfg: PoolConfig) -> Arc<Pool> {
+    /// [`PoolError::RegionTooSmall`](crate::PoolError::RegionTooSmall) if
+    /// the region cannot hold the header plus a minimal heap.
+    pub fn create(
+        region: Arc<Region>,
+        cfg: PoolConfig,
+    ) -> Result<Arc<Pool>, crate::error::PoolError> {
         let heap = layout::heap_start();
-        assert!(
-            (region.size() as u64) > heap.0 + 4096,
-            "region too small: need more than {} bytes",
-            heap.0 + 4096
-        );
+        if (region.size() as u64) <= heap.0 + 4096 {
+            return Err(crate::error::PoolError::RegionTooSmall {
+                need: heap.0 + 4096,
+                got: region.size() as u64,
+            });
+        }
         region.store(OFF_MAGIC, MAGIC);
         region.store(OFF_SIZE, region.size() as u64);
         region.store(OFF_EPOCH, FIRST_EPOCH);
@@ -175,7 +303,7 @@ impl Pool {
         }
         // Persist the formatted header so recovery of an "empty" pool works.
         region.flush_range(PAddr(0), heap.0 as usize);
-        Self::attach(region, cfg, FIRST_EPOCH)
+        Ok(Self::attach(region, cfg, FIRST_EPOCH))
     }
 
     fn format_cell_u64(region: &Region, addr: PAddr, val: u64) {
@@ -194,6 +322,7 @@ impl Pool {
 
     /// Builds the volatile side of a pool over an already-valid region.
     pub(crate) fn attach(region: Arc<Region>, cfg: PoolConfig, epoch: u64) -> Arc<Pool> {
+        let nshards = cfg.resolved_shards();
         let flags = (0..MAX_THREADS)
             .map(|i| CachePadded::new(AtomicBool::new(i == SYSTEM_SLOT)))
             .collect::<Vec<_>>()
@@ -206,7 +335,7 @@ impl Pool {
             .map(|i| {
                 let b = layout::slot_base(i).0;
                 SlotCell(UnsafeCell::new(SlotState {
-                    to_flush: Vec::new(),
+                    to_flush: vec![Vec::new(); nshards],
                     reg_tail: 0,
                     reg_tail_used: 0,
                     frees: Vec::new(),
@@ -233,6 +362,7 @@ impl Pool {
         Arc::new(Pool {
             region,
             cfg,
+            nshards,
             epoch_mirror: AtomicU64::new(epoch),
             timer: AtomicBool::new(false),
             flags,
@@ -306,6 +436,25 @@ impl Pool {
 
     // ---- Raw InCLL operations (used by ThreadHandle and the checkpointer).
 
+    /// Appends `line` to `slot`'s tracking list, in the shard the line
+    /// hashes to. Adjacent writes to the same line are common (node payload
+    /// plus embedded cell); skipping trivial duplicates shrinks the flush,
+    /// and works per shard because a line always hashes to the same shard.
+    ///
+    /// # Safety
+    ///
+    /// Slot exclusivity as for [`Pool::slot_state`].
+    #[inline]
+    pub(crate) unsafe fn track_line_raw(&self, slot: usize, line: u64) {
+        // SAFETY: forwarded caller contract.
+        let list = &mut unsafe { self.slot_state(slot) }.to_flush
+            [crate::checkpoint::shard_of_line(line, self.nshards)];
+        if list.last() != Some(&line) {
+            list.push(line);
+        }
+        self.region.trace_marker(TraceMarker::TrackLine { line });
+    }
+
     /// `update_InCLL` (paper Fig. 4, lines 24–29) executed on behalf of
     /// `slot`.
     ///
@@ -340,12 +489,7 @@ impl Pool {
                 epoch: plain_epoch,
             });
             // SAFETY: slot exclusivity per caller contract.
-            let list = &mut unsafe { self.slot_state(slot) }.to_flush;
-            let line = cell.addr().line();
-            if list.last() != Some(&line) {
-                list.push(line);
-            }
-            self.region.trace_marker(TraceMarker::TrackLine { line });
+            unsafe { self.track_line_raw(slot, cell.addr().line()) };
         }
         std::sync::atomic::compiler_fence(Ordering::Release);
         self.region.store(cell.addr(), val);
@@ -399,10 +543,8 @@ impl Pool {
             if !already_registered {
                 self.register_cell(slot, addr, l);
             }
-            self.slot_state(slot).to_flush.push(addr.line());
+            self.track_line_raw(slot, addr.line());
         }
-        self.region
-            .trace_marker(TraceMarker::TrackLine { line: addr.line() });
         cell
     }
 
@@ -458,15 +600,9 @@ impl Pool {
         }
         let first = addr.line();
         let last = PAddr(addr.0 + len as u64 - 1).line();
-        // SAFETY: forwarded caller contract.
-        let st = unsafe { self.slot_state(slot) };
         for line in first..=last {
-            // Adjacent writes to the same line are common (node payload +
-            // embedded cell); skip trivial duplicates to shrink the flush.
-            if st.to_flush.last() != Some(&line) {
-                st.to_flush.push(line);
-            }
-            self.region.trace_marker(TraceMarker::TrackLine { line });
+            // SAFETY: forwarded caller contract.
+            unsafe { self.track_line_raw(slot, line) };
         }
     }
 
@@ -509,7 +645,16 @@ mod tests {
 
     fn small_pool() -> Arc<Pool> {
         let region = Region::new(RegionConfig::fast(1 << 20));
-        Pool::create(region, PoolConfig::default())
+        Pool::create(region, PoolConfig::default()).unwrap()
+    }
+
+    /// All tracked lines of a slot, across shards, in sorted order.
+    fn tracked_sorted(pool: &Pool, slot: usize) -> Vec<u64> {
+        // SAFETY: single-threaded test.
+        let st = unsafe { pool.slot_state(slot) };
+        let mut all: Vec<u64> = st.to_flush.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all
     }
 
     #[test]
@@ -539,10 +684,8 @@ mod tests {
         let eid: u64 = pool.region.load(cell.epoch_addr());
         assert_eq!(crate::incll::tag_epoch(cell.addr(), eid), FIRST_EPOCH);
         // Only one tracking entry despite two updates.
-        // SAFETY: single-threaded test.
-        let st = unsafe { pool.slot_state(SYSTEM_SLOT) };
         assert_eq!(
-            st.to_flush
+            tracked_sorted(&pool, SYSTEM_SLOT)
                 .iter()
                 .filter(|&&l| l == cell.addr().line())
                 .count(),
@@ -555,15 +698,74 @@ mod tests {
         let pool = small_pool();
         // SAFETY: single-threaded test.
         unsafe { pool.add_modified_raw(SYSTEM_SLOT, PAddr(100), 200) };
-        // SAFETY: single-threaded test.
-        let st = unsafe { pool.slot_state(SYSTEM_SLOT) };
-        assert_eq!(st.to_flush, vec![1, 2, 3, 4]);
+        assert_eq!(tracked_sorted(&pool, SYSTEM_SLOT), vec![1, 2, 3, 4]);
     }
 
     #[test]
-    #[should_panic(expected = "region too small")]
     fn tiny_region_rejected() {
         let region = Region::new(RegionConfig::fast(4096));
-        Pool::create(region, PoolConfig::default());
+        let err = Pool::create(region, PoolConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::PoolError::RegionTooSmall { got: 4096, .. }
+        ));
+    }
+
+    #[test]
+    fn builder_validates() {
+        use crate::error::PoolError;
+        let ok = PoolConfig::builder()
+            .flusher_threads(4)
+            .flush_shards(16)
+            .build()
+            .unwrap();
+        assert_eq!(ok.flusher_threads(), 4);
+        assert_eq!(ok.resolved_shards(), 16);
+        // Auto-sizing: 4× flushers, power of two.
+        let auto = PoolConfig::builder().flusher_threads(3).build().unwrap();
+        assert_eq!(auto.resolved_shards(), 16);
+        assert_eq!(PoolConfig::default().resolved_shards(), 4);
+        assert!(matches!(
+            PoolConfig::builder().flush_shards(12).build(),
+            Err(PoolError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            PoolConfig::builder().flusher_threads(65).build(),
+            Err(PoolError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            PoolConfig::builder()
+                .flusher_threads(8)
+                .flush_shards(4)
+                .build(),
+            Err(PoolError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            PoolConfig::builder()
+                .mode(CheckpointMode::NoFlush)
+                .flusher_threads(2)
+                .build(),
+            Err(PoolError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn tracked_lines_partition_stably() {
+        let pool = small_pool();
+        // The same line appended twice back-to-back dedups; interleaved
+        // appends of distinct lines land in shards determined only by the
+        // address, so re-appending line 1 later still finds it (or not)
+        // purely within its own shard.
+        // SAFETY: single-threaded test.
+        unsafe {
+            pool.track_line_raw(SYSTEM_SLOT, 1);
+            pool.track_line_raw(SYSTEM_SLOT, 1);
+            pool.track_line_raw(SYSTEM_SLOT, 2);
+        }
+        assert_eq!(tracked_sorted(&pool, SYSTEM_SLOT), vec![1, 2]);
+        let shard_of_1 = crate::checkpoint::shard_of_line(1, pool.nshards);
+        // SAFETY: single-threaded test.
+        let st = unsafe { pool.slot_state(SYSTEM_SLOT) };
+        assert!(st.to_flush[shard_of_1].contains(&1));
     }
 }

@@ -74,29 +74,42 @@ fn roll_back_cell(
 impl Pool {
     /// Recovers a pool from a region whose volatile image was restored from
     /// a crash image (single-threaded registry scan).
-    pub fn recover(region: Arc<Region>, cfg: PoolConfig) -> (Arc<Pool>, RecoveryReport) {
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::NotAPool`](crate::PoolError::NotAPool) if the region was
+    /// never formatted, [`PoolError::SizeMismatch`](crate::PoolError::SizeMismatch)
+    /// if the header size disagrees with the region.
+    pub fn recover(
+        region: Arc<Region>,
+        cfg: PoolConfig,
+    ) -> Result<(Arc<Pool>, RecoveryReport), crate::error::PoolError> {
         Self::recover_with_threads(region, cfg, 1)
     }
 
     /// Recovery with a parallel registry scan (paper Fig. 12 uses 32
     /// recovery threads).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the region does not contain a formatted pool.
+    /// As for [`Pool::recover`].
     pub fn recover_with_threads(
         region: Arc<Region>,
         cfg: PoolConfig,
         threads: usize,
-    ) -> (Arc<Pool>, RecoveryReport) {
+    ) -> Result<(Arc<Pool>, RecoveryReport), crate::error::PoolError> {
         let threads = threads.max(1);
         let t0 = Instant::now();
-        assert_eq!(region.load::<u64>(OFF_MAGIC), MAGIC, "not a ResPCT pool");
-        assert_eq!(
-            region.load::<u64>(layout::OFF_SIZE),
-            region.size() as u64,
-            "size mismatch"
-        );
+        if region.load::<u64>(OFF_MAGIC) != MAGIC {
+            return Err(crate::error::PoolError::NotAPool);
+        }
+        let header_size = region.load::<u64>(layout::OFF_SIZE);
+        if header_size != region.size() as u64 {
+            return Err(crate::error::PoolError::SizeMismatch {
+                header: header_size,
+                region: region.size() as u64,
+            });
+        }
         let failed_epoch: u64 = region.load(OFF_EPOCH);
         region.trace_marker(TraceMarker::RecoveryBegin { failed_epoch });
 
@@ -181,15 +194,14 @@ impl Pool {
 
         // Phase 3: everything recovery rewrote — and every cell already
         // stamped with the failed epoch — must reach NVMM at the next
-        // checkpoint.
+        // checkpoint. `track_line_raw` shards the lines exactly as live
+        // tracking does, so the recovered lines flow through the same
+        // sharded flush pipeline.
         // SAFETY: no application thread is registered yet; recovery has
         // exclusive access to the system slot.
         for &line in &lines {
-            region.trace_marker(TraceMarker::TrackLine { line });
+            unsafe { pool.track_line_raw(SYSTEM_SLOT, line) };
         }
-        unsafe { pool.slot_state(SYSTEM_SLOT) }
-            .to_flush
-            .append(&mut lines);
         region.trace_marker(TraceMarker::RecoveryEnd {
             epoch: failed_epoch,
         });
@@ -201,7 +213,7 @@ impl Pool {
             duration: t0.elapsed(),
             threads,
         };
-        (pool, report)
+        Ok((pool, report))
     }
 }
 
@@ -222,13 +234,13 @@ mod tests {
     fn crash_and_recover(region: &Arc<Region>) -> (Arc<Pool>, RecoveryReport) {
         let img = region.crash(CrashMode::PowerFailure);
         region.restore(&img);
-        Pool::recover(Arc::clone(region), PoolConfig::default())
+        Pool::recover(Arc::clone(region), PoolConfig::default()).unwrap()
     }
 
     #[test]
     fn uncheckpointed_update_rolls_back() {
         let region = sim_region(1);
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).unwrap();
         let h = pool.register();
         let c = h.alloc_cell(10u64);
         h.checkpoint_here(); // value 10 is durable
@@ -247,7 +259,7 @@ mod tests {
     #[test]
     fn checkpointed_update_survives() {
         let region = sim_region(2);
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).unwrap();
         let h = pool.register();
         let c = h.alloc_cell(10u64);
         h.update(c, 20);
@@ -263,7 +275,7 @@ mod tests {
         // Clean shutdown (EvictAll) still counts as a crash: the epoch did
         // not complete, so its updates must roll back.
         let region = sim_region(3);
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).unwrap();
         let h = pool.register();
         let c = h.alloc_cell(10u64);
         h.checkpoint_here();
@@ -272,7 +284,7 @@ mod tests {
         drop(pool);
         let img = region.crash(CrashMode::EvictAll);
         region.restore(&img);
-        let (pool2, report) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool2, report) = Pool::recover(Arc::clone(&region), PoolConfig::default()).unwrap();
         assert_eq!(pool2.cell_get(c), 10);
         assert!(report.cells_rolled_back >= 1);
     }
@@ -280,7 +292,7 @@ mod tests {
     #[test]
     fn allocation_rolls_back_with_epoch() {
         let region = sim_region(4);
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).unwrap();
         let h = pool.register();
         let _c1 = h.alloc_cell(1u64);
         h.checkpoint_here();
@@ -306,7 +318,7 @@ mod tests {
         // then crash again in E+1 and verify the value from the E checkpoint
         // survives — this exercises the recovery re-tracking of step 4.
         let region = sim_region(5);
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).unwrap();
         let h = pool.register();
         let c = h.alloc_cell(10u64);
         h.checkpoint_here(); // E=2 begins
@@ -334,7 +346,7 @@ mod tests {
     #[test]
     fn rp_id_recovered() {
         let region = sim_region(6);
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).unwrap();
         let h = pool.register();
         let slot = {
             h.rp(41);
@@ -353,7 +365,7 @@ mod tests {
     #[test]
     fn parallel_recovery_matches_serial() {
         let region = sim_region(7);
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).unwrap();
         let h = pool.register();
         let mut cells = Vec::new();
         for i in 0..500u64 {
@@ -368,7 +380,7 @@ mod tests {
         let img = region.crash(CrashMode::PowerFailure);
         region.restore(&img);
         let (pool2, report) =
-            Pool::recover_with_threads(Arc::clone(&region), PoolConfig::default(), 4);
+            Pool::recover_with_threads(Arc::clone(&region), PoolConfig::default(), 4).unwrap();
         assert_eq!(report.threads, 4);
         for (i, c) in cells.iter().enumerate() {
             assert_eq!(pool2.cell_get(*c), i as u64);
@@ -378,7 +390,7 @@ mod tests {
     #[test]
     fn root_pointer_recovers() {
         let region = sim_region(8);
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).unwrap();
         let h = pool.register();
         let obj = h.alloc(64, 64);
         h.set_root(obj);
@@ -390,9 +402,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a ResPCT pool")]
-    fn recover_unformatted_region_panics() {
+    fn recover_unformatted_region_fails() {
         let region = Region::new(RegionConfig::fast(1 << 20));
-        Pool::recover(region, PoolConfig::default());
+        let err = Pool::recover(region, PoolConfig::default()).unwrap_err();
+        assert_eq!(err, crate::error::PoolError::NotAPool);
     }
 }

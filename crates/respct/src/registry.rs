@@ -157,7 +157,8 @@ mod tests {
         let p = Pool::create(
             Region::new(RegionConfig::fast(8 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .unwrap();
         let l = cell_layout::<u64>();
         let mut expect = Vec::new();
         for _ in 0..600 {
@@ -183,7 +184,8 @@ mod tests {
         let p = Pool::create(
             Region::new(RegionConfig::fast(8 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .unwrap();
         let l = cell_layout::<u32>();
         for _ in 0..300 {
             // SAFETY: single-threaded test.
@@ -215,7 +217,8 @@ mod tests {
         let p = Pool::create(
             Region::new(RegionConfig::fast(1 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .unwrap();
         let mut n = 0;
         p.for_each_registered(3, p.reg_len_persistent(3), |_a: PAddr, _l| n += 1);
         assert_eq!(n, 0);

@@ -3,6 +3,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use crate::checkpoint::CkptReport;
+
 /// Aggregate counters over all checkpoints of a pool.
 #[derive(Debug, Default)]
 pub struct CkptStats {
@@ -12,7 +14,11 @@ pub struct CkptStats {
     pub lines_flushed: AtomicU64,
     /// Nanoseconds spent waiting for all threads to reach an RP.
     pub wait_ns: AtomicU64,
-    /// Nanoseconds spent flushing.
+    /// Nanoseconds spent gathering the per-slot shard lists (the serial
+    /// part of the flush pipeline).
+    pub partition_ns: AtomicU64,
+    /// Nanoseconds spent in the flush phase (sort + dedup + write-back +
+    /// fence, wall-clock across flushers).
     pub flush_ns: AtomicU64,
     /// Nanoseconds of total checkpoint duration (quiesce + flush + epoch).
     pub total_ns: AtomicU64,
@@ -24,20 +30,21 @@ pub struct CkptSnapshot {
     pub count: u64,
     pub lines_flushed: u64,
     pub wait_ns: u64,
+    pub partition_ns: u64,
     pub flush_ns: u64,
     pub total_ns: u64,
 }
 
 impl CkptStats {
-    pub(crate) fn record(&self, lines: u64, wait: Duration, flush: Duration, total: Duration) {
+    pub(crate) fn record(&self, report: &CkptReport) {
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.lines_flushed.fetch_add(lines, Ordering::Relaxed);
-        self.wait_ns
-            .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
-        self.flush_ns
-            .fetch_add(flush.as_nanos() as u64, Ordering::Relaxed);
-        self.total_ns
-            .fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
+        self.lines_flushed
+            .fetch_add(report.lines, Ordering::Relaxed);
+        self.wait_ns.fetch_add(report.wait_ns, Ordering::Relaxed);
+        self.partition_ns
+            .fetch_add(report.partition_ns, Ordering::Relaxed);
+        self.flush_ns.fetch_add(report.flush_ns, Ordering::Relaxed);
+        self.total_ns.fetch_add(report.total_ns, Ordering::Relaxed);
     }
 
     /// Snapshot of the counters.
@@ -46,6 +53,7 @@ impl CkptStats {
             count: self.count.load(Ordering::Relaxed),
             lines_flushed: self.lines_flushed.load(Ordering::Relaxed),
             wait_ns: self.wait_ns.load(Ordering::Relaxed),
+            partition_ns: self.partition_ns.load(Ordering::Relaxed),
             flush_ns: self.flush_ns.load(Ordering::Relaxed),
             total_ns: self.total_ns.load(Ordering::Relaxed),
         }
@@ -68,32 +76,50 @@ impl CkptSnapshot {
             .checked_div(self.count)
             .map_or(Duration::ZERO, Duration::from_nanos)
     }
+
+    /// Mean flush-phase duration per checkpoint.
+    pub fn mean_flush(&self) -> Duration {
+        self.flush_ns
+            .checked_div(self.count)
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+
+    /// Mean gather/partition duration per checkpoint.
+    pub fn mean_partition(&self) -> Duration {
+        self.partition_ns
+            .checked_div(self.count)
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn report(lines: u64, total_us: u64) -> CkptReport {
+        CkptReport {
+            closed_epoch: 1,
+            lines,
+            wait_ns: 10_000,
+            partition_ns: 5_000,
+            flush_ns: 20_000,
+            total_ns: total_us * 1_000,
+            shards: Vec::new(),
+        }
+    }
+
     #[test]
     fn record_and_means() {
         let s = CkptStats::default();
-        s.record(
-            100,
-            Duration::from_micros(10),
-            Duration::from_micros(20),
-            Duration::from_micros(40),
-        );
-        s.record(
-            300,
-            Duration::from_micros(10),
-            Duration::from_micros(20),
-            Duration::from_micros(60),
-        );
+        s.record(&report(100, 40));
+        s.record(&report(300, 60));
         let snap = s.snapshot();
         assert_eq!(snap.count, 2);
         assert_eq!(snap.lines_flushed, 400);
         assert_eq!(snap.mean_lines(), 200.0);
         assert_eq!(snap.mean_duration(), Duration::from_micros(50));
+        assert_eq!(snap.mean_flush(), Duration::from_micros(20));
+        assert_eq!(snap.mean_partition(), Duration::from_micros(5));
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //!
 //! Every program thread registers with the pool and receives a
 //! [`ThreadHandle`]. The handle implements `update_InCLL`, `add_modified`,
-//! `RP(id)`, `checkpoint_allow`/`checkpoint_prevent`, and persistent
-//! allocation. Handles are `Send` (a thread may be handed its handle) but
-//! not `Sync`: a handle belongs to exactly one thread at a time, which is
-//! what makes the unsynchronized tracking list sound.
+//! `RP(id)`, the blocking-call protocol ([`ThreadHandle::allow_checkpoints`]
+//! returning an [`AllowGuard`]), and persistent allocation. Handles are
+//! `Send` (a thread may be handed its handle) but not `Sync`: a handle
+//! belongs to exactly one thread at a time, which is what makes the
+//! unsynchronized tracking list sound.
 
 use std::marker::PhantomData;
 use std::sync::atomic::Ordering;
@@ -232,15 +233,28 @@ impl ThreadHandle {
     // ---- Blocking-call protocol (paper Fig. 4 lines 30–39, §3.3.3) ------
 
     /// Permits checkpoints to complete while this thread is about to block
-    /// (`checkpoint_allow`). Must be paired with a `checkpoint_prevent_*`
-    /// call before the thread resumes persistent writes.
-    pub fn checkpoint_allow(&self) {
+    /// (the paper's `checkpoint_allow`). The returned [`AllowGuard`]
+    /// re-arms prevention when dropped, so the window in which this thread
+    /// does not gate checkpoints is exactly the guard's lifetime — there is
+    /// no way to forget the matching `checkpoint_prevent` or to write
+    /// persistent state while the flag is still up without keeping the
+    /// guard alive (which is the bug made visible).
+    ///
+    /// For the condvar pattern of §3.3.3 — re-arming while holding a mutex
+    /// guard — consume the guard with [`AllowGuard::rearm_locked`].
+    pub fn allow_checkpoints(&self) -> AllowGuard<'_> {
+        self.allow_raw();
+        AllowGuard {
+            handle: self,
+            armed: true,
+        }
+    }
+
+    fn allow_raw(&self) {
         self.pool.flags[self.slot].store(true, Ordering::SeqCst);
     }
 
-    /// Revokes checkpoint permission after a blocking call *outside* any
-    /// critical section (the simplified variant mentioned in §3.3.3).
-    pub fn checkpoint_prevent(&self) {
+    fn prevent_raw(&self) {
         loop {
             self.pool.flags[self.slot].store(false, Ordering::SeqCst);
             if !self.pool.timer.load(Ordering::SeqCst) {
@@ -250,11 +264,7 @@ impl ThreadHandle {
         }
     }
 
-    /// Revokes checkpoint permission after `cond_wait` returned, while
-    /// holding `mutex`'s guard. If a checkpoint is in flight, the guard is
-    /// released while waiting for it (avoiding the deadlock of §3.3.3) and
-    /// re-acquired afterwards.
-    pub fn checkpoint_prevent_locked<'a, T>(
+    fn prevent_locked_raw<'a, T>(
         &self,
         mutex: &'a parking_lot::Mutex<T>,
         mut guard: parking_lot::MutexGuard<'a, T>,
@@ -280,13 +290,98 @@ impl ThreadHandle {
         }
     }
 
+    /// Permits checkpoints to complete while this thread is about to block.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `allow_checkpoints()`; the returned AllowGuard re-arms prevention on drop"
+    )]
+    pub fn checkpoint_allow(&self) {
+        self.allow_raw();
+    }
+
+    /// Revokes checkpoint permission after a blocking call *outside* any
+    /// critical section.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `allow_checkpoints()`; dropping the AllowGuard re-arms prevention"
+    )]
+    pub fn checkpoint_prevent(&self) {
+        self.prevent_raw();
+    }
+
+    /// Revokes checkpoint permission while holding `mutex`'s guard.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `allow_checkpoints()` + `AllowGuard::rearm_locked(mutex, guard)`"
+    )]
+    pub fn checkpoint_prevent_locked<'a, T>(
+        &self,
+        mutex: &'a parking_lot::Mutex<T>,
+        guard: parking_lot::MutexGuard<'a, T>,
+    ) -> parking_lot::MutexGuard<'a, T> {
+        self.prevent_locked_raw(mutex, guard)
+    }
+
     /// Runs a checkpoint from this thread (tests / single-threaded apps):
     /// parks the calling handle as if at an RP, then drives the checkpoint.
     pub fn checkpoint_here(&self) -> crate::checkpoint::CkptReport {
         self.pool.flags[self.slot].store(true, Ordering::SeqCst);
         let report = self.pool.checkpoint_now();
-        self.pool.flags[self.slot].store(false, Ordering::SeqCst);
+        // Lower the flag with the full prevent protocol: another thread's
+        // checkpoint may have started while our flag was still up (it saw
+        // us as parked), so an unconditional lower here would let this
+        // thread write persistent state mid-flush. Re-park until no
+        // checkpoint is pending.
+        self.prevent_raw();
         report
+    }
+}
+
+/// Proof that the owning thread currently permits checkpoints to complete
+/// without it (obtained from [`ThreadHandle::allow_checkpoints`]).
+///
+/// While the guard is alive the thread's per-thread flag is raised and the
+/// thread **must not** touch persistent state. Dropping the guard re-arms
+/// prevention, waiting out any in-flight checkpoint first — the misuse the
+/// old `checkpoint_allow`/`checkpoint_prevent` pair allowed (forgetting the
+/// second call, or returning early between the two) is unrepresentable.
+#[must_use = "dropping the guard immediately re-arms checkpoint prevention"]
+pub struct AllowGuard<'h> {
+    handle: &'h ThreadHandle,
+    armed: bool,
+}
+
+impl AllowGuard<'_> {
+    /// Re-arms prevention after a `cond_wait` returned, while holding
+    /// `mutex`'s guard (the §3.3.3 pattern). If a checkpoint is in flight,
+    /// the mutex guard is released while waiting for it — avoiding the
+    /// deadlock of a parked checkpointer needing the lock — and
+    /// re-acquired afterwards; the returned guard is valid either way.
+    ///
+    /// Consumes the `AllowGuard`: prevention is re-armed exactly once.
+    pub fn rearm_locked<'a, T>(
+        mut self,
+        mutex: &'a parking_lot::Mutex<T>,
+        guard: parking_lot::MutexGuard<'a, T>,
+    ) -> parking_lot::MutexGuard<'a, T> {
+        self.armed = false;
+        self.handle.prevent_locked_raw(mutex, guard)
+    }
+}
+
+impl Drop for AllowGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.handle.prevent_raw();
+        }
+    }
+}
+
+impl std::fmt::Debug for AllowGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AllowGuard")
+            .field("slot", &self.handle.slot)
+            .finish()
     }
 }
 
@@ -320,6 +415,7 @@ mod tests {
             Region::new(RegionConfig::fast(8 << 20)),
             PoolConfig::default(),
         )
+        .unwrap()
     }
 
     #[test]
@@ -379,14 +475,14 @@ mod tests {
     }
 
     #[test]
-    fn allow_prevent_roundtrip() {
+    fn allow_guard_roundtrip() {
         let p = pool();
         let h = p.register();
-        h.checkpoint_allow();
+        let allow = h.allow_checkpoints();
         let r = p.checkpoint_now(); // completes because the flag is up
         assert_eq!(r.closed_epoch, 1);
-        h.checkpoint_prevent();
-        // After prevent, a checkpoint blocks on this thread again.
+        drop(allow); // re-arms prevention
+                     // After the guard drops, a checkpoint blocks on this thread again.
         let p2 = Arc::clone(&p);
         let ck = std::thread::spawn(move || p2.checkpoint_now());
         std::thread::sleep(Duration::from_millis(10));
@@ -394,6 +490,43 @@ mod tests {
         h.rp(1);
         ck.join().unwrap();
         assert_eq!(p.epoch(), 3);
+    }
+
+    #[test]
+    fn allow_guard_rearm_locked() {
+        let p = pool();
+        let h = p.register();
+        let mutex = parking_lot::Mutex::new(0u32);
+        let allow = h.allow_checkpoints();
+        let guard = mutex.lock();
+        // A checkpoint completes while we "block" holding the lock.
+        let p2 = Arc::clone(&p);
+        let ck = std::thread::spawn(move || p2.checkpoint_now());
+        ck.join().unwrap();
+        let guard = allow.rearm_locked(&mutex, guard);
+        assert_eq!(*guard, 0);
+        drop(guard);
+        assert_eq!(p.epoch(), 2);
+        // Prevention is re-armed: the next checkpoint waits for our RP.
+        let p2 = Arc::clone(&p);
+        let ck = std::thread::spawn(move || p2.checkpoint_now());
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(p.epoch(), 2);
+        h.rp(1);
+        ck.join().unwrap();
+        assert_eq!(p.epoch(), 3);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_allow_prevent_still_work() {
+        let p = pool();
+        let h = p.register();
+        h.checkpoint_allow();
+        let r = p.checkpoint_now();
+        assert_eq!(r.closed_epoch, 1);
+        h.checkpoint_prevent();
+        assert_eq!(p.epoch(), 2);
     }
 
     #[test]

@@ -253,7 +253,8 @@ mod tests {
         let pool = Pool::create(
             Region::new(RegionConfig::fast(4 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .unwrap();
         let r = pool.verify();
         assert!(r.is_clean(), "{:?}", r.violations);
     }
@@ -263,7 +264,8 @@ mod tests {
         let pool = Pool::create(
             Region::new(RegionConfig::fast(16 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .unwrap();
         let h = pool.register();
         let mut blocks = Vec::new();
         for i in 0..500u64 {
@@ -287,7 +289,7 @@ mod tests {
             8 << 20,
             respct_pmem::SimConfig::with_eviction(3, 5),
         ));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).unwrap();
         let h = pool.register();
         let cells: Vec<_> = (0..100u64).map(|i| h.alloc_cell(i)).collect();
         h.checkpoint_here();
@@ -298,7 +300,7 @@ mod tests {
         drop(pool);
         let img = region.crash(respct_pmem::sim::CrashMode::PowerFailure);
         region.restore(&img);
-        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default()).unwrap();
         let r = pool.verify();
         assert!(r.is_clean(), "{:?}", r.violations);
     }
@@ -308,7 +310,8 @@ mod tests {
         let pool = Pool::create(
             Region::new(RegionConfig::fast(4 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .unwrap();
         pool.region().store(OFF_MAGIC, 0xbad_c0de_u64);
         let r = pool.verify();
         assert!(!r.is_clean());
@@ -320,7 +323,8 @@ mod tests {
         let pool = Pool::create(
             Region::new(RegionConfig::fast(4 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .unwrap();
         let h = pool.register();
         for i in 0..10u64 {
             h.alloc_cell(i);
@@ -344,7 +348,8 @@ mod tests {
         let pool = Pool::create(
             Region::new(RegionConfig::fast(4 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .unwrap();
         pool.region().store(OFF_EPOCH, 99u64); // persistent counter diverges
         let r = pool.verify();
         assert!(
@@ -358,7 +363,8 @@ mod tests {
         let pool = Pool::create(
             Region::new(RegionConfig::fast(4 << 20)),
             PoolConfig::default(),
-        );
+        )
+        .unwrap();
         let h = pool.register();
         let c = h.alloc_cell(7u64);
         h.checkpoint_here();

@@ -22,7 +22,7 @@ const TRANSFERS: usize = 3_000;
 
 fn main() {
     let region = Region::new(RegionConfig::sim(32 << 20, SimConfig::with_eviction(4, 7)));
-    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
 
     // Create the accounts and persist their descriptor table at the root.
     let cells: Vec<ICell<u64>> = {
@@ -88,7 +88,8 @@ fn main() {
     drop(pool);
     let image = region.crash(CrashMode::PowerFailure);
     region.restore(&image);
-    let (pool, report) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+    let (pool, report) =
+        Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
     println!(
         "recovered from crash in epoch {} ({} cells rolled back)",
         report.failed_epoch, report.cells_rolled_back

@@ -17,7 +17,7 @@ fn main() {
     // ---- Process 1: create a pool, fill an ordered map, checkpoint, save.
     {
         let region = Region::new(RegionConfig::optane(16 << 20));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         let map = POrderedMap::create(&h);
         for k in [30u64, 10, 20, 50, 40] {
@@ -41,7 +41,8 @@ fn main() {
         // save_file captured the volatile image, which includes the open
         // epoch's writes; recovery rolls that epoch back to the checkpoint
         // (identical to rebooting after a crash at save time).
-        let (pool, report) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, report) =
+            Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         println!(
             "process 2: recovered epoch {} ({} cells rolled back)",
             report.failed_epoch, report.cells_rolled_back
@@ -69,7 +70,7 @@ fn main() {
     {
         let region = Region::load_file(&path, RegionMode::Fast(LatencyModel::optane()))
             .expect("load pool image");
-        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         let map = POrderedMap::open(&pool, pool.root());
         assert_eq!(map.collect_sorted().len(), 6);
         println!("process 3: sees all 6 keys ✓");

@@ -21,7 +21,7 @@ fn main() {
         64 << 20,
         SimConfig::with_eviction(3, 2024),
     ));
-    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
 
     let h = pool.register();
     let map = PHashMap::create(&h, 1024);
@@ -58,7 +58,8 @@ fn main() {
 
     // Reboot + recovery (paper Fig. 5): roll back every InCLL variable
     // stamped with the failed epoch.
-    let (pool, report) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+    let (pool, report) =
+        Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
     println!(
         "recovery: failed epoch {}, scanned {} cells, rolled back {} in {:?}",
         report.failed_epoch, report.cells_scanned, report.cells_rolled_back, report.duration

@@ -22,7 +22,7 @@ const CAPACITY: usize = 32;
 
 fn main() {
     let region = Region::new(RegionConfig::optane(16 << 20));
-    let pool = Pool::create(region, PoolConfig::default());
+    let pool = Pool::create(region, PoolConfig::default()).expect("pool");
     let _ckpt = pool.start_checkpointer(Duration::from_millis(4));
 
     let buffer: Arc<Mutex<VecDeque<u64>>> = Arc::new(Mutex::new(VecDeque::new()));

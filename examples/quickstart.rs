@@ -16,7 +16,7 @@ use respct_repro::respct::{Pool, PoolConfig};
 fn main() {
     // 1. An emulated-NVMM region and a formatted ResPCT pool.
     let region = Region::new(RegionConfig::optane(16 << 20));
-    let pool = Pool::create(region, PoolConfig::default());
+    let pool = Pool::create(region, PoolConfig::default()).expect("pool");
 
     // 2. Checkpoint every 64 ms, as in the paper's evaluation.
     let _ckpt = pool.start_checkpointer(Duration::from_millis(64));

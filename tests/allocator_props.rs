@@ -42,7 +42,7 @@ proptest! {
     #[test]
     fn live_blocks_never_overlap(ops in ops()) {
         let region = Region::new(RegionConfig::fast(8 << 20));
-        let pool = Pool::create(region, PoolConfig::default());
+        let pool = Pool::create(region, PoolConfig::default()).expect("pool");
         let h = pool.register();
         // live: addr -> extent
         let mut live: HashMap<u64, u64> = HashMap::new();
@@ -82,7 +82,7 @@ proptest! {
         seed in 0u64..500,
     ) {
         let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(3, seed)));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         for _ in 0..pre {
             h.alloc(100_000, 64); // large: moves the global bump
@@ -97,7 +97,7 @@ proptest! {
         drop(pool);
         let image = region.crash(CrashMode::PowerFailure);
         region.restore(&image);
-        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         prop_assert_eq!(pool.heap_used(), durable_used);
     }
 
@@ -106,7 +106,7 @@ proptest! {
         // Alternate alloc-heavy and free-heavy epochs; recycled blocks must
         // still never overlap within an epoch's live set.
         let region = Region::new(RegionConfig::fast(8 << 20));
-        let pool = Pool::create(region, PoolConfig::default());
+        let pool = Pool::create(region, PoolConfig::default()).expect("pool");
         let h = pool.register();
         let mut live: Vec<u64> = Vec::new();
         for r in 0..rounds {
@@ -130,7 +130,7 @@ proptest! {
 #[test]
 fn no_within_epoch_reuse() {
     let region = Region::new(RegionConfig::fast(8 << 20));
-    let pool = Pool::create(region, PoolConfig::default());
+    let pool = Pool::create(region, PoolConfig::default()).expect("pool");
     let h = pool.register();
     for round in 0..50 {
         let a = h.alloc(64, 8);

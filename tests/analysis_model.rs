@@ -26,7 +26,7 @@ use respct_pmem::{Region, RegionConfig, SimConfig};
 fn checked_pool(bytes: usize, seed: u64) -> (Arc<Checker>, Arc<Pool>) {
     let region = Region::new(RegionConfig::sim(bytes, SimConfig::no_eviction(seed)));
     let checker = Checker::attach(&region);
-    let pool = Pool::create(region, PoolConfig::default());
+    let pool = Pool::create(region, PoolConfig::default()).expect("pool");
     (checker, pool)
 }
 
@@ -176,7 +176,7 @@ fn crash_recovery_cycles_are_clean() {
     let checker = Checker::attach(&region);
     let mut cells = Vec::new();
     {
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         for i in 0..100u64 {
             cells.push(h.alloc_cell(i));
@@ -189,7 +189,8 @@ fn crash_recovery_cycles_are_clean() {
     for round in 0..2u64 {
         let img = region.crash(CrashMode::PowerFailure);
         region.restore(&img);
-        let (pool, _report) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, _report) =
+            Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         let h = pool.register();
         for (i, c) in cells.iter().enumerate() {
             h.update(*c, (round + 1) * 1_000 + i as u64); // re-execution

@@ -76,7 +76,7 @@ proptest! {
     fn all_maps_agree_with_model(ops in map_ops()) {
         // ResPCT.
         {
-            let pool = Pool::create(region(32), PoolConfig::default());
+            let pool = Pool::create(region(32), PoolConfig::default()).expect("pool");
             let h = pool.register();
             let m = PHashMap::create(&h, 8);
             drop(h);
@@ -120,7 +120,7 @@ proptest! {
             Ok(())
         }
         {
-            let pool = Pool::create(region(32), PoolConfig::default());
+            let pool = Pool::create(region(32), PoolConfig::default()).expect("pool");
             let h = pool.register();
             let q = PQueue::create(&h);
             drop(h);

@@ -10,13 +10,15 @@ use respct_repro::respct::{Pool, PoolConfig};
 fn crash_recover(region: &Arc<Region>) -> Arc<Pool> {
     let img = region.crash(CrashMode::PowerFailure);
     region.restore(&img);
-    Pool::recover(Arc::clone(region), PoolConfig::default()).0
+    Pool::recover(Arc::clone(region), PoolConfig::default())
+        .expect("recover")
+        .0
 }
 
 #[test]
 fn every_value_width_rolls_back() {
     let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(2, 42)));
-    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
     let h = pool.register();
 
     let c_u8 = h.alloc_cell(0x11u8);
@@ -53,7 +55,7 @@ fn every_value_width_rolls_back() {
 #[test]
 fn committed_values_of_every_width_survive() {
     let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(3, 43)));
-    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
     let h = pool.register();
     let c_u8 = h.alloc_cell(1u8);
     let c_u16 = h.alloc_cell(2u16);
@@ -78,7 +80,7 @@ fn mixed_width_cells_share_lines_without_interference() {
     // Several narrow cells allocated back-to-back may share cache lines;
     // rollback of one must not disturb its neighbors.
     let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(1, 44)));
-    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
     let h = pool.register();
     let cells: Vec<_> = (0..64).map(|i| h.alloc_cell(i as u8)).collect();
     h.checkpoint_here();
@@ -101,7 +103,8 @@ fn thread_slot_exhaustion_panics_cleanly() {
     let pool = Pool::create(
         Region::new(RegionConfig::fast(32 << 20)),
         PoolConfig::default(),
-    );
+    )
+    .expect("pool");
     let mut handles = Vec::new();
     // Slot 0 is reserved for the system; 127 remain.
     for _ in 0..127 {
@@ -117,7 +120,7 @@ fn thread_slot_exhaustion_panics_cleanly() {
 #[test]
 fn upsert_on_fresh_vs_recycled_memory() {
     let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::no_eviction(45)));
-    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
     let h = pool.register();
     let a = h.alloc(32, 32);
     // Fresh: initializes (registers).

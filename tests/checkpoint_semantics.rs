@@ -15,7 +15,7 @@ use respct_repro::respct::{CheckpointMode, Pool, PoolConfig};
 #[test]
 fn epochs_are_monotonic_and_persisted_in_order() {
     let region = Region::new(RegionConfig::sim(4 << 20, SimConfig::no_eviction(3)));
-    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
     for expect in 1..20u64 {
         assert_eq!(pool.epoch(), expect);
         let r = pool.checkpoint_now();
@@ -34,7 +34,8 @@ fn tracking_lists_are_drained_each_checkpoint() {
     let pool = Pool::create(
         Region::new(RegionConfig::fast(8 << 20)),
         PoolConfig::default(),
-    );
+    )
+    .expect("pool");
     let h = pool.register();
     let c = h.alloc_cell(0u64);
     for round in 1..10u64 {
@@ -54,11 +55,12 @@ fn tracking_lists_are_drained_each_checkpoint() {
 fn noflush_mode_still_quiesces_and_advances() {
     let pool = Pool::create(
         Region::new(RegionConfig::fast(8 << 20)),
-        PoolConfig {
-            flusher_threads: 0,
-            mode: CheckpointMode::NoFlush,
-        },
-    );
+        PoolConfig::builder()
+            .mode(CheckpointMode::NoFlush)
+            .build()
+            .expect("config"),
+    )
+    .expect("pool");
     let h = pool.register();
     let c = h.alloc_cell(1u64);
     h.update(c, 2);
@@ -80,11 +82,13 @@ fn flusher_pool_config_produces_identical_persistence() {
         let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::no_eviction(5)));
         let pool = Pool::create(
             Arc::clone(&region),
-            PoolConfig {
-                flusher_threads: flushers,
-                mode: CheckpointMode::Full,
-            },
-        );
+            PoolConfig::builder()
+                .flusher_threads(flushers)
+                .mode(CheckpointMode::Full)
+                .build()
+                .expect("config"),
+        )
+        .expect("pool");
         let h = pool.register();
         let cells: Vec<_> = (0..200u64).map(|i| h.alloc_cell(i)).collect();
         for (i, c) in cells.iter().enumerate() {
@@ -95,7 +99,7 @@ fn flusher_pool_config_produces_identical_persistence() {
         drop(pool);
         let img = region.crash(CrashMode::PowerFailure);
         region.restore(&img);
-        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         let values: Vec<u64> = cells.iter().map(|c| pool.cell_get(*c)).collect();
         images.push(values);
     }
@@ -113,7 +117,7 @@ fn consistent_cut_across_causally_ordered_cells() {
             8 << 20,
             SimConfig::with_eviction(1, seed),
         ));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let lock = Arc::new(Mutex::new(()));
         let stop = Arc::new(AtomicBool::new(false));
         let (a, b) = {
@@ -142,7 +146,7 @@ fn consistent_cut_across_causally_ordered_cells() {
         drop(_ckpt);
         let img = region.crash(CrashMode::PowerFailure);
         region.restore(&img);
-        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         let (va, vb) = (pool.cell_get(a), pool.cell_get(b));
         // Both were updated in lock-step inside one critical section with
         // the RP outside it: any recovered cut has va == vb.

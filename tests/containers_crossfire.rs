@@ -52,7 +52,7 @@ fn open_world(pool: &Arc<Pool>) -> World {
 #[test]
 fn four_containers_one_pool_crash_and_recover() {
     let region = Region::new(RegionConfig::sim(64 << 20, SimConfig::with_eviction(4, 77)));
-    let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
     let w = create_world(&pool);
     {
         let h = pool.register();
@@ -75,7 +75,7 @@ fn four_containers_one_pool_crash_and_recover() {
     drop(pool);
     let img = region.crash(CrashMode::PowerFailure);
     region.restore(&img);
-    let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+    let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
     assert!(pool.verify().is_clean());
     let w = open_world(&pool);
     let mut map_got = w.map.collect();
@@ -94,7 +94,8 @@ fn concurrent_mutation_of_all_containers_with_checkpoints() {
     let pool = Pool::create(
         Region::new(RegionConfig::fast(128 << 20)),
         PoolConfig::default(),
-    );
+    )
+    .expect("pool");
     let w = Arc::new(create_world(&pool));
     let _ckpt = pool.start_checkpointer(Duration::from_millis(2));
     std::thread::scope(|s| {
@@ -135,14 +136,14 @@ fn repeated_crash_recover_cycles_converge() {
     let region = Region::new(RegionConfig::sim(64 << 20, SimConfig::with_eviction(3, 5)));
     let mut expected: Vec<(u64, u64)> = Vec::new();
     {
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         create_world(&pool);
         pool.checkpoint_now();
     }
     for cycle in 0..5u64 {
         let img = region.crash(CrashMode::PowerFailure);
         region.restore(&img);
-        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         let w = open_world(&pool);
         let mut got = w.map.collect();
         got.sort_unstable();

@@ -57,7 +57,7 @@ proptest! {
         // Every case doubles as a persistency-model check: the trace
         // checker audits the whole run, crash and recovery included.
         let checker = Checker::attach(&region);
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         let map = PHashMap::create(&h, 16);
         let queue = PQueue::create(&h);
@@ -107,7 +107,7 @@ proptest! {
         drop(pool);
         let image = region.crash(CrashMode::PowerFailure);
         region.restore(&image);
-        let (pool, _report) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, _report) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
 
         let root = pool.root();
         let map = PHashMap::open(&pool, PAddr(pool.region().load(root)));
@@ -138,7 +138,7 @@ proptest! {
         // Recover twice from the same image: identical results (a crash
         // during recovery is handled by re-running it).
         let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::with_eviction(3, seed)));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         let map = PHashMap::create(&h, 8);
         h.set_root(map.desc());
@@ -155,13 +155,13 @@ proptest! {
         let image = region.crash(CrashMode::PowerFailure);
 
         region.restore(&image);
-        let (pool1, r1) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool1, r1) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         let mut a = PHashMap::open(&pool1, pool1.root()).collect();
         a.sort_unstable();
         drop(pool1);
 
         region.restore(&image);
-        let (pool2, r2) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool2, r2) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         let mut b = PHashMap::open(&pool2, pool2.root()).collect();
         b.sort_unstable();
 
@@ -180,7 +180,7 @@ fn crash_mid_checkpoint_rolls_back_epoch() {
             SimConfig::with_eviction(2, seed),
         ));
         let checker = Checker::attach(&region);
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         let map = PHashMap::create(&h, 8);
         h.set_root(map.desc());
@@ -196,7 +196,8 @@ fn crash_mid_checkpoint_rolls_back_epoch() {
         drop(pool);
         let image = region.crash(CrashMode::PowerFailure);
         region.restore(&image);
-        let (pool, report) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, report) =
+            Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         assert_eq!(report.failed_epoch, 2);
         let map = PHashMap::open(&pool, pool.root());
         let mut got = map.collect();

@@ -24,7 +24,7 @@ fn war_with_incll_reexecutes_correctly() {
             4 << 20,
             SimConfig::with_eviction(1, seed),
         ));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         let x = h.alloc_cell(2u64);
         h.checkpoint_here(); // RP state: x = 2 is durable
@@ -38,7 +38,7 @@ fn war_with_incll_reexecutes_correctly() {
         drop(pool);
         let image = region.crash(CrashMode::PowerFailure);
         region.restore(&image);
-        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
 
         // Recovery rolled x back to 2; re-execution computes 2^8 again.
         assert_eq!(
@@ -101,7 +101,7 @@ fn raw_with_add_modified_is_idempotent() {
             4 << 20,
             SimConfig::with_eviction(1, seed),
         ));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         let out = h.alloc(256, 64);
         h.checkpoint_here();
@@ -114,7 +114,7 @@ fn raw_with_add_modified_is_idempotent() {
         drop(pool);
         let image = region.crash(CrashMode::PowerFailure);
         region.restore(&image);
-        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
 
         // Re-execute the write-once loop: whatever partially persisted is
         // simply overwritten; the final state is exact.

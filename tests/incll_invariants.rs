@@ -31,7 +31,7 @@ proptest! {
             4 << 20,
             SimConfig::with_eviction(evict_log2, seed),
         ));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         // Eight cells, each initialized to a sentinel and checkpointed.
         let cells: Vec<ICell<u64>> = (0..8).map(|i| h.alloc_cell(i as u64)).collect();
@@ -85,7 +85,7 @@ fn rollback_restores_checkpointed_values_under_all_schedules() {
             4 << 20,
             SimConfig::with_eviction(1, seed),
         ));
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default());
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         let cells: Vec<ICell<u64>> = (0..16).map(|i| h.alloc_cell(100 + i as u64)).collect();
         h.checkpoint_here();
@@ -98,7 +98,8 @@ fn rollback_restores_checkpointed_values_under_all_schedules() {
         drop(pool);
         let image = region.crash(CrashMode::PowerFailure);
         region.restore(&image);
-        let (pool, _r) = Pool::recover(Arc::clone(&region), PoolConfig::default());
+        let (pool, _r) =
+            Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
         for (i, &c) in cells.iter().enumerate() {
             assert_eq!(pool.cell_get(c), 100 + i as u64, "seed {seed}, cell {i}");
         }

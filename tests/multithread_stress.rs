@@ -18,6 +18,7 @@ fn pool(mb: usize) -> Arc<Pool> {
         Region::new(RegionConfig::fast(mb << 20)),
         PoolConfig::default(),
     )
+    .expect("pool")
 }
 
 #[test]
