@@ -3,21 +3,33 @@
 //!
 //! ```text
 //! respct-check [hashmap|queue|kvstore|recovery|all]
+//! respct-check --sweep [hashmap|queue|both] [--ops N] [--seed S]
+//!              [--budget B] [--stride K] [--trace-out PATH]
 //! ```
 //!
-//! Each workload runs on a sim-mode region (PCSO simulator with random
-//! evictions) with the [`respct_analysis::Checker`] attached as the trace
-//! sink, concurrent worker threads, and a timer-driven checkpointer. The
-//! process exits non-zero if any workload produced an error-severity
-//! diagnostic; redundant-flush perf advisories are printed but do not fail
-//! the run.
+//! In the default (checker) mode each workload runs on a sim-mode region
+//! (PCSO simulator with random evictions) with the
+//! [`respct_analysis::Checker`] attached as the trace sink, concurrent
+//! worker threads, and a timer-driven checkpointer. The process exits
+//! non-zero if any workload produced an error-severity diagnostic;
+//! redundant-flush perf advisories are printed but do not fail the run.
+//!
+//! `--sweep` switches to the crash-point sweep (`respct-crashsim`): a
+//! deterministic single-threaded run of the workload is recorded, then
+//! every persistency-relevant instant of the trace is crashed — with the
+//! reachable eviction/write-back subsets enumerated up to `--budget`
+//! images per instant — recovered via [`Pool::recover_from_image`], and
+//! compared against the model snapshot of the last committed checkpoint.
+//! Any divergence fails the run; with `--trace-out PATH` the offending
+//! trace (one event per line) is written there for offline replay.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
 use respct::{PAddr, Pool, PoolConfig};
-use respct_analysis::{Checker, Report};
+use respct_analysis::sweep::workloads;
+use respct_analysis::{Checker, Report, SweepConfig};
 use respct_ds::{rp_ids, PHashMap, PQueue};
 use respct_pmem::sim::CrashMode;
 use respct_pmem::{Region, RegionConfig, SimConfig};
@@ -191,8 +203,82 @@ fn run_recovery() -> Report {
     checker.report()
 }
 
+fn sweep_main(args: &[String]) -> ExitCode {
+    let mut workloads: Vec<&str> = vec!["hashmap", "queue"];
+    let mut ops = 48u64;
+    let mut seed = 7u64;
+    let mut cfg = SweepConfig::new(workloads::SWEEP_REGION);
+    cfg.eviction_budget = 3;
+    cfg.stride = 4;
+    let mut trace_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+                .clone()
+        };
+        match a.as_str() {
+            "hashmap" => workloads = vec!["hashmap"],
+            "queue" => workloads = vec!["queue"],
+            "both" => workloads = vec!["hashmap", "queue"],
+            "--ops" => ops = value("--ops").parse().expect("--ops"),
+            "--seed" => seed = value("--seed").parse().expect("--seed"),
+            "--budget" => cfg.eviction_budget = value("--budget").parse().expect("--budget"),
+            "--stride" => cfg.stride = value("--stride").parse().expect("--stride"),
+            "--trace-out" => trace_out = Some(value("--trace-out")),
+            other => {
+                eprintln!("unknown sweep argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    cfg.seed = seed;
+    let mut failed = false;
+    for w in workloads {
+        println!("== sweep:{w} ==");
+        let (sweep_report, events) = match w {
+            "hashmap" => workloads::sweep_hashmap(ops, seed, &cfg),
+            _ => workloads::sweep_queue(ops, seed, &cfg),
+        };
+        println!(
+            "{} events, {} crash points ({} pre-format skipped), {} images recovered",
+            sweep_report.events,
+            sweep_report.points,
+            sweep_report.unformatted_points,
+            sweep_report.images
+        );
+        if !sweep_report.is_clean() {
+            failed = true;
+            print!("{}", sweep_report.report);
+            if let Some(dir) = &trace_out {
+                let path = std::path::Path::new(dir).join(format!("sweep-{w}-seed{seed}.trace"));
+                let mut dump = String::new();
+                for (i, ev) in events.iter().enumerate() {
+                    dump.push_str(&format!("{i:08} {ev:?}\n"));
+                }
+                dump.push_str(&format!("{}", sweep_report.report));
+                match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, dump)) {
+                    Ok(()) => eprintln!("offending trace written to {}", path.display()),
+                    Err(e) => eprintln!("failed to write trace artifact: {e}"),
+                }
+            }
+        }
+    }
+    if failed {
+        eprintln!("recovery divergence found");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("--sweep") {
+        return sweep_main(&argv[1..]);
+    }
+    let arg = argv.first().cloned().unwrap_or_else(|| "all".into());
     type Workload = (&'static str, fn() -> Report);
     let all: [Workload; 4] = [
         ("hashmap", run_hashmap),

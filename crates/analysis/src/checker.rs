@@ -100,6 +100,7 @@ impl CheckerState {
             DiagnosticKind::RedundantFlush => "redundant",
             DiagnosticKind::EpochDiscipline => "epoch",
             DiagnosticKind::ShardFence => "shard",
+            DiagnosticKind::RecoveryDivergence => "divergence",
         };
         let n = self.per_kind.entry(key).or_insert(0);
         if *n >= MAX_PER_KIND {
@@ -123,7 +124,7 @@ impl CheckerState {
     fn apply(&mut self, ev: &TraceEvent) {
         self.events += 1;
         match *ev {
-            TraceEvent::Store { tid: _, addr, len } => self.on_store(addr, len),
+            TraceEvent::Store { addr, len, .. } => self.on_store(addr, len),
             TraceEvent::Pwb { tid, line } => self.on_pwb(tid, line),
             TraceEvent::Psync { tid } => {
                 for (line, g) in self.pending.remove(&tid).unwrap_or_default() {
@@ -536,11 +537,7 @@ mod tests {
     fn clean_epoch_cycle() {
         let r = replay(&[
             marker(TraceMarker::EpochAdvance { epoch: 1 }),
-            TraceEvent::Store {
-                tid: 1,
-                addr: 640,
-                len: 8,
-            },
+            TraceEvent::store_meta(1, 640, 8),
             marker(TraceMarker::TrackLine { line: 10 }),
             marker(TraceMarker::CheckpointBegin {
                 epoch: 1,
@@ -560,11 +557,7 @@ mod tests {
     fn missed_flush_detected() {
         let r = replay(&[
             marker(TraceMarker::EpochAdvance { epoch: 1 }),
-            TraceEvent::Store {
-                tid: 1,
-                addr: 640,
-                len: 8,
-            },
+            TraceEvent::store_meta(1, 640, 8),
             marker(TraceMarker::TrackLine { line: 10 }),
             marker(TraceMarker::CheckpointBegin {
                 epoch: 1,
@@ -581,11 +574,7 @@ mod tests {
     fn noflush_checkpoint_suspends_missed_flush() {
         let r = replay(&[
             marker(TraceMarker::EpochAdvance { epoch: 1 }),
-            TraceEvent::Store {
-                tid: 1,
-                addr: 640,
-                len: 8,
-            },
+            TraceEvent::store_meta(1, 640, 8),
             marker(TraceMarker::TrackLine { line: 10 }),
             marker(TraceMarker::CheckpointBegin {
                 epoch: 1,
@@ -601,11 +590,7 @@ mod tests {
     fn eviction_satisfies_flush_promise() {
         let r = replay(&[
             marker(TraceMarker::EpochAdvance { epoch: 1 }),
-            TraceEvent::Store {
-                tid: 1,
-                addr: 640,
-                len: 8,
-            },
+            TraceEvent::store_meta(1, 640, 8),
             marker(TraceMarker::TrackLine { line: 10 }),
             TraceEvent::Eviction { line: 10 },
             marker(TraceMarker::CheckpointBegin {
@@ -622,11 +607,7 @@ mod tests {
     fn unfenced_pwb_at_barrier_is_ordering_violation() {
         let r = replay(&[
             marker(TraceMarker::EpochAdvance { epoch: 1 }),
-            TraceEvent::Store {
-                tid: 1,
-                addr: 640,
-                len: 8,
-            },
+            TraceEvent::store_meta(1, 640, 8),
             marker(TraceMarker::TrackLine { line: 10 }),
             marker(TraceMarker::CheckpointBegin {
                 epoch: 1,
@@ -654,17 +635,9 @@ mod tests {
                 addr: cell,
                 epoch: 1,
             }),
-            TraceEvent::Store {
-                tid: 1,
-                addr: cell,
-                len: 8,
-            }, // logged: fine
+            TraceEvent::store_meta(1, cell, 8), // logged: fine
             marker(TraceMarker::EpochAdvance { epoch: 2 }),
-            TraceEvent::Store {
-                tid: 1,
-                addr: cell,
-                len: 8,
-            }, // new epoch, no log
+            TraceEvent::store_meta(1, cell, 8), // new epoch, no log
         ]);
         let v = r.of_kind(DiagnosticKind::LoggingViolation);
         assert_eq!(v.len(), 1, "{r}");
@@ -691,11 +664,7 @@ mod tests {
                 addr: cell,
                 len: 32,
             }),
-            TraceEvent::Store {
-                tid: 1,
-                addr: cell,
-                len: 8,
-            }, // free-list link
+            TraceEvent::store_meta(1, cell, 8), // free-list link
         ]);
         assert!(r.is_clean(), "{r}");
     }
@@ -721,18 +690,10 @@ mod tests {
             TraceEvent::Restore,
             marker(TraceMarker::RecoveryBegin { failed_epoch: 1 }),
             marker(TraceMarker::RecoveryApply { addr: cell }),
-            TraceEvent::Store {
-                tid: 1,
-                addr: cell,
-                len: 8,
-            }, // rollback write
+            TraceEvent::store_meta(1, cell, 8), // rollback write
             marker(TraceMarker::RecoveryEnd { epoch: 1 }),
             // Resumed epoch re-executes; tag == failed epoch, no re-log.
-            TraceEvent::Store {
-                tid: 1,
-                addr: cell,
-                len: 8,
-            },
+            TraceEvent::store_meta(1, cell, 8),
         ]);
         assert!(r.is_clean(), "{r}");
     }
@@ -741,11 +702,7 @@ mod tests {
     fn redundant_flush_is_perf_advisory() {
         let r = replay(&[
             marker(TraceMarker::EpochAdvance { epoch: 1 }),
-            TraceEvent::Store {
-                tid: 1,
-                addr: 640,
-                len: 8,
-            },
+            TraceEvent::store_meta(1, 640, 8),
             TraceEvent::Pwb { tid: 1, line: 10 },
             TraceEvent::Psync { tid: 1 },
             TraceEvent::Pwb { tid: 1, line: 10 }, // already durable
@@ -767,11 +724,7 @@ mod tests {
     fn sharded_flush_cycle_is_clean() {
         let r = replay(&[
             marker(TraceMarker::EpochAdvance { epoch: 1 }),
-            TraceEvent::Store {
-                tid: 1,
-                addr: 640,
-                len: 8,
-            },
+            TraceEvent::store_meta(1, 640, 8),
             marker(TraceMarker::TrackLine { line: 10 }),
             marker(TraceMarker::CheckpointBegin {
                 epoch: 1,
@@ -793,11 +746,7 @@ mod tests {
     fn open_shard_at_barrier_flagged() {
         let r = replay(&[
             marker(TraceMarker::EpochAdvance { epoch: 1 }),
-            TraceEvent::Store {
-                tid: 1,
-                addr: 640,
-                len: 8,
-            },
+            TraceEvent::store_meta(1, 640, 8),
             marker(TraceMarker::TrackLine { line: 10 }),
             marker(TraceMarker::CheckpointBegin {
                 epoch: 1,
@@ -846,11 +795,7 @@ mod tests {
                 epoch_off: 16,
             }));
             c.event(&marker(TraceMarker::EpochAdvance { epoch: 2 + i }));
-            c.event(&TraceEvent::Store {
-                tid: 1,
-                addr: i * 64,
-                len: 8,
-            });
+            c.event(&TraceEvent::store_meta(1, i * 64, 8));
         }
         let r = c.report();
         assert_eq!(

@@ -39,9 +39,16 @@
 //! The `respct-check` binary runs the standard workloads (hash map, queue,
 //! KV store, plus crash/recovery cycles) under the checker and prints each
 //! report — a smoke test for the runtime's persistency discipline.
+//!
+//! The [`sweep`] module goes further than the online rules: it replays a
+//! recorded trace, materializes the crash images reachable under PCSO at
+//! every persistency-relevant instant, runs real recovery on each, and
+//! compares the result against a model oracle (`respct-check --sweep`).
 
 pub mod checker;
 pub mod report;
+pub mod sweep;
 
 pub use checker::Checker;
 pub use report::{Diagnostic, DiagnosticKind, Report, Severity};
+pub use sweep::{sweep, SweepConfig, SweepReport};

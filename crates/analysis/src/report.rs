@@ -48,6 +48,11 @@ pub enum DiagnosticKind {
     /// ran. A crash between the barrier and the missing fence would commit
     /// an epoch whose shard data may not be durable.
     ShardFence,
+    /// A crash-point sweep found a reachable crash image whose recovered
+    /// state differs from the model snapshot of the last committed
+    /// checkpoint: the durability invariant the paper proves (recovery to a
+    /// consistent cut) is violated at that instant.
+    RecoveryDivergence,
 }
 
 impl DiagnosticKind {

@@ -15,6 +15,9 @@
 //!   eviction), and a *crash* discards everything volatile. Writes to the
 //!   same cache line reach the persisted image in program order because a
 //!   write-back snapshots the whole line.
+//! * [`replay`] — deterministic reconstruction of the persistence state at
+//!   every instant of a recorded trace, and enumeration of the crash images
+//!   reachable under PCSO at each one (the `respct-crashsim` sweep engine).
 //! * [`latency`] — a calibrated spin-wait latency model so that fast-mode
 //!   benchmarks can charge NVMM's extra write-back/read cost without a real
 //!   Optane DIMM.
@@ -31,14 +34,16 @@
 pub mod arch;
 pub mod latency;
 pub mod region;
+pub mod replay;
 pub mod sim;
 pub mod stats;
 pub mod trace;
 
 pub use region::{Region, RegionConfig, RegionMode};
+pub use replay::{is_crash_point, is_protocol_point, Replayer};
 pub use sim::{CacheSim, CrashImage, SimConfig};
 pub use stats::PmemStats;
-pub use trace::{TraceEvent, TraceMarker, TraceSink};
+pub use trace::{StoreData, TeeSink, TraceEvent, TraceMarker, TraceSink, VecSink, MAX_STORE_DATA};
 
 /// Size of a cache line in bytes on every platform we model (x86-64).
 pub const CACHE_LINE: usize = 64;

@@ -223,11 +223,6 @@ impl Region {
     pub fn store<T: Pod>(&self, addr: PAddr, val: T) {
         let size = std::mem::size_of::<T>();
         self.check(addr, size, std::mem::align_of::<T>());
-        self.emit(|| TraceEvent::Store {
-            tid: trace_tid(),
-            addr: addr.0,
-            len: size as u64,
-        });
         // Fast path: word-sized stores compile to a single relaxed mov
         // (plus the amortized latency charge in NVMM-latency mode).
         if size == 8 && self.sim.is_none() {
@@ -240,6 +235,7 @@ impl Region {
                     8,
                 );
             };
+            self.emit(|| TraceEvent::store(trace_tid(), addr.0, &w.to_ne_bytes()));
             // SAFETY: in-bounds, 8-aligned (checked above).
             unsafe { (*(self.ptr(addr) as *const AtomicU64)).store(w, Ordering::Relaxed) };
             if !self.latency_free {
@@ -254,6 +250,7 @@ impl Region {
         unsafe {
             std::ptr::copy_nonoverlapping(&val as *const T as *const u8, bytes.as_mut_ptr(), size);
         };
+        self.emit(|| TraceEvent::store(trace_tid(), addr.0, &bytes[..size]));
         if let Some(sim) = &self.sim {
             self.store_bytes_sim(sim, addr, &bytes[..size]);
         } else {
@@ -294,13 +291,19 @@ impl Region {
     }
 
     /// Bulk store (used for payload blocks, registry entries, app data).
+    /// Traced as one event per [`MAX_STORE_DATA`]-byte chunk, in program
+    /// order, so the payload fits the events' inline buffers.
+    ///
+    /// [`MAX_STORE_DATA`]: crate::trace::MAX_STORE_DATA
     pub fn store_bytes(&self, addr: PAddr, data: &[u8]) {
         self.check(addr, data.len(), 1);
-        self.emit(|| TraceEvent::Store {
-            tid: trace_tid(),
-            addr: addr.0,
-            len: data.len() as u64,
-        });
+        if self.trace.get().is_some() {
+            let tid = trace_tid();
+            for (i, chunk) in data.chunks(crate::trace::MAX_STORE_DATA).enumerate() {
+                let off = (i * crate::trace::MAX_STORE_DATA) as u64;
+                self.emit(|| TraceEvent::store(tid, addr.0 + off, chunk));
+            }
+        }
         if let Some(sim) = &self.sim {
             self.store_bytes_sim(sim, addr, data);
         } else {
@@ -425,11 +428,7 @@ impl Region {
             );
             match res {
                 Ok(v) => {
-                    self.emit(|| TraceEvent::Store {
-                        tid: trace_tid(),
-                        addr: addr.0,
-                        len: 8,
-                    });
+                    self.emit(|| TraceEvent::store(trace_tid(), addr.0, &new.to_ne_bytes()));
                     self.emit_eviction(sim.note_store(guard, line));
                     Ok(v)
                 }
@@ -444,11 +443,7 @@ impl Region {
                 Ordering::Acquire,
             );
             if res.is_ok() {
-                self.emit(|| TraceEvent::Store {
-                    tid: trace_tid(),
-                    addr: addr.0,
-                    len: 8,
-                });
+                self.emit(|| TraceEvent::store(trace_tid(), addr.0, &new.to_ne_bytes()));
             }
             res
         }
@@ -467,11 +462,7 @@ impl Region {
     #[inline]
     pub fn store_release_u64(&self, addr: PAddr, val: u64) {
         self.check(addr, 8, 8);
-        self.emit(|| TraceEvent::Store {
-            tid: trace_tid(),
-            addr: addr.0,
-            len: 8,
-        });
+        self.emit(|| TraceEvent::store(trace_tid(), addr.0, &val.to_ne_bytes()));
         if let Some(sim) = &self.sim {
             let line = addr.line();
             let guard = sim.lock_line(line);

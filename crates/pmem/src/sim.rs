@@ -124,6 +124,23 @@ impl CrashImage {
     pub fn bytes(&self) -> &[u8] {
         &self.bytes
     }
+
+    /// Wraps raw bytes as a synthetic crash image — the entry point for
+    /// trace-replay tools that reconstruct PCSO-reachable NVMM states and
+    /// hand them to recovery via [`Region::restore`](crate::Region::restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bytes` is a positive whole number of cache lines
+    /// (every region's size is).
+    pub fn from_bytes(bytes: Vec<u8>) -> CrashImage {
+        assert!(
+            !bytes.is_empty() && bytes.len().is_multiple_of(CACHE_LINE),
+            "crash image must be a positive line multiple, got {} bytes",
+            bytes.len()
+        );
+        CrashImage { bytes }
+    }
 }
 
 impl CacheSim {

@@ -14,6 +14,7 @@
 //! across all application, checkpointer, and flusher threads.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A monotonically assigned per-thread token. Stable for the thread's
 /// lifetime; used instead of `std::thread::ThreadId` so events carry a small
@@ -85,11 +86,81 @@ pub enum TraceMarker {
     RestartPoint { slot: u64, id: u64 },
 }
 
+/// Maximum payload bytes carried inline by one [`TraceEvent::Store`].
+/// Larger stores are emitted as a sequence of chunk events (program order is
+/// preserved, so a replayer reassembles them byte-exactly).
+pub const MAX_STORE_DATA: usize = 16;
+
+/// The payload of a store event: up to [`MAX_STORE_DATA`] bytes, inline so
+/// `TraceEvent` stays `Copy`. Carrying the data (not just `addr`/`len`)
+/// is what lets `replay::Replayer` reconstruct the volatile and persisted
+/// images of a region from the trace alone.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct StoreData {
+    len: u8,
+    bytes: [u8; MAX_STORE_DATA],
+}
+
+impl StoreData {
+    /// A store event with no recorded payload (synthetic traces; the
+    /// checker's rules only use `addr`/`len`, so hand-built test events
+    /// don't need data). A replayer treats it as storing zeroes.
+    pub const EMPTY: StoreData = StoreData {
+        len: 0,
+        bytes: [0u8; MAX_STORE_DATA],
+    };
+
+    /// Wraps up to [`MAX_STORE_DATA`] payload bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is longer than [`MAX_STORE_DATA`].
+    pub fn new(src: &[u8]) -> StoreData {
+        assert!(src.len() <= MAX_STORE_DATA, "store payload too large");
+        let mut bytes = [0u8; MAX_STORE_DATA];
+        bytes[..src.len()].copy_from_slice(src);
+        StoreData {
+            len: src.len() as u8,
+            bytes,
+        }
+    }
+
+    /// The recorded payload (empty for synthetic events).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+
+    /// Whether any payload was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::fmt::Debug for StoreData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "-");
+        }
+        for b in self.as_slice() {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
 /// One persistence-relevant event, in global observation order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
-    /// `len` bytes were stored at region offset `addr` by thread `tid`.
-    Store { tid: u64, addr: u64, len: u64 },
+    /// `len` bytes were stored at region offset `addr` by thread `tid`;
+    /// `data` carries the stored bytes (empty in synthetic traces). Stores
+    /// wider than [`MAX_STORE_DATA`] appear as multiple chunk events in
+    /// program order.
+    Store {
+        tid: u64,
+        addr: u64,
+        len: u64,
+        data: StoreData,
+    },
     /// Thread `tid` initiated a write-back of cache line `line`
     /// (asynchronous: durable only after that thread's next `Psync`).
     Pwb { tid: u64, line: u64 },
@@ -108,6 +179,28 @@ pub enum TraceEvent {
     PersistAll,
     /// A semantic runtime marker. See [`TraceMarker`].
     Marker { tid: u64, marker: TraceMarker },
+}
+
+impl TraceEvent {
+    /// A store event carrying its payload (what the region emits).
+    pub fn store(tid: u64, addr: u64, data: &[u8]) -> TraceEvent {
+        TraceEvent::Store {
+            tid,
+            addr,
+            len: data.len() as u64,
+            data: StoreData::new(data),
+        }
+    }
+
+    /// A store event with metadata only (synthetic traces in tests).
+    pub fn store_meta(tid: u64, addr: u64, len: u64) -> TraceEvent {
+        TraceEvent::Store {
+            tid,
+            addr,
+            len,
+            data: StoreData::EMPTY,
+        }
+    }
 }
 
 /// Observer of a region's event stream.
@@ -147,6 +240,29 @@ impl TraceSink for VecSink {
     }
 }
 
+/// Fans one region's event stream out to several sinks, in order. A region
+/// accepts exactly one sink for its lifetime; `TeeSink` is how a run attaches
+/// both the online checker and a recording sink (e.g. for a crash sweep).
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl TeeSink {
+    /// Builds a tee over `sinks`; each event is delivered to every sink in
+    /// the given order, from the emitting thread.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> TeeSink {
+        TeeSink { sinks }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn event(&self, ev: &TraceEvent) {
+        for sink in &self.sinks {
+            sink.event(ev);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +288,47 @@ mod tests {
         assert_eq!(evs.len(), 2);
         assert!(matches!(evs[0], TraceEvent::Psync { tid: 1 }));
         assert!(sink.drain().is_empty());
+    }
+
+    #[test]
+    fn store_data_roundtrip() {
+        let d = StoreData::new(&[1, 2, 3]);
+        assert_eq!(d.as_slice(), &[1, 2, 3]);
+        assert!(!d.is_empty());
+        assert!(StoreData::EMPTY.is_empty());
+        let ev = TraceEvent::store(1, 100, &[9, 8]);
+        match ev {
+            TraceEvent::Store {
+                addr, len, data, ..
+            } => {
+                assert_eq!((addr, len), (100, 2));
+                assert_eq!(data.as_slice(), &[9, 8]);
+            }
+            _ => panic!("not a store"),
+        }
+        assert!(
+            matches!(TraceEvent::store_meta(1, 0, 8), TraceEvent::Store { data, .. } if data.is_empty())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn store_data_rejects_oversize() {
+        let _ = StoreData::new(&[0u8; MAX_STORE_DATA + 1]);
+    }
+
+    #[test]
+    fn tee_delivers_to_all_sinks_in_order() {
+        let a = Arc::new(VecSink::new());
+        let b = Arc::new(VecSink::new());
+        let tee = TeeSink::new(vec![a.clone(), b.clone()]);
+        tee.event(&TraceEvent::Psync { tid: 7 });
+        tee.event(&TraceEvent::Eviction { line: 3 });
+        for sink in [a, b] {
+            let evs = sink.drain();
+            assert_eq!(evs.len(), 2);
+            assert!(matches!(evs[0], TraceEvent::Psync { tid: 7 }));
+            assert!(matches!(evs[1], TraceEvent::Eviction { line: 3 }));
+        }
     }
 }

@@ -458,7 +458,12 @@ impl FlusherPool {
             }
             claimed.push(idx);
         }
-        if !skip_fence {
+        // A worker that claimed nothing issued no write-backs, so it has
+        // nothing to fence. (This matters beyond perf: one fast worker can
+        // consume several of the job's messages, and a no-op psync on the
+        // later receives would fence write-backs the earlier invocation
+        // deliberately left unfenced under `skip_fence_shard`.)
+        if !skip_fence && !claimed.is_empty() {
             region.psync();
             for &idx in &claimed {
                 region.trace_marker(TraceMarker::ShardFlushEnd {

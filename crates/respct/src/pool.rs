@@ -279,7 +279,6 @@ impl Pool {
                 got: region.size() as u64,
             });
         }
-        region.store(OFF_MAGIC, MAGIC);
         region.store(OFF_SIZE, region.size() as u64);
         region.store(OFF_EPOCH, FIRST_EPOCH);
         // Header cells: record = backup = initial value, epoch_id = 0 so the
@@ -301,8 +300,16 @@ impl Pool {
             Self::format_cell_u64(&region, PAddr(b.0 + layout::SLOT_REG_LEN), 0);
             region.store(PAddr(b.0 + layout::SLOT_REG_HEAD), 0u64);
         }
-        // Persist the formatted header so recovery of an "empty" pool works.
+        // Persist the formatted header, then set the magic *last* and
+        // persist it separately: the magic's durability implies the whole
+        // header's (it is fenced after everything else, and shares its
+        // cache line with the size field written above, so PCSO's same-line
+        // prefix order covers an eviction of that line too). A crash at any
+        // instant of format therefore reads as "not a pool" or as a valid
+        // empty pool — never as a valid magic over a partial header.
         region.flush_range(PAddr(0), heap.0 as usize);
+        region.store(OFF_MAGIC, MAGIC);
+        region.flush_range(OFF_MAGIC, 8);
         Ok(Self::attach(region, cfg, FIRST_EPOCH))
     }
 

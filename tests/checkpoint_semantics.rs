@@ -9,8 +9,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use respct_analysis::Checker;
 use respct_repro::pmem::{sim::CrashMode, Region, RegionConfig, SimConfig};
-use respct_repro::respct::{CheckpointMode, Pool, PoolConfig};
+use respct_repro::respct::{
+    CheckpointMode, Pool, PoolConfig, PoolError, MAX_FLUSHERS, MAX_FLUSH_SHARDS,
+};
 
 #[test]
 fn epochs_are_monotonic_and_persisted_in_order() {
@@ -105,6 +108,120 @@ fn flusher_pool_config_produces_identical_persistence() {
     }
     assert_eq!(images[0], images[1]);
     assert_eq!(images[0], (0..200).map(|i| 1000 + i).collect::<Vec<u64>>());
+}
+
+/// Regression test for the quiescence race fixed in the flush-pipeline PR:
+/// `checkpoint_here` used to lower its per-thread parked flag
+/// *unconditionally* after driving a checkpoint. A second thread issuing a
+/// back-to-back checkpoint could observe the first thread's flag still
+/// raised, treat it as parked, and then race its resumed stores mid-flush —
+/// an intermittent `MissedFlush` under load. The flag must instead be
+/// lowered through the full prevent protocol, which re-parks while another
+/// checkpoint is pending.
+#[test]
+fn back_to_back_checkpoints_from_two_threads_stay_clean() {
+    const ROUNDS: u64 = 25;
+    for seed in 0..3u64 {
+        let region = Region::new(RegionConfig::sim(
+            8 << 20,
+            SimConfig::with_eviction(3, seed),
+        ));
+        let checker = Checker::attach(&region);
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            // Two checkpointing threads, each issuing *pairs* of
+            // checkpoints with fresh dirty state in between — the exact
+            // shape that hit the race: thread A's second checkpoint starts
+            // while thread B is lowering its flag after the first.
+            for t in 0..2u64 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    let h = pool.register();
+                    let c = h.alloc_cell(0u64);
+                    for round in 0..ROUNDS {
+                        h.update(c, t * ROUNDS + round);
+                        h.checkpoint_here();
+                        h.update(c, t * ROUNDS + round + 1);
+                        h.checkpoint_here();
+                    }
+                });
+            }
+            // Background load: a worker whose resumed stores after each
+            // park are what the racing checkpoint would fail to flush.
+            let (pool2, stop2) = (Arc::clone(&pool), Arc::clone(&stop));
+            s.spawn(move || {
+                let h = pool2.register();
+                let cells: Vec<_> = (0..16u64).map(|i| h.alloc_cell(i)).collect();
+                let mut i = 0u64;
+                while !stop2.load(Ordering::Relaxed) {
+                    for c in &cells {
+                        h.update(*c, i);
+                        i += 1;
+                    }
+                    h.rp(9);
+                }
+            });
+            // Scoped: the checkpointers finish their rounds first.
+            std::thread::sleep(Duration::from_millis(30));
+            stop.store(true, Ordering::Relaxed);
+        });
+        let report = checker.report();
+        assert!(
+            report.errors().is_empty(),
+            "seed {seed}: quiescence race resurfaced:\n{report}"
+        );
+    }
+}
+
+/// The builder is the only way to obtain a non-default [`PoolConfig`]; it
+/// must reject every inconsistent knob combination with a telling message.
+#[test]
+fn pool_config_builder_validation() {
+    // Valid combinations, including the inline (zero-flusher) path and
+    // auto-sized shards.
+    for (flushers, shards) in [(0, 0), (0, 8), (3, 0), (3, 4), (64, 4096)] {
+        let cfg = PoolConfig::builder()
+            .flusher_threads(flushers)
+            .flush_shards(shards)
+            .build()
+            .unwrap_or_else(|e| panic!("({flushers}, {shards}) must validate: {e}"));
+        assert_eq!(cfg.flusher_threads(), flushers);
+        assert_eq!(cfg.flush_shards(), shards);
+        assert!(cfg.resolved_shards().is_power_of_two());
+        assert!(cfg.resolved_shards() >= flushers.max(1));
+    }
+
+    let expect_invalid = |b: respct_repro::respct::PoolConfigBuilder, needle: &str| match b.build()
+    {
+        Err(PoolError::InvalidConfig(why)) => assert!(
+            why.contains(needle),
+            "error {why:?} does not mention {needle:?}"
+        ),
+        other => panic!("expected InvalidConfig({needle}), got {other:?}"),
+    };
+    expect_invalid(
+        PoolConfig::builder().flusher_threads(MAX_FLUSHERS + 1),
+        "MAX_FLUSHERS",
+    );
+    expect_invalid(PoolConfig::builder().flush_shards(3), "power of two");
+    expect_invalid(
+        PoolConfig::builder().flush_shards(2 * MAX_FLUSH_SHARDS),
+        "MAX_FLUSH_SHARDS",
+    );
+    // A non-zero shard count smaller than the flusher pool would leave
+    // idle flushers by construction.
+    expect_invalid(
+        PoolConfig::builder().flusher_threads(4).flush_shards(2),
+        "at least flusher_threads",
+    );
+    // NoFlush mode never flushes, so a flusher pool is a contradiction.
+    expect_invalid(
+        PoolConfig::builder()
+            .mode(CheckpointMode::NoFlush)
+            .flusher_threads(1),
+        "NoFlush",
+    );
 }
 
 /// Lemma 4.5 as a runtime check: with a happens-before edge between two

@@ -3,9 +3,12 @@
 //! state of the last completed checkpoint — no more, no less.
 //!
 //! Property-based: random operation sequences on the persistent hash map
-//! and queue, with checkpoints interleaved at random points, a simulated
-//! power failure at the end, and a model (std collections) snapshotted at
-//! every checkpoint as the ground truth.
+//! and queue, with checkpoints interleaved at random points (driven by the
+//! worker thread itself or by a separately spawned thread), a simulated
+//! power failure at the end **plus a replayed crash at a random
+//! mid-sequence instant** (via the sweep engine's image builder), and a
+//! model (std collections) snapshotted at every checkpoint as the ground
+//! truth.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -13,8 +16,10 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use respct_analysis::Checker;
 use respct_repro::ds::{PHashMap, PQueue};
-use respct_repro::pmem::{sim::CrashMode, PAddr, Region, RegionConfig, SimConfig};
-use respct_repro::respct::{Pool, PoolConfig};
+use respct_repro::pmem::{
+    sim::CrashMode, PAddr, Region, RegionConfig, Replayer, SimConfig, TeeSink, VecSink,
+};
+use respct_repro::respct::{Pool, PoolConfig, PoolError};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -23,6 +28,10 @@ enum Op {
     Enqueue(u64),
     Dequeue,
     Checkpoint,
+    /// A checkpoint driven by a freshly spawned thread while the worker
+    /// sits in the blocking-call protocol (`allow_checkpoints`), the way a
+    /// timer checkpointer interleaves with application threads.
+    CheckpointFromOtherThread,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -32,6 +41,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         4 => any::<u64>().prop_map(Op::Enqueue),
         3 => Just(Op::Dequeue),
         1 => Just(Op::Checkpoint),
+        1 => Just(Op::CheckpointFromOtherThread),
     ]
 }
 
@@ -49,14 +59,22 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(), 1..120),
         seed in 0u64..10_000,
         evict_log2 in 1u32..6,
+        crash_pct in 0u64..100,
     ) {
+        const SIZE: usize = 16 << 20;
         let region = Region::new(RegionConfig::sim(
-            16 << 20,
+            SIZE,
             SimConfig::with_eviction(evict_log2, seed),
         ));
         // Every case doubles as a persistency-model check: the trace
-        // checker audits the whole run, crash and recovery included.
-        let checker = Checker::attach(&region);
+        // checker audits the whole run, crash and recovery included — and
+        // the same event stream is recorded so a *mid-sequence* crash can
+        // be rebuilt and recovered afterwards.
+        let checker = Arc::new(Checker::new());
+        let recording = Arc::new(VecSink::new());
+        let sinks: Vec<Arc<dyn respct_repro::pmem::TraceSink>> =
+            vec![checker.clone(), recording.clone()];
+        region.set_trace_sink(Arc::new(TeeSink::new(sinks)));
         let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
         let h = pool.register();
         let map = PHashMap::create(&h, 16);
@@ -70,6 +88,10 @@ proptest! {
 
         let mut model = Model::default();
         let mut durable = model.clone(); // state at the last checkpoint
+        // Model snapshots indexed by epoch-counter value: `snaps[e]` is the
+        // durable state while the counter reads `e` (None while the
+        // containers are not yet checkpointed — epochs 0 and 1).
+        let mut snaps: Vec<Option<Model>> = vec![None, None, Some(model.clone())];
 
         for op in &ops {
             match op {
@@ -96,6 +118,22 @@ proptest! {
                 Op::Checkpoint => {
                     h.checkpoint_here();
                     durable = model.clone();
+                    snaps.push(Some(model.clone()));
+                }
+                Op::CheckpointFromOtherThread => {
+                    // The worker enters the blocking-call protocol; the
+                    // spawned thread registers its own handle and drives
+                    // the checkpoint, which must quiesce-and-release the
+                    // allowing worker correctly.
+                    let guard = h.allow_checkpoints();
+                    std::thread::scope(|s| {
+                        s.spawn(|| {
+                            pool.register().checkpoint_here();
+                        });
+                    });
+                    drop(guard);
+                    durable = model.clone();
+                    snaps.push(Some(model.clone()));
                 }
             }
         }
@@ -105,6 +143,7 @@ proptest! {
         drop(map);
         drop(queue);
         drop(pool);
+        let events = recording.drain(); // live-run events only (pre-crash)
         let image = region.crash(CrashMode::PowerFailure);
         region.restore(&image);
         let (pool, _report) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
@@ -122,6 +161,49 @@ proptest! {
         let got_q = queue.collect();
         let want_q: Vec<u64> = durable.queue.iter().copied().collect();
         prop_assert_eq!(got_q, want_q, "queue must equal the last checkpoint");
+
+        // Mid-sequence crash: cut the recorded trace at a random instant,
+        // rebuild the crash images reachable there with the sweep engine's
+        // image builder, and recover each one. Whatever epoch the cut
+        // lands in, the recovered containers must equal that epoch's model
+        // snapshot — durability holds at *every* instant, not only at the
+        // end-of-run crash above.
+        let cut = events.len() * crash_pct as usize / 100;
+        let mut replayer = Replayer::new(SIZE);
+        for ev in &events[..cut] {
+            replayer.apply(ev);
+        }
+        for (img_idx, img) in replayer.crash_images(3, seed).iter().enumerate() {
+            let (pool, rec) = match Pool::recover_from_image(img, PoolConfig::default()) {
+                Ok(ok) => ok,
+                Err(PoolError::NotAPool) => break, // cut precedes the format
+                Err(e) => return Err(TestCaseError::fail(
+                    format!("image {img_idx} at cut {cut}: recovery failed: {e}"),
+                )),
+            };
+            let Some(Some(want)) = snaps.get(rec.failed_epoch as usize) else {
+                // Epoch 0/1: the containers were never checkpointed; only
+                // successful recovery (above) is required.
+                continue;
+            };
+            let root = pool.root();
+            let map = PHashMap::open(&pool, PAddr(pool.region().load(root)));
+            let queue = PQueue::open(&pool, PAddr(pool.region().load::<u64>(PAddr(root.0 + 8))));
+            let mut got_map: Vec<(u64, u64)> = map.collect();
+            got_map.sort_unstable();
+            let mut want_map: Vec<(u64, u64)> = want.map.iter().map(|(&k, &v)| (k, v)).collect();
+            want_map.sort_unstable();
+            prop_assert_eq!(
+                got_map, want_map,
+                "image {} at cut {} (epoch {}): map diverged", img_idx, cut, rec.failed_epoch
+            );
+            let got_q = queue.collect();
+            let want_q: Vec<u64> = want.queue.iter().copied().collect();
+            prop_assert_eq!(
+                got_q, want_q,
+                "image {} at cut {} (epoch {}): queue diverged", img_idx, cut, rec.failed_epoch
+            );
+        }
 
         let report = checker.report();
         prop_assert!(

@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use respct_analysis::{Checker, DiagnosticKind};
+use respct_repro::ds::PQueue;
 use respct_repro::pmem::{sim::CrashMode, PAddr, Region, RegionConfig, SimConfig};
 use respct_repro::respct::{shard_of_line, Fault, Pool, PoolConfig};
 
@@ -167,6 +168,91 @@ fn checker_classifies_dropped_shard_fence_parallel() {
         )),
         "dropped shard fence misclassified:\n{report}"
     );
+}
+
+/// Like [`dirty_checked_pool`] but with the queue container dirtying the
+/// lines: head/tail cursor cells plus freshly linked nodes, a different
+/// line-shape from the flat cell array (cursor lines are re-dirtied every
+/// op, node lines once each).
+fn dirty_checked_queue(flushers: usize, seed: u64) -> (Arc<Checker>, Arc<Region>, Arc<Pool>) {
+    let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::no_eviction(seed)));
+    let checker = Checker::attach(&region);
+    let cfg = PoolConfig::builder()
+        .flusher_threads(flushers)
+        .build()
+        .expect("config");
+    let pool = Pool::create(Arc::clone(&region), cfg).expect("pool");
+    let h = pool.register();
+    let queue = PQueue::create(&h);
+    h.set_root(queue.desc());
+    for v in 0..16u64 {
+        queue.enqueue(&h, v);
+    }
+    h.checkpoint_here();
+    for v in 16..48u64 {
+        queue.enqueue(&h, v);
+        if v % 3 == 0 {
+            queue.dequeue(&h);
+        }
+    }
+    drop(h);
+    assert!(
+        checker.report().diagnostics.is_empty(),
+        "setup must be clean"
+    );
+    (checker, region, pool)
+}
+
+/// The shard-fence fault classification must not depend on the container
+/// that dirtied the lines: the queue workload (cursor cells + linked
+/// nodes) is classified exactly like the flat cell workload above, on both
+/// flush paths.
+#[test]
+fn checker_classifies_dropped_shard_fence_queue() {
+    for flushers in [0usize, 2] {
+        let (checker, _region, pool) = dirty_checked_queue(flushers, 24 + flushers as u64);
+        pool.inject_fault(Fault::SkipShardFence);
+        pool.register().checkpoint_here();
+        let report = checker.report();
+        assert!(
+            !report.of_kind(DiagnosticKind::ShardFence).is_empty(),
+            "{flushers} flushers: dropped shard fence not detected on queue:\n{report}"
+        );
+        assert!(
+            report.errors().iter().all(|d| matches!(
+                d.kind,
+                DiagnosticKind::ShardFence
+                    | DiagnosticKind::CrossLineOrdering
+                    | DiagnosticKind::MissedFlush
+            )),
+            "{flushers} flushers: dropped shard fence misclassified on queue:\n{report}"
+        );
+    }
+}
+
+/// Queue counterpart of [`recovery_after_dropped_shard_fence_crash`]: the
+/// fault costs durability of one shard, not the queue's structural
+/// integrity — recovery still lands on a usable checkpointed state.
+#[test]
+fn recovery_after_dropped_shard_fence_crash_queue() {
+    let (checker, region, pool) = dirty_checked_queue(0, 26);
+    pool.inject_fault(Fault::SkipShardFence);
+    pool.register().checkpoint_here();
+    drop(pool);
+    assert!(!checker.report().is_clean(), "fault must be flagged");
+    let img = region.crash(CrashMode::PowerFailure);
+    region.restore(&img);
+    let (pool, report) =
+        Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
+    assert!(report.failed_epoch >= 1);
+    // The recovered queue is structurally sound and usable.
+    let queue = PQueue::open(&pool, pool.root());
+    let before = queue.collect().len();
+    let h = pool.register();
+    queue.enqueue(&h, 999);
+    let r = h.checkpoint_here();
+    assert_eq!(queue.collect().len(), before + 1);
+    assert!(r.lines > 0);
 }
 
 #[test]
