@@ -17,11 +17,18 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use respct::{Pool, PoolConfig, ThreadHandle};
+use respct::{Pool, PoolConfig, RpId, ThreadHandle};
 use respct_ds::{PHashMap, TransientHashMap};
 use respct_pmem::{Region, RegionConfig};
 
 use crate::Mode;
+
+/// RP ids, one per static wait/progress site (channel bases leave room for
+/// the paired `pop` id at base + 1).
+const RP_CHAN_HASH: RpId = RpId(500);
+const RP_CHAN_COMP: RpId = RpId(510);
+const RP_CHAN_STORE: RpId = RpId(520);
+const RP_DEDUP_STAGE: RpId = RpId(530);
 
 /// Configuration for one pipeline run.
 #[derive(Debug, Clone, Copy)]
@@ -78,11 +85,11 @@ struct Chan<T> {
     not_full: Condvar,
     cap: usize,
     /// Unique RP id for waits on this channel.
-    rp_id: u64,
+    rp_id: RpId,
 }
 
 impl<T> Chan<T> {
-    fn new(cap: usize, rp_id: u64) -> Chan<T> {
+    fn new(cap: usize, rp_id: RpId) -> Chan<T> {
         Chan {
             state: Mutex::new(ChanState {
                 q: std::collections::VecDeque::new(),
@@ -132,7 +139,7 @@ impl<T> Chan<T> {
 
     fn pop(&self, h: Option<&ThreadHandle>) -> Option<T> {
         if let Some(h) = h {
-            h.rp(self.rp_id + 1);
+            h.rp(self.rp_id.offset(1));
         }
         let mut guard = self.state.lock();
         loop {
@@ -306,9 +313,9 @@ pub fn run(cfg: DedupConfig) -> DedupOutput {
     };
     let _ckpt = pool.as_ref().map(|p| p.start_checkpointer(cfg.ckpt_period));
 
-    let chan_hash: Chan<usize> = Chan::new(256, 500);
-    let chan_comp: Chan<(usize, u64)> = Chan::new(256, 510);
-    let chan_store: Chan<(u64, u64)> = Chan::new(256, 520);
+    let chan_hash: Chan<usize> = Chan::new(256, RP_CHAN_HASH);
+    let chan_comp: Chan<(usize, u64)> = Chan::new(256, RP_CHAN_COMP);
+    let chan_store: Chan<(u64, u64)> = Chan::new(256, RP_CHAN_STORE);
     let hashers_left = AtomicUsize::new(cfg.hashers);
     let comps_left = AtomicUsize::new(cfg.compressors);
     let unique_stored = AtomicUsize::new(0);
@@ -388,7 +395,7 @@ pub fn run(cfg: DedupConfig) -> DedupOutput {
                             if new {
                                 hh.update(*bytes_cell, hh.get(*bytes_cell) + csize);
                             }
-                            hh.rp(530);
+                            hh.rp(RP_DEDUP_STAGE);
                             new
                         }
                     };

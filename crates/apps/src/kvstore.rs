@@ -23,12 +23,16 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
-use respct::{Pool, PoolConfig, ThreadHandle};
+use respct::{Pool, PoolConfig, RpId, ThreadHandle};
 use respct_ds::{hash_u64, PHashMap};
 use respct_pmem::{PAddr, Region, RegionConfig};
 
 use crate::ycsb::{Op, Workload};
 use crate::Mode;
+
+/// RP ids for the two store operations (one per static call site).
+const RP_PUT: RpId = RpId(600);
+const RP_GET: RpId = RpId(601);
 
 /// Configuration for one KV benchmark run.
 #[derive(Debug, Clone)]
@@ -254,14 +258,14 @@ impl KvStore for RespctStore {
         } else {
             self.map.insert(h, k, blob.0);
         }
-        h.rp(600);
+        h.rp(RP_PUT);
     }
 
     fn get(&self, ctx: &mut RespctCtx, k: u64) -> Option<u64> {
         let h = &ctx.handle;
         let blob = self.map.get(h, k)?;
         self.pool.region().load_bytes(PAddr(blob), &mut ctx.buf);
-        h.rp(601);
+        h.rp(RP_GET);
         Some(checksum(&ctx.buf))
     }
 

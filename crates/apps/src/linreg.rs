@@ -15,10 +15,13 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use respct::{Pool, PoolConfig};
+use respct::{Pool, PoolConfig, RpId};
 use respct_pmem::{Region, RegionConfig};
 
 use crate::Mode;
+
+/// RP base: worker `t` declares `RP_CHUNK_DONE.offset(t)` per chunk.
+const RP_CHUNK_DONE: RpId = RpId(300);
 
 /// Configuration for one linear-regression run.
 #[derive(Debug, Clone, Copy)]
@@ -192,7 +195,7 @@ fn run_respct(cfg: LinregConfig) -> LinregOutput {
                     h.update(c_sxy, h.get(c_sxy) + local.sxy);
                     h.update(c_n, h.get(c_n) + local.n);
                     h.update(progress, end as u64);
-                    h.rp(300 + t as u64);
+                    h.rp(RP_CHUNK_DONE.offset(t as u64));
                     i = end;
                 }
                 Sums {

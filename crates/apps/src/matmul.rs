@@ -10,10 +10,13 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use respct::{Pool, PoolConfig};
+use respct::{Pool, PoolConfig, RpId};
 use respct_pmem::{PAddr, Region, RegionConfig};
 
 use crate::Mode;
+
+/// RP base: worker `t` declares `RP_ROW_DONE.offset(t)` per finished row.
+const RP_ROW_DONE: RpId = RpId(200);
 
 /// Configuration for one matmul run.
 #[derive(Debug, Clone, Copy)]
@@ -184,7 +187,7 @@ fn run_region(cfg: MatmulConfig, region: Arc<Region>, pool: Option<Arc<Pool>>) -
                         // Row finished: track it, advance the cursor, RP.
                         h.add_modified(PAddr(c_base.0 + (i * n * 8) as u64), n * 8);
                         h.update(*p, (i + 1) as u64);
-                        h.rp(200 + t as u64);
+                        h.rp(RP_ROW_DONE.offset(t as u64));
                     }
                 }
             });

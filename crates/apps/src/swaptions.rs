@@ -11,10 +11,13 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use respct::{Pool, PoolConfig};
+use respct::{Pool, PoolConfig, RpId};
 use respct_pmem::{Region, RegionConfig};
 
 use crate::Mode;
+
+/// RP base: worker `t` declares `RP_TRIAL_DONE.offset(t)` after each batch.
+const RP_TRIAL_DONE: RpId = RpId(400);
 
 /// Configuration for one pricing run.
 #[derive(Debug, Clone, Copy)]
@@ -160,7 +163,7 @@ fn run_respct(cfg: SwaptionsConfig) -> SwaptionsOutput {
                         }
                         h.update(sum_cell, h.get(sum_cell) + local);
                         h.update(cursor, end as u64);
-                        h.rp(400 + t as u64);
+                        h.rp(RP_TRIAL_DONE.offset(t as u64));
                         trial = end;
                     }
                     out.push((sw, h.get(sum_cell) / cfg.trials as f64));

@@ -12,11 +12,14 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use respct::{Pool, PoolConfig};
+use respct::{Pool, PoolConfig, RpId};
 use respct_ds::{PHashMap, TransientHashMap};
 use respct_pmem::{Region, RegionConfig};
 
 use crate::Mode;
+
+/// RP base: worker `t` declares `RP_BLOCK_DONE.offset(t)` per text block.
+const RP_BLOCK_DONE: RpId = RpId(700);
 
 /// Configuration for one word-count run.
 #[derive(Debug, Clone, Copy)]
@@ -137,7 +140,7 @@ fn run_respct(cfg: WordCountConfig) -> WordCountOutput {
                     }
                     // Block finished: advance the cursor, declare an RP.
                     h.update(cursor, (b + 1) as u64);
-                    h.rp(700 + t as u64);
+                    h.rp(RP_BLOCK_DONE.offset(t as u64));
                 }
             });
         }

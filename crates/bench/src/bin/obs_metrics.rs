@@ -1,0 +1,167 @@
+//! Observability smoke bench: measures the metrics layer's own overhead on
+//! the hashmap workload and emits `BENCH_obs.json`.
+//!
+//! Runs the Fig. 8 update/search mix twice per repetition — once with the
+//! pool's `metrics` toggle off, once on (the default) — in ABAB order so
+//! container noise hits both arms equally, then reports the best
+//! repetition's overhead together with the checkpoint/stall percentiles
+//! from the instrumented run. With `--serve ADDR --hold-secs N` it keeps
+//! the metrics HTTP endpoint up after the run so CI can scrape it.
+//!
+//! This binary takes its own flags (not [`respct_bench::args::BenchArgs`],
+//! which rejects flags it does not know).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use respct::{Pool, PoolConfig};
+use respct_bench::driver::{prefill_map, run_map_mix};
+use respct_bench::table::f3;
+use respct_ds::PHashMap;
+use respct_pmem::{Region, RegionConfig};
+
+struct Opts {
+    threads: usize,
+    secs: f64,
+    reps: usize,
+    out: String,
+    serve: Option<String>,
+    hold_secs: u64,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        threads: 3,
+        secs: 0.3,
+        reps: 3,
+        out: std::env::var("BENCH_OBS_JSON").unwrap_or_else(|_| "BENCH_obs.json".to_string()),
+        serve: None,
+        hold_secs: 10,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match arg.as_str() {
+            "--threads" => o.threads = val("--threads").parse().expect("--threads: integer"),
+            "--secs" => o.secs = val("--secs").parse().expect("--secs: float"),
+            "--reps" => o.reps = val("--reps").parse().expect("--reps: integer"),
+            "--out" => o.out = val("--out"),
+            "--serve" => o.serve = Some(val("--serve")),
+            "--hold-secs" => {
+                o.hold_secs = val("--hold-secs").parse().expect("--hold-secs: integer");
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --threads N      worker threads (default 3)\n       \
+                     --secs F         seconds per arm per repetition (default 0.3)\n       \
+                     --reps N         repetitions, best taken (default 3)\n       \
+                     --out PATH       output file (default $BENCH_OBS_JSON or BENCH_obs.json)\n       \
+                     --serve ADDR     serve /metrics and /json on ADDR after the run\n       \
+                     --hold-secs N    how long to keep serving (default 10)"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    o
+}
+
+/// One measured arm; returns (mops, pool) so the caller can read metrics.
+fn run_arm(threads: usize, secs: f64, metrics_on: bool) -> (f64, Arc<Pool>) {
+    let region = Region::new(RegionConfig::fast(256 << 20));
+    let cfg = PoolConfig::builder()
+        .metrics(metrics_on)
+        .build()
+        .expect("pool config");
+    let pool = Pool::create(region, cfg).expect("pool");
+    let h = pool.register();
+    let map = PHashMap::create(&h, 50_000);
+    drop(h);
+    prefill_map(&map, 100_000);
+    let t = {
+        let _ckpt = pool.start_checkpointer(Duration::from_millis(8));
+        run_map_mix(&map, threads, secs, 100_000, 50, 0x0b5)
+    };
+    (t.mops(), pool)
+}
+
+/// Extracts `"name":{...}` (a histogram object) from the registry JSON.
+fn hist_obj<'a>(json: &'a str, name: &str) -> &'a str {
+    let key = format!("\"{name}\":{{");
+    let at = json
+        .find(&key)
+        .unwrap_or_else(|| panic!("{name} missing in metrics JSON"));
+    let obj = &json[at + key.len() - 1..];
+    &obj[..=obj.find('}').expect("closing brace")]
+}
+
+fn main() {
+    let o = parse_opts();
+    println!(
+        "# obs_metrics — metrics-layer overhead on the hashmap mix: \
+         threads={} secs/arm={} reps={}",
+        o.threads, o.secs, o.reps
+    );
+
+    let mut best: Option<(f64, f64)> = None; // (mops_off, mops_on), least-overhead rep
+    let mut last_pool: Option<Arc<Pool>> = None;
+    for rep in 0..o.reps {
+        let (off, _) = run_arm(o.threads, o.secs, false);
+        let (on, pool) = run_arm(o.threads, o.secs, true);
+        println!(
+            "rep {rep}: metrics off {} Mops/s, on {} Mops/s ({:+.2}%)",
+            f3(off),
+            f3(on),
+            100.0 * (off - on) / off
+        );
+        if best.is_none_or(|(boff, bon)| on / off > bon / boff) {
+            best = Some((off, on));
+        }
+        last_pool = Some(pool);
+    }
+    let (mops_off, mops_on) = best.expect("at least one rep");
+    let overhead_pct = 100.0 * (mops_off - mops_on) / mops_off;
+    let pool = last_pool.expect("pool");
+    let metrics_json = pool.metrics().to_json();
+    let ckpt = hist_obj(&metrics_json, "respct_checkpoint_total_ns").to_string();
+    let stall = hist_obj(&metrics_json, "respct_rp_stall_ns").to_string();
+    let shard = hist_obj(&metrics_json, "respct_shard_flush_ns").to_string();
+
+    println!(
+        "\nbest rep: off {} on {} Mops/s -> overhead {:.2}%",
+        f3(mops_off),
+        f3(mops_on),
+        overhead_pct
+    );
+    println!("checkpoint_total_ns: {ckpt}");
+    println!("rp_stall_ns: {stall}");
+
+    let out = format!(
+        "{{\"bench\":\"obs_metrics\",\"threads\":{},\"secs\":{},\"reps\":{},\
+         \"mops_metrics_off\":{:.4},\"mops_metrics_on\":{:.4},\"overhead_pct\":{:.3},\
+         \"checkpoint_total_ns\":{ckpt},\"rp_stall_ns\":{stall},\
+         \"shard_flush_ns\":{shard},\"metrics\":{metrics_json}}}",
+        o.threads, o.secs, o.reps, mops_off, mops_on, overhead_pct
+    );
+    match std::fs::write(&o.out, &out) {
+        Ok(()) => println!("(written to {})", o.out),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", o.out);
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(addr) = o.serve {
+        let guard = pool
+            .serve_metrics(addr.as_str())
+            .expect("bind metrics endpoint");
+        println!(
+            "serving /metrics and /json on {} for {}s",
+            guard.local_addr(),
+            o.hold_secs
+        );
+        std::thread::sleep(Duration::from_secs(o.hold_secs));
+        drop(guard);
+    }
+}

@@ -16,10 +16,9 @@ const API_MARKERS: &[&str] = &[
     ".alloc_cell(",
     ".init_cell_at(",
     ".store_tracked(",
-    ".checkpoint_allow(",
-    ".checkpoint_prevent",
     ".allow_checkpoints(",
     ".rearm_locked(",
+    "RpId(",
     ".checkpoint_here(",
     "pool.register(",
     "Pool::create(",

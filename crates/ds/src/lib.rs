@@ -28,13 +28,16 @@ pub use traits::{BenchMap, BenchQueue};
 pub use transient::{TransientHashMap, TransientQueue};
 
 /// Restart-point ids used by the data-structure adapters (unique per static
-/// call site, as the paper requires).
+/// call site, as the paper requires). Typed as [`respct::RpId`] so they
+/// cannot be confused with the API's other bare `u64`s.
 pub mod rp_ids {
-    pub const MAP_INSERT: u64 = 101;
-    pub const MAP_REMOVE: u64 = 102;
-    pub const MAP_GET: u64 = 103;
-    pub const QUEUE_ENQ: u64 = 111;
-    pub const QUEUE_DEQ: u64 = 112;
+    use respct::RpId;
+
+    pub const MAP_INSERT: RpId = RpId(101);
+    pub const MAP_REMOVE: RpId = RpId(102);
+    pub const MAP_GET: RpId = RpId(103);
+    pub const QUEUE_ENQ: RpId = RpId(111);
+    pub const QUEUE_DEQ: RpId = RpId(112);
 }
 
 /// Multiplicative Fibonacci-style hash used by all map implementations so

@@ -1,0 +1,99 @@
+//! Periodic metrics reporter.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::MetricsRegistry;
+
+/// Runs a callback on a JSON snapshot of the registry at a fixed period,
+/// on a background thread, until the returned guard is dropped. Mirrors the
+/// runtime's `start_checkpointer` guard idiom.
+pub struct Reporter;
+
+impl Reporter {
+    /// Starts the reporter. `emit` receives the registry's JSON snapshot
+    /// once per `period` (first emission after one full period, and a final
+    /// one at shutdown so short runs still produce output).
+    pub fn start(
+        registry: Arc<MetricsRegistry>,
+        period: Duration,
+        emit: impl Fn(&str) + Send + 'static,
+    ) -> ReporterGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("respct-reporter".into())
+            .spawn(move || {
+                // Sleep in short slices so drop() never waits a full period.
+                let slice = Duration::from_millis(10).min(period);
+                let mut elapsed = Duration::ZERO;
+                loop {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::thread::sleep(slice);
+                    elapsed += slice;
+                    if elapsed >= period {
+                        elapsed = Duration::ZERO;
+                        emit(&registry.to_json());
+                    }
+                }
+                emit(&registry.to_json());
+            })
+            .expect("spawn metrics reporter thread");
+        ReporterGuard {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// RAII guard for a running [`Reporter`]; dropping it emits one final
+/// snapshot and joins the thread.
+pub struct ReporterGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ReporterGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReporterGuard").finish()
+    }
+}
+
+impl Drop for ReporterGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Unit;
+    use std::sync::Mutex;
+
+    #[test]
+    fn emits_periodically_and_on_drop() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let c = registry.counter("rep_total", "reporter test", Unit::None);
+        c.add(9);
+        let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let guard = Reporter::start(
+            Arc::clone(&registry),
+            Duration::from_millis(20),
+            move |json| sink.lock().unwrap().push(json.to_string()),
+        );
+        std::thread::sleep(Duration::from_millis(60));
+        drop(guard);
+        let seen = seen.lock().unwrap();
+        assert!(!seen.is_empty(), "no snapshots emitted");
+        assert!(seen.iter().all(|j| j.contains("\"rep_total\":9")));
+    }
+}

@@ -1,0 +1,167 @@
+//! Minimal HTTP listener exposing the registry's sinks.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::MetricsRegistry;
+
+/// A tiny single-threaded HTTP server over [`std::net::TcpListener`]:
+///
+/// * `GET /metrics` → Prometheus text exposition
+/// * `GET /json` (or `/`) → JSON snapshot
+///
+/// One request per connection, no keep-alive, no TLS — just enough for
+/// `curl` and a Prometheus scraper. Bind to port 0 to let the OS pick a
+/// free port (tests do this); [`MetricsServerGuard::local_addr`] reports
+/// the bound address.
+pub struct MetricsServer;
+
+impl MetricsServer {
+    /// Binds `addr` and serves the registry on a background thread until
+    /// the returned guard is dropped.
+    pub fn serve(
+        registry: Arc<MetricsRegistry>,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<MetricsServerGuard> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("respct-metrics".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Best effort: a slow or broken client must not wedge
+                    // the listener.
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+                    let _ = handle_conn(stream, &registry);
+                }
+            })
+            .expect("spawn metrics server thread");
+        Ok(MetricsServerGuard {
+            stop,
+            local_addr,
+            handle: Some(handle),
+        })
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    // Read until end-of-headers (clients may send the request in several
+    // segments; answering after the first would reset their next write).
+    // Only the request line is interpreted; headers and body are ignored.
+    let mut buf = [0u8; 1024];
+    let mut n = 0;
+    while n < buf.len() {
+        let got = stream.read(&mut buf[n..])?;
+        n += got;
+        if got == 0 || buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let req = String::from_utf8_lossy(&buf[..n]);
+    let path = req
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, ctype, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.to_prometheus(),
+        ),
+        "/" | "/json" => ("200 OK", "application/json", registry.to_json()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    let resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(resp.as_bytes())
+}
+
+/// RAII guard for a running [`MetricsServer`]; dropping it stops the
+/// listener thread.
+pub struct MetricsServerGuard {
+    stop: Arc<AtomicBool>,
+    local_addr: SocketAddr,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServerGuard {
+    /// The address the listener is bound to (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+impl std::fmt::Debug for MetricsServerGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServerGuard")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl Drop for MetricsServerGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // The accept loop blocks in `incoming()`; poke it with a throwaway
+        // connection so it observes the stop flag.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Unit;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .expect("write request");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    #[test]
+    fn serves_prometheus_and_json() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let c = registry.counter("srv_test_total", "test counter", Unit::None);
+        c.add(5);
+        let guard = MetricsServer::serve(Arc::clone(&registry), "127.0.0.1:0").expect("bind");
+        let addr = guard.local_addr();
+
+        let metrics = http_get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("srv_test_total 5"));
+
+        let json = http_get(addr, "/json");
+        assert!(json.contains("\"srv_test_total\":5"));
+
+        let missing = http_get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        drop(guard); // must not hang
+    }
+}

@@ -183,7 +183,7 @@ impl Pool {
             total_ns: t0.elapsed().as_nanos() as u64,
             shards: shard_reports,
         };
-        self.ckpt_stats.record(&report);
+        self.metrics.on_checkpoint(&report);
         self.region
             .trace_marker(TraceMarker::CheckpointEnd { epoch: closed });
         report

@@ -69,6 +69,7 @@ mod condvar;
 mod error;
 mod incll;
 pub mod layout;
+pub mod metrics;
 mod pool;
 mod recovery;
 mod registry;
@@ -81,15 +82,20 @@ pub use checkpoint::{shard_of_line, CheckpointerGuard, CkptReport, ShardReport};
 pub use condvar::RCondvar;
 pub use error::PoolError;
 pub use incll::{cell_layout, epoch_tag, tag_epoch, ICell};
+pub use metrics::RuntimeMetrics;
 #[cfg(feature = "fault-inject")]
 pub use pool::Fault;
 pub use pool::{
     CheckpointMode, Pool, PoolConfig, PoolConfigBuilder, MAX_FLUSHERS, MAX_FLUSH_SHARDS,
 };
-pub use recovery::RecoveryReport;
+pub use recovery::{RecoveryOptions, RecoveryReport};
 pub use stats::{CkptSnapshot, CkptStats};
-pub use thread::{AllowGuard, ThreadHandle};
+pub use thread::{AllowGuard, RpId, ThreadHandle};
 pub use verify::{VerifyReport, Violation, ViolationKind};
 
 // Re-export the substrate types users need alongside the pool API.
 pub use respct_pmem::{PAddr, Pod, Region, RegionConfig, RegionMode};
+
+// Re-export the observability types surfaced through `Pool::metrics`,
+// `Pool::serve_metrics`, and `Pool::start_metrics_reporter`.
+pub use respct_obs::{HistSnapshot, MetricsRegistry, MetricsServerGuard, ReporterGuard};

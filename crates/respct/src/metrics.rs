@@ -1,0 +1,409 @@
+//! Runtime observability: the pool-side wiring of the `respct-obs` layer.
+//!
+//! One [`RuntimeMetrics`] lives in every [`Pool`](crate::Pool) and threads
+//! the quantities the paper's evaluation reasons about into a
+//! [`MetricsRegistry`]:
+//!
+//! * checkpoint phase latencies (wait / partition / flush / total) as
+//!   histograms, not just means — the tails are where quiescence problems
+//!   show up;
+//! * epoch length (time between consecutive checkpoints);
+//! * lines flushed per checkpoint and per shard, plus per-shard flush time
+//!   (skew across flushers);
+//! * RP quiescence stall time, both as a global histogram and as a
+//!   per-slot total (one slow thread stalls every checkpoint);
+//! * InCLL traffic: updates, first-touches (= backup writes), bytes
+//!   logically stored, bytes flushed, and the derived first-touch rate and
+//!   write-amplification gauges;
+//! * the pmem substrate's `pwb`/`psync`/store/eviction counters, surfaced
+//!   as read-on-demand gauges over [`respct_pmem::PmemStats`].
+//!
+//! Hot-path instrumentation (per InCLL update / tracked byte) is gated on
+//! the pool's `metrics` config flag — one relaxed bool load when disabled.
+//! Checkpoint-path recording always runs: it is per *checkpoint*, not per
+//! operation, and the legacy [`CkptStats`](crate::CkptStats) view is
+//! derived from it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use respct_obs::{Counter, Histogram, MetricsRegistry, Unit};
+
+use crate::checkpoint::CkptReport;
+use crate::layout::MAX_THREADS;
+use crate::stats::CkptSnapshot;
+
+/// All metric handles for one pool, pre-registered against a shared
+/// [`MetricsRegistry`]. Recording never touches the registry.
+pub struct RuntimeMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Hot-path gate (pool config `metrics`); checked with one relaxed load.
+    enabled: AtomicBool,
+
+    // Hot path (per update / tracked range).
+    incll_updates: Arc<Counter>,
+    incll_first_touch: Arc<Counter>,
+    bytes_stored: Arc<Counter>,
+
+    // Checkpoint path (per checkpoint / per shard).
+    bytes_flushed: Arc<Counter>,
+    ckpt_wait_ns: Arc<Histogram>,
+    ckpt_partition_ns: Arc<Histogram>,
+    ckpt_flush_ns: Arc<Histogram>,
+    ckpt_total_ns: Arc<Histogram>,
+    epoch_len_ns: Arc<Histogram>,
+    ckpt_lines: Arc<Histogram>,
+    shard_lines: Arc<Histogram>,
+    shard_flush_ns: Arc<Histogram>,
+    /// Instant of the previous checkpoint's completion (epoch length).
+    last_ckpt: Mutex<Option<Instant>>,
+
+    // Quiescence (recorded while parking — off the failure-free hot path).
+    rp_stall_ns: Arc<Histogram>,
+    rp_stall_by_slot: Arc<Vec<CachePadded<AtomicU64>>>,
+}
+
+impl RuntimeMetrics {
+    /// Builds the metric set on a fresh registry.
+    pub(crate) fn new(enabled: bool) -> RuntimeMetrics {
+        let r = Arc::new(MetricsRegistry::new());
+
+        let incll_updates = r.counter(
+            "respct_incll_updates_total",
+            "InCLL cell updates",
+            Unit::None,
+        );
+        let incll_first_touch = r.counter(
+            "respct_incll_first_touch_total",
+            "InCLL updates that logged a backup (first touch in epoch)",
+            Unit::None,
+        );
+        {
+            let u = Arc::clone(&incll_updates);
+            let f = Arc::clone(&incll_first_touch);
+            r.gauge_fn(
+                "respct_incll_first_touch_rate",
+                "Fraction of InCLL updates that were first touches",
+                Unit::None,
+                move || {
+                    let u = u.get();
+                    if u == 0 {
+                        0.0
+                    } else {
+                        f.get() as f64 / u as f64
+                    }
+                },
+            );
+        }
+        let bytes_stored = r.counter(
+            "respct_bytes_stored_total",
+            "Bytes logically stored through the pool API",
+            Unit::Bytes,
+        );
+        let bytes_flushed = r.counter(
+            "respct_bytes_flushed_total",
+            "Bytes written back by checkpoints (unique lines x 64)",
+            Unit::Bytes,
+        );
+        {
+            let stored = Arc::clone(&bytes_stored);
+            let flushed = Arc::clone(&bytes_flushed);
+            r.gauge_fn(
+                "respct_write_amplification",
+                "Bytes flushed per byte logically stored",
+                Unit::None,
+                move || {
+                    let s = stored.get();
+                    if s == 0 {
+                        0.0
+                    } else {
+                        flushed.get() as f64 / s as f64
+                    }
+                },
+            );
+        }
+
+        let ckpt_wait_ns = r.histogram(
+            "respct_checkpoint_wait_ns",
+            "Checkpoint quiescence wait",
+            Unit::Nanos,
+        );
+        let ckpt_partition_ns = r.histogram(
+            "respct_checkpoint_partition_ns",
+            "Checkpoint gather/partition phase",
+            Unit::Nanos,
+        );
+        let ckpt_flush_ns = r.histogram(
+            "respct_checkpoint_flush_ns",
+            "Checkpoint flush phase (wall clock across flushers)",
+            Unit::Nanos,
+        );
+        let ckpt_total_ns = r.histogram(
+            "respct_checkpoint_total_ns",
+            "Whole checkpoint duration",
+            Unit::Nanos,
+        );
+        let epoch_len_ns = r.histogram(
+            "respct_epoch_length_ns",
+            "Time between consecutive checkpoint completions",
+            Unit::Nanos,
+        );
+        let ckpt_lines = r.histogram(
+            "respct_checkpoint_lines",
+            "Unique cache lines flushed per checkpoint",
+            Unit::Lines,
+        );
+        let shard_lines = r.histogram(
+            "respct_shard_flush_lines",
+            "Unique cache lines flushed per shard per checkpoint",
+            Unit::Lines,
+        );
+        let shard_flush_ns = r.histogram(
+            "respct_shard_flush_ns",
+            "Write-back time per shard per checkpoint",
+            Unit::Nanos,
+        );
+
+        let rp_stall_ns = r.histogram(
+            "respct_rp_stall_ns",
+            "Time a thread spent parked at a restart point for a checkpoint",
+            Unit::Nanos,
+        );
+        let rp_stall_by_slot: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(
+            (0..MAX_THREADS)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        );
+        {
+            let per_slot = Arc::clone(&rp_stall_by_slot);
+            r.gauge_vec_fn(
+                "respct_rp_stall_total_ns",
+                "Cumulative RP stall per thread slot (non-zero slots only)",
+                Unit::Nanos,
+                "slot",
+                move || {
+                    per_slot
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(slot, v)| {
+                            let ns = v.load(Ordering::Relaxed);
+                            (ns > 0).then(|| (slot.to_string(), ns as f64))
+                        })
+                        .collect()
+                },
+            );
+        }
+
+        RuntimeMetrics {
+            registry: r,
+            enabled: AtomicBool::new(enabled),
+            incll_updates,
+            incll_first_touch,
+            bytes_stored,
+            bytes_flushed,
+            ckpt_wait_ns,
+            ckpt_partition_ns,
+            ckpt_flush_ns,
+            ckpt_total_ns,
+            epoch_len_ns,
+            ckpt_lines,
+            shard_lines,
+            shard_flush_ns,
+            last_ckpt: Mutex::new(None),
+            rp_stall_ns,
+            rp_stall_by_slot,
+        }
+    }
+
+    /// Surfaces the pmem substrate's counters as read-on-demand gauges.
+    pub(crate) fn register_pmem(&self, stats: &Arc<respct_pmem::PmemStats>) {
+        type ReadFn = fn(&respct_pmem::PmemStats) -> u64;
+        let entries: [(&'static str, &'static str, ReadFn); 4] = [
+            (
+                "respct_pmem_pwb_total",
+                "Cache-line write-backs (clwb)",
+                |s| s.pwb.load(Ordering::Relaxed),
+            ),
+            ("respct_pmem_psync_total", "Persist fences (sfence)", |s| {
+                s.psync.load(Ordering::Relaxed)
+            }),
+            (
+                "respct_pmem_stores_total",
+                "Persistent stores (sim mode only)",
+                |s| s.stores.load(Ordering::Relaxed),
+            ),
+            (
+                "respct_pmem_evictions_total",
+                "Simulator cache-line evictions",
+                |s| s.evictions.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, read) in entries {
+            let stats = Arc::clone(stats);
+            self.registry
+                .gauge_fn(name, help, Unit::None, move || read(&stats) as f64);
+        }
+    }
+
+    /// Whether hot-path instrumentation is on.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The underlying registry (for export or serving).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// One InCLL update of `bytes` payload; `first_touch` when it logged a
+    /// backup. Gated on [`enabled`](Self::enabled).
+    #[inline]
+    pub(crate) fn on_update(&self, bytes: u64, first_touch: bool) {
+        if !self.enabled() {
+            return;
+        }
+        self.incll_updates.inc();
+        if first_touch {
+            self.incll_first_touch.inc();
+        }
+        self.bytes_stored.add(bytes);
+    }
+
+    /// `add_modified` over `bytes` of plain persistent data. Gated.
+    #[inline]
+    pub(crate) fn on_bytes_stored(&self, bytes: u64) {
+        if self.enabled() {
+            self.bytes_stored.add(bytes);
+        }
+    }
+
+    /// A thread parked `ns` at a restart point waiting out a checkpoint.
+    #[inline]
+    pub(crate) fn on_rp_stall(&self, slot: usize, ns: u64) {
+        self.rp_stall_ns.record(ns);
+        self.rp_stall_by_slot[slot].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records one finished checkpoint. Always on (per-checkpoint cost);
+    /// this is also the source of truth for the legacy [`CkptSnapshot`]
+    /// view.
+    ///
+    /// [`CkptSnapshot`]: crate::CkptSnapshot
+    pub(crate) fn on_checkpoint(&self, report: &CkptReport) {
+        self.ckpt_wait_ns.record(report.wait_ns);
+        self.ckpt_partition_ns.record(report.partition_ns);
+        self.ckpt_flush_ns.record(report.flush_ns);
+        self.ckpt_total_ns.record(report.total_ns);
+        self.ckpt_lines.record(report.lines);
+        self.bytes_flushed
+            .add(report.lines * respct_pmem::CACHE_LINE as u64);
+        for s in &report.shards {
+            self.shard_lines.record(s.lines);
+            self.shard_flush_ns.record(s.flush_ns);
+        }
+        let now = Instant::now();
+        let mut last = self.last_ckpt.lock();
+        if let Some(prev) = last.replace(now) {
+            self.epoch_len_ns.record((now - prev).as_nanos() as u64);
+        }
+    }
+
+    /// The aggregate checkpoint counters, reconstructed from the phase
+    /// histograms (exact: histogram counts and sums are exact; only the
+    /// bucket boundaries are approximate).
+    pub(crate) fn ckpt_snapshot(&self) -> CkptSnapshot {
+        CkptSnapshot {
+            count: self.ckpt_total_ns.count(),
+            lines_flushed: self.ckpt_lines.sum(),
+            wait_ns: self.ckpt_wait_ns.sum(),
+            partition_ns: self.ckpt_partition_ns.sum(),
+            flush_ns: self.ckpt_flush_ns.sum(),
+            total_ns: self.ckpt_total_ns.sum(),
+        }
+    }
+}
+
+impl std::fmt::Debug for RuntimeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeMetrics")
+            .field("enabled", &self.enabled())
+            .field("checkpoints", &self.ckpt_total_ns.count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::ShardReport;
+
+    fn report(lines: u64) -> CkptReport {
+        CkptReport {
+            closed_epoch: 1,
+            lines,
+            wait_ns: 1000,
+            partition_ns: 200,
+            flush_ns: 3000,
+            total_ns: 5000,
+            shards: vec![ShardReport {
+                shard: 0,
+                lines,
+                sort_ns: 10,
+                flush_ns: 2000,
+            }],
+        }
+    }
+
+    #[test]
+    fn checkpoint_snapshot_matches_reports() {
+        let m = RuntimeMetrics::new(true);
+        m.on_checkpoint(&report(10));
+        m.on_checkpoint(&report(30));
+        let s = m.ckpt_snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.lines_flushed, 40);
+        assert_eq!(s.wait_ns, 2000);
+        assert_eq!(s.total_ns, 10_000);
+    }
+
+    #[test]
+    fn disabled_gate_skips_hot_path_counters() {
+        let m = RuntimeMetrics::new(false);
+        m.on_update(8, true);
+        m.on_bytes_stored(64);
+        assert!(!m
+            .registry()
+            .to_json()
+            .contains("\"respct_incll_updates_total\":1"));
+        assert!(m
+            .registry()
+            .to_json()
+            .contains("\"respct_incll_updates_total\":0"));
+    }
+
+    #[test]
+    fn write_amplification_gauge() {
+        let m = RuntimeMetrics::new(true);
+        m.on_bytes_stored(64);
+        m.on_checkpoint(&report(2)); // 128 bytes flushed
+        let json = m.registry().to_json();
+        assert!(
+            json.contains("\"respct_write_amplification\":2"),
+            "json: {json}"
+        );
+    }
+
+    #[test]
+    fn rp_stall_surfaces_per_slot() {
+        let m = RuntimeMetrics::new(true);
+        m.on_rp_stall(3, 500);
+        m.on_rp_stall(3, 700);
+        let text = m.registry().to_prometheus();
+        assert!(text.contains("respct_rp_stall_total_ns{slot=\"3\"} 1200"));
+        assert_eq!(m.rp_stall_ns.count(), 2);
+    }
+}

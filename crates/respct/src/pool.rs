@@ -73,6 +73,10 @@ pub struct PoolConfig {
     /// into at append time; 0 = auto-size from `flusher_threads`. Always a
     /// power of two once resolved.
     pub(crate) flush_shards: usize,
+    /// Hot-path metrics instrumentation (per-update counters, RP-stall
+    /// timing). Checkpoint-phase metrics are recorded regardless — they are
+    /// per checkpoint, not per operation.
+    pub(crate) metrics: bool,
 }
 
 impl Default for PoolConfig {
@@ -81,6 +85,7 @@ impl Default for PoolConfig {
             flusher_threads: 0,
             mode: CheckpointMode::Full,
             flush_shards: 0,
+            metrics: true,
         }
     }
 }
@@ -107,6 +112,11 @@ impl PoolConfig {
     /// [`PoolConfig::resolved_shards`] for the effective value.
     pub fn flush_shards(&self) -> usize {
         self.flush_shards
+    }
+
+    /// Whether hot-path metrics instrumentation is on.
+    pub fn metrics(&self) -> bool {
+        self.metrics
     }
 
     /// The effective shard count: the configured power of two, or — when
@@ -153,6 +163,13 @@ impl PoolConfigBuilder {
     /// two no smaller than the flusher count.
     pub fn flush_shards(mut self, n: usize) -> Self {
         self.cfg.flush_shards = n;
+        self
+    }
+
+    /// Enables or disables hot-path metrics instrumentation (default: on).
+    /// Checkpoint-phase metrics stay on either way.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.cfg.metrics = on;
         self
     }
 
@@ -251,6 +268,7 @@ pub struct Pool {
     pub(crate) class_heads: Box<[Mutex<u64>]>,
     /// Serializes checkpoints and registration/deregistration.
     pub(crate) ckpt_lock: Mutex<()>,
+    pub(crate) metrics: Arc<crate::metrics::RuntimeMetrics>,
     pub(crate) ckpt_stats: CkptStats,
     pub(crate) flushers: Option<crate::checkpoint::FlusherPool>,
     /// One-shot injected fault (test-only). See [`Fault`].
@@ -366,6 +384,8 @@ impl Pool {
         };
         // Slots 1.. are free; 0 is the system slot.
         let free: Vec<usize> = (1..MAX_THREADS).rev().collect();
+        let metrics = Arc::new(crate::metrics::RuntimeMetrics::new(cfg.metrics));
+        metrics.register_pmem(region.stats());
         Arc::new(Pool {
             region,
             cfg,
@@ -379,7 +399,8 @@ impl Pool {
             bump_vol,
             class_heads: class_heads.into_boxed_slice(),
             ckpt_lock: Mutex::new(()),
-            ckpt_stats: CkptStats::default(),
+            ckpt_stats: CkptStats::over(Arc::clone(&metrics)),
+            metrics,
             flushers,
             #[cfg(feature = "fault-inject")]
             fault: Mutex::new(None),
@@ -419,6 +440,45 @@ impl Pool {
     /// Checkpoint statistics (durations, flushed lines, effective period).
     pub fn ckpt_stats(&self) -> &CkptStats {
         &self.ckpt_stats
+    }
+
+    /// The pool's runtime metrics (registry access, enabled flag).
+    pub fn runtime_metrics(&self) -> &Arc<crate::metrics::RuntimeMetrics> {
+        &self.metrics
+    }
+
+    /// The pool's metrics registry — render with
+    /// [`to_prometheus`](respct_obs::MetricsRegistry::to_prometheus) or
+    /// [`to_json`](respct_obs::MetricsRegistry::to_json).
+    pub fn metrics(&self) -> &Arc<respct_obs::MetricsRegistry> {
+        self.metrics.registry()
+    }
+
+    /// Serves the pool's metrics over HTTP on `addr` (`GET /metrics` for
+    /// Prometheus text, `GET /json` for the JSON snapshot) until the
+    /// returned guard is dropped. Bind port 0 to let the OS choose; the
+    /// guard reports the effective address.
+    ///
+    /// # Errors
+    ///
+    /// Whatever binding the listener returns (address in use, permission).
+    pub fn serve_metrics(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<respct_obs::MetricsServerGuard> {
+        respct_obs::MetricsServer::serve(Arc::clone(self.metrics.registry()), addr)
+    }
+
+    /// Emits a JSON metrics snapshot to `emit` every `period` on a
+    /// background thread (plus one final snapshot at shutdown), mirroring
+    /// [`start_checkpointer`](Pool::start_checkpointer). Dropping the guard
+    /// stops the thread.
+    pub fn start_metrics_reporter(
+        &self,
+        period: std::time::Duration,
+        emit: impl Fn(&str) + Send + 'static,
+    ) -> respct_obs::ReporterGuard {
+        respct_obs::Reporter::start(Arc::clone(self.metrics.registry()), period, emit)
     }
 
     /// Reads the pool's root pointer (0 if unset).
@@ -481,7 +541,8 @@ impl Pool {
         } else {
             eid
         };
-        if eid != epoch {
+        let first_touch = eid != epoch;
+        if first_touch {
             let old: T = self.region.load(cell.addr());
             self.region.store(cell.backup_addr(), old);
             // The backup must be written (in program order) before the
@@ -500,6 +561,8 @@ impl Pool {
         }
         std::sync::atomic::compiler_fence(Ordering::Release);
         self.region.store(cell.addr(), val);
+        self.metrics
+            .on_update(std::mem::size_of::<T>() as u64, first_touch);
     }
 
     /// `init_InCLL` (paper Fig. 4, lines 19–23): writes all three fields,
@@ -552,6 +615,7 @@ impl Pool {
             }
             self.track_line_raw(slot, addr.line());
         }
+        self.metrics.on_bytes_stored(l.vsize as u64);
         cell
     }
 
@@ -611,6 +675,7 @@ impl Pool {
             // SAFETY: forwarded caller contract.
             unsafe { self.track_line_raw(slot, line) };
         }
+        self.metrics.on_bytes_stored(len as u64);
     }
 
     /// Header cell handle: the root pointer.

@@ -32,6 +32,92 @@ use crate::layout::{
 };
 use crate::pool::{Pool, PoolConfig, SYSTEM_SLOT};
 
+/// Where a recovery reads the crashed state from.
+#[derive(Clone)]
+enum RecoverySource {
+    /// A live region whose volatile image was already restored from a
+    /// crash image.
+    Region(Arc<Region>),
+    /// Raw crash-image bytes; recovery builds a deterministic
+    /// (no-eviction) sim region around them.
+    Image(Vec<u8>),
+}
+
+/// Builder-style options for [`Pool::recover_with`] — the one entry point
+/// behind the thin [`Pool::recover`] / [`Pool::recover_from_image`] /
+/// [`Pool::recover_with_threads`] wrappers. Construct from a source, then
+/// chain the knobs:
+///
+/// ```
+/// use respct::{Pool, PoolConfig, RecoveryOptions};
+/// # use std::sync::Arc;
+/// # use respct_pmem::{Region, RegionConfig, SimConfig};
+/// # let region = Region::new(RegionConfig::sim(1 << 20, SimConfig::no_eviction(1)));
+/// # let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).unwrap();
+/// # let img = region.crash(respct_pmem::sim::CrashMode::PowerFailure);
+/// # region.restore(&img);
+/// let (pool, report) = Pool::recover_with(
+///     RecoveryOptions::from_region(region)
+///         .config(PoolConfig::default())
+///         .threads(4),
+/// )
+/// .expect("recover");
+/// # assert_eq!(report.threads, 4);
+/// ```
+#[derive(Clone)]
+#[must_use = "pass the options to Pool::recover_with"]
+pub struct RecoveryOptions {
+    source: RecoverySource,
+    cfg: PoolConfig,
+    threads: usize,
+}
+
+impl std::fmt::Debug for RecoveryOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let source = match &self.source {
+            RecoverySource::Region(r) => format!("region({} bytes)", r.size()),
+            RecoverySource::Image(b) => format!("image({} bytes)", b.len()),
+        };
+        f.debug_struct("RecoveryOptions")
+            .field("source", &source)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl RecoveryOptions {
+    /// Recovery over a live region (restored in place).
+    pub fn from_region(region: Arc<Region>) -> RecoveryOptions {
+        RecoveryOptions {
+            source: RecoverySource::Region(region),
+            cfg: PoolConfig::default(),
+            threads: 1,
+        }
+    }
+
+    /// Recovery over a raw crash image (the crash-point sweep entry point).
+    pub fn from_image(image: &[u8]) -> RecoveryOptions {
+        RecoveryOptions {
+            source: RecoverySource::Image(image.to_vec()),
+            cfg: PoolConfig::default(),
+            threads: 1,
+        }
+    }
+
+    /// Config of the recovered pool (default: [`PoolConfig::default`]).
+    pub fn config(mut self, cfg: PoolConfig) -> RecoveryOptions {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Worker threads for the registry scan (default 1; clamped to ≥ 1;
+    /// paper Fig. 12 uses 32).
+    pub fn threads(mut self, threads: usize) -> RecoveryOptions {
+        self.threads = threads;
+        self
+    }
+}
+
 /// Summary of a recovery run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryReport {
@@ -72,46 +158,68 @@ fn roll_back_cell(
 }
 
 impl Pool {
-    /// Recovers a pool from a region whose volatile image was restored from
-    /// a crash image (single-threaded registry scan).
+    /// The unified recovery entry point: every other `recover*` function is
+    /// a thin wrapper over this. See [`RecoveryOptions`] for the knobs.
     ///
     /// # Errors
     ///
     /// [`PoolError::NotAPool`](crate::PoolError::NotAPool) if the region was
     /// never formatted, [`PoolError::SizeMismatch`](crate::PoolError::SizeMismatch)
     /// if the header size disagrees with the region.
+    ///
+    /// # Panics
+    ///
+    /// With an image source, panics unless the image is a positive
+    /// cache-line multiple in size (all region images are).
+    pub fn recover_with(
+        opts: RecoveryOptions,
+    ) -> Result<(Arc<Pool>, RecoveryReport), crate::error::PoolError> {
+        let region = match opts.source {
+            RecoverySource::Region(region) => region,
+            RecoverySource::Image(image) => {
+                // A deterministic (no-eviction) sim region around the raw
+                // bytes, so the recovered state is a pure function of the
+                // image.
+                let region = Region::new(respct_pmem::RegionConfig::sim(
+                    image.len(),
+                    respct_pmem::SimConfig::no_eviction(0),
+                ));
+                let img = respct_pmem::CrashImage::from_bytes(image);
+                region.restore(&img);
+                region
+            }
+        };
+        Self::recover_impl(region, opts.cfg, opts.threads)
+    }
+
+    /// Recovers a pool from a region whose volatile image was restored from
+    /// a crash image (single-threaded registry scan).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Pool::recover_with`].
     pub fn recover(
         region: Arc<Region>,
         cfg: PoolConfig,
     ) -> Result<(Arc<Pool>, RecoveryReport), crate::error::PoolError> {
-        Self::recover_with_threads(region, cfg, 1)
+        Self::recover_with(RecoveryOptions::from_region(region).config(cfg))
     }
 
     /// Recovers a pool from a raw crash image (the crash-point sweep entry
-    /// point): builds a fresh sim-mode region of the image's size, restores
-    /// the image into it, and runs [`Pool::recover`]. The region uses a
-    /// no-eviction simulator so the recovered state is a deterministic
-    /// function of the image.
+    /// point).
     ///
     /// # Errors
     ///
-    /// As for [`Pool::recover`].
+    /// As for [`Pool::recover_with`].
     ///
     /// # Panics
     ///
-    /// Panics unless `image` is a positive cache-line multiple in size (all
-    /// region images are).
+    /// As for [`Pool::recover_with`].
     pub fn recover_from_image(
         image: &[u8],
         cfg: PoolConfig,
     ) -> Result<(Arc<Pool>, RecoveryReport), crate::error::PoolError> {
-        let region = Region::new(respct_pmem::RegionConfig::sim(
-            image.len(),
-            respct_pmem::SimConfig::no_eviction(0),
-        ));
-        let img = respct_pmem::CrashImage::from_bytes(image.to_vec());
-        region.restore(&img);
-        Pool::recover(region, cfg)
+        Self::recover_with(RecoveryOptions::from_image(image).config(cfg))
     }
 
     /// Recovery with a parallel registry scan (paper Fig. 12 uses 32
@@ -119,8 +227,20 @@ impl Pool {
     ///
     /// # Errors
     ///
-    /// As for [`Pool::recover`].
+    /// As for [`Pool::recover_with`].
     pub fn recover_with_threads(
+        region: Arc<Region>,
+        cfg: PoolConfig,
+        threads: usize,
+    ) -> Result<(Arc<Pool>, RecoveryReport), crate::error::PoolError> {
+        Self::recover_with(
+            RecoveryOptions::from_region(region)
+                .config(cfg)
+                .threads(threads),
+        )
+    }
+
+    fn recover_impl(
         region: Arc<Region>,
         cfg: PoolConfig,
         threads: usize,
@@ -450,6 +570,27 @@ mod tests {
     fn recover_from_image_rejects_garbage() {
         let err = Pool::recover_from_image(&[0u8; 1 << 20], PoolConfig::default()).unwrap_err();
         assert_eq!(err, crate::error::PoolError::NotAPool);
+    }
+
+    #[test]
+    fn recover_with_options_from_image_and_threads() {
+        let region = sim_region(10);
+        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).unwrap();
+        let h = pool.register();
+        let c = h.alloc_cell(10u64);
+        h.checkpoint_here();
+        h.update(c, 99); // crashed epoch
+        drop(h);
+        drop(pool);
+        let img = region.crash(CrashMode::PowerFailure);
+        let (pool2, report) = Pool::recover_with(
+            RecoveryOptions::from_image(img.bytes())
+                .config(PoolConfig::default())
+                .threads(2),
+        )
+        .unwrap();
+        assert_eq!(report.threads, 2);
+        assert_eq!(pool2.cell_get(c), 10);
     }
 
     #[test]

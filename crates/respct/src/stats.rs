@@ -1,27 +1,32 @@
 //! Checkpoint statistics (feeds Fig. 10/11 and the effective-period study).
+//!
+//! Since the observability layer landed, the per-checkpoint counters live in
+//! [`RuntimeMetrics`](crate::metrics::RuntimeMetrics) as phase histograms;
+//! [`CkptStats`] is a thin compatibility view that reconstructs the old
+//! aggregate counters (exactly — histogram counts and sums are exact) so
+//! existing callers of `pool.ckpt_stats().snapshot()` keep working.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
+#[cfg(test)]
 use crate::checkpoint::CkptReport;
+use crate::metrics::RuntimeMetrics;
 
-/// Aggregate counters over all checkpoints of a pool.
-#[derive(Debug, Default)]
+/// Aggregate counters over all checkpoints of a pool, backed by the pool's
+/// [`RuntimeMetrics`].
+#[derive(Debug)]
 pub struct CkptStats {
-    /// Completed checkpoints.
-    pub count: AtomicU64,
-    /// Cache lines flushed in total.
-    pub lines_flushed: AtomicU64,
-    /// Nanoseconds spent waiting for all threads to reach an RP.
-    pub wait_ns: AtomicU64,
-    /// Nanoseconds spent gathering the per-slot shard lists (the serial
-    /// part of the flush pipeline).
-    pub partition_ns: AtomicU64,
-    /// Nanoseconds spent in the flush phase (sort + dedup + write-back +
-    /// fence, wall-clock across flushers).
-    pub flush_ns: AtomicU64,
-    /// Nanoseconds of total checkpoint duration (quiesce + flush + epoch).
-    pub total_ns: AtomicU64,
+    metrics: Arc<RuntimeMetrics>,
+}
+
+impl Default for CkptStats {
+    /// A standalone stats instance over a private metric set (tests).
+    fn default() -> Self {
+        CkptStats {
+            metrics: Arc::new(RuntimeMetrics::new(true)),
+        }
+    }
 }
 
 /// Point-in-time copy of [`CkptStats`].
@@ -36,27 +41,21 @@ pub struct CkptSnapshot {
 }
 
 impl CkptStats {
-    pub(crate) fn record(&self, report: &CkptReport) {
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.lines_flushed
-            .fetch_add(report.lines, Ordering::Relaxed);
-        self.wait_ns.fetch_add(report.wait_ns, Ordering::Relaxed);
-        self.partition_ns
-            .fetch_add(report.partition_ns, Ordering::Relaxed);
-        self.flush_ns.fetch_add(report.flush_ns, Ordering::Relaxed);
-        self.total_ns.fetch_add(report.total_ns, Ordering::Relaxed);
+    /// A view over `metrics` (the pool's instance).
+    pub(crate) fn over(metrics: Arc<RuntimeMetrics>) -> CkptStats {
+        CkptStats { metrics }
+    }
+
+    /// Feeds one checkpoint report (the live path goes through the pool's
+    /// `RuntimeMetrics` directly; this exists for tests of the view).
+    #[cfg(test)]
+    fn record(&self, report: &CkptReport) {
+        self.metrics.on_checkpoint(report);
     }
 
     /// Snapshot of the counters.
     pub fn snapshot(&self) -> CkptSnapshot {
-        CkptSnapshot {
-            count: self.count.load(Ordering::Relaxed),
-            lines_flushed: self.lines_flushed.load(Ordering::Relaxed),
-            wait_ns: self.wait_ns.load(Ordering::Relaxed),
-            partition_ns: self.partition_ns.load(Ordering::Relaxed),
-            flush_ns: self.flush_ns.load(Ordering::Relaxed),
-            total_ns: self.total_ns.load(Ordering::Relaxed),
-        }
+        self.metrics.ckpt_snapshot()
     }
 }
 

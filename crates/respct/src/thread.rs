@@ -18,6 +18,33 @@ use crate::incll::ICell;
 use crate::layout::{self, MAX_THREADS};
 use crate::pool::{Pool, SYSTEM_SLOT};
 
+/// A restart-point identifier (paper §3.3: RP ids name the static program
+/// locations recovery can resume from). A dedicated type keeps RP ids from
+/// being confused with the other bare `u64`s of the API (epochs, addresses,
+/// slot indexes); `From<u64>` keeps literal call sites (`h.rp(7)`) working.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RpId(pub u64);
+
+impl RpId {
+    /// `self + d`: derives a per-worker id from a per-call-site base (the
+    /// common "base + thread index" pattern of the app kernels).
+    pub const fn offset(self, d: u64) -> RpId {
+        RpId(self.0 + d)
+    }
+}
+
+impl From<u64> for RpId {
+    fn from(id: u64) -> RpId {
+        RpId(id)
+    }
+}
+
+impl std::fmt::Display for RpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
 /// A registered program thread's capability to mutate persistent state.
 pub struct ThreadHandle {
     pool: Arc<Pool>,
@@ -178,11 +205,13 @@ impl ThreadHandle {
 
     // ---- Restart points (paper Fig. 4, lines 40–45) ---------------------
 
-    /// Declares a restart point with identifier `id`.
+    /// Declares a restart point with identifier `id` (a [`RpId`] or a bare
+    /// `u64` via `From`).
     ///
     /// Persists the RP id thread-locally (so recovery can report where to
     /// resume), then parks if a checkpoint is pending.
-    pub fn rp(&self, id: u64) {
+    pub fn rp(&self, id: impl Into<RpId>) {
+        let RpId(id) = id.into();
         let epoch = self.pool.epoch();
         self.pool
             .region
@@ -211,7 +240,12 @@ impl ThreadHandle {
     /// the flag we re-check `timer` and re-park if a new checkpoint began
     /// in the window (the paper's pseudocode has the same benign race;
     /// SeqCst + the re-check loop closes it).
+    ///
+    /// Timing the stall here is off the failure-free hot path: the function
+    /// only runs when a checkpoint is already pending.
     fn park_for_checkpoint(&self) {
+        let metrics = self.pool.runtime_metrics();
+        let t0 = metrics.enabled().then(std::time::Instant::now);
         loop {
             self.pool.flags[self.slot].store(true, Ordering::SeqCst);
             let mut spins = 0u32;
@@ -225,8 +259,11 @@ impl ThreadHandle {
             }
             self.pool.flags[self.slot].store(false, Ordering::SeqCst);
             if !self.pool.timer.load(Ordering::SeqCst) {
-                return;
+                break;
             }
+        }
+        if let Some(t0) = t0 {
+            metrics.on_rp_stall(self.slot, t0.elapsed().as_nanos() as u64);
         }
     }
 
@@ -288,38 +325,6 @@ impl ThreadHandle {
             }
             guard = mutex.lock();
         }
-    }
-
-    /// Permits checkpoints to complete while this thread is about to block.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `allow_checkpoints()`; the returned AllowGuard re-arms prevention on drop"
-    )]
-    pub fn checkpoint_allow(&self) {
-        self.allow_raw();
-    }
-
-    /// Revokes checkpoint permission after a blocking call *outside* any
-    /// critical section.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `allow_checkpoints()`; dropping the AllowGuard re-arms prevention"
-    )]
-    pub fn checkpoint_prevent(&self) {
-        self.prevent_raw();
-    }
-
-    /// Revokes checkpoint permission while holding `mutex`'s guard.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `allow_checkpoints()` + `AllowGuard::rearm_locked(mutex, guard)`"
-    )]
-    pub fn checkpoint_prevent_locked<'a, T>(
-        &self,
-        mutex: &'a parking_lot::Mutex<T>,
-        guard: parking_lot::MutexGuard<'a, T>,
-    ) -> parking_lot::MutexGuard<'a, T> {
-        self.prevent_locked_raw(mutex, guard)
     }
 
     /// Runs a checkpoint from this thread (tests / single-threaded apps):
@@ -518,14 +523,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_allow_prevent_still_work() {
+    fn allow_guard_spans_checkpoint() {
         let p = pool();
         let h = p.register();
-        h.checkpoint_allow();
+        let allow = h.allow_checkpoints();
         let r = p.checkpoint_now();
         assert_eq!(r.closed_epoch, 1);
-        h.checkpoint_prevent();
+        drop(allow);
         assert_eq!(p.epoch(), 2);
     }
 

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Schema check for BENCH_obs.json (emitted by the obs_metrics bench).
+
+Usage: validate_bench_obs.py [path]            (default: BENCH_obs.json)
+
+Fails (exit 1) when a required field is missing or mistyped, when the
+instrumented run's checkpoint/stall histograms are empty, or when the
+measured metrics-layer overhead exceeds the budget (5% by default;
+override with OBS_MAX_OVERHEAD_PCT for noisy shared runners).
+"""
+
+import json
+import os
+import sys
+
+HIST_FIELDS = ("count", "sum", "min", "max", "mean", "p50", "p95", "p99")
+
+
+def fail(msg: str) -> None:
+    print(f"BENCH_obs.json invalid: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_hist(doc: dict, name: str, *, nonempty: bool) -> None:
+    h = doc.get(name)
+    if not isinstance(h, dict):
+        fail(f"{name} must be a histogram object, got {type(h).__name__}")
+    for f in HIST_FIELDS:
+        if not isinstance(h.get(f), (int, float)):
+            fail(f"{name}.{f} missing or not a number")
+    if h["p50"] > h["p95"] or h["p95"] > h["p99"]:
+        fail(f"{name} percentiles not monotone: {h}")
+    if nonempty and h["count"] <= 0:
+        fail(f"{name} is empty — instrumentation did not fire")
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_obs.json"
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    if doc.get("bench") != "obs_metrics":
+        fail(f"bench field is {doc.get('bench')!r}, expected 'obs_metrics'")
+    for field, ty in (
+        ("threads", int),
+        ("secs", (int, float)),
+        ("reps", int),
+        ("mops_metrics_off", (int, float)),
+        ("mops_metrics_on", (int, float)),
+        ("overhead_pct", (int, float)),
+    ):
+        if not isinstance(doc.get(field), ty):
+            fail(f"{field} missing or not {ty}")
+
+    check_hist(doc, "checkpoint_total_ns", nonempty=True)
+    check_hist(doc, "rp_stall_ns", nonempty=doc["threads"] >= 2)
+    check_hist(doc, "shard_flush_ns", nonempty=True)
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail("metrics (full registry snapshot) missing")
+    for key in (
+        "respct_incll_updates_total",
+        "respct_bytes_stored_total",
+        "respct_bytes_flushed_total",
+        "respct_write_amplification",
+        "respct_pmem_pwb_total",
+    ):
+        if key not in metrics:
+            fail(f"metrics.{key} missing from registry snapshot")
+    if metrics["respct_incll_updates_total"] <= 0:
+        fail("instrumented run recorded no InCLL updates")
+
+    budget = float(os.environ.get("OBS_MAX_OVERHEAD_PCT", "5.0"))
+    if doc["overhead_pct"] > budget:
+        fail(f"metrics overhead {doc['overhead_pct']:.2f}% exceeds budget {budget}%")
+
+    print(
+        f"BENCH_obs.json OK: overhead {doc['overhead_pct']:.2f}% "
+        f"(off {doc['mops_metrics_off']:.3f} / on {doc['mops_metrics_on']:.3f} Mops/s), "
+        f"{int(doc['checkpoint_total_ns']['count'])} checkpoints, "
+        f"{int(doc['rp_stall_ns']['count'])} RP stalls"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -7,4 +7,5 @@ pub use respct;
 pub use respct_apps as apps;
 pub use respct_baselines as baselines;
 pub use respct_ds as ds;
+pub use respct_obs as obs;
 pub use respct_pmem as pmem;
