@@ -2,9 +2,9 @@
 //! checker and report persistency-discipline findings.
 //!
 //! ```text
-//! respct-check [hashmap|queue|kvstore|recovery|all]
+//! respct-check [hashmap|queue|kvstore|recovery|all] [--async]
 //! respct-check --sweep [hashmap|queue|both] [--ops N] [--seed S]
-//!              [--budget B] [--stride K] [--trace-out PATH]
+//!              [--budget B] [--stride K] [--trace-out PATH] [--async]
 //! ```
 //!
 //! In the default (checker) mode each workload runs on a sim-mode region
@@ -22,6 +22,13 @@
 //! compared against the model snapshot of the last committed checkpoint.
 //! Any divergence fails the run; with `--trace-out PATH` the offending
 //! trace (one event per line) is written there for offline replay.
+//!
+//! `--async` runs the selected workloads (or sweeps) with
+//! [`PoolConfig::async_checkpoint`] enabled, exercising the two-phase
+//! drain commit under the checker's drain-ordering rule. Asynchronous
+//! runs tolerate redundant-flush advisories (on-demand push-outs can
+//! legitimately double-flush a line) but still fail on any
+//! error-severity diagnostic.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -39,24 +46,30 @@ const OPS_PER_THREAD: u64 = 3_000;
 const CKPT_PERIOD: Duration = Duration::from_millis(5);
 
 /// A sim region with the checker attached, and a pool formatted on it.
-fn checked_pool(bytes: usize, seed: u64, flushers: usize) -> (Arc<Checker>, Arc<Pool>) {
+fn checked_pool(
+    bytes: usize,
+    seed: u64,
+    flushers: usize,
+    async_on: bool,
+) -> (Arc<Checker>, Arc<Pool>) {
     // Eviction rate 4: roughly one line evicted per 2^4 stores — enough to
     // exercise the eviction paths without swamping the trace.
     let region = Region::new(RegionConfig::sim(bytes, SimConfig::with_eviction(4, seed)));
     let checker = Checker::attach(&region);
     let cfg = PoolConfig::builder()
         .flusher_threads(flushers)
+        .async_checkpoint(async_on)
         .build()
         .expect("config");
     let pool = Pool::create(region, cfg).expect("pool");
     (checker, pool)
 }
 
-fn run_hashmap() -> Report {
+fn run_hashmap(async_on: bool) -> Report {
     // Two dedicated flushers: the hashmap workload exercises the sharded
     // parallel flush path (shard claiming + per-worker fences) under the
     // checker's shard-fence rule, not just the inline fallback.
-    let (checker, pool) = checked_pool(64 << 20, 11, 2);
+    let (checker, pool) = checked_pool(64 << 20, 11, 2, async_on);
     let map = {
         let h = pool.register();
         let map = PHashMap::create(&h, 512);
@@ -89,8 +102,8 @@ fn run_hashmap() -> Report {
     checker.report()
 }
 
-fn run_queue() -> Report {
-    let (checker, pool) = checked_pool(64 << 20, 22, 0);
+fn run_queue(async_on: bool) -> Report {
+    let (checker, pool) = checked_pool(64 << 20, 22, 0, async_on);
     let queue = {
         let h = pool.register();
         let q = PQueue::create(&h);
@@ -120,9 +133,9 @@ fn run_queue() -> Report {
 
 /// A memcached-style workload: persistent map from key to copy-on-write
 /// value blob (the shape of `respct_apps::kvstore`'s ResPCT store).
-fn run_kvstore() -> Report {
+fn run_kvstore(async_on: bool) -> Report {
     const VALUE: u64 = 128;
-    let (checker, pool) = checked_pool(128 << 20, 33, 0);
+    let (checker, pool) = checked_pool(128 << 20, 33, 0, async_on);
     let map = {
         let h = pool.register();
         let map = PHashMap::create(&h, 512);
@@ -171,12 +184,16 @@ fn run_kvstore() -> Report {
 }
 
 /// Crash in a dirty epoch, recover, re-execute, checkpoint, repeat.
-fn run_recovery() -> Report {
+fn run_recovery(async_on: bool) -> Report {
+    let cfg = PoolConfig::builder()
+        .async_checkpoint(async_on)
+        .build()
+        .expect("config");
     let region = Region::new(RegionConfig::sim(32 << 20, SimConfig::with_eviction(4, 44)));
     let checker = Checker::attach(&region);
     let mut cells = Vec::new();
     {
-        let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
+        let pool = Pool::create(Arc::clone(&region), cfg).expect("pool");
         let h = pool.register();
         for i in 0..200u64 {
             cells.push(h.alloc_cell(i));
@@ -189,8 +206,7 @@ fn run_recovery() -> Report {
     for round in 0..3u64 {
         let img = region.crash(CrashMode::PowerFailure);
         region.restore(&img);
-        let (pool, _report) =
-            Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
+        let (pool, _report) = Pool::recover(Arc::clone(&region), cfg).expect("recover");
         let h = pool.register();
         for (i, c) in cells.iter().enumerate() {
             h.update(*c, (round + 2) * 1_000 + i as u64); // re-execution
@@ -227,6 +243,12 @@ fn sweep_main(args: &[String]) -> ExitCode {
             "--budget" => cfg.eviction_budget = value("--budget").parse().expect("--budget"),
             "--stride" => cfg.stride = value("--stride").parse().expect("--stride"),
             "--trace-out" => trace_out = Some(value("--trace-out")),
+            "--async" => {
+                cfg.pool = PoolConfig::builder()
+                    .async_checkpoint(true)
+                    .build()
+                    .expect("config");
+            }
             other => {
                 eprintln!("unknown sweep argument {other:?}");
                 return ExitCode::FAILURE;
@@ -274,12 +296,14 @@ fn sweep_main(args: &[String]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("--sweep") {
         return sweep_main(&argv[1..]);
     }
+    let async_on = argv.iter().any(|a| a == "--async");
+    argv.retain(|a| a != "--async");
     let arg = argv.first().cloned().unwrap_or_else(|| "all".into());
-    type Workload = (&'static str, fn() -> Report);
+    type Workload = (&'static str, fn(bool) -> Report);
     let all: [Workload; 4] = [
         ("hashmap", run_hashmap),
         ("queue", run_queue),
@@ -298,8 +322,9 @@ fn main() -> ExitCode {
     };
     let mut failed = false;
     for (name, run) in selected {
-        println!("== {name} ==");
-        let report = run();
+        let mode = if async_on { " (async drain)" } else { "" };
+        println!("== {name}{mode} ==");
+        let report = run(async_on);
         print!("{report}");
         if !report.is_clean() {
             failed = true;

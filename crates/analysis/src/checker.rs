@@ -34,6 +34,12 @@
 //!    asserts the shard's pwbs are covered by a fence. Every opened shard
 //!    must be closed before the `OrderBarrier`; double-opens and closes
 //!    without a begin are protocol violations too.
+//! 7. **Drain commit order** — an asynchronous checkpoint releases threads
+//!    at `DrainBegin` (snapshotting the tracked lines and their content
+//!    generations) and commits at `DrainCommit` (the drain-state word goes
+//!    durable-zero). At commit, every snapshotted line must be durable *at
+//!    least at its snapshot generation*; later epoch-N+1 stores to the same
+//!    line are fine — they belong to the next checkpoint.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -75,6 +81,9 @@ struct CheckerState {
     cells: BTreeMap<u64, CellState>,
     /// Lines the current epoch's tracking lists promise to flush.
     tracked: HashSet<u64>,
+    /// Snapshot taken at `DrainBegin`: line -> content generation the
+    /// asynchronous drain promised to persist before `DrainCommit`.
+    draining_tracked: HashMap<u64, u64>,
     /// Flush shards opened (`ShardFlushBegin`) but not yet fenced-and-closed
     /// (`ShardFlushEnd`) in the current checkpoint.
     open_shards: HashSet<u64>,
@@ -100,6 +109,7 @@ impl CheckerState {
             DiagnosticKind::RedundantFlush => "redundant",
             DiagnosticKind::EpochDiscipline => "epoch",
             DiagnosticKind::ShardFence => "shard",
+            DiagnosticKind::DrainCommitOrder => "drain",
             DiagnosticKind::RecoveryDivergence => "divergence",
         };
         let n = self.per_kind.entry(key).or_insert(0);
@@ -165,6 +175,7 @@ impl CheckerState {
                 }
                 self.pending.clear();
                 self.tracked.clear();
+                self.draining_tracked.clear();
                 self.open_shards.clear();
                 for c in self.cells.values_mut() {
                     c.logged_epoch = None;
@@ -351,7 +362,8 @@ impl CheckerState {
                 let mut unfenced: Vec<u64> = Vec::new();
                 for pends in self.pending.values() {
                     for &(line, _) in pends {
-                        if self.tracked.contains(&line) {
+                        if self.tracked.contains(&line) || self.draining_tracked.contains_key(&line)
+                        {
                             unfenced.push(line);
                         }
                     }
@@ -450,6 +462,92 @@ impl CheckerState {
                     );
                 }
                 self.in_recovery = false;
+            }
+            TraceMarker::DrainBegin { epoch } => {
+                // The async epoch swap: threads are released here, so this
+                // marker doubles as the (volatile) epoch advance. Snapshot
+                // what the drain owes — the tracked lines at their current
+                // content generation. Later stores to the same lines belong
+                // to epoch `epoch + 1` and are NOT the drain's problem.
+                if !self.in_checkpoint {
+                    self.diag(
+                        DiagnosticKind::EpochDiscipline,
+                        None,
+                        None,
+                        format!("drain begins for epoch {epoch} outside a checkpoint"),
+                    );
+                }
+                match self.epoch {
+                    None => self.epoch = Some(epoch),
+                    Some(e) if e != epoch => self.diag(
+                        DiagnosticKind::EpochDiscipline,
+                        None,
+                        None,
+                        format!("drain begins for epoch {epoch}, current {e}"),
+                    ),
+                    _ => {}
+                }
+                if !self.draining_tracked.is_empty() {
+                    self.diag(
+                        DiagnosticKind::DrainCommitOrder,
+                        None,
+                        None,
+                        format!(
+                            "drain for epoch {epoch} begins while {} line(s) of the \
+                             previous drain are still uncommitted",
+                            self.draining_tracked.len()
+                        ),
+                    );
+                }
+                self.draining_tracked = self
+                    .tracked
+                    .drain()
+                    .map(|line| {
+                        let gen = self.lines.get(&line).map_or(0, |s| s.gen);
+                        (line, gen)
+                    })
+                    .collect();
+                self.epoch = Some(epoch + 1);
+            }
+            TraceMarker::DrainCommit { epoch } => {
+                // Rule 7: the drain-state word is durably zero — the
+                // checkpoint of `epoch` is committed. Every line the drain
+                // snapshotted must be durable at (or past) its snapshot
+                // generation, or a crash right now recovers to epoch+1 with
+                // epoch data missing.
+                if self.ckpt_full {
+                    let mut missed: Vec<(u64, u64, u64)> = self
+                        .draining_tracked
+                        .iter()
+                        .filter_map(|(&line, &snap_gen)| {
+                            let durable = self.lines.get(&line).map_or(0, |s| s.persisted_gen);
+                            (durable < snap_gen).then_some((line, snap_gen, durable))
+                        })
+                        .collect();
+                    missed.sort_unstable();
+                    for (line, snap_gen, durable) in missed {
+                        self.diag(
+                            DiagnosticKind::DrainCommitOrder,
+                            Some(line),
+                            None,
+                            format!(
+                                "drain for epoch {epoch} committed but line {line} is durable \
+                                 only at gen {durable} < snapshot gen {snap_gen}"
+                            ),
+                        );
+                    }
+                }
+                if let Some(e) = self.epoch {
+                    if epoch + 1 != e {
+                        self.diag(
+                            DiagnosticKind::EpochDiscipline,
+                            None,
+                            None,
+                            format!("drain commit for epoch {epoch}, current {e}"),
+                        );
+                    }
+                }
+                self.draining_tracked.clear();
             }
             TraceMarker::RestartPoint { .. } => {}
         }
@@ -781,6 +879,93 @@ mod tests {
             marker(TraceMarker::CheckpointEnd { epoch: 1 }),
         ]);
         assert_eq!(r.of_kind(DiagnosticKind::ShardFence).len(), 2, "{r}");
+    }
+
+    #[test]
+    fn async_drain_cycle_is_clean() {
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            TraceEvent::store_meta(1, 640, 8),
+            marker(TraceMarker::TrackLine { line: 10 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 1,
+                full: true,
+            }),
+            // Threads released before the flush; line 10 still dirty here.
+            marker(TraceMarker::DrainBegin { epoch: 1 }),
+            TraceEvent::Pwb { tid: 1, line: 10 },
+            TraceEvent::Psync { tid: 1 },
+            marker(TraceMarker::OrderBarrier),
+            marker(TraceMarker::DrainCommit { epoch: 1 }),
+            marker(TraceMarker::CheckpointEnd { epoch: 1 }),
+        ]);
+        assert!(r.is_clean(), "{r}");
+        assert!(r.diagnostics.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn drain_commit_before_durable_flagged() {
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            TraceEvent::store_meta(1, 640, 8),
+            marker(TraceMarker::TrackLine { line: 10 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 1,
+                full: true,
+            }),
+            marker(TraceMarker::DrainBegin { epoch: 1 }),
+            // no pwb/psync of line 10: the drain skipped its write-backs
+            marker(TraceMarker::OrderBarrier),
+            marker(TraceMarker::DrainCommit { epoch: 1 }),
+            marker(TraceMarker::CheckpointEnd { epoch: 1 }),
+        ]);
+        let v = r.of_kind(DiagnosticKind::DrainCommitOrder);
+        assert_eq!(v.len(), 1, "{r}");
+        assert_eq!(v[0].line, Some(10));
+        assert!(!r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn post_release_stores_do_not_charge_the_drain() {
+        // A thread re-dirties line 10 after DrainBegin (epoch 2 work). The
+        // drain only owes the snapshot generation, which the pwb+psync
+        // below covers — the newer store is the *next* checkpoint's debt.
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            TraceEvent::store_meta(1, 640, 8),
+            marker(TraceMarker::TrackLine { line: 10 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 1,
+                full: true,
+            }),
+            marker(TraceMarker::DrainBegin { epoch: 1 }),
+            TraceEvent::Pwb { tid: 1, line: 10 },
+            TraceEvent::Psync { tid: 1 },
+            // Released thread writes the same line for epoch 2.
+            TraceEvent::store_meta(2, 648, 8),
+            marker(TraceMarker::TrackLine { line: 10 }),
+            marker(TraceMarker::OrderBarrier),
+            marker(TraceMarker::DrainCommit { epoch: 1 }),
+            marker(TraceMarker::CheckpointEnd { epoch: 1 }),
+        ]);
+        assert!(r.is_clean(), "{r}");
+        assert!(
+            r.of_kind(DiagnosticKind::DrainCommitOrder).is_empty(),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn drain_epoch_mismatch_flagged() {
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 1,
+                full: true,
+            }),
+            marker(TraceMarker::DrainBegin { epoch: 2 }), // current is 1
+        ]);
+        assert_eq!(r.of_kind(DiagnosticKind::EpochDiscipline).len(), 1, "{r}");
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub enum DiagnosticKind {
     /// ran. A crash between the barrier and the missing fence would commit
     /// an epoch whose shard data may not be durable.
     ShardFence,
+    /// The two-phase epoch commit of an asynchronous checkpoint closed
+    /// (`DrainCommit`, the drain-state word going durable-zero) while a
+    /// line snapshotted at `DrainBegin` was not yet durable at its
+    /// snapshot generation: a crash after the commit would recover to
+    /// epoch N+1 with epoch-N data missing.
+    DrainCommitOrder,
     /// A crash-point sweep found a reachable crash image whose recovered
     /// state differs from the model snapshot of the last committed
     /// checkpoint: the durability invariant the paper proves (recovery to a

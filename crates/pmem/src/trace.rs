@@ -72,6 +72,15 @@ pub enum TraceMarker {
     /// shards opened since `CheckpointBegin` must be closed before the
     /// `OrderBarrier` that precedes the epoch commit.
     ShardFlushEnd { shard: u64 },
+    /// Asynchronous checkpoint released the quiesced threads: the draining
+    /// record (`state = epoch`, `epoch = epoch + 1`) is durable, the old
+    /// flush-shard lists are snapshotted, and the background drain of
+    /// epoch `epoch` begins while application threads run in `epoch + 1`.
+    DrainBegin { epoch: u64 },
+    /// Every snapshotted shard of the background drain of epoch `epoch` is
+    /// written back and fenced, and the drain-state word is committed back
+    /// to zero — the two-phase commit of `epoch` is complete.
+    DrainCommit { epoch: u64 },
     /// Checkpoint finished; `epoch` is the epoch it closed.
     CheckpointEnd { epoch: u64 },
     /// Recovery started; `failed_epoch` is the epoch being rolled back and

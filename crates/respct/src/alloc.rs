@@ -183,6 +183,22 @@ impl Pool {
     ///
     /// Must only be called by the checkpointer while holding `ckpt_lock`.
     pub(crate) unsafe fn drain_frees(&self, slot: usize) {
+        // SAFETY: forwarded caller contract.
+        let drained = unsafe { self.take_frees() };
+        // SAFETY: forwarded caller contract.
+        unsafe { self.push_frees(slot, drained) };
+    }
+
+    /// Collects every slot's deferred-free list. The asynchronous drain
+    /// calls this during the stop-the-world phase (the lists are owned by
+    /// the parked threads, who may touch them again the instant they are
+    /// released) and pushes the result with [`Pool::push_frees`] only after
+    /// the drain commits.
+    ///
+    /// # Safety
+    ///
+    /// Checkpointer exclusivity: all owners parked.
+    pub(crate) unsafe fn take_frees(&self) -> Vec<(PAddr, usize)> {
         let mut drained: Vec<(PAddr, usize)> = Vec::new();
         for s in 0..crate::layout::MAX_THREADS {
             // SAFETY: checkpointer exclusivity (all owners parked).
@@ -191,6 +207,20 @@ impl Pool {
                 drained.append(&mut st.frees);
             }
         }
+        drained
+    }
+
+    /// Pushes taken free blocks onto the volatile free-list heads, tracking
+    /// the link-word stores against `slot`. On the asynchronous path this
+    /// must run *after* the drain's two-phase commit: the link word
+    /// overwrites the block's first 8 bytes, and until the commit lands a
+    /// crash still rolls back to a state in which the block was live.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called by the checkpointer while holding `ckpt_lock`
+    /// with exclusive use of `slot`.
+    pub(crate) unsafe fn push_frees(&self, slot: usize, drained: Vec<(PAddr, usize)>) {
         for (addr, c) in drained {
             let mut head = self.class_heads[c].lock();
             // Link word lives in the block's first 8 bytes. If the epoch

@@ -30,7 +30,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use respct_pmem::{Region, TraceMarker};
 
-use crate::layout::{MAX_THREADS, OFF_EPOCH};
+use crate::layout::{MAX_THREADS, OFF_EPOCH, OFF_EPOCH_STATE};
 use crate::pool::{CheckpointMode, Pool, SYSTEM_SLOT};
 
 /// The flush shard a cache line belongs to. `nshards` must be a power of
@@ -79,6 +79,17 @@ pub struct CkptReport {
     /// Nanoseconds in the flush phase, wall-clock across all flushers
     /// (sort + dedup + write-backs + fences).
     pub flush_ns: u64,
+    /// Nanoseconds application threads were held parked (the stop-the-world
+    /// window, from raising `timer` to releasing it). Synchronous
+    /// checkpoints hold threads through the flush, so this covers wait +
+    /// partition + flush; asynchronous checkpoints release at the epoch
+    /// swap, so it covers only wait + partition + the draining-record
+    /// persist. This — not `wait_ns`, which is pure quiescence — is what
+    /// the threads actually experience as stall.
+    pub stw_ns: u64,
+    /// Nanoseconds of background drain after the threads were released
+    /// (flush + two-phase commit). Zero for synchronous checkpoints.
+    pub drain_ns: u64,
     /// Nanoseconds for the whole checkpoint.
     pub total_ns: u64,
     /// Per-shard breakdown, one entry per non-empty shard.
@@ -151,6 +162,27 @@ impl Pool {
         }
         let partitioned = tp.elapsed();
 
+        let report = if self.cfg.async_checkpoint {
+            self.drain_async(t0, waited, partitioned, closing, shards)
+        } else {
+            self.drain_sync(t0, waited, partitioned, closing, shards)
+        };
+        self.metrics.on_checkpoint(&report);
+        self.region
+            .trace_marker(TraceMarker::CheckpointEnd { epoch: closing });
+        report
+    }
+
+    /// Synchronous tail of a checkpoint: flush, commit the epoch counter,
+    /// recycle frees, then release the parked threads.
+    fn drain_sync(
+        &self,
+        t0: Instant,
+        waited: Duration,
+        partitioned: Duration,
+        closing: u64,
+        shards: Vec<Vec<u64>>,
+    ) -> CkptReport {
         let tf = Instant::now();
         let (nlines, shard_reports) = self.flush_phase(shards);
         let flushed = tf.elapsed();
@@ -159,13 +191,12 @@ impl Pool {
         // barrier marker asserts the ordering dependency this store has on
         // every data flush above: all of them must be fenced by now.
         self.region.trace_marker(TraceMarker::OrderBarrier);
-        let closed = self.epoch_mirror.load(Ordering::Relaxed);
-        self.region.store(OFF_EPOCH, closed + 1);
+        self.region.store(OFF_EPOCH, closing + 1);
         self.region.pwb(OFF_EPOCH);
         self.region.psync();
-        self.epoch_mirror.store(closed + 1, Ordering::SeqCst);
+        self.epoch_mirror.store(closing + 1, Ordering::SeqCst);
         self.region
-            .trace_marker(TraceMarker::EpochAdvance { epoch: closed + 1 });
+            .trace_marker(TraceMarker::EpochAdvance { epoch: closing + 1 });
 
         // Blocks freed during the closed epoch are now safe to recycle;
         // push them onto the persistent free lists in the new epoch.
@@ -173,20 +204,132 @@ impl Pool {
         // (timer is still true) and we hold `ckpt_lock`.
         unsafe { self.drain_frees(SYSTEM_SLOT) };
 
+        let stw = t0.elapsed();
         self.timer.store(false, Ordering::SeqCst);
-        let report = CkptReport {
-            closed_epoch: closed,
+        CkptReport {
+            closed_epoch: closing,
             lines: nlines,
             wait_ns: waited.as_nanos() as u64,
             partition_ns: partitioned.as_nanos() as u64,
             flush_ns: flushed.as_nanos() as u64,
+            stw_ns: stw.as_nanos() as u64,
+            drain_ns: 0,
             total_ns: t0.elapsed().as_nanos() as u64,
             shards: shard_reports,
-        };
-        self.metrics.on_checkpoint(&report);
+        }
+    }
+
+    /// Asynchronous tail of a checkpoint (two-phase commit). While the
+    /// threads are still parked, only the *draining* epoch record is made
+    /// durable — `state ← N` then `epoch ← N + 1`, one write-back and fence
+    /// for both (they share a cache line, so PCSO guarantees any torn
+    /// durable state is a program-order prefix of the two stores; every
+    /// prefix is handled by recovery). The threads are then released and
+    /// run epoch `N + 1` while this thread drains the snapshotted shards;
+    /// only after every shard's write-backs are fenced is the state word
+    /// committed back to zero. A crash anywhere in the window recovers by
+    /// rolling back epochs `N` *and* `N + 1` to the start of `N` — which is
+    /// why the fast path's on-demand push-out must not let an epoch-`N`
+    /// backup be overwritten until the commit lands.
+    fn drain_async(
+        &self,
+        t0: Instant,
+        waited: Duration,
+        partitioned: Duration,
+        closing: u64,
+        shards: Vec<Vec<u64>>,
+    ) -> CkptReport {
+        // Deferred frees must be collected while their owners are parked
+        // (the lists are owner-mutable again the instant threads resume)
+        // but pushed only after the commit: the link-word store overwrites
+        // block content that a pre-commit crash still rolls back to live.
+        // SAFETY: quiescence established by the caller; `ckpt_lock` held.
+        let taken_frees = unsafe { self.take_frees() };
+
+        self.region.store(OFF_EPOCH_STATE, closing);
+        self.region.store(OFF_EPOCH, closing + 1);
+        self.region.pwb(OFF_EPOCH);
+        self.region.psync();
+
+        // Publish the drain before releasing: the `SeqCst` timer store
+        // orders these after-the-fact for every thread whose park loop
+        // observes `timer == false`.
+        self.draining_epoch.store(closing, Ordering::Relaxed);
+        self.drain_active.store(true, Ordering::Relaxed);
+        self.epoch_mirror.store(closing + 1, Ordering::SeqCst);
         self.region
-            .trace_marker(TraceMarker::CheckpointEnd { epoch: closed });
-        report
+            .trace_marker(TraceMarker::DrainBegin { epoch: closing });
+        let stw = t0.elapsed();
+        self.timer.store(false, Ordering::SeqCst);
+
+        // Background drain: application threads are running epoch N + 1
+        // now. The flushers (or this thread, inline) never take data-
+        // structure locks, so a thread blocked in the push-out wait cannot
+        // deadlock the drain.
+        let td = Instant::now();
+        #[cfg(feature = "fault-inject")]
+        let skip_commit_order = self.take_fault(crate::pool::Fault::SkipDrainCommitOrder);
+        #[cfg(not(feature = "fault-inject"))]
+        let skip_commit_order = false;
+        let tf = Instant::now();
+        let (nlines, shard_reports) = if skip_commit_order {
+            // Injected bug: commit without writing anything back.
+            Self::count_shards(shards)
+        } else {
+            self.flush_phase(shards)
+        };
+        let flushed = tf.elapsed();
+
+        // Phase two of the commit: every snapshotted shard is fenced, so
+        // the drained epoch's durability obligation is met — clear the
+        // state word. Until this fence lands, recovery discards epoch N.
+        self.region.trace_marker(TraceMarker::OrderBarrier);
+        self.region.store(OFF_EPOCH_STATE, 0u64);
+        self.region.pwb(OFF_EPOCH_STATE);
+        self.region.psync();
+        self.region
+            .trace_marker(TraceMarker::DrainCommit { epoch: closing });
+        self.drain_active.store(false, Ordering::Release);
+
+        // SAFETY: this thread is the checkpointer, holds `ckpt_lock`, and
+        // SYSTEM_SLOT has no other owner; the tracked link-word lines land
+        // in epoch N + 1's fresh lists.
+        unsafe { self.push_frees(SYSTEM_SLOT, taken_frees) };
+
+        CkptReport {
+            closed_epoch: closing,
+            lines: nlines,
+            wait_ns: waited.as_nanos() as u64,
+            partition_ns: partitioned.as_nanos() as u64,
+            flush_ns: flushed.as_nanos() as u64,
+            stw_ns: stw.as_nanos() as u64,
+            drain_ns: td.elapsed().as_nanos() as u64,
+            total_ns: t0.elapsed().as_nanos() as u64,
+            shards: shard_reports,
+        }
+    }
+
+    /// Sort + dedup + count without writing anything back (the `NoFlush`
+    /// mode and the `SkipDrainCommitOrder` injected fault), so reported
+    /// line counts stay comparable with a full flush.
+    fn count_shards(shards: Vec<Vec<u64>>) -> (u64, Vec<ShardReport>) {
+        let mut total = 0u64;
+        let mut reports = Vec::new();
+        for (s, mut lines) in shards.into_iter().enumerate() {
+            if lines.is_empty() {
+                continue;
+            }
+            lines.sort_unstable();
+            lines.dedup();
+            total += lines.len() as u64;
+            reports.push(ShardReport {
+                shard: s,
+                lines: lines.len() as u64,
+                sort_ns: 0,
+                flush_ns: 0,
+            });
+        }
+        (total, reports)
     }
 
     /// The flush phase of a checkpoint: per-shard sort, dedup, write-back
@@ -196,23 +339,7 @@ impl Pool {
         if self.cfg.mode != CheckpointMode::Full {
             // NoFlush: still sort + dedup per shard so the reported line
             // count matches what a full checkpoint would have written back.
-            let mut total = 0u64;
-            let mut reports = Vec::new();
-            for (s, mut lines) in shards.into_iter().enumerate() {
-                if lines.is_empty() {
-                    continue;
-                }
-                lines.sort_unstable();
-                lines.dedup();
-                total += lines.len() as u64;
-                reports.push(ShardReport {
-                    shard: s,
-                    lines: lines.len() as u64,
-                    sort_ns: 0,
-                    flush_ns: 0,
-                });
-            }
-            return (total, reports);
+            return Self::count_shards(shards);
         }
         if shards.iter().all(std::vec::Vec::is_empty) {
             return (0, Vec::new());
@@ -283,11 +410,20 @@ impl Pool {
             });
             let skip_line = (skip_one_shard == Some(s)).then(|| lines[lines.len() / 2]);
             let tw = Instant::now();
-            for &line in &lines {
+            // During a background drain the application threads are already
+            // running again and this loop competes with them for cores;
+            // yield periodically so the drain cannot monopolize a CPU the
+            // released threads need. (`drain_active` is false for the whole
+            // synchronous path, so stop-the-world flushes are unaffected.)
+            let cooperative = self.drain_active.load(Ordering::Relaxed);
+            for (i, &line) in lines.iter().enumerate() {
                 if Some(line) == skip_line {
                     continue;
                 }
                 self.region.pwb_line(line);
+                if cooperative && i % 128 == 127 {
+                    std::thread::yield_now();
+                }
             }
             total += lines.len() as u64;
             reports.push(ShardReport {

@@ -6,6 +6,23 @@
 //! all within one cache line. Cells live in emulated NVMM and are addressed
 //! by [`PAddr`]; the handle methods in [`crate::thread`] implement
 //! `init_InCLL` / `update_InCLL`.
+//!
+//! # The single backup slot and draining epochs
+//!
+//! A cell has exactly one `backup`: the first touch in an epoch copies
+//! `record` into it and re-tags the cell, so `backup` holds the
+//! *start-of-epoch* value for the epoch named by the tag. The synchronous
+//! checkpoint makes this trivially safe — by the time any thread runs in
+//! epoch `N + 1`, epoch `N` is fully durable and its backups are dead.
+//! With [`PoolConfig::async_checkpoint`](crate::PoolConfig) the drain of
+//! epoch `N` overlaps execution of `N + 1`, which adds one rule: a
+//! first-touch in `N + 1` on a cell still tagged with the draining epoch
+//! must *push the line out* (write back + fence) and then wait for the
+//! drain commit before overwriting `backup`. Until the commit, a crash
+//! rolls epochs `N` and `N + 1` back to the start of `N`, and the
+//! start-of-`N` value lives only in that backup slot. The check is two
+//! relaxed loads on the fast path and the push-out itself is
+//! `#[cold]` — see `Pool::cell_update_raw` and DESIGN.md §3.7.
 
 use std::marker::PhantomData;
 

@@ -138,8 +138,18 @@ pub const U64_CELL_SLOT: u64 = 32;
 pub const OFF_MAGIC: PAddr = PAddr(0);
 /// Formatted size (u64).
 pub const OFF_SIZE: PAddr = PAddr(8);
-/// The global epoch counter, alone on its cache line (paper Fig. 4 line 56).
+/// The global epoch counter (paper Fig. 4 line 56). It shares its cache
+/// line only with [`OFF_EPOCH_STATE`], so PCSO's same-line prefix ordering
+/// makes the two-word epoch record (`epoch`, `drain state`) recover to a
+/// prefix of the program-order stores — any torn combination the recovery
+/// code must handle is a prefix, never a reordering.
 pub const OFF_EPOCH: PAddr = PAddr(64);
+/// Drain-state word of the two-phase epoch commit (plain u64, same cache
+/// line as [`OFF_EPOCH`]). Zero when the last checkpoint committed fully;
+/// equal to epoch `N` while an asynchronous checkpoint is still draining
+/// epoch `N`'s modified lines in the background. Recovery that finds a
+/// non-zero state rolls the drained epoch back too.
+pub const OFF_EPOCH_STATE: PAddr = PAddr(72);
 /// Root object pointer: an `ICell<u64>` holding a `PAddr`.
 pub const OFF_ROOT: PAddr = PAddr(128);
 /// Global bump offset: an `ICell<u64>`.
@@ -191,7 +201,11 @@ pub const fn reg_entry_off(i: u64) -> u64 {
 }
 
 const _HEADER_FIELDS_DISJOINT: () = {
-    assert!(OFF_ROOT.0 >= OFF_EPOCH.0 + 8);
+    assert!(OFF_EPOCH_STATE.0 == OFF_EPOCH.0 + 8);
+    // Epoch + drain state must share a cache line (two-phase commit relies
+    // on PCSO same-line prefix order between them).
+    assert!(OFF_EPOCH_STATE.0 / 64 == OFF_EPOCH.0 / 64);
+    assert!(OFF_ROOT.0 >= OFF_EPOCH_STATE.0 + 8);
     assert!(OFF_BUMP.0 >= OFF_ROOT.0 + 24);
     assert!(OFF_FREELISTS.0 >= OFF_BUMP.0 + 24);
 };

@@ -53,6 +53,8 @@ pub struct RuntimeMetrics {
     ckpt_wait_ns: Arc<Histogram>,
     ckpt_partition_ns: Arc<Histogram>,
     ckpt_flush_ns: Arc<Histogram>,
+    ckpt_stw_ns: Arc<Histogram>,
+    ckpt_drain_ns: Arc<Histogram>,
     ckpt_total_ns: Arc<Histogram>,
     epoch_len_ns: Arc<Histogram>,
     ckpt_lines: Arc<Histogram>,
@@ -64,6 +66,9 @@ pub struct RuntimeMetrics {
     // Quiescence (recorded while parking — off the failure-free hot path).
     rp_stall_ns: Arc<Histogram>,
     rp_stall_by_slot: Arc<Vec<CachePadded<AtomicU64>>>,
+    /// On-demand push-outs: first touches in epoch N+1 that had to flush a
+    /// line still pending in the draining checkpoint of epoch N.
+    drain_pushouts: Arc<Counter>,
 }
 
 impl RuntimeMetrics {
@@ -141,6 +146,16 @@ impl RuntimeMetrics {
             "Checkpoint flush phase (wall clock across flushers)",
             Unit::Nanos,
         );
+        let ckpt_stw_ns = r.histogram(
+            "respct_checkpoint_stw_ns",
+            "Stop-the-world window (threads held parked)",
+            Unit::Nanos,
+        );
+        let ckpt_drain_ns = r.histogram(
+            "respct_checkpoint_drain_ns",
+            "Background drain after thread release (async mode)",
+            Unit::Nanos,
+        );
         let ckpt_total_ns = r.histogram(
             "respct_checkpoint_total_ns",
             "Whole checkpoint duration",
@@ -165,6 +180,12 @@ impl RuntimeMetrics {
             "respct_shard_flush_ns",
             "Write-back time per shard per checkpoint",
             Unit::Nanos,
+        );
+
+        let drain_pushouts = r.counter(
+            "respct_drain_pushouts_total",
+            "On-demand line push-outs during asynchronous drains",
+            Unit::None,
         );
 
         let rp_stall_ns = r.histogram(
@@ -207,6 +228,8 @@ impl RuntimeMetrics {
             ckpt_wait_ns,
             ckpt_partition_ns,
             ckpt_flush_ns,
+            ckpt_stw_ns,
+            ckpt_drain_ns,
             ckpt_total_ns,
             epoch_len_ns,
             ckpt_lines,
@@ -215,6 +238,7 @@ impl RuntimeMetrics {
             last_ckpt: Mutex::new(None),
             rp_stall_ns,
             rp_stall_by_slot,
+            drain_pushouts,
         }
     }
 
@@ -288,6 +312,24 @@ impl RuntimeMetrics {
         self.rp_stall_by_slot[slot].fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Snapshot of the restart-point stall histogram (what threads actually
+    /// experience as checkpoint-induced latency).
+    pub fn rp_stall_snapshot(&self) -> respct_obs::HistSnapshot {
+        self.rp_stall_ns.snapshot()
+    }
+
+    /// A first touch in the new epoch pushed out a line still pending in
+    /// the draining checkpoint. Ungated: cold and rare by construction.
+    #[inline]
+    pub(crate) fn on_drain_pushout(&self) {
+        self.drain_pushouts.inc();
+    }
+
+    /// Total on-demand push-outs across all drains.
+    pub fn drain_pushouts(&self) -> u64 {
+        self.drain_pushouts.get()
+    }
+
     /// Records one finished checkpoint. Always on (per-checkpoint cost);
     /// this is also the source of truth for the legacy [`CkptSnapshot`]
     /// view.
@@ -297,6 +339,8 @@ impl RuntimeMetrics {
         self.ckpt_wait_ns.record(report.wait_ns);
         self.ckpt_partition_ns.record(report.partition_ns);
         self.ckpt_flush_ns.record(report.flush_ns);
+        self.ckpt_stw_ns.record(report.stw_ns);
+        self.ckpt_drain_ns.record(report.drain_ns);
         self.ckpt_total_ns.record(report.total_ns);
         self.ckpt_lines.record(report.lines);
         self.bytes_flushed
@@ -322,6 +366,8 @@ impl RuntimeMetrics {
             wait_ns: self.ckpt_wait_ns.sum(),
             partition_ns: self.ckpt_partition_ns.sum(),
             flush_ns: self.ckpt_flush_ns.sum(),
+            stw_ns: self.ckpt_stw_ns.sum(),
+            drain_ns: self.ckpt_drain_ns.sum(),
             total_ns: self.ckpt_total_ns.sum(),
         }
     }
@@ -348,6 +394,8 @@ mod tests {
             wait_ns: 1000,
             partition_ns: 200,
             flush_ns: 3000,
+            stw_ns: 4200,
+            drain_ns: 0,
             total_ns: 5000,
             shards: vec![ShardReport {
                 shard: 0,

@@ -19,7 +19,7 @@ use respct_pmem::{PAddr, Pod, Region, TraceMarker};
 use crate::incll::{cell_layout, ICell};
 use crate::layout::{
     self, CellLayout, FIRST_EPOCH, MAGIC, MAX_THREADS, NUM_CLASSES, OFF_BUMP, OFF_EPOCH,
-    OFF_FREELISTS, OFF_MAGIC, OFF_ROOT, OFF_SIZE, U64_CELL_SLOT,
+    OFF_EPOCH_STATE, OFF_FREELISTS, OFF_MAGIC, OFF_ROOT, OFF_SIZE, U64_CELL_SLOT,
 };
 use crate::stats::CkptStats;
 
@@ -55,6 +55,11 @@ pub enum Fault {
     /// advance while every other shard is properly fenced — the parallel
     /// pipeline's characteristic failure mode.
     SkipShardFence,
+    /// The next asynchronous checkpoint commits the drain-state word back
+    /// to zero *without* writing back and fencing the snapshotted shards:
+    /// the two-phase commit's characteristic bug (committing a drain whose
+    /// write-backs are not durable).
+    SkipDrainCommitOrder,
 }
 
 /// Pool construction parameters.
@@ -77,6 +82,11 @@ pub struct PoolConfig {
     /// timing). Checkpoint-phase metrics are recorded regardless — they are
     /// per checkpoint, not per operation.
     pub(crate) metrics: bool,
+    /// Asynchronous checkpoint drain: release the quiesced threads as soon
+    /// as the flush-shard lists are snapshotted and the draining epoch
+    /// record is durable, then write the snapshot back in the background
+    /// and commit the record afterwards (two-phase commit). Default off.
+    pub(crate) async_checkpoint: bool,
 }
 
 impl Default for PoolConfig {
@@ -86,6 +96,7 @@ impl Default for PoolConfig {
             mode: CheckpointMode::Full,
             flush_shards: 0,
             metrics: true,
+            async_checkpoint: false,
         }
     }
 }
@@ -117,6 +128,12 @@ impl PoolConfig {
     /// Whether hot-path metrics instrumentation is on.
     pub fn metrics(&self) -> bool {
         self.metrics
+    }
+
+    /// Whether checkpoints drain asynchronously (threads released at the
+    /// epoch swap, flush + commit in the background).
+    pub fn async_checkpoint(&self) -> bool {
+        self.async_checkpoint
     }
 
     /// The effective shard count: the configured power of two, or — when
@@ -173,6 +190,15 @@ impl PoolConfigBuilder {
         self
     }
 
+    /// Enables the asynchronous checkpoint drain (default: off). Threads
+    /// are released as soon as the stop-the-world phase snapshots the
+    /// flush-shard lists and persists the draining epoch record; the flush
+    /// and the final commit happen in the background.
+    pub fn async_checkpoint(mut self, on: bool) -> Self {
+        self.cfg.async_checkpoint = on;
+        self
+    }
+
     /// Validates and returns the config.
     pub fn build(self) -> Result<PoolConfig, crate::error::PoolError> {
         use crate::error::PoolError::InvalidConfig;
@@ -198,6 +224,11 @@ impl PoolConfigBuilder {
         if c.mode == CheckpointMode::NoFlush && c.flusher_threads > 0 {
             return Err(InvalidConfig(
                 "NoFlush mode never flushes; flusher_threads must be 0",
+            ));
+        }
+        if c.mode == CheckpointMode::NoFlush && c.async_checkpoint {
+            return Err(InvalidConfig(
+                "NoFlush mode has no drain to run asynchronously; async_checkpoint must be off",
             ));
         }
         Ok(self.cfg)
@@ -268,6 +299,15 @@ pub struct Pool {
     pub(crate) class_heads: Box<[Mutex<u64>]>,
     /// Serializes checkpoints and registration/deregistration.
     pub(crate) ckpt_lock: Mutex<()>,
+    /// Whether an asynchronous drain is in flight: set (with the draining
+    /// epoch below) before the quiesced threads are released, cleared with
+    /// `Release` once the drain's two-phase commit completes. The hot path
+    /// reads it relaxed — one branch, no fence — and only escalates to an
+    /// `Acquire` wait when it must overwrite a backup still owed to the
+    /// draining epoch.
+    pub(crate) drain_active: AtomicBool,
+    /// The epoch currently being drained (valid while `drain_active`).
+    pub(crate) draining_epoch: AtomicU64,
     pub(crate) metrics: Arc<crate::metrics::RuntimeMetrics>,
     pub(crate) ckpt_stats: CkptStats,
     pub(crate) flushers: Option<crate::checkpoint::FlusherPool>,
@@ -299,6 +339,8 @@ impl Pool {
         }
         region.store(OFF_SIZE, region.size() as u64);
         region.store(OFF_EPOCH, FIRST_EPOCH);
+        region.store(OFF_EPOCH_STATE, 0u64); // no drain in flight
+
         // Header cells: record = backup = initial value, epoch_id = 0 so the
         // first update in epoch FIRST_EPOCH logs them normally.
         Self::format_cell_u64(&region, OFF_ROOT, 0);
@@ -399,6 +441,8 @@ impl Pool {
             bump_vol,
             class_heads: class_heads.into_boxed_slice(),
             ckpt_lock: Mutex::new(()),
+            drain_active: AtomicBool::new(false),
+            draining_epoch: AtomicU64::new(0),
             ckpt_stats: CkptStats::over(Arc::clone(&metrics)),
             metrics,
             flushers,
@@ -543,6 +587,15 @@ impl Pool {
         };
         let first_touch = eid != epoch;
         if first_touch {
+            // On-demand push-out (asynchronous drain only — one relaxed
+            // load + branch otherwise): the cell's single backup slot may
+            // still be owed to the epoch being drained in the background.
+            if self.drain_active.load(Ordering::Relaxed)
+                && crate::incll::tag_epoch(cell.addr(), eid)
+                    == self.draining_epoch.load(Ordering::Relaxed)
+            {
+                self.push_out_pending_line(cell.addr());
+            }
             let old: T = self.region.load(cell.addr());
             self.region.store(cell.backup_addr(), old);
             // The backup must be written (in program order) before the
@@ -563,6 +616,31 @@ impl Pool {
         self.region.store(cell.addr(), val);
         self.metrics
             .on_update(std::mem::size_of::<T>() as u64, first_touch);
+    }
+
+    /// On-demand push-out: a first touch in epoch `N+1` hit a cell whose
+    /// in-line log is still owed to the draining epoch `N`. Eagerly write
+    /// the line back and fence it (the line's epoch-`N` state — record,
+    /// backup, tag — becomes durable ahead of the background drain reaching
+    /// it), then wait for the drain's two-phase commit before the caller
+    /// overwrites the backup: until the commit lands, recovery may roll
+    /// epoch `N` back and must still find the start-of-`N` value in the
+    /// single backup slot. The wait is bounded by the drain itself, whose
+    /// progress never depends on application locks.
+    #[cold]
+    fn push_out_pending_line(&self, addr: PAddr) {
+        self.region.pwb_line(addr.line());
+        self.region.psync();
+        self.metrics.on_drain_pushout();
+        let mut spins = 0u32;
+        while self.drain_active.load(Ordering::Acquire) {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
     }
 
     /// `init_InCLL` (paper Fig. 4, lines 19–23): writes all three fields,
@@ -819,6 +897,19 @@ mod tests {
                 .build(),
             Err(PoolError::InvalidConfig(_))
         ));
+        assert!(matches!(
+            PoolConfig::builder()
+                .mode(CheckpointMode::NoFlush)
+                .async_checkpoint(true)
+                .build(),
+            Err(PoolError::InvalidConfig(_))
+        ));
+        let async_on = PoolConfig::builder()
+            .async_checkpoint(true)
+            .build()
+            .unwrap();
+        assert!(async_on.async_checkpoint());
+        assert!(!PoolConfig::default().async_checkpoint());
     }
 
     #[test]

@@ -27,8 +27,8 @@ use std::time::{Duration, Instant};
 use respct_pmem::{PAddr, Region, TraceMarker};
 
 use crate::layout::{
-    self, CellLayout, MAGIC, MAX_THREADS, NUM_CLASSES, OFF_BUMP, OFF_EPOCH, OFF_FREELISTS,
-    OFF_MAGIC, OFF_ROOT, U64_CELL_SLOT,
+    self, CellLayout, MAGIC, MAX_THREADS, NUM_CLASSES, OFF_BUMP, OFF_EPOCH, OFF_EPOCH_STATE,
+    OFF_FREELISTS, OFF_MAGIC, OFF_ROOT, U64_CELL_SLOT,
 };
 use crate::pool::{Pool, PoolConfig, SYSTEM_SLOT};
 
@@ -133,19 +133,24 @@ pub struct RecoveryReport {
     pub threads: usize,
 }
 
-/// Restores `record` from `backup` if the cell was touched in `epoch`.
-/// Returns whether a rollback happened. Collects the cell's line either way
-/// when it belongs to the failed epoch (it must be flushed at the next
+/// Restores `record` from `backup` if the cell was touched in the failed
+/// epoch — or, when a crash interrupted an asynchronous drain, in the
+/// half-drained epoch `extra_epoch` (both epochs roll back to the start of
+/// the drained one; see [`crate::layout::OFF_EPOCH_STATE`]). Returns
+/// whether a rollback happened. Collects the cell's line either way when it
+/// belongs to a rolled-back epoch (it must be flushed at the next
 /// checkpoint; see module docs).
 fn roll_back_cell(
     region: &Region,
     addr: PAddr,
     l: CellLayout,
     failed_epoch: u64,
+    extra_epoch: Option<u64>,
     lines: &mut Vec<u64>,
 ) -> bool {
     let stored: u64 = region.load(addr.offset(l.epoch_off as u64));
-    if crate::incll::tag_epoch(addr, stored) != failed_epoch {
+    let tag = crate::incll::tag_epoch(addr, stored);
+    if tag != failed_epoch && Some(tag) != extra_epoch {
         return false;
     }
     let mut buf = [0u8; 24];
@@ -257,7 +262,23 @@ impl Pool {
                 region: region.size() as u64,
             });
         }
-        let failed_epoch: u64 = region.load(OFF_EPOCH);
+        // Decode the two-phase epoch record. `state == 0`: the last
+        // checkpoint committed fully — roll back the recorded epoch alone.
+        // `state == epoch`: a crash tore the draining record after its
+        // first word — the drain never began (threads were still parked),
+        // so this too is a plain single-epoch rollback, plus clearing the
+        // state word. `state == epoch - 1`: an asynchronous drain of epoch
+        // `N = state` was interrupted while threads ran `N + 1` — both
+        // epochs roll back to the start of `N`, and execution resumes in
+        // `N`.
+        let recorded_epoch: u64 = region.load(OFF_EPOCH);
+        let drain_state: u64 = region.load(OFF_EPOCH_STATE);
+        let (failed_epoch, extra_epoch) = match drain_state {
+            0 => (recorded_epoch, None),
+            s if s == recorded_epoch => (recorded_epoch, None),
+            s if s + 1 == recorded_epoch => (s, Some(recorded_epoch)),
+            s => panic!("corrupt drain-state word {s} for epoch {recorded_epoch}"),
+        };
         region.trace_marker(TraceMarker::RecoveryBegin { failed_epoch });
 
         let u64_layout = CellLayout::new(8, 8);
@@ -282,7 +303,14 @@ impl Pool {
         }
         let fixed_count = fixed.len() as u64;
         for addr in fixed {
-            if roll_back_cell(&region, addr, u64_layout, failed_epoch, &mut lines) {
+            if roll_back_cell(
+                &region,
+                addr,
+                u64_layout,
+                failed_epoch,
+                extra_epoch,
+                &mut lines,
+            ) {
                 rolled += 1;
             }
         }
@@ -298,7 +326,7 @@ impl Pool {
                 let len = pool.reg_len_persistent(slot);
                 pool.for_each_registered(slot, len, |addr, l| {
                     scanned += 1;
-                    if roll_back_cell(&region, addr, l, failed_epoch, &mut lines) {
+                    if roll_back_cell(&region, addr, l, failed_epoch, extra_epoch, &mut lines) {
                         rolled += 1;
                     }
                 });
@@ -318,7 +346,14 @@ impl Pool {
                             let len = pool.reg_len_persistent(slot);
                             pool.for_each_registered(slot, len, |addr, l| {
                                 scanned += 1;
-                                if roll_back_cell(region, addr, l, failed_epoch, &mut lines) {
+                                if roll_back_cell(
+                                    region,
+                                    addr,
+                                    l,
+                                    failed_epoch,
+                                    extra_epoch,
+                                    &mut lines,
+                                ) {
                                     rolled += 1;
                                 }
                             });
@@ -348,6 +383,26 @@ impl Pool {
         // exclusive access to the system slot.
         for &line in &lines {
             unsafe { pool.track_line_raw(SYSTEM_SLOT, line) };
+        }
+
+        // Repair the epoch record if a drain was interrupted. For a full
+        // draining record, the rollback writes must be durable *before* the
+        // rewrite: once the record reads `(N, 0)`, a re-crash rolls back
+        // only epoch `N` — the `N + 1`-tagged cells have to already hold
+        // their restored values in NVMM. The rewrite itself stores epoch
+        // before state, so every torn prefix is a record this function
+        // already handles idempotently.
+        if drain_state != 0 {
+            if extra_epoch.is_some() {
+                for &line in &lines {
+                    region.pwb_line(line);
+                }
+                region.psync();
+                region.store(OFF_EPOCH, failed_epoch);
+            }
+            region.store(OFF_EPOCH_STATE, 0u64);
+            region.pwb(OFF_EPOCH);
+            region.psync();
         }
         region.trace_marker(TraceMarker::RecoveryEnd {
             epoch: failed_epoch,

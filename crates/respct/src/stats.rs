@@ -37,6 +37,11 @@ pub struct CkptSnapshot {
     pub wait_ns: u64,
     pub partition_ns: u64,
     pub flush_ns: u64,
+    /// Cumulative stop-the-world time (threads held parked). In sync mode
+    /// this covers the flush too; in async mode it ends at the epoch swap.
+    pub stw_ns: u64,
+    /// Cumulative background-drain time (async mode; 0 in sync mode).
+    pub drain_ns: u64,
     pub total_ns: u64,
 }
 
@@ -102,6 +107,8 @@ mod tests {
             wait_ns: 10_000,
             partition_ns: 5_000,
             flush_ns: 20_000,
+            stw_ns: 35_000,
+            drain_ns: 0,
             total_ns: total_us * 1_000,
             shards: Vec::new(),
         }

@@ -49,10 +49,14 @@ impl std::fmt::Display for RpId {
 pub struct ThreadHandle {
     pool: Arc<Pool>,
     slot: usize,
-    /// Last `(rp_id, epoch)` written to the persistent RP cell: writing the
-    /// same id again in the same epoch is a semantic no-op, so `rp()` skips
-    /// the cell update (hot loops sit on one RP site).
-    last_rp: std::cell::Cell<(u64, u64)>,
+    /// Last `rp_id` written to the persistent RP cell: writing the same id
+    /// again is a semantic no-op *across epochs too* — the cell already
+    /// holds the id, and rolling back an untouched cell keeps it — so
+    /// `rp()` skips the cell update (hot loops sit on one RP site). The
+    /// skip also matters for the asynchronous drain: re-logging the RP cell
+    /// on the first `rp()` of each epoch would hit the push-out guard and
+    /// stall every thread once per drain for no semantic gain.
+    last_rp: std::cell::Cell<u64>,
     /// `!Sync` marker: the tracking-list protocol requires single ownership.
     _not_sync: PhantomData<std::cell::Cell<()>>,
 }
@@ -81,7 +85,7 @@ impl Pool {
         ThreadHandle {
             pool: Arc::clone(self),
             slot,
-            last_rp: std::cell::Cell::new((u64::MAX, u64::MAX)),
+            last_rp: std::cell::Cell::new(u64::MAX),
             _not_sync: PhantomData,
         }
     }
@@ -212,17 +216,16 @@ impl ThreadHandle {
     /// resume), then parks if a checkpoint is pending.
     pub fn rp(&self, id: impl Into<RpId>) {
         let RpId(id) = id.into();
-        let epoch = self.pool.epoch();
         self.pool
             .region
             .trace_marker(respct_pmem::TraceMarker::RestartPoint {
                 slot: self.slot as u64,
                 id,
             });
-        if self.last_rp.get() != (id, epoch) {
+        if self.last_rp.get() != id {
             let rp_cell = self.pool.slot_cell(self.slot, layout::SLOT_RP_ID);
             self.update(rp_cell, id);
-            self.last_rp.set((id, epoch));
+            self.last_rp.set(id);
         }
         if self.pool.timer.load(Ordering::Acquire) {
             self.park_for_checkpoint();

@@ -24,9 +24,14 @@ use respct_pmem::{Region, RegionConfig, SimConfig};
 
 /// Deterministic sim region (no evictions) with the checker attached.
 fn checked_pool(bytes: usize, seed: u64) -> (Arc<Checker>, Arc<Pool>) {
+    checked_pool_cfg(bytes, seed, PoolConfig::default())
+}
+
+/// Same, with an explicit pool configuration (async-checkpoint legs).
+fn checked_pool_cfg(bytes: usize, seed: u64, cfg: PoolConfig) -> (Arc<Checker>, Arc<Pool>) {
     let region = Region::new(RegionConfig::sim(bytes, SimConfig::no_eviction(seed)));
     let checker = Checker::attach(&region);
-    let pool = Pool::create(region, PoolConfig::default()).expect("pool");
+    let pool = Pool::create(region, cfg).expect("pool");
     (checker, pool)
 }
 
@@ -207,6 +212,77 @@ fn crash_recovery_cycles_are_clean() {
     );
 }
 
+#[test]
+fn async_hashmap_workload_is_clean() {
+    // Asynchronous drains may double-flush a line the fast path pushed out
+    // on demand — a RedundantFlush perf advisory, not an error — so this
+    // asserts is_clean(), unlike the sync runs which demand zero output.
+    let (checker, pool) = checked_pool_cfg(
+        32 << 20,
+        10,
+        PoolConfig::builder()
+            .async_checkpoint(true)
+            .build()
+            .unwrap(),
+    );
+    let map = {
+        let h = pool.register();
+        let map = PHashMap::create(&h, 64);
+        h.set_root(map.desc());
+        map
+    };
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let (pool, map) = (&pool, &map);
+            s.spawn(move || {
+                let h = pool.register();
+                for i in 0..400 {
+                    let k = t * 1_000 + i;
+                    map.insert(&h, k, k + 7);
+                    h.rp(rp_ids::MAP_INSERT);
+                    if i % 4 == 0 {
+                        map.remove(&h, k);
+                        h.rp(rp_ids::MAP_REMOVE);
+                    }
+                    if i % 100 == 0 {
+                        h.checkpoint_here();
+                    }
+                }
+            });
+        }
+    });
+    pool.register().checkpoint_here();
+    checker.assert_clean();
+}
+
+#[test]
+fn async_timer_checkpointer_run_is_clean() {
+    let (checker, pool) = checked_pool_cfg(
+        32 << 20,
+        11,
+        PoolConfig::builder()
+            .async_checkpoint(true)
+            .build()
+            .unwrap(),
+    );
+    let map = {
+        let h = pool.register();
+        let map = PHashMap::create(&h, 64);
+        h.set_root(map.desc());
+        map
+    };
+    {
+        let _ckpt = pool.start_checkpointer(Duration::from_millis(2));
+        let h = pool.register();
+        for i in 0..2_000u64 {
+            map.insert(&h, i % 300, i);
+            h.rp(rp_ids::MAP_INSERT);
+        }
+    }
+    pool.register().checkpoint_here();
+    checker.assert_clean();
+}
+
 // ---------------------------------------------------------------------------
 // Injected faults: the checker must catch each one, as the right kind.
 // ---------------------------------------------------------------------------
@@ -287,6 +363,55 @@ fn checker_catches_skipped_incll_log() {
             .all(|d| d.kind == DiagnosticKind::LoggingViolation),
         "skipped InCLL log misclassified:\n{report}"
     );
+}
+
+/// Async pool with dirty cells — the drain-fault tests' shared setup. The
+/// control asserts the identical fault-free sequence is clean, so a passing
+/// fault test cannot be vacuous.
+fn dirty_async_pool(seed: u64, fault: Option<Fault>) -> (Arc<Checker>, Arc<Pool>) {
+    let (checker, pool) = checked_pool_cfg(
+        16 << 20,
+        seed,
+        PoolConfig::builder()
+            .async_checkpoint(true)
+            .build()
+            .unwrap(),
+    );
+    let h = pool.register();
+    let cells: Vec<_> = (0..32u64).map(|i| h.alloc_cell(i)).collect();
+    h.checkpoint_here();
+    for (i, c) in cells.iter().enumerate() {
+        h.update(*c, 100 + i as u64);
+    }
+    assert!(checker.report().is_clean(), "setup must be clean");
+    if let Some(f) = fault {
+        pool.inject_fault(f);
+    }
+    drop(h);
+    pool.register().checkpoint_here();
+    (checker, pool)
+}
+
+#[test]
+fn async_drain_control_run_is_clean() {
+    let (checker, _pool) = dirty_async_pool(12, None);
+    checker.assert_clean();
+}
+
+#[test]
+fn checker_catches_skipped_drain_commit_order() {
+    let (checker, _pool) = dirty_async_pool(12, Some(Fault::SkipDrainCommitOrder));
+    let report = checker.report();
+    let drain = report.of_kind(DiagnosticKind::DrainCommitOrder);
+    assert!(
+        !drain.is_empty(),
+        "commit-before-durable drain not detected:\n{report}"
+    );
+    assert!(
+        drain.iter().all(|d| d.line.is_some()),
+        "drain diagnostics must name the cache line:\n{report}"
+    );
+    assert!(!report.is_clean());
 }
 
 #[test]

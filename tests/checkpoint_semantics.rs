@@ -110,6 +110,107 @@ fn flusher_pool_config_produces_identical_persistence() {
     assert_eq!(images[0], (0..200).map(|i| 1000 + i).collect::<Vec<u64>>());
 }
 
+/// Regression test for the `wait_ns` conflation fixed in the async-drain
+/// PR: the report used to offer no way to tell how long application threads
+/// were actually held parked — `wait_ns` is pure quiescence and `total_ns`
+/// includes work threads never see. The split must be honest in both modes:
+/// a synchronous checkpoint's stop-the-world window covers the flush, an
+/// asynchronous one's must not (the flush is the drain's problem).
+#[test]
+fn stall_split_is_honest_in_both_modes() {
+    for async_on in [false, true] {
+        let pool = Pool::create(
+            Region::new(RegionConfig::fast(32 << 20)),
+            PoolConfig::builder()
+                .async_checkpoint(async_on)
+                .build()
+                .expect("config"),
+        )
+        .expect("pool");
+        let h = pool.register();
+        let cells: Vec<_> = (0..4_000u64).map(|i| h.alloc_cell(i)).collect();
+        for (i, c) in cells.iter().enumerate() {
+            h.update(*c, 9_000 + i as u64);
+        }
+        let r = h.checkpoint_here();
+        assert!(r.lines > 100, "workload too small to split phases");
+        assert!(
+            r.stw_ns <= r.total_ns,
+            "async={async_on}: stw {} > total {}",
+            r.stw_ns,
+            r.total_ns
+        );
+        if async_on {
+            assert!(r.drain_ns > 0, "async drain did no work");
+            assert!(
+                r.drain_ns >= r.flush_ns,
+                "drain {} must cover the flush {}",
+                r.drain_ns,
+                r.flush_ns
+            );
+            // The STW window ends before the drain starts; if the flush
+            // were (wrongly) inside it again, stw + drain would overlap
+            // and exceed the total.
+            assert!(
+                r.stw_ns + r.drain_ns <= r.total_ns,
+                "stw {} + drain {} > total {} (flush counted twice?)",
+                r.stw_ns,
+                r.drain_ns,
+                r.total_ns
+            );
+        } else {
+            assert_eq!(r.drain_ns, 0, "sync checkpoint reported a drain");
+            assert!(
+                r.stw_ns >= r.wait_ns + r.partition_ns + r.flush_ns,
+                "sync stw {} must cover wait {} + partition {} + flush {}",
+                r.stw_ns,
+                r.wait_ns,
+                r.partition_ns,
+                r.flush_ns
+            );
+        }
+    }
+}
+
+/// The asynchronous drain must persist exactly what the synchronous path
+/// does — same workload, same recovered state.
+#[test]
+fn async_checkpoint_produces_identical_persistence() {
+    let mut images = Vec::new();
+    for async_on in [false, true] {
+        let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::no_eviction(6)));
+        let pool = Pool::create(
+            Arc::clone(&region),
+            PoolConfig::builder()
+                .async_checkpoint(async_on)
+                .build()
+                .expect("config"),
+        )
+        .expect("pool");
+        let h = pool.register();
+        let cells: Vec<_> = (0..200u64).map(|i| h.alloc_cell(i)).collect();
+        for (i, c) in cells.iter().enumerate() {
+            h.update(*c, 1000 + i as u64);
+        }
+        h.checkpoint_here();
+        // Dirty the next epoch too: a crash now must roll it back in both
+        // modes (the drain has committed by the time checkpoint_here
+        // returns, so recovery sees a clean two-phase record).
+        for c in cells.iter().take(50) {
+            h.update(*c, 7);
+        }
+        drop(h);
+        drop(pool);
+        let img = region.crash(CrashMode::PowerFailure);
+        region.restore(&img);
+        let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
+        let values: Vec<u64> = cells.iter().map(|c| pool.cell_get(*c)).collect();
+        images.push(values);
+    }
+    assert_eq!(images[0], images[1]);
+    assert_eq!(images[0], (0..200).map(|i| 1000 + i).collect::<Vec<u64>>());
+}
+
 /// Regression test for the quiescence race fixed in the flush-pipeline PR:
 /// `checkpoint_here` used to lower its per-thread parked flag
 /// *unconditionally* after driving a checkpoint. A second thread issuing a

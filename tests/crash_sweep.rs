@@ -23,13 +23,44 @@ use std::sync::Arc;
 use respct::{Fault, ICell, Pool, PoolConfig};
 use respct_analysis::sweep::workloads;
 use respct_analysis::{sweep, DiagnosticKind, SweepConfig, SweepReport};
-use respct_pmem::{Region, RegionConfig, SimConfig, TraceEvent, VecSink};
+use respct_pmem::{
+    is_crash_point, Region, RegionConfig, SimConfig, TraceEvent, TraceMarker, VecSink,
+};
 
 const SIZE: usize = 1 << 20;
 
 /// Model snapshots indexed by epoch-counter value (None = epoch predates
 /// the cells' first checkpoint).
 type Snaps = Vec<Option<Vec<u64>>>;
+
+/// An async pool configuration for sweeps (inline drain, two-phase commit).
+fn async_pool_cfg() -> PoolConfig {
+    PoolConfig::builder()
+        .async_checkpoint(true)
+        .build()
+        .unwrap()
+}
+
+/// Crash points that fall inside an asynchronous drain window — between a
+/// `DrainBegin` and its `DrainCommit`. An async sweep that visits none of
+/// these would not be testing the two-phase commit at all.
+fn drain_window_crash_points(events: &[TraceEvent]) -> u64 {
+    let mut in_drain = false;
+    let mut n = 0;
+    for ev in events {
+        if let TraceEvent::Marker { marker, .. } = ev {
+            match marker {
+                TraceMarker::DrainBegin { .. } => in_drain = true,
+                TraceMarker::DrainCommit { .. } => in_drain = false,
+                _ => {}
+            }
+        }
+        if in_drain && is_crash_point(ev) {
+            n += 1;
+        }
+    }
+    n
+}
 
 #[test]
 fn hashmap_sweep_recovers_at_every_point() {
@@ -61,6 +92,44 @@ fn queue_sweep_recovers_at_every_point() {
     );
 }
 
+#[test]
+fn async_hashmap_sweep_recovers_at_every_point() {
+    let mut cfg = SweepConfig::new(workloads::SWEEP_REGION);
+    cfg.eviction_budget = 2;
+    cfg.stride = 4;
+    cfg.pool = async_pool_cfg();
+    let (report, events) = workloads::sweep_hashmap(48, 7, &cfg);
+    assert!(report.is_clean(), "{:?}", report.report);
+    assert!(
+        report.points >= 200,
+        "only {} distinct crash points visited",
+        report.points
+    );
+    assert!(
+        drain_window_crash_points(&events) > 0,
+        "no crash points inside any drain window — async leg is vacuous"
+    );
+}
+
+#[test]
+fn async_queue_sweep_recovers_at_every_point() {
+    let mut cfg = SweepConfig::new(workloads::SWEEP_REGION);
+    cfg.eviction_budget = 2;
+    cfg.stride = 4;
+    cfg.pool = async_pool_cfg();
+    let (report, events) = workloads::sweep_queue(48, 7, &cfg);
+    assert!(report.is_clean(), "{:?}", report.report);
+    assert!(
+        report.points >= 200,
+        "only {} distinct crash points visited",
+        report.points
+    );
+    assert!(
+        drain_window_crash_points(&events) > 0,
+        "no crash points inside any drain window — async leg is vacuous"
+    );
+}
+
 /// A two-checkpoint cell workload recorded under an optional injected
 /// fault: `ncells` cells created and checkpointed (closing epoch 1... 2),
 /// then updated and checkpointed again (closing epoch 2 — the faulty one
@@ -68,6 +137,7 @@ fn queue_sweep_recovers_at_every_point() {
 fn recorded_cells(
     fault: Option<Fault>,
     flushers: usize,
+    async_on: bool,
     ncells: u64,
 ) -> (Vec<TraceEvent>, Vec<ICell<u64>>, Snaps) {
     let region = Region::new(RegionConfig::sim(SIZE, SimConfig::no_eviction(5)));
@@ -75,6 +145,7 @@ fn recorded_cells(
     region.set_trace_sink(sink.clone());
     let cfg = PoolConfig::builder()
         .flusher_threads(flushers)
+        .async_checkpoint(async_on)
         .build()
         .unwrap();
     let pool = Pool::create(region, cfg).unwrap();
@@ -124,7 +195,7 @@ fn sweep_cells(
 fn skip_one_flush_is_caught_by_the_sweep() {
     // Control: the same workload without the fault sweeps clean, so any
     // divergence below is attributable to the injected bug.
-    let (events, cells, snaps) = recorded_cells(None, 0, 48);
+    let (events, cells, snaps) = recorded_cells(None, 0, false, 48);
     let clean = sweep_cells(&events, &cells, &snaps);
     assert!(clean.is_clean(), "{:?}", clean.report);
     assert!(clean.points > 0 && clean.images > 0);
@@ -134,7 +205,7 @@ fn skip_one_flush_is_caught_by_the_sweep() {
     // Every post-commit crash image holds the stale line with the new
     // epoch, and recovery cannot roll it back (its cell is tagged with the
     // *previous* epoch) — the recovered value must diverge from the model.
-    let (events, cells, snaps) = recorded_cells(Some(Fault::SkipOneFlush), 0, 48);
+    let (events, cells, snaps) = recorded_cells(Some(Fault::SkipOneFlush), 0, false, 48);
     let faulty = sweep_cells(&events, &cells, &snaps);
     assert!(
         !faulty.is_clean(),
@@ -151,7 +222,7 @@ fn skip_one_flush_is_caught_by_the_sweep() {
 #[test]
 fn skip_shard_fence_is_caught_by_the_sweep() {
     // Control: parallel flushers, no fault.
-    let (events, cells, snaps) = recorded_cells(None, 2, 48);
+    let (events, cells, snaps) = recorded_cells(None, 2, false, 48);
     let clean = sweep_cells(&events, &cells, &snaps);
     assert!(clean.is_clean(), "{:?}", clean.report);
 
@@ -160,11 +231,39 @@ fn skip_shard_fence_is_caught_by_the_sweep() {
     // same thread; on the parallel path the flusher's write-backs stay
     // un-drained, so the base crash image after the epoch advance misses
     // that shard's lines entirely.
-    let (events, cells, snaps) = recorded_cells(Some(Fault::SkipShardFence), 2, 48);
+    let (events, cells, snaps) = recorded_cells(Some(Fault::SkipShardFence), 2, false, 48);
     let faulty = sweep_cells(&events, &cells, &snaps);
     assert!(
         !faulty.is_clean(),
         "sweep failed to catch an injected dropped shard fence"
+    );
+    assert!(!faulty
+        .report
+        .of_kind(DiagnosticKind::RecoveryDivergence)
+        .is_empty());
+}
+
+#[test]
+fn skip_drain_commit_order_is_caught_by_the_sweep() {
+    // Control: the same async workload without the fault sweeps clean, and
+    // its trace contains crash points inside the drain window.
+    let (events, cells, snaps) = recorded_cells(None, 0, true, 48);
+    let clean = sweep_cells(&events, &cells, &snaps);
+    assert!(clean.is_clean(), "{:?}", clean.report);
+    assert!(
+        drain_window_crash_points(&events) > 0,
+        "async control trace has no in-drain crash points"
+    );
+
+    // Fault: the drain commits the state word back to zero without writing
+    // back or fencing the snapshotted shards. Every post-commit crash image
+    // then recovers as if epoch 2 committed, but its data never reached
+    // NVMM — the two-phase commit's characteristic ordering bug.
+    let (events, cells, snaps) = recorded_cells(Some(Fault::SkipDrainCommitOrder), 0, true, 48);
+    let faulty = sweep_cells(&events, &cells, &snaps);
+    assert!(
+        !faulty.is_clean(),
+        "sweep failed to catch a drain that committed before its flushes"
     );
     assert!(!faulty
         .report
