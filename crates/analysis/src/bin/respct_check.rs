@@ -2,7 +2,8 @@
 //! checker and report persistency-discipline findings.
 //!
 //! ```text
-//! respct-check [hashmap|queue|kvstore|recovery|all] [--async]
+//! respct-check [hashmap|queue|kvstore|recovery|all] [--async] [--races]
+//!              [--format text|json]
 //! respct-check --sweep [hashmap|queue|both] [--ops N] [--seed S]
 //!              [--budget B] [--stride K] [--trace-out PATH] [--async]
 //! ```
@@ -10,9 +11,24 @@
 //! In the default (checker) mode each workload runs on a sim-mode region
 //! (PCSO simulator with random evictions) with the
 //! [`respct_analysis::Checker`] attached as the trace sink, concurrent
-//! worker threads, and a timer-driven checkpointer. The process exits
-//! non-zero if any workload produced an error-severity diagnostic;
-//! redundant-flush perf advisories are printed but do not fail the run.
+//! worker threads, and a timer-driven checkpointer. `--races`
+//! additionally tees the trace into the
+//! [`respct_analysis::RaceDetector`] — the vector-clock happens-before
+//! engine — and reports persist races and un-ordered commit points next
+//! to the checker's durability findings.
+//!
+//! Exit codes are per-severity so CI can distinguish outcomes:
+//!
+//! * `0` — every selected workload came back clean;
+//! * `1` — usage error (unknown workload or flag);
+//! * `2` — at least one error-severity diagnostic (discipline violation,
+//!   persist race, recovery divergence);
+//! * `3` — perf-severity advisories only (e.g. redundant flushes).
+//!
+//! `--format json` prints one machine-readable JSON document on stdout
+//! (shape: `{"mode","races","exit","workloads":[{"name","checker",`
+//! `"races"}]}` with each report in [`Report::to_json`] form) instead of
+//! the human text; the exit-code contract is identical.
 //!
 //! `--sweep` switches to the crash-point sweep (`respct-crashsim`): a
 //! deterministic single-threaded run of the workload is recorded, then
@@ -36,40 +52,94 @@ use std::time::Duration;
 
 use respct::{PAddr, Pool, PoolConfig};
 use respct_analysis::sweep::workloads;
-use respct_analysis::{Checker, Report, SweepConfig};
+use respct_analysis::{Checker, RaceDetector, Report, SweepConfig};
 use respct_ds::{rp_ids, PHashMap, PQueue};
 use respct_pmem::sim::CrashMode;
-use respct_pmem::{Region, RegionConfig, SimConfig};
+use respct_pmem::{Region, RegionConfig, SimConfig, TeeSink, TraceSink};
 
 const THREADS: usize = 4;
 const OPS_PER_THREAD: u64 = 3_000;
 const CKPT_PERIOD: Duration = Duration::from_millis(5);
 
-/// A sim region with the checker attached, and a pool formatted on it.
-fn checked_pool(
-    bytes: usize,
-    seed: u64,
-    flushers: usize,
+/// How a workload should run: async drain on/off, race detection on/off.
+#[derive(Clone, Copy)]
+struct RunOpts {
     async_on: bool,
-) -> (Arc<Checker>, Arc<Pool>) {
+    races: bool,
+}
+
+/// The sinks attached to a run's region.
+struct Sinks {
+    checker: Arc<Checker>,
+    races: Option<Arc<RaceDetector>>,
+}
+
+/// What a workload produced: one report per attached sink.
+struct RunOut {
+    checker: Report,
+    races: Option<Report>,
+}
+
+impl Sinks {
+    /// Attaches the checker (always) and, with `races`, the happens-before
+    /// detector behind a tee, so both replay the same event stream.
+    fn attach(region: &Region, races: bool) -> Sinks {
+        let checker = Arc::new(Checker::new());
+        if races {
+            let detector = Arc::new(RaceDetector::new());
+            let tee: Vec<Arc<dyn TraceSink>> = vec![
+                Arc::clone(&checker) as Arc<dyn TraceSink>,
+                Arc::clone(&detector) as Arc<dyn TraceSink>,
+            ];
+            region.set_trace_sink(Arc::new(TeeSink::new(tee)));
+            Sinks {
+                checker,
+                races: Some(detector),
+            }
+        } else {
+            region.set_trace_sink(Arc::<Checker>::clone(&checker));
+            Sinks {
+                checker,
+                races: None,
+            }
+        }
+    }
+
+    fn reports(&self) -> RunOut {
+        RunOut {
+            checker: self.checker.report(),
+            races: self.races.as_ref().map(|d| d.report()),
+        }
+    }
+}
+
+impl RunOut {
+    fn each(&self) -> impl Iterator<Item = &Report> {
+        std::iter::once(&self.checker).chain(self.races.as_ref())
+    }
+}
+
+/// A sim region with the selected sinks attached, and a pool formatted on
+/// it.
+fn checked_pool(bytes: usize, seed: u64, flushers: usize, opts: RunOpts) -> (Sinks, Arc<Pool>) {
     // Eviction rate 4: roughly one line evicted per 2^4 stores — enough to
     // exercise the eviction paths without swamping the trace.
     let region = Region::new(RegionConfig::sim(bytes, SimConfig::with_eviction(4, seed)));
-    let checker = Checker::attach(&region);
+    let sinks = Sinks::attach(&region, opts.races);
     let cfg = PoolConfig::builder()
         .flusher_threads(flushers)
-        .async_checkpoint(async_on)
+        .async_checkpoint(opts.async_on)
         .build()
         .expect("config");
     let pool = Pool::create(region, cfg).expect("pool");
-    (checker, pool)
+    (sinks, pool)
 }
 
-fn run_hashmap(async_on: bool) -> Report {
+fn run_hashmap(opts: RunOpts) -> RunOut {
     // Two dedicated flushers: the hashmap workload exercises the sharded
     // parallel flush path (shard claiming + per-worker fences) under the
     // checker's shard-fence rule, not just the inline fallback.
-    let (checker, pool) = checked_pool(64 << 20, 11, 2, async_on);
+    let (sinks, pool) = checked_pool(64 << 20, 11, 2, opts);
     let map = {
         let h = pool.register();
         let map = PHashMap::create(&h, 512);
@@ -99,11 +169,11 @@ fn run_hashmap(async_on: bool) -> Report {
         }
     });
     pool.register().checkpoint_here();
-    checker.report()
+    sinks.reports()
 }
 
-fn run_queue(async_on: bool) -> Report {
-    let (checker, pool) = checked_pool(64 << 20, 22, 0, async_on);
+fn run_queue(opts: RunOpts) -> RunOut {
+    let (sinks, pool) = checked_pool(64 << 20, 22, 0, opts);
     let queue = {
         let h = pool.register();
         let q = PQueue::create(&h);
@@ -128,14 +198,14 @@ fn run_queue(async_on: bool) -> Report {
         }
     });
     pool.register().checkpoint_here();
-    checker.report()
+    sinks.reports()
 }
 
 /// A memcached-style workload: persistent map from key to copy-on-write
 /// value blob (the shape of `respct_apps::kvstore`'s ResPCT store).
-fn run_kvstore(async_on: bool) -> Report {
+fn run_kvstore(opts: RunOpts) -> RunOut {
     const VALUE: u64 = 128;
-    let (checker, pool) = checked_pool(128 << 20, 33, 0, async_on);
+    let (sinks, pool) = checked_pool(128 << 20, 33, 0, opts);
     let map = {
         let h = pool.register();
         let map = PHashMap::create(&h, 512);
@@ -180,17 +250,17 @@ fn run_kvstore(async_on: bool) -> Report {
         }
     });
     pool.register().checkpoint_here();
-    checker.report()
+    sinks.reports()
 }
 
 /// Crash in a dirty epoch, recover, re-execute, checkpoint, repeat.
-fn run_recovery(async_on: bool) -> Report {
+fn run_recovery(opts: RunOpts) -> RunOut {
     let cfg = PoolConfig::builder()
-        .async_checkpoint(async_on)
+        .async_checkpoint(opts.async_on)
         .build()
         .expect("config");
     let region = Region::new(RegionConfig::sim(32 << 20, SimConfig::with_eviction(4, 44)));
-    let checker = Checker::attach(&region);
+    let sinks = Sinks::attach(&region, opts.races);
     let mut cells = Vec::new();
     {
         let pool = Pool::create(Arc::clone(&region), cfg).expect("pool");
@@ -216,7 +286,7 @@ fn run_recovery(async_on: bool) -> Report {
             h.update(*c, 7); // dirty the next epoch, then crash again
         }
     }
-    checker.report()
+    sinks.reports()
 }
 
 fn sweep_main(args: &[String]) -> ExitCode {
@@ -289,10 +359,60 @@ fn sweep_main(args: &[String]) -> ExitCode {
     }
     if failed {
         eprintln!("recovery divergence found");
-        ExitCode::FAILURE
+        ExitCode::from(EXIT_ERROR)
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Exit code for usage errors (bad workload, bad flag).
+const EXIT_USAGE: u8 = 1;
+/// Exit code when any error-severity diagnostic was produced.
+const EXIT_ERROR: u8 = 2;
+/// Exit code when only perf-severity advisories were produced.
+const EXIT_PERF: u8 = 3;
+
+/// Maps a batch of workload outputs to the exit-code contract.
+fn exit_for(outs: &[(&str, RunOut)]) -> u8 {
+    let mut any_error = false;
+    let mut any_perf = false;
+    for (_, out) in outs {
+        for r in out.each() {
+            any_error |= !r.errors().is_empty();
+            any_perf |= !r.perf().is_empty();
+        }
+    }
+    if any_error {
+        EXIT_ERROR
+    } else if any_perf {
+        EXIT_PERF
+    } else {
+        0
+    }
+}
+
+fn json_doc(outs: &[(&str, RunOut)], async_on: bool, races: bool, exit: u8) -> String {
+    let mut s = String::with_capacity(1024);
+    s.push_str("{\"mode\":\"");
+    s.push_str(if async_on { "async" } else { "sync" });
+    s.push_str("\",\"races\":");
+    s.push_str(if races { "true" } else { "false" });
+    s.push_str(&format!(",\"exit\":{exit},\"workloads\":["));
+    for (i, (name, out)) in outs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("{{\"name\":\"{name}\",\"checker\":"));
+        s.push_str(&out.checker.to_json());
+        s.push_str(",\"races\":");
+        match &out.races {
+            Some(r) => s.push_str(&r.to_json()),
+            None => s.push_str("null"),
+        }
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
 }
 
 fn main() -> ExitCode {
@@ -300,10 +420,33 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("--sweep") {
         return sweep_main(&argv[1..]);
     }
-    let async_on = argv.iter().any(|a| a == "--async");
-    argv.retain(|a| a != "--async");
+    let opts = RunOpts {
+        async_on: argv.iter().any(|a| a == "--async"),
+        races: argv.iter().any(|a| a == "--races"),
+    };
+    argv.retain(|a| a != "--async" && a != "--races");
+    let mut json = false;
+    if let Some(pos) = argv.iter().position(|a| a == "--format") {
+        let Some(fmt) = argv.get(pos + 1) else {
+            eprintln!("--format requires a value (text|json)");
+            return ExitCode::from(EXIT_USAGE);
+        };
+        match fmt.as_str() {
+            "json" => json = true,
+            "text" => {}
+            other => {
+                eprintln!("unknown format {other:?}; expected text|json");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+        argv.drain(pos..=pos + 1);
+    }
+    if let Some(flag) = argv.iter().find(|a| a.starts_with("--")) {
+        eprintln!("unknown flag {flag:?}");
+        return ExitCode::from(EXIT_USAGE);
+    }
     let arg = argv.first().cloned().unwrap_or_else(|| "all".into());
-    type Workload = (&'static str, fn(bool) -> Report);
+    type Workload = (&'static str, fn(RunOpts) -> RunOut);
     let all: [Workload; 4] = [
         ("hashmap", run_hashmap),
         ("queue", run_queue),
@@ -315,25 +458,34 @@ fn main() -> ExitCode {
         name => {
             let Some(w) = all.iter().find(|(n, _)| *n == name) else {
                 eprintln!("unknown workload {name:?}; expected hashmap|queue|kvstore|recovery|all");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_USAGE);
             };
             vec![*w]
         }
     };
-    let mut failed = false;
+    let mut outs: Vec<(&str, RunOut)> = Vec::new();
     for (name, run) in selected {
-        let mode = if async_on { " (async drain)" } else { "" };
-        println!("== {name}{mode} ==");
-        let report = run(async_on);
-        print!("{report}");
-        if !report.is_clean() {
-            failed = true;
+        if !json {
+            let mode = if opts.async_on { " (async drain)" } else { "" };
+            println!("== {name}{mode} ==");
         }
+        let out = run(opts);
+        if !json {
+            print!("{}", out.checker);
+            if let Some(races) = &out.races {
+                println!("-- races --");
+                print!("{races}");
+            }
+        }
+        outs.push((name, out));
     }
-    if failed {
+    let exit = exit_for(&outs);
+    if json {
+        println!("{}", json_doc(&outs, opts.async_on, opts.races, exit));
+    } else if exit == EXIT_ERROR {
         eprintln!("persistency violations found");
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+    } else if exit == EXIT_PERF {
+        eprintln!("perf advisories only");
     }
+    ExitCode::from(exit)
 }

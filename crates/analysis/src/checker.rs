@@ -111,6 +111,8 @@ impl CheckerState {
             DiagnosticKind::ShardFence => "shard",
             DiagnosticKind::DrainCommitOrder => "drain",
             DiagnosticKind::RecoveryDivergence => "divergence",
+            DiagnosticKind::PersistRace => "race",
+            DiagnosticKind::UnorderedCommit => "unordered",
         };
         let n = self.per_kind.entry(key).or_insert(0);
         if *n >= MAX_PER_KIND {
@@ -184,6 +186,9 @@ impl CheckerState {
                 self.in_recovery = false;
             }
             TraceEvent::Marker { tid: _, marker } => self.on_marker(marker),
+            // Happens-before bookkeeping belongs to the race detector; the
+            // cache-line state machine ignores it.
+            TraceEvent::SyncRel { .. } | TraceEvent::SyncAcq { .. } | TraceEvent::Load { .. } => {}
         }
     }
 
@@ -550,6 +555,8 @@ impl CheckerState {
                 self.draining_tracked.clear();
             }
             TraceMarker::RestartPoint { .. } => {}
+            // Push-out ordering is a happens-before rule (race detector).
+            TraceMarker::DrainPushOut { .. } => {}
         }
     }
 

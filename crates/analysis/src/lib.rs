@@ -45,10 +45,19 @@
 //! every persistency-relevant instant, runs real recovery on each, and
 //! compares the result against a model oracle (`respct-check --sweep`).
 
+//!
+//! The [`race`] module adds a second, orthogonal analysis: a FastTrack-style
+//! vector-clock happens-before engine over the runtime's synchronization
+//! edges (`SyncRel`/`SyncAcq` events), flagging persist races on InCLL
+//! cells, commit points not ordered after their charged fences, and racy
+//! recovery reads (`respct-check --races`).
+
 pub mod checker;
+pub mod race;
 pub mod report;
 pub mod sweep;
 
 pub use checker::Checker;
+pub use race::RaceDetector;
 pub use report::{Diagnostic, DiagnosticKind, Report, Severity};
 pub use sweep::{sweep, SweepConfig, SweepReport};

@@ -59,6 +59,19 @@ pub enum DiagnosticKind {
     /// checkpoint: the durability invariant the paper proves (recovery to a
     /// consistent cut) is violated at that instant.
     RecoveryDivergence,
+    /// Two threads wrote the same cache line within one epoch with no
+    /// happens-before edge between the stores, and the writes either
+    /// overlap or hit the same InCLL cell — the cell's in-line backup slot
+    /// can tear, so rollback of a crashed epoch may restore a mixed value.
+    /// Also raised for a recovery-time load racing another thread's
+    /// in-flight write-back.
+    PersistRace,
+    /// A protocol commit point (the epoch-counter store or the drain-state
+    /// commit) is not happens-before-ordered after a fence it charges —
+    /// or a pushed-out line was overwritten without acquiring the drain's
+    /// commit release. The commit's durability can race the data it
+    /// promises is durable.
+    UnorderedCommit,
 }
 
 impl DiagnosticKind {
@@ -68,6 +81,48 @@ impl DiagnosticKind {
             DiagnosticKind::RedundantFlush => Severity::Perf,
             _ => Severity::Error,
         }
+    }
+
+    /// Stable machine-readable name (the JSON `kind` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagnosticKind::MissedFlush => "missed_flush",
+            DiagnosticKind::LoggingViolation => "logging_violation",
+            DiagnosticKind::CrossLineOrdering => "cross_line_ordering",
+            DiagnosticKind::RedundantFlush => "redundant_flush",
+            DiagnosticKind::EpochDiscipline => "epoch_discipline",
+            DiagnosticKind::ShardFence => "shard_fence",
+            DiagnosticKind::DrainCommitOrder => "drain_commit_order",
+            DiagnosticKind::RecoveryDivergence => "recovery_divergence",
+            DiagnosticKind::PersistRace => "persist_race",
+            DiagnosticKind::UnorderedCommit => "unordered_commit",
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (quotes included).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(v) => out.push_str(&v.to_string()),
+        None => out.push_str("null"),
     }
 }
 
@@ -152,6 +207,53 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.errors().is_empty()
     }
+
+    /// The report as a JSON object (hand-rolled — the workspace carries no
+    /// serde). Shape:
+    ///
+    /// ```json
+    /// {"events":N,"suppressed":N,"errors":N,"perf":N,"clean":bool,
+    ///  "diagnostics":[{"kind":"persist_race","severity":"error",
+    ///                  "line":12,"addr":null,"epoch":3,"detail":"..."}]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.diagnostics.len() * 96);
+        out.push_str(&format!(
+            "{{\"events\":{},\"suppressed\":{},\"errors\":{},\"perf\":{},\"clean\":{},\
+             \"diagnostics\":[",
+            self.events,
+            self.suppressed,
+            self.errors().len(),
+            self.perf().len(),
+            self.is_clean(),
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"kind\":");
+            push_json_str(&mut out, d.kind.name());
+            out.push_str(",\"severity\":");
+            push_json_str(
+                &mut out,
+                match d.severity() {
+                    Severity::Error => "error",
+                    Severity::Perf => "perf",
+                },
+            );
+            out.push_str(",\"line\":");
+            push_opt_u64(&mut out, d.line);
+            out.push_str(",\"addr\":");
+            push_opt_u64(&mut out, d.addr);
+            out.push_str(",\"epoch\":");
+            push_opt_u64(&mut out, d.epoch);
+            out.push_str(",\"detail\":");
+            push_json_str(&mut out, &d.detail);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 impl fmt::Display for Report {
@@ -215,5 +317,54 @@ mod tests {
     fn display_mentions_kind_and_line() {
         let s = diag(DiagnosticKind::MissedFlush).to_string();
         assert!(s.contains("MissedFlush") && s.contains("line 3"), "{s}");
+    }
+
+    #[test]
+    fn race_kinds_are_errors() {
+        assert_eq!(DiagnosticKind::PersistRace.severity(), Severity::Error);
+        assert_eq!(DiagnosticKind::UnorderedCommit.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let mut d = diag(DiagnosticKind::PersistRace);
+        d.detail = "a \"quoted\"\nline\t\\".into();
+        let r = Report {
+            diagnostics: vec![d, diag(DiagnosticKind::RedundantFlush)],
+            events: 7,
+            suppressed: 1,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(
+            j.contains("\"events\":7")
+                && j.contains("\"suppressed\":1")
+                && j.contains("\"errors\":1")
+                && j.contains("\"perf\":1")
+                && j.contains("\"clean\":false"),
+            "{j}"
+        );
+        assert!(j.contains("\"kind\":\"persist_race\""), "{j}");
+        assert!(j.contains("\"severity\":\"perf\""), "{j}");
+        assert!(j.contains("\\\"quoted\\\"\\nline\\t\\\\"), "{j}");
+        assert!(
+            j.contains("\"line\":3") && j.contains("\"addr\":null"),
+            "{j}"
+        );
+        // Balanced braces/brackets — the cheap well-formedness check.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced: {j}"
+        );
+    }
+
+    #[test]
+    fn clean_empty_report_json() {
+        let j = Report::default().to_json();
+        assert!(
+            j.contains("\"clean\":true") && j.contains("\"diagnostics\":[]"),
+            "{j}"
+        );
     }
 }

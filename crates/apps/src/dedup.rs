@@ -281,6 +281,24 @@ mod respct_baselines_stub {
 
 /// Runs the dedup pipeline in the configured mode.
 pub fn run(cfg: DedupConfig) -> DedupOutput {
+    run_inner(cfg, None)
+}
+
+/// Runs the pipeline in ResPCT mode with `sink` attached to the region
+/// before any pool traffic — the analysis hook for the trace checker and
+/// the happens-before race detector.
+pub fn run_traced(
+    cfg: DedupConfig,
+    sink: std::sync::Arc<dyn respct_pmem::TraceSink>,
+) -> DedupOutput {
+    assert_eq!(cfg.mode, Mode::Respct, "run_traced is ResPCT-only");
+    run_inner(cfg, Some(sink))
+}
+
+fn run_inner(
+    cfg: DedupConfig,
+    mut sink: Option<std::sync::Arc<dyn respct_pmem::TraceSink>>,
+) -> DedupOutput {
     assert!(cfg.unique >= 1 && cfg.unique <= cfg.chunks);
     let (pool, store) = match cfg.mode {
         Mode::TransientDram => (
@@ -302,6 +320,9 @@ pub fn run(cfg: DedupConfig) -> DedupOutput {
         }
         Mode::Respct => {
             let region = Region::new(RegionConfig::optane(128 << 20));
+            if let Some(sink) = sink.take() {
+                region.set_trace_sink(sink);
+            }
             let pool = Pool::create(region, PoolConfig::default()).expect("pool");
             let h = pool.register();
             let map = PHashMap::create(&h, 4096);

@@ -396,21 +396,33 @@ pub fn run(cfg: &KvConfig) -> KvOutput {
             let region = Region::new(RegionConfig::optane(bytes));
             serve(cfg, Arc::new(NvmmStore::new(region, cfg.value_size)))
         }
-        Mode::Respct => {
-            // CoW blobs churn the heap: budget generously (puts between
-            // checkpoints hold blobs until the deferred free drains).
-            let bytes = cfg.nkeys as usize * cfg.value_size.next_multiple_of(64) * 8 + (64 << 20);
-            let region = Region::new(RegionConfig::optane(bytes));
-            let pool = Pool::create(region, PoolConfig::default()).expect("pool");
-            let _ckpt = pool.start_checkpointer(cfg.ckpt_period);
-            let store = Arc::new(RespctStore::new(
-                Arc::clone(&pool),
-                cfg.nkeys / 2 + 1,
-                cfg.value_size,
-            ));
-            serve(cfg, store)
-        }
+        Mode::Respct => run_respct(cfg, None),
     }
+}
+
+/// Runs the ResPCT mode with `sink` attached to the region before any pool
+/// traffic — the analysis hook for the trace checker and the
+/// happens-before race detector.
+pub fn run_traced(cfg: &KvConfig, sink: Arc<dyn respct_pmem::TraceSink>) -> KvOutput {
+    run_respct(cfg, Some(sink))
+}
+
+fn run_respct(cfg: &KvConfig, sink: Option<Arc<dyn respct_pmem::TraceSink>>) -> KvOutput {
+    // CoW blobs churn the heap: budget generously (puts between
+    // checkpoints hold blobs until the deferred free drains).
+    let bytes = cfg.nkeys as usize * cfg.value_size.next_multiple_of(64) * 8 + (64 << 20);
+    let region = Region::new(RegionConfig::optane(bytes));
+    if let Some(sink) = sink {
+        region.set_trace_sink(sink);
+    }
+    let pool = Pool::create(region, PoolConfig::default()).expect("pool");
+    let _ckpt = pool.start_checkpointer(cfg.ckpt_period);
+    let store = Arc::new(RespctStore::new(
+        Arc::clone(&pool),
+        cfg.nkeys / 2 + 1,
+        cfg.value_size,
+    ));
+    serve(cfg, store)
 }
 
 #[cfg(test)]

@@ -104,7 +104,7 @@ pub fn run(cfg: LinregConfig) -> LinregOutput {
     match cfg.mode {
         Mode::TransientDram => run_transient(cfg, false),
         Mode::TransientNvmm => run_transient(cfg, true),
-        Mode::Respct => run_respct(cfg),
+        Mode::Respct => run_respct(cfg, None),
     }
 }
 
@@ -156,8 +156,18 @@ fn run_transient(cfg: LinregConfig, nvmm_tax: bool) -> LinregOutput {
     }
 }
 
-fn run_respct(cfg: LinregConfig) -> LinregOutput {
+/// Runs the ResPCT mode with `sink` attached to the region before any
+/// pool traffic — the analysis hook for the trace checker and the
+/// happens-before race detector.
+pub fn run_traced(cfg: LinregConfig, sink: Arc<dyn respct_pmem::TraceSink>) -> LinregOutput {
+    run_respct(cfg, Some(sink))
+}
+
+fn run_respct(cfg: LinregConfig, sink: Option<Arc<dyn respct_pmem::TraceSink>>) -> LinregOutput {
     let region = Region::new(RegionConfig::optane(64 << 20));
+    if let Some(sink) = sink {
+        region.set_trace_sink(sink);
+    }
     let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
     let _ckpt = pool.start_checkpointer(cfg.ckpt_period);
     let per = cfg.npoints.div_ceil(cfg.threads);

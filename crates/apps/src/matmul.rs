@@ -61,12 +61,24 @@ pub fn run(cfg: MatmulConfig) -> MatmulOutput {
     match cfg.mode {
         Mode::TransientDram => run_dram(cfg),
         Mode::TransientNvmm => run_region(cfg, Region::new(region_cfg(cfg, true)), None),
-        Mode::Respct => {
-            let region = Region::new(region_cfg(cfg, false));
-            let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
-            run_region(cfg, region, Some(pool))
-        }
+        Mode::Respct => run_respct(cfg, None),
     }
+}
+
+/// Runs matmul in ResPCT mode with `sink` attached to the region before
+/// any pool traffic — the analysis hook for the trace checker and the
+/// happens-before race detector.
+pub fn run_traced(cfg: MatmulConfig, sink: Arc<dyn respct_pmem::TraceSink>) -> MatmulOutput {
+    run_respct(cfg, Some(sink))
+}
+
+fn run_respct(cfg: MatmulConfig, sink: Option<Arc<dyn respct_pmem::TraceSink>>) -> MatmulOutput {
+    let region = Region::new(region_cfg(cfg, false));
+    if let Some(sink) = sink {
+        region.set_trace_sink(sink);
+    }
+    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
+    run_region(cfg, region, Some(pool))
 }
 
 fn region_cfg(cfg: MatmulConfig, optane: bool) -> RegionConfig {

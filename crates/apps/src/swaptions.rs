@@ -89,7 +89,7 @@ fn payoff(sw: usize, trial: usize) -> f64 {
 pub fn run(cfg: SwaptionsConfig) -> SwaptionsOutput {
     match cfg.mode {
         Mode::TransientDram | Mode::TransientNvmm => run_transient(cfg),
-        Mode::Respct => run_respct(cfg),
+        Mode::Respct => run_respct(cfg, None),
     }
 }
 
@@ -135,8 +135,21 @@ fn run_transient(cfg: SwaptionsConfig) -> SwaptionsOutput {
     }
 }
 
-fn run_respct(cfg: SwaptionsConfig) -> SwaptionsOutput {
+/// Runs the ResPCT mode with `sink` attached to the region before any
+/// pool traffic — the analysis hook for the trace checker and the
+/// happens-before race detector.
+pub fn run_traced(cfg: SwaptionsConfig, sink: Arc<dyn respct_pmem::TraceSink>) -> SwaptionsOutput {
+    run_respct(cfg, Some(sink))
+}
+
+fn run_respct(
+    cfg: SwaptionsConfig,
+    sink: Option<Arc<dyn respct_pmem::TraceSink>>,
+) -> SwaptionsOutput {
     let region = Region::new(RegionConfig::optane(64 << 20));
+    if let Some(sink) = sink {
+        region.set_trace_sink(sink);
+    }
     let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
     let _ckpt = pool.start_checkpointer(cfg.ckpt_period);
     let t0 = Instant::now();

@@ -75,7 +75,7 @@ fn word_at(b: usize, w: usize, vocab: u64) -> u64 {
 pub fn run(cfg: WordCountConfig) -> WordCountOutput {
     match cfg.mode {
         Mode::TransientDram | Mode::TransientNvmm => run_transient(cfg),
-        Mode::Respct => run_respct(cfg),
+        Mode::Respct => run_respct(cfg, None),
     }
 }
 
@@ -107,8 +107,21 @@ fn run_transient(cfg: WordCountConfig) -> WordCountOutput {
     finish(t0, |word| map.get(word).unwrap_or(0), cfg.vocab)
 }
 
-fn run_respct(cfg: WordCountConfig) -> WordCountOutput {
+/// Runs the ResPCT mode with `sink` attached to the region before any
+/// pool traffic — the analysis hook for the trace checker and the
+/// happens-before race detector.
+pub fn run_traced(cfg: WordCountConfig, sink: Arc<dyn respct_pmem::TraceSink>) -> WordCountOutput {
+    run_respct(cfg, Some(sink))
+}
+
+fn run_respct(
+    cfg: WordCountConfig,
+    sink: Option<Arc<dyn respct_pmem::TraceSink>>,
+) -> WordCountOutput {
     let region = Region::new(RegionConfig::optane(256 << 20));
+    if let Some(sink) = sink {
+        region.set_trace_sink(sink);
+    }
     let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
     let map = {
         let h = pool.register();

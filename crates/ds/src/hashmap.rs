@@ -24,8 +24,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use respct::{ICell, PAddr, Pool, ThreadHandle};
+use respct::{ICell, PAddr, Pool, ThreadHandle, TracedMutex};
 
 use crate::hash_u64;
 
@@ -47,7 +46,7 @@ pub struct PHashMap {
     desc: PAddr,
     nbuckets: u64,
     buckets: PAddr,
-    locks: Box<[Mutex<()>]>,
+    locks: Box<[TracedMutex<()>]>,
 }
 
 #[inline]
@@ -88,7 +87,9 @@ impl PHashMap {
     }
 
     fn build(pool: Arc<Pool>, desc: PAddr, nbuckets: u64, buckets: PAddr) -> PHashMap {
-        let locks = (0..nbuckets).map(|_| Mutex::new(())).collect::<Vec<_>>();
+        let locks = (0..nbuckets)
+            .map(|_| TracedMutex::new(&pool, ()))
+            .collect::<Vec<_>>();
         PHashMap {
             pool,
             desc,

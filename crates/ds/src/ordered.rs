@@ -29,8 +29,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use respct::{ICell, PAddr, Pool, ThreadHandle};
+use respct::{ICell, PAddr, Pool, ThreadHandle, TracedMutex};
 
 use crate::hash_u64;
 
@@ -48,7 +47,7 @@ const D_LEN: u64 = 32; // ICell<u64>
 pub struct POrderedMap {
     pool: Arc<Pool>,
     desc: PAddr,
-    lock: Mutex<()>,
+    lock: TracedMutex<()>,
 }
 
 #[inline]
@@ -81,18 +80,18 @@ impl POrderedMap {
         h.init_cell_at::<u64>(PAddr(desc.0 + D_ROOT), 0);
         h.init_cell_at::<u64>(PAddr(desc.0 + D_LEN), 0);
         POrderedMap {
+            lock: TracedMutex::new(h.pool(), ()),
             pool: Arc::clone(h.pool()),
             desc,
-            lock: Mutex::new(()),
         }
     }
 
     /// Re-opens from a descriptor (after recovery).
     pub fn open(pool: &Arc<Pool>, desc: PAddr) -> POrderedMap {
         POrderedMap {
+            lock: TracedMutex::new(pool, ()),
             pool: Arc::clone(pool),
             desc,
-            lock: Mutex::new(()),
         }
     }
 

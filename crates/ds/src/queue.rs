@@ -19,8 +19,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use respct::{ICell, PAddr, Pool, ThreadHandle};
+use respct::{ICell, PAddr, Pool, ThreadHandle, TracedMutex};
 
 const NODE_SIZE: u64 = 32;
 const NODE_VAL: u64 = 0;
@@ -34,7 +33,7 @@ const DESC_TAIL: u64 = 32;
 pub struct PQueue {
     pool: Arc<Pool>,
     desc: PAddr,
-    lock: Mutex<()>,
+    lock: TracedMutex<()>,
 }
 
 #[inline]
@@ -49,18 +48,18 @@ impl PQueue {
         h.init_cell_at::<u64>(PAddr(desc.0 + DESC_HEAD), 0);
         h.init_cell_at::<u64>(PAddr(desc.0 + DESC_TAIL), 0);
         PQueue {
+            lock: TracedMutex::new(h.pool(), ()),
             pool: Arc::clone(h.pool()),
             desc,
-            lock: Mutex::new(()),
         }
     }
 
     /// Re-opens a queue from its descriptor (after recovery).
     pub fn open(pool: &Arc<Pool>, desc: PAddr) -> PQueue {
         PQueue {
+            lock: TracedMutex::new(pool, ()),
             pool: Arc::clone(pool),
             desc,
-            lock: Mutex::new(()),
         }
     }
 

@@ -68,6 +68,9 @@ mod imp {
         }
     }
 
+    /// # Safety
+    ///
+    /// `ptr` must be mapped and `clwb` support verified (see `flush_kind`).
     unsafe fn clwb(ptr: *const u8) {
         // SAFETY: caller guarantees `ptr` is mapped; `clwb` support was
         // verified at runtime by `flush_kind`.
@@ -80,6 +83,10 @@ mod imp {
         }
     }
 
+    /// # Safety
+    ///
+    /// `ptr` must be mapped and `clflushopt` support verified (see
+    /// `flush_kind`).
     unsafe fn clflushopt(ptr: *const u8) {
         // SAFETY: caller guarantees `ptr` is mapped; `clflushopt` support
         // was verified at runtime by `flush_kind`.

@@ -43,7 +43,9 @@ pub use region::{Region, RegionConfig, RegionMode};
 pub use replay::{is_crash_point, is_protocol_point, Replayer};
 pub use sim::{CacheSim, CrashImage, SimConfig};
 pub use stats::PmemStats;
-pub use trace::{StoreData, TeeSink, TraceEvent, TraceMarker, TraceSink, VecSink, MAX_STORE_DATA};
+pub use trace::{
+    StoreData, SyncToken, TeeSink, TraceEvent, TraceMarker, TraceSink, VecSink, MAX_STORE_DATA,
+};
 
 /// Size of a cache line in bytes on every platform we model (x86-64).
 pub const CACHE_LINE: usize = 64;

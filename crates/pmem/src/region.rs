@@ -18,7 +18,7 @@ use std::sync::Arc;
 use crate::latency::{charge_ns, drain_psync, note_pwb, LatencyModel};
 use crate::sim::{CacheSim, CrashImage, CrashMode, SimConfig};
 use crate::stats::PmemStats;
-use crate::trace::{trace_tid, TraceEvent, TraceMarker, TraceSink};
+use crate::trace::{trace_tid, SyncToken, TraceEvent, TraceMarker, TraceSink};
 use crate::{arch, PAddr, Pod, CACHE_LINE};
 
 /// Operating mode of a [`Region`].
@@ -78,6 +78,11 @@ pub struct Region {
     /// Optional persistency-event observer (set once, read on every access;
     /// a single relaxed-ish atomic load when unset).
     trace: std::sync::OnceLock<Arc<dyn TraceSink>>,
+    /// When set (and a sink is attached), loads are reported as
+    /// [`TraceEvent::Load`] events. Recovery enables this so the race
+    /// detector can see recovery-time reads; normal execution leaves it off
+    /// (one predictable relaxed load per `load` call).
+    trace_loads: std::sync::atomic::AtomicBool,
 }
 
 // SAFETY: the raw buffer is only accessed through atomic operations (or
@@ -124,6 +129,7 @@ impl Region {
             sim,
             stats,
             trace: std::sync::OnceLock::new(),
+            trace_loads: std::sync::atomic::AtomicBool::new(false),
         };
         if let Some(sim) = &region.sim {
             sim.attach(region.buf);
@@ -175,6 +181,50 @@ impl Region {
                 tid: trace_tid(),
                 marker,
             });
+        }
+    }
+
+    /// Reports a happens-before release edge on `token` to the attached
+    /// sink, if any. Call *before* performing the releasing store so a
+    /// matching acquire can never be observed first in the trace.
+    #[inline]
+    pub fn sync_release(&self, token: SyncToken) {
+        self.emit(|| TraceEvent::SyncRel {
+            tid: trace_tid(),
+            token,
+        });
+    }
+
+    /// Reports a happens-before acquire edge on `token` to the attached
+    /// sink, if any. Call *after* observing the released value.
+    #[inline]
+    pub fn sync_acquire(&self, token: SyncToken) {
+        self.emit(|| TraceEvent::SyncAcq {
+            tid: trace_tid(),
+            token,
+        });
+    }
+
+    /// Enables or disables load tracing ([`TraceEvent::Load`] events).
+    /// Recovery turns this on around its read phase; it is off otherwise.
+    pub fn set_trace_loads(&self, on: bool) {
+        self.trace_loads
+            .store(on, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Emits one [`TraceEvent::Load`] per cache line covered by
+    /// `[addr, addr + len)` when load tracing is enabled.
+    #[inline]
+    fn emit_load(&self, addr: PAddr, len: usize) {
+        if len == 0 || !self.trace_loads.load(std::sync::atomic::Ordering::Relaxed) {
+            return;
+        }
+        if self.trace.get().is_some() {
+            let tid = trace_tid();
+            let last = PAddr(addr.0 + len as u64 - 1).line();
+            for line in addr.line()..=last {
+                self.emit(|| TraceEvent::Load { tid, line });
+            }
         }
     }
 
@@ -267,6 +317,7 @@ impl Region {
     pub fn load<T: Pod>(&self, addr: PAddr) -> T {
         let size = std::mem::size_of::<T>();
         self.check(addr, size, std::mem::align_of::<T>());
+        self.emit_load(addr, size);
         // Fast path: word-sized loads compile to a single relaxed mov
         // (plus the amortized latency charge in NVMM-latency mode).
         if size == 8 {
@@ -318,6 +369,7 @@ impl Region {
     /// Bulk load.
     pub fn load_bytes(&self, addr: PAddr, out: &mut [u8]) {
         self.check(addr, out.len(), 1);
+        self.emit_load(addr, out.len());
         // SAFETY: in-bounds (checked above).
         unsafe { atomic_load_raw(self.ptr(addr), out) };
         if !self.latency_free {
@@ -428,11 +480,16 @@ impl Region {
             );
             match res {
                 Ok(v) => {
+                    self.sync_acquire(SyncToken::Atomic { addr: addr.0 });
                     self.emit(|| TraceEvent::store(trace_tid(), addr.0, &new.to_ne_bytes()));
+                    self.sync_release(SyncToken::Atomic { addr: addr.0 });
                     self.emit_eviction(sim.note_store(guard, line));
                     Ok(v)
                 }
-                Err(v) => Err(v),
+                Err(v) => {
+                    self.sync_acquire(SyncToken::Atomic { addr: addr.0 });
+                    Err(v)
+                }
             }
         } else {
             // SAFETY: as above.
@@ -442,8 +499,10 @@ impl Region {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             );
+            self.sync_acquire(SyncToken::Atomic { addr: addr.0 });
             if res.is_ok() {
                 self.emit(|| TraceEvent::store(trace_tid(), addr.0, &new.to_ne_bytes()));
+                self.sync_release(SyncToken::Atomic { addr: addr.0 });
             }
             res
         }
@@ -455,13 +514,16 @@ impl Region {
     pub fn load_acquire_u64(&self, addr: PAddr) -> u64 {
         self.check(addr, 8, 8);
         // SAFETY: in-bounds, 8-aligned (checked).
-        unsafe { &*(self.ptr(addr) as *const AtomicU64) }.load(Ordering::Acquire)
+        let v = unsafe { &*(self.ptr(addr) as *const AtomicU64) }.load(Ordering::Acquire);
+        self.sync_acquire(SyncToken::Atomic { addr: addr.0 });
+        v
     }
 
     /// Release-ordered u64 store.
     #[inline]
     pub fn store_release_u64(&self, addr: PAddr, val: u64) {
         self.check(addr, 8, 8);
+        self.sync_release(SyncToken::Atomic { addr: addr.0 });
         self.emit(|| TraceEvent::store(trace_tid(), addr.0, &val.to_ne_bytes()));
         if let Some(sim) = &self.sim {
             let line = addr.line();

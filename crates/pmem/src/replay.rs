@@ -52,6 +52,8 @@ pub fn is_crash_point(ev: &TraceEvent) -> bool {
         | TraceEvent::PersistAll => true,
         TraceEvent::Crash { .. } | TraceEvent::Restore => false,
         TraceEvent::Marker { .. } => is_protocol_point(ev),
+        // Sync edges and loads never change the reachable-image set.
+        TraceEvent::SyncRel { .. } | TraceEvent::SyncAcq { .. } | TraceEvent::Load { .. } => false,
     }
 }
 
@@ -220,6 +222,9 @@ impl Replayer {
                 self.pending.clear();
             }
             TraceEvent::Marker { .. } => {}
+            // Happens-before edges and traced loads carry no bytes: the
+            // replayed images are unaffected.
+            TraceEvent::SyncRel { .. } | TraceEvent::SyncAcq { .. } | TraceEvent::Load { .. } => {}
         }
     }
 

@@ -93,6 +93,42 @@ pub enum TraceMarker {
     RecoveryEnd { epoch: u64 },
     /// A thread passed the restart point `id` (diagnostic context only).
     RestartPoint { slot: u64, id: u64 },
+    /// A thread hit the on-demand push-out guard: the cell at `addr` still
+    /// carries the draining epoch's tag, so the thread must flush the line
+    /// and wait for the drain commit before overwriting the backup slot.
+    /// The race detector requires the thread's next store to that line to
+    /// be HB-after the drain's commit release.
+    DrainPushOut { addr: u64 },
+}
+
+/// Identity of a synchronization object for happens-before edges. A
+/// [`TraceEvent::SyncRel`] on a token publishes the releasing thread's
+/// vector clock into the token; a [`TraceEvent::SyncAcq`] joins the token's
+/// clock into the acquiring thread — the standard release/acquire
+/// vector-clock discipline (FastTrack-style, over the trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncToken {
+    /// A region-level atomic word (`cas_u64` / `load_acquire_u64` /
+    /// `store_release_u64`), identified by its region offset.
+    Atomic { addr: u64 },
+    /// A per-thread quiescence flag (`flags[slot]`): released when the
+    /// owner parks or deregisters, acquired by the checkpointer when it
+    /// observes the flag raised.
+    Flag { slot: u64 },
+    /// The global checkpoint timer: released by the checkpointer when it
+    /// un-quiesces the threads, acquired by each thread that observes the
+    /// timer cleared and resumes.
+    Timer,
+    /// The asynchronous-drain handshake word (`drain_active`): released by
+    /// the drain commit, acquired by a thread leaving the push-out wait.
+    Drain,
+    /// A mutex guarding pool stores (checkpoint serialization lock, data
+    /// structure bucket locks), identified by the lock's address.
+    Lock { id: u64 },
+    /// A channel hand-off (flusher job acknowledgements), identified by the
+    /// shared job's address: released by the sender after its fences,
+    /// acquired by the receiver.
+    Chan { id: u64 },
 }
 
 /// Maximum payload bytes carried inline by one [`TraceEvent::Store`].
@@ -188,6 +224,18 @@ pub enum TraceEvent {
     PersistAll,
     /// A semantic runtime marker. See [`TraceMarker`].
     Marker { tid: u64, marker: TraceMarker },
+    /// Thread `tid` released `token`: everything `tid` did before this
+    /// event happens-before whatever follows a later `SyncAcq` of the same
+    /// token. Emitted *before* the releasing store, so observation order
+    /// can never show the matching acquire first.
+    SyncRel { tid: u64, token: SyncToken },
+    /// Thread `tid` acquired `token` (observed a released value). Emitted
+    /// *after* the acquiring observation.
+    SyncAcq { tid: u64, token: SyncToken },
+    /// Thread `tid` loaded from cache line `line`. Only emitted while the
+    /// region's load tracing is enabled (recovery turns it on) — loads are
+    /// otherwise not persistence-relevant and stay untraced.
+    Load { tid: u64, line: u64 },
 }
 
 impl TraceEvent {

@@ -28,7 +28,7 @@
 //! list is lost in a crash — those blocks leak, which is safe (documented
 //! trade-off; Montage's epoch retirement makes the same compromise).
 
-use respct_pmem::{align_up, PAddr};
+use respct_pmem::{align_up, PAddr, SyncToken};
 
 use crate::layout::{self, class_of, class_size};
 use crate::pool::{Pool, SYSTEM_SLOT};
@@ -72,6 +72,10 @@ impl Pool {
     }
 
     /// Serves one block of class `c`: free list first, then the slot chunk.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Self::alloc_raw`]: the caller owns `slot`.
     unsafe fn alloc_class(&self, slot: usize, c: usize) -> PAddr {
         // Free-list pop: volatile head under the class lock; the persistent
         // head cell is synced at the next checkpoint.
@@ -80,6 +84,11 @@ impl Pool {
             if *head != 0 {
                 let block = *head;
                 *head = self.region.load(PAddr(block));
+                // The checkpointer stored this block's link word under the
+                // same lock ([`Pool::push_frees`]); joining its published
+                // clock orders our upcoming payload stores after that
+                // write for the happens-before race detector.
+                self.region.sync_acquire(self.class_lock_token(c));
                 return PAddr(block);
             }
         }
@@ -230,6 +239,20 @@ impl Pool {
             // SAFETY: forwarded caller contract (checkpointer exclusivity).
             unsafe { self.add_modified_raw(slot, addr, 8) };
             *head = addr.0;
+            // Publish the link-word store to whichever thread pops this
+            // block: on the asynchronous path this runs after the drain
+            // released the application threads, so the class lock is the
+            // only ordering between the store above and the popper's
+            // payload writes.
+            self.region.sync_release(self.class_lock_token(c));
+        }
+    }
+
+    /// Happens-before token of a class free-list lock, keyed on the mutex
+    /// address (stable for the pool's lifetime).
+    fn class_lock_token(&self, c: usize) -> SyncToken {
+        SyncToken::Lock {
+            id: std::ptr::from_ref(&self.class_heads[c]) as u64,
         }
     }
 

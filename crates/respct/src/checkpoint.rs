@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
-use respct_pmem::{Region, TraceMarker};
+use respct_pmem::{Region, SyncToken, TraceMarker};
 
 use crate::layout::{MAX_THREADS, OFF_EPOCH, OFF_EPOCH_STATE};
 use crate::pool::{CheckpointMode, Pool, SYSTEM_SLOT};
@@ -106,7 +106,7 @@ impl Pool {
     ///
     /// [`ThreadHandle::checkpoint_here`]: crate::thread::ThreadHandle::checkpoint_here
     pub fn checkpoint_now(&self) -> CkptReport {
-        let _serial = self.ckpt_lock.lock();
+        let _serial = self.lock_ckpt();
         let t0 = Instant::now();
         self.timer.store(true, Ordering::SeqCst);
         // Wait until every active thread is parked at a restart point
@@ -125,6 +125,11 @@ impl Pool {
                     std::thread::yield_now();
                 }
             }
+            // We observed the slot's raised flag: everything its owner did
+            // before parking (stores, tracking-list pushes) happens-before
+            // the checkpoint work below.
+            self.region
+                .sync_acquire(SyncToken::Flag { slot: slot as u64 });
         }
         let waited = t0.elapsed();
         let closing = self.epoch_mirror.load(Ordering::Relaxed);
@@ -205,6 +210,9 @@ impl Pool {
         unsafe { self.drain_frees(SYSTEM_SLOT) };
 
         let stw = t0.elapsed();
+        // Release before the timer store: parked threads resume only after
+        // observing `timer == false`, so their acquire follows this edge.
+        self.region.sync_release(SyncToken::Timer);
         self.timer.store(false, Ordering::SeqCst);
         CkptReport {
             closed_epoch: closing,
@@ -260,6 +268,7 @@ impl Pool {
         self.region
             .trace_marker(TraceMarker::DrainBegin { epoch: closing });
         let stw = t0.elapsed();
+        self.region.sync_release(SyncToken::Timer);
         self.timer.store(false, Ordering::SeqCst);
 
         // Background drain: application threads are running epoch N + 1
@@ -289,6 +298,10 @@ impl Pool {
         self.region.psync();
         self.region
             .trace_marker(TraceMarker::DrainCommit { epoch: closing });
+        // Release before clearing `drain_active`: a thread leaving the
+        // push-out wait acquires this edge, ordering its backup overwrite
+        // after the two-phase commit.
+        self.region.sync_release(SyncToken::Drain);
         self.drain_active.store(false, Ordering::Release);
 
         // SAFETY: this thread is the checkpointer, holds `ckpt_lock`, and
@@ -356,9 +369,17 @@ impl Pool {
             .then(|| shards.iter().rposition(|s| !s.is_empty()).unwrap());
         #[cfg(not(feature = "fault-inject"))]
         let (skip_one, skip_fence, skip_fence_shard) = (false, false, None::<usize>);
+        #[cfg(feature = "fault-inject")]
+        let drop_ack_edge = self.take_fault(crate::pool::Fault::DropSyncEdge(
+            crate::pool::SyncEdgeSite::FlusherAck,
+        ));
+        #[cfg(not(feature = "fault-inject"))]
+        let drop_ack_edge = false;
 
         match &self.flushers {
-            Some(pool) if !skip_one && !skip_fence => pool.flush_shards(shards, skip_fence_shard),
+            Some(pool) if !skip_one && !skip_fence => {
+                pool.flush_shards(shards, skip_fence_shard, drop_ack_edge)
+            }
             _ => self.flush_inline(shards, skip_one, skip_fence, skip_fence_shard),
         }
     }
@@ -517,6 +538,18 @@ struct ShardJob {
     next: AtomicUsize,
     /// Fault injection: the worker that claims this shard skips its fence.
     skip_fence_shard: Option<usize>,
+    /// Fault injection: the first worker to finish this job does not report
+    /// the release edge its acknowledgement carries (one-shot).
+    drop_ack_edge: std::sync::atomic::AtomicBool,
+}
+
+impl ShardJob {
+    /// The happens-before token of this job's acknowledgement channel.
+    fn chan_token(self: &Arc<Self>) -> SyncToken {
+        SyncToken::Chan {
+            id: Arc::as_ptr(self) as u64,
+        }
+    }
 }
 
 /// A fixed pool of threads that write back flush shards in parallel.
@@ -524,6 +557,7 @@ pub(crate) struct FlusherPool {
     workers: Vec<std::thread::JoinHandle<()>>,
     job_tx: Sender<Arc<ShardJob>>,
     done_rx: Receiver<()>,
+    region: Arc<Region>,
     n: usize,
 }
 
@@ -542,6 +576,12 @@ impl FlusherPool {
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
                             Self::work(&region, &job);
+                            // The ack publishes this worker's fences to the
+                            // checkpointer: release before sending (unless a
+                            // DropSyncEdge(FlusherAck) fault ate the edge).
+                            if !job.drop_ack_edge.swap(false, Ordering::Relaxed) {
+                                region.sync_release(job.chan_token());
+                            }
                             if tx.send(()).is_err() {
                                 break;
                             }
@@ -554,6 +594,7 @@ impl FlusherPool {
             workers,
             job_tx,
             done_rx,
+            region,
             n,
         }
     }
@@ -616,6 +657,7 @@ impl FlusherPool {
         &self,
         shards: Vec<Vec<u64>>,
         skip_fence_shard: Option<usize>,
+        drop_ack_edge: bool,
     ) -> (u64, Vec<ShardReport>) {
         let tasks: Vec<ShardTask> = shards
             .into_iter()
@@ -636,6 +678,7 @@ impl FlusherPool {
             tasks,
             next: AtomicUsize::new(0),
             skip_fence_shard,
+            drop_ack_edge: std::sync::atomic::AtomicBool::new(drop_ack_edge),
         });
         // One message per worker. A fast worker may consume several
         // messages; the extra receives claim nothing and ack immediately,
@@ -648,6 +691,10 @@ impl FlusherPool {
         }
         for _ in 0..self.n {
             self.done_rx.recv().expect("flusher pool alive");
+            // Each ack received joins that worker's fences into the
+            // checkpointer's clock: the epoch commit that follows is
+            // provably HB-after every shard write-back.
+            self.region.sync_acquire(job.chan_token());
         }
         let mut total = 0u64;
         let mut reports = Vec::with_capacity(job.tasks.len());
@@ -767,7 +814,7 @@ mod tests {
             shards[shard_of_line(line, nshards)].push(line);
         }
         let pool = FlusherPool::new(4, Arc::clone(&region));
-        let (total, reports) = pool.flush_shards(shards, None);
+        let (total, reports) = pool.flush_shards(shards, None, false);
         drop(pool);
         assert_eq!(total, 100);
         assert_eq!(reports.iter().map(|r| r.lines).sum::<u64>(), 100);

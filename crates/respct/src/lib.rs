@@ -74,6 +74,7 @@ mod pool;
 mod recovery;
 mod registry;
 mod stats;
+mod sync;
 mod thread;
 mod verify;
 
@@ -83,13 +84,14 @@ pub use condvar::RCondvar;
 pub use error::PoolError;
 pub use incll::{cell_layout, epoch_tag, tag_epoch, ICell};
 pub use metrics::RuntimeMetrics;
-#[cfg(feature = "fault-inject")]
-pub use pool::Fault;
 pub use pool::{
     CheckpointMode, Pool, PoolConfig, PoolConfigBuilder, MAX_FLUSHERS, MAX_FLUSH_SHARDS,
 };
+#[cfg(feature = "fault-inject")]
+pub use pool::{Fault, SyncEdgeSite};
 pub use recovery::{RecoveryOptions, RecoveryReport};
 pub use stats::{CkptSnapshot, CkptStats};
+pub use sync::{TracedGuard, TracedMutex};
 pub use thread::{AllowGuard, RpId, ThreadHandle};
 pub use verify::{VerifyReport, Violation, ViolationKind};
 

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 
-use respct_pmem::{PAddr, Pod, Region, TraceMarker};
+use respct_pmem::{PAddr, Pod, Region, SyncToken, TraceMarker};
 
 use crate::incll::{cell_layout, ICell};
 use crate::layout::{
@@ -60,6 +60,29 @@ pub enum Fault {
     /// the two-phase commit's characteristic bug (committing a drain whose
     /// write-backs are not durable).
     SkipDrainCommitOrder,
+    /// The next happens-before edge at the given site is *not* reported to
+    /// the trace sink (the runtime still synchronizes — only the edge the
+    /// race detector relies on disappears). Proves each race-detector rule
+    /// non-vacuous without actually corrupting the execution.
+    DropSyncEdge(SyncEdgeSite),
+}
+
+/// Which synchronization edge [`Fault::DropSyncEdge`] suppresses.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncEdgeSite {
+    /// The release edge of the next [`TracedMutex`](crate::TracedMutex)
+    /// guard drop: the next thread through that lock appears unsynchronized
+    /// with this one's stores — a persist race (rule a).
+    LockRelease,
+    /// The release edge a flusher worker publishes with its shard
+    /// acknowledgement: the epoch commit appears not HB-after that worker's
+    /// fences — an un-ordered commit (rule b).
+    FlusherAck,
+    /// The acquire edge a thread takes when its push-out wait observes the
+    /// drain commit: the thread's backup overwrite appears unordered with
+    /// the two-phase commit (rule b, push-out leg).
+    DrainHandshake,
 }
 
 /// Pool construction parameters.
@@ -428,7 +451,7 @@ impl Pool {
         let free: Vec<usize> = (1..MAX_THREADS).rev().collect();
         let metrics = Arc::new(crate::metrics::RuntimeMetrics::new(cfg.metrics));
         metrics.register_pmem(region.stats());
-        Arc::new(Pool {
+        let pool = Arc::new(Pool {
             region,
             cfg,
             nshards,
@@ -448,7 +471,14 @@ impl Pool {
             flushers,
             #[cfg(feature = "fault-inject")]
             fault: Mutex::new(None),
-        })
+        });
+        // Publish the constructing thread's work (header format, recovery
+        // phase-1 rollbacks) on the checkpoint-lock token: the first
+        // `register()` acquires it, so pool construction happens-before
+        // every handle's stores in the trace — matching the real `Arc`
+        // hand-off that publishes the pool to other threads.
+        pool.region.sync_release(pool.ckpt_lock_token());
+        pool
     }
 
     /// Arms a one-shot persistency fault. Test-only: lets the analysis
@@ -473,6 +503,23 @@ impl Pool {
     /// The underlying region.
     pub fn region(&self) -> &Arc<Region> {
         &self.region
+    }
+
+    /// The happens-before token identifying `ckpt_lock` in the trace.
+    pub(crate) fn ckpt_lock_token(&self) -> SyncToken {
+        SyncToken::Lock {
+            id: &self.ckpt_lock as *const Mutex<()> as u64,
+        }
+    }
+
+    /// Takes the checkpoint-serialization lock, reporting acquire/release
+    /// happens-before edges to the trace sink. Every `ckpt_lock` user goes
+    /// through this so registration, deregistration, and checkpoints are
+    /// visibly ordered in the trace.
+    pub(crate) fn lock_ckpt(&self) -> CkptLockGuard<'_> {
+        let guard = self.ckpt_lock.lock();
+        self.region.sync_acquire(self.ckpt_lock_token());
+        CkptLockGuard { pool: self, guard }
     }
 
     /// The current epoch number.
@@ -629,6 +676,8 @@ impl Pool {
     /// progress never depends on application locks.
     #[cold]
     fn push_out_pending_line(&self, addr: PAddr) {
+        self.region
+            .trace_marker(TraceMarker::DrainPushOut { addr: addr.0 });
         self.region.pwb_line(addr.line());
         self.region.psync();
         self.metrics.on_drain_pushout();
@@ -641,6 +690,13 @@ impl Pool {
                 std::thread::yield_now();
             }
         }
+        // The loop exit observed the drain commit's release store: the
+        // backup overwrite that follows is HB-after the two-phase commit.
+        #[cfg(feature = "fault-inject")]
+        if self.take_fault(Fault::DropSyncEdge(SyncEdgeSite::DrainHandshake)) {
+            return;
+        }
+        self.region.sync_acquire(SyncToken::Drain);
     }
 
     /// `init_InCLL` (paper Fig. 4, lines 19–23): writes all three fields,
@@ -775,6 +831,21 @@ impl Pool {
     /// Per-slot header cell handles.
     pub(crate) fn slot_cell(&self, slot: usize, field: u64) -> ICell<u64> {
         ICell::from_addr(PAddr(layout::slot_base(slot).0 + field))
+    }
+}
+
+/// Guard for [`Pool::lock_ckpt`]: reports the release edge just before the
+/// lock is dropped (field order: the edge is emitted in `drop`, then the
+/// inner guard unlocks).
+pub(crate) struct CkptLockGuard<'a> {
+    pool: &'a Pool,
+    #[allow(dead_code)]
+    guard: parking_lot::MutexGuard<'a, ()>,
+}
+
+impl Drop for CkptLockGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.region.sync_release(self.pool.ckpt_lock_token());
     }
 }
 

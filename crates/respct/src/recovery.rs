@@ -24,7 +24,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use respct_pmem::{PAddr, Region, TraceMarker};
+use respct_pmem::{PAddr, Region, SyncToken, TraceMarker};
 
 use crate::layout::{
     self, CellLayout, MAGIC, MAX_THREADS, NUM_CLASSES, OFF_BUMP, OFF_EPOCH, OFF_EPOCH_STATE,
@@ -131,6 +131,15 @@ pub struct RecoveryReport {
     pub duration: Duration,
     /// Worker threads used for the registry scan.
     pub threads: usize,
+}
+
+/// The happens-before token for the parallel registry scan's fork/join:
+/// every worker releases it before finishing, the coordinating thread
+/// acquires it once after the scope join.
+fn recovery_join_token(region: &Region) -> SyncToken {
+    SyncToken::Chan {
+        id: region as *const Region as u64,
+    }
 }
 
 /// Restores `record` from `backup` if the cell was touched in the failed
@@ -280,6 +289,9 @@ impl Pool {
             s => panic!("corrupt drain-state word {s} for epoch {recorded_epoch}"),
         };
         region.trace_marker(TraceMarker::RecoveryBegin { failed_epoch });
+        // Recovery-time reads are what rule (c) of the race detector
+        // audits: surface them as Load events for the recovery window.
+        region.set_trace_loads(true);
 
         let u64_layout = CellLayout::new(8, 8);
         let mut lines: Vec<u64> = Vec::new();
@@ -359,6 +371,7 @@ impl Pool {
                             });
                             slot += threads;
                         }
+                        region.sync_release(recovery_join_token(region));
                         (scanned, rolled, lines)
                     }));
                 }
@@ -367,6 +380,10 @@ impl Pool {
                     .map(|j| j.join().expect("recovery worker"))
                     .collect()
             });
+            // The scope join is a real happens-before edge from every
+            // worker to this thread; report it so the workers' rollback
+            // stores are visibly ordered before post-recovery execution.
+            region.sync_acquire(recovery_join_token(&region));
             for (s, r, mut l) in results {
                 scanned += s;
                 rolled += r;
@@ -404,9 +421,14 @@ impl Pool {
             region.pwb(OFF_EPOCH);
             region.psync();
         }
+        region.set_trace_loads(false);
         region.trace_marker(TraceMarker::RecoveryEnd {
             epoch: failed_epoch,
         });
+        // Re-publish on the checkpoint-lock token: everything recovery
+        // wrote (rollbacks, epoch-record repair) happens-before the first
+        // post-recovery `register()`.
+        region.sync_release(pool.ckpt_lock_token());
 
         let report = RecoveryReport {
             failed_epoch,

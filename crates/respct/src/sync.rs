@@ -1,0 +1,127 @@
+//! Trace-visible synchronization primitives.
+//!
+//! The happens-before race detector (`respct-analysis`) reconstructs the
+//! program's synchronization order from [`SyncRel`]/[`SyncAcq`] events in
+//! the region trace. Runtime-internal synchronization (quiescence flags,
+//! the checkpoint timer, the drain handshake, flusher acknowledgements)
+//! emits those edges directly — but the locks *applications and data
+//! structures* use to order their pool stores are ordinary mutexes the
+//! region never sees. [`TracedMutex`] is the bridge: a `parking_lot` mutex
+//! that reports its acquire/release pairs to the pool's trace sink, so a
+//! store protected by it is provably ordered and not a persist race.
+//!
+//! Emission is zero-cost when the pool's region has no sink attached.
+//!
+//! [`SyncRel`]: respct_pmem::TraceEvent::SyncRel
+//! [`SyncAcq`]: respct_pmem::TraceEvent::SyncAcq
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use respct_pmem::SyncToken;
+
+use crate::pool::Pool;
+
+/// A mutex whose acquire/release edges are visible in the region trace.
+///
+/// Use it (instead of a plain `parking_lot::Mutex`) for any lock that
+/// guards stores to pool memory: the race detector treats unsynchronized
+/// cross-thread stores to the same InCLL-bearing cache line within one
+/// epoch as a persist race, and only traced edges count as
+/// synchronization.
+pub struct TracedMutex<T> {
+    pool: Arc<Pool>,
+    inner: Mutex<T>,
+}
+
+impl<T> TracedMutex<T> {
+    /// Wraps `value` in a traced mutex belonging to `pool`.
+    pub fn new(pool: &Arc<Pool>, value: T) -> TracedMutex<T> {
+        TracedMutex {
+            pool: Arc::clone(pool),
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// The happens-before token identifying this lock in the trace. Stable
+    /// once the `TracedMutex` has its final address (lock creation is
+    /// expected to finish before the structure is shared across threads —
+    /// the same precondition any `&self`-based sharing already has).
+    fn token(&self) -> SyncToken {
+        SyncToken::Lock {
+            id: &self.inner as *const Mutex<T> as u64,
+        }
+    }
+
+    /// Acquires the lock, reporting the acquire edge after the lock is
+    /// held. The returned guard reports the release edge just before
+    /// unlocking.
+    pub fn lock(&self) -> TracedGuard<'_, T> {
+        let guard = self.inner.lock();
+        self.pool.region().sync_acquire(self.token());
+        TracedGuard {
+            lock: self,
+            guard: Some(guard),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for TracedMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracedMutex")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// RAII guard for [`TracedMutex::lock`].
+#[must_use = "releasing the guard immediately defeats the lock"]
+pub struct TracedGuard<'a, T> {
+    lock: &'a TracedMutex<T>,
+    /// `Some` for the guard's whole life; taken only in `drop`/`wait` so
+    /// the release edge can be emitted *before* the inner unlock.
+    guard: Option<MutexGuard<'a, T>>,
+}
+
+impl<T> TracedGuard<'_, T> {
+    /// Waits on `cv`, releasing and re-acquiring the lock's happens-before
+    /// edges around the blocking wait (condition-variable hand-off is a
+    /// release/acquire pair like any other unlock/lock).
+    pub fn wait(&mut self, cv: &Condvar) {
+        let region = self.lock.pool.region();
+        region.sync_release(self.lock.token());
+        cv.wait(self.guard.as_mut().expect("guard present outside drop"));
+        region.sync_acquire(self.lock.token());
+    }
+}
+
+impl<T> Deref for TracedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present outside drop")
+    }
+}
+
+impl<T> DerefMut for TracedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present outside drop")
+    }
+}
+
+impl<T> Drop for TracedGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "fault-inject")]
+        let dropped = self.lock.pool.take_fault(crate::pool::Fault::DropSyncEdge(
+            crate::pool::SyncEdgeSite::LockRelease,
+        ));
+        #[cfg(not(feature = "fault-inject"))]
+        let dropped = false;
+        if !dropped {
+            self.lock.pool.region().sync_release(self.lock.token());
+        }
+        // Unlock strictly after the release edge has been reported.
+        drop(self.guard.take());
+    }
+}

@@ -12,7 +12,7 @@ use std::marker::PhantomData;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use respct_pmem::{PAddr, Pod};
+use respct_pmem::{PAddr, Pod, SyncToken};
 
 use crate::incll::ICell;
 use crate::layout::{self, MAX_THREADS};
@@ -71,7 +71,7 @@ impl Pool {
     ///
     /// Panics if all thread slots are taken.
     pub fn register(self: &Arc<Self>) -> ThreadHandle {
-        let _serial = self.ckpt_lock.lock();
+        let _serial = self.lock_ckpt();
         let slot = self
             .free_slots
             .lock()
@@ -97,8 +97,9 @@ impl Drop for ThreadHandle {
         // a checkpoint already in progress is waiting for this flag, and
         // we will make no further persistent writes. The SeqCst store also
         // publishes our tracking-list pushes to the checkpointer.
+        self.pool.region.sync_release(self.flag_token());
         self.pool.flags[self.slot].store(true, Ordering::SeqCst);
-        let _serial = self.pool.ckpt_lock.lock();
+        let _serial = self.pool.lock_ckpt();
         self.pool.active[self.slot].store(false, Ordering::SeqCst);
         self.pool.free_slots.lock().push(self.slot);
         // The flag stays true: an unowned slot never blocks checkpoints.
@@ -114,6 +115,16 @@ impl ThreadHandle {
     /// The thread slot index backing this handle (diagnostics).
     pub fn slot(&self) -> usize {
         self.slot
+    }
+
+    /// The happens-before token of this slot's quiescence flag. Raising
+    /// the flag is a release (the checkpointer acquires it when it observes
+    /// the raise); resuming after a checkpoint acquires [`SyncToken::Timer`]
+    /// (released by the checkpointer when it un-quiesces the threads).
+    fn flag_token(&self) -> SyncToken {
+        SyncToken::Flag {
+            slot: self.slot as u64,
+        }
     }
 
     // ---- InCLL API (paper Table 1) -----------------------------------
@@ -250,6 +261,7 @@ impl ThreadHandle {
         let metrics = self.pool.runtime_metrics();
         let t0 = metrics.enabled().then(std::time::Instant::now);
         loop {
+            self.pool.region.sync_release(self.flag_token());
             self.pool.flags[self.slot].store(true, Ordering::SeqCst);
             let mut spins = 0u32;
             while self.pool.timer.load(Ordering::SeqCst) {
@@ -265,6 +277,10 @@ impl ThreadHandle {
                 break;
             }
         }
+        // We observed the checkpointer clearing `timer`: everything the
+        // checkpoint did (epoch advance, deferred-cell sync, free-list
+        // drain) happens-before our next persistent write.
+        self.pool.region.sync_acquire(SyncToken::Timer);
         if let Some(t0) = t0 {
             metrics.on_rp_stall(self.slot, t0.elapsed().as_nanos() as u64);
         }
@@ -291,6 +307,7 @@ impl ThreadHandle {
     }
 
     fn allow_raw(&self) {
+        self.pool.region.sync_release(self.flag_token());
         self.pool.flags[self.slot].store(true, Ordering::SeqCst);
     }
 
@@ -298,6 +315,9 @@ impl ThreadHandle {
         loop {
             self.pool.flags[self.slot].store(false, Ordering::SeqCst);
             if !self.pool.timer.load(Ordering::SeqCst) {
+                // No checkpoint pending (or one just finished): acquire the
+                // checkpointer's timer release before touching pool state.
+                self.pool.region.sync_acquire(SyncToken::Timer);
                 return;
             }
             self.park_for_checkpoint();
@@ -312,9 +332,11 @@ impl ThreadHandle {
         loop {
             self.pool.flags[self.slot].store(false, Ordering::SeqCst);
             if !self.pool.timer.load(Ordering::SeqCst) {
+                self.pool.region.sync_acquire(SyncToken::Timer);
                 return guard;
             }
             // A checkpoint started while we were blocked: let it finish.
+            self.pool.region.sync_release(self.flag_token());
             self.pool.flags[self.slot].store(true, Ordering::SeqCst);
             drop(guard);
             let mut spins = 0u32;
@@ -333,6 +355,7 @@ impl ThreadHandle {
     /// Runs a checkpoint from this thread (tests / single-threaded apps):
     /// parks the calling handle as if at an RP, then drives the checkpoint.
     pub fn checkpoint_here(&self) -> crate::checkpoint::CkptReport {
+        self.pool.region.sync_release(self.flag_token());
         self.pool.flags[self.slot].store(true, Ordering::SeqCst);
         let report = self.pool.checkpoint_now();
         // Lower the flag with the full prevent protocol: another thread's

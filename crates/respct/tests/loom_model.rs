@@ -1,0 +1,162 @@
+//! Loom models of the two ResPCT protocol points whose correctness depends
+//! on fine-grained interleavings: the **AllowGuard quiescence handshake**
+//! (checkpoint timer / per-thread flag, checkpoint.rs) and the **two-phase
+//! epoch commit with the on-demand push-out wait** (drain_async +
+//! `push_out_pending_line`, pool.rs).
+//!
+//! The models are abstract — a handful of loom atomics standing in for the
+//! real fields — because the runtime itself uses std atomics. Each model
+//! states the invariant the real code relies on and asserts it inside the
+//! interleaved threads, so a protocol regression reproduces here as a
+//! model panic long before it shows up as a corrupt recovery.
+//!
+//! Run with: `cargo test -p respct --features loom --test loom_model`
+//! (`LOOM_MAX_ITERS` scales the schedule count).
+#![cfg(feature = "loom")]
+
+use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use loom::sync::Arc;
+
+/// AllowGuard quiescence: the checkpointer must not read a worker's
+/// tracking state until it has observed the worker's raised flag, and the
+/// worker must not mutate it again until the timer drops.
+///
+/// Model: the worker "tracking list" is a plain counter guarded only by
+/// the protocol (no lock). `dirty` is set around every worker mutation;
+/// the checkpointer asserts it is clear for the whole gather window.
+#[test]
+fn allowguard_quiescence_excludes_tracking_mutation() {
+    loom::model(|| {
+        let timer = Arc::new(AtomicBool::new(false));
+        let flag = Arc::new(AtomicBool::new(false));
+        let dirty = Arc::new(AtomicBool::new(false));
+        let list = Arc::new(AtomicU64::new(0));
+
+        let worker = {
+            let (timer, flag, dirty, list) =
+                (timer.clone(), flag.clone(), dirty.clone(), list.clone());
+            loom::thread::spawn(move || {
+                // Runs until a checkpoint is pending, then parks exactly
+                // once (the checkpointer raises the timer unconditionally,
+                // so the loop always terminates).
+                loop {
+                    // Mutation window (tracking-list push in the runtime).
+                    dirty.store(true, Ordering::SeqCst);
+                    list.fetch_add(1, Ordering::SeqCst);
+                    dirty.store(false, Ordering::SeqCst);
+                    // Restart point: park if a checkpoint is pending.
+                    if timer.load(Ordering::SeqCst) {
+                        flag.store(true, Ordering::SeqCst);
+                        while timer.load(Ordering::SeqCst) {
+                            loom::hint::spin_loop();
+                        }
+                        flag.store(false, Ordering::SeqCst);
+                        break;
+                    }
+                }
+            })
+        };
+
+        // Checkpointer: raise the timer, await the flag, gather, release.
+        timer.store(true, Ordering::SeqCst);
+        while !flag.load(Ordering::SeqCst) {
+            loom::hint::spin_loop();
+        }
+        assert!(
+            !dirty.load(Ordering::SeqCst),
+            "gather observed a mid-flight tracking mutation"
+        );
+        let a = list.load(Ordering::SeqCst);
+        let b = list.load(Ordering::SeqCst);
+        assert_eq!(a, b, "tracking list changed during the gather window");
+        timer.store(false, Ordering::SeqCst);
+        worker.join().expect("worker");
+    });
+}
+
+/// Two-phase epoch commit + push-out: a worker that hits a draining cell
+/// pushes the line out and must not overwrite its backup slot until the
+/// drain's phase-two commit (`state ← 0`) has landed — until then a crash
+/// rolls the drained epoch back and still needs the old backup.
+///
+/// Model: `backup_owed` is true while recovery would still read the
+/// backup. The committer clears `state` only after the (modeled) shard
+/// flush; the worker overwrites the backup only after its push-out wait.
+#[test]
+fn pushout_wait_orders_backup_overwrite_after_commit() {
+    loom::model(|| {
+        let state = Arc::new(AtomicU64::new(0)); // 0 = committed, N = draining
+        let drain_active = Arc::new(AtomicBool::new(false));
+        let flushed = Arc::new(AtomicBool::new(false));
+        let backup_owed = Arc::new(AtomicBool::new(false));
+
+        // Phase one (threads parked in the runtime): publish the draining
+        // record, then release the worker.
+        state.store(7, Ordering::SeqCst);
+        backup_owed.store(true, Ordering::SeqCst);
+        drain_active.store(true, Ordering::SeqCst);
+
+        let committer = {
+            let (state, drain_active, flushed, backup_owed) = (
+                state.clone(),
+                drain_active.clone(),
+                flushed.clone(),
+                backup_owed.clone(),
+            );
+            loom::thread::spawn(move || {
+                // Background drain: write the snapshot back, then commit.
+                flushed.store(true, Ordering::SeqCst);
+                backup_owed.store(false, Ordering::SeqCst);
+                state.store(0, Ordering::SeqCst);
+                // Release edge: `drain_active` clears strictly after the
+                // commit store (pool.rs drains in exactly this order).
+                drain_active.store(false, Ordering::SeqCst);
+            })
+        };
+
+        // Worker: first touch of a draining cell → push-out, wait, then
+        // overwrite the backup slot for the new epoch.
+        if drain_active.load(Ordering::SeqCst) {
+            while drain_active.load(Ordering::SeqCst) {
+                loom::hint::spin_loop();
+            }
+        }
+        assert!(
+            !backup_owed.load(Ordering::SeqCst),
+            "backup overwritten while recovery could still roll back to it"
+        );
+        assert_eq!(state.load(Ordering::SeqCst), 0, "commit not durable yet");
+        assert!(flushed.load(Ordering::SeqCst), "commit preceded the flush");
+        committer.join().expect("committer");
+    });
+}
+
+/// The inverse schedule: skipping the push-out wait (the bug the
+/// `DrainHandshake` fault injects) lets at least one schedule overwrite
+/// the backup pre-commit — the model is not vacuously safe.
+#[test]
+fn skipping_the_pushout_wait_is_observably_wrong() {
+    let saw_violation = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let saw = saw_violation.clone();
+    loom::model(move || {
+        let drain_active = Arc::new(AtomicBool::new(true));
+        let backup_owed = Arc::new(AtomicBool::new(true));
+
+        let committer = {
+            let (drain_active, backup_owed) = (drain_active.clone(), backup_owed.clone());
+            loom::thread::spawn(move || {
+                backup_owed.store(false, Ordering::SeqCst);
+                drain_active.store(false, Ordering::SeqCst);
+            })
+        };
+        // Buggy worker: overwrites without waiting for the commit.
+        if backup_owed.load(Ordering::SeqCst) {
+            saw.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+        committer.join().expect("committer");
+    });
+    assert!(
+        saw_violation.load(std::sync::atomic::Ordering::SeqCst),
+        "no schedule exposed the unordered overwrite; the model lost its teeth"
+    );
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for [loom](https://docs.rs/loom) with the API subset the
+//! workspace's concurrency models use: `loom::model`, `loom::thread`,
+//! `loom::sync::{Arc, atomic}`, and `loom::hint`.
+//!
+//! The real loom exhaustively enumerates interleavings under a C11-style
+//! memory model. This stand-in is deliberately more modest — it is a
+//! **schedule-randomizing stress harness**: `model` runs the closure many
+//! times, and every atomic operation consults a per-thread deterministic
+//! RNG (seeded per iteration) to decide whether to yield first. That
+//! perturbs the scheduler at exactly the points loom would branch on, which
+//! in practice flushes out ordering bugs in small models quickly, while
+//! keeping the same source-level API so the models port to real loom
+//! unchanged when the registry is reachable.
+//!
+//! Knobs (environment):
+//!
+//! * `LOOM_MAX_ITERS` — schedules to run per `model` call (default 64).
+//! * `LOOM_SEED` — base seed (default 0x5eed).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+/// Base seed for the iteration currently executing inside [`model`].
+static ITER_SEED: AtomicU64 = AtomicU64::new(0);
+/// Distinguishes threads spawned within one iteration.
+static THREAD_SALT: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Splitmix64 step — per-thread, seeded from the iteration seed the first
+/// time the thread touches a loom primitive.
+fn next_rand() -> u64 {
+    RNG.with(|cell| {
+        let mut s = cell.get();
+        if s == 0 {
+            s = ITER_SEED.load(StdOrdering::Relaxed)
+                ^ (THREAD_SALT.fetch_add(1, StdOrdering::Relaxed) + 1)
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+        s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        cell.set(s);
+        z ^ (z >> 31)
+    })
+}
+
+/// The branch point: before each modeled operation, maybe hand the CPU to
+/// another thread. A coarse stand-in for loom's schedule exploration.
+fn schedule_point() {
+    if next_rand().is_multiple_of(4) {
+        std::thread::yield_now();
+    }
+}
+
+/// Runs `f` under many randomized schedules (loom's entry point).
+///
+/// Panics propagate out of the failing iteration with the iteration index
+/// in the message, so a failure is reproducible via `LOOM_SEED`.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters = env_u64("LOOM_MAX_ITERS", 64);
+    let base = env_u64("LOOM_SEED", 0x5eed);
+    for i in 0..iters {
+        ITER_SEED.store(
+            base.wrapping_add(i.wrapping_mul(0x0101_0101)),
+            StdOrdering::Relaxed,
+        );
+        RNG.with(|c| c.set(0));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        if let Err(e) = r {
+            eprintln!("loom (stand-in) model failed on schedule {i} (base seed {base:#x})");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+pub mod hint {
+    /// Spin hint that is also a schedule point.
+    pub fn spin_loop() {
+        super::schedule_point();
+        std::hint::spin_loop();
+    }
+}
+
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawns a model thread; its first operation starts from a fresh
+    /// per-thread RNG stream.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(move || {
+            super::RNG.with(|c| c.set(0));
+            super::schedule_point();
+            f()
+        })
+    }
+
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+pub mod sync {
+    pub use std::sync::Arc;
+
+    use super::schedule_point;
+
+    /// Mutex with loom's infallible `lock` signature.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            schedule_point();
+            self.0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
+
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        use super::super::schedule_point;
+
+        macro_rules! modeled_atomic {
+            ($name:ident, $std:ty, $val:ty) => {
+                /// Atomic whose every access is a schedule point.
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    pub fn new(v: $val) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    pub fn load(&self, order: Ordering) -> $val {
+                        schedule_point();
+                        self.0.load(order)
+                    }
+
+                    pub fn store(&self, v: $val, order: Ordering) {
+                        schedule_point();
+                        self.0.store(v, order);
+                    }
+
+                    pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                        schedule_point();
+                        self.0.swap(v, order)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        schedule_point();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        modeled_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        modeled_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        modeled_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        impl AtomicU64 {
+            pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+                schedule_point();
+                self.0.fetch_add(v, order)
+            }
+        }
+
+        impl AtomicUsize {
+            pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+                schedule_point();
+                self.0.fetch_add(v, order)
+            }
+        }
+
+        pub fn fence(order: Ordering) {
+            schedule_point();
+            std::sync::atomic::fence(order);
+        }
+    }
+}
