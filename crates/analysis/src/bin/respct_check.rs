@@ -263,7 +263,7 @@ fn run_recovery(opts: RunOpts) -> RunOut {
     let sinks = Sinks::attach(&region, opts.races);
     let mut cells = Vec::new();
     {
-        let pool = Pool::create(Arc::clone(&region), cfg).expect("pool");
+        let pool = Pool::create(Arc::clone(&region), cfg.clone()).expect("pool");
         let h = pool.register();
         for i in 0..200u64 {
             cells.push(h.alloc_cell(i));
@@ -276,7 +276,7 @@ fn run_recovery(opts: RunOpts) -> RunOut {
     for round in 0..3u64 {
         let img = region.crash(CrashMode::PowerFailure);
         region.restore(&img);
-        let (pool, _report) = Pool::recover(Arc::clone(&region), cfg).expect("recover");
+        let (pool, _report) = Pool::recover(Arc::clone(&region), cfg.clone()).expect("recover");
         let h = pool.register();
         for (i, c) in cells.iter().enumerate() {
             h.update(*c, (round + 2) * 1_000 + i as u64); // re-execution

@@ -159,7 +159,7 @@ where
             .enumerate()
         {
             images += 1;
-            match Pool::recover_from_image(&image, cfg.pool) {
+            match Pool::recover_from_image(&image, cfg.pool.clone()) {
                 Ok((pool, rec)) => {
                     if let Err(detail) = oracle(&pool, &rec) {
                         diverge(
@@ -314,7 +314,7 @@ pub mod workloads {
         let rec = record_run_with(
             seed,
             ops,
-            cfg.pool,
+            cfg.pool.clone(),
             |h, model: &mut BTreeMap<u64, u64>, r| {
                 let map = if h.pool().root().is_null() {
                     let map = PHashMap::create(h, 32);
@@ -354,7 +354,7 @@ pub mod workloads {
         let rec = record_run_with(
             seed,
             ops,
-            cfg.pool,
+            cfg.pool.clone(),
             |h, model: &mut VecDeque<u64>, r| {
                 let queue = if h.pool().root().is_null() {
                     let q = PQueue::create(h);

@@ -1,0 +1,85 @@
+//! Backend selection shared by all applications.
+//!
+//! Every app's `Mode::Respct` path builds its region through
+//! [`nvmm_config`], so one environment variable swaps the persistence
+//! substrate for the whole suite without touching app code:
+//!
+//! * `RESPCT_BACKEND=optane` (default) — fast mode, calibrated Optane
+//!   latency model (the paper's emulation setup);
+//! * `RESPCT_BACKEND=dram` — fast mode, DRAM latency (no NVMM tax);
+//! * `RESPCT_BACKEND=sim` — the PCSO cache simulator (crash-injectable,
+//!   much slower; for correctness runs);
+//! * `RESPCT_BACKEND=mmap:/path/to/file.pool` — file-backed mmap: the heap
+//!   outlives the process, as on real App-Direct NVMM.
+
+use respct::{RegionConfig, RegionMode};
+use respct_pmem::{latency::LatencyModel, SimConfig};
+
+/// Environment variable naming the persistence backend.
+pub const BACKEND_ENV: &str = "RESPCT_BACKEND";
+
+/// Parses a backend spec (the `RESPCT_BACKEND` syntax above) into a
+/// [`RegionMode`]. Unknown specs return `None`.
+pub fn parse_backend(spec: &str) -> Option<RegionMode> {
+    match spec {
+        "optane" => Some(RegionMode::Fast(LatencyModel::optane())),
+        "dram" | "fast" => Some(RegionMode::Fast(LatencyModel::dram())),
+        "sim" => Some(RegionMode::Sim(SimConfig::no_eviction(0))),
+        _ => spec
+            .strip_prefix("mmap:")
+            .filter(|p| !p.is_empty())
+            .map(|p| RegionMode::Mmap(p.into())),
+    }
+}
+
+/// The NVMM region config every app's ResPCT mode runs on: `size` bytes on
+/// the backend named by `RESPCT_BACKEND` (default: emulated Optane).
+///
+/// # Panics
+///
+/// Panics on an unparseable `RESPCT_BACKEND` value — a misspelled backend
+/// silently falling back to emulation would invalidate a benchmark run.
+pub fn nvmm_config(size: usize) -> RegionConfig {
+    let mode = match std::env::var(BACKEND_ENV) {
+        Ok(spec) => parse_backend(&spec)
+            .unwrap_or_else(|| panic!("unrecognized {BACKEND_ENV} value: {spec:?}")),
+        Err(_) => RegionMode::Fast(LatencyModel::optane()),
+    };
+    RegionConfig::builder()
+        .size(size)
+        .mode(mode)
+        .build()
+        .expect("valid region config")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_specs() {
+        assert!(matches!(
+            parse_backend("optane"),
+            Some(RegionMode::Fast(m)) if !m.is_free()
+        ));
+        assert!(matches!(parse_backend("dram"), Some(RegionMode::Fast(_))));
+        assert!(matches!(parse_backend("sim"), Some(RegionMode::Sim(_))));
+        match parse_backend("mmap:/tmp/x.pool") {
+            Some(RegionMode::Mmap(p)) => assert_eq!(p, std::path::Path::new("/tmp/x.pool")),
+            other => panic!("expected mmap mode, got {other:?}"),
+        }
+        assert!(parse_backend("mmap:").is_none());
+        assert!(parse_backend("pmem").is_none());
+    }
+
+    #[test]
+    fn default_config_is_optane_fast() {
+        // Uses the default arm only if the variable is unset; the test
+        // environment does not set it.
+        if std::env::var(BACKEND_ENV).is_err() {
+            let cfg = nvmm_config(1 << 20);
+            assert_eq!(cfg.size(), 1 << 20);
+            assert!(matches!(cfg.mode(), RegionMode::Fast(_)));
+        }
+    }
+}

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 use respct::{Pool, PoolConfig, RpId, ThreadHandle};
 use respct_ds::{PHashMap, TransientHashMap};
-use respct_pmem::{Region, RegionConfig};
+use respct_pmem::Region;
 
 use crate::Mode;
 
@@ -309,7 +309,7 @@ fn run_inner(
             ),
         ),
         Mode::TransientNvmm => {
-            let region = Region::new(RegionConfig::optane(64 << 20));
+            let region = Region::new(crate::backend::nvmm_config(64 << 20));
             (
                 None,
                 Store::Nvmm {
@@ -319,7 +319,7 @@ fn run_inner(
             )
         }
         Mode::Respct => {
-            let region = Region::new(RegionConfig::optane(128 << 20));
+            let region = Region::new(crate::backend::nvmm_config(128 << 20));
             if let Some(sink) = sink.take() {
                 region.set_trace_sink(sink);
             }

@@ -25,7 +25,7 @@ use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 use respct::{Pool, PoolConfig, RpId, ThreadHandle};
 use respct_ds::{hash_u64, PHashMap};
-use respct_pmem::{PAddr, Region, RegionConfig};
+use respct_pmem::{PAddr, Region};
 
 use crate::ycsb::{Op, Workload};
 use crate::Mode;
@@ -393,7 +393,7 @@ pub fn run(cfg: &KvConfig) -> KvOutput {
         Mode::TransientDram => serve(cfg, Arc::new(DramStore::new(cfg.value_size))),
         Mode::TransientNvmm => {
             let bytes = cfg.nkeys as usize * cfg.value_size.next_multiple_of(64) * 2 + (16 << 20);
-            let region = Region::new(RegionConfig::optane(bytes));
+            let region = Region::new(crate::backend::nvmm_config(bytes));
             serve(cfg, Arc::new(NvmmStore::new(region, cfg.value_size)))
         }
         Mode::Respct => run_respct(cfg, None),
@@ -411,7 +411,7 @@ fn run_respct(cfg: &KvConfig, sink: Option<Arc<dyn respct_pmem::TraceSink>>) -> 
     // CoW blobs churn the heap: budget generously (puts between
     // checkpoints hold blobs until the deferred free drains).
     let bytes = cfg.nkeys as usize * cfg.value_size.next_multiple_of(64) * 8 + (64 << 20);
-    let region = Region::new(RegionConfig::optane(bytes));
+    let region = Region::new(crate::backend::nvmm_config(bytes));
     if let Some(sink) = sink {
         region.set_trace_sink(sink);
     }
@@ -428,6 +428,7 @@ fn run_respct(cfg: &KvConfig, sink: Option<Arc<dyn respct_pmem::TraceSink>>) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use respct_pmem::RegionConfig;
 
     #[test]
     fn all_modes_complete_all_ops() {

@@ -26,6 +26,7 @@
 //! Every app runs in three modes (paper Fig. 13/14):
 //! [`Mode::TransientDram`], [`Mode::TransientNvmm`], and [`Mode::Respct`].
 
+pub mod backend;
 pub mod dedup;
 pub mod kvstore;
 pub mod linreg;

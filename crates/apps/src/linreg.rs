@@ -164,7 +164,7 @@ pub fn run_traced(cfg: LinregConfig, sink: Arc<dyn respct_pmem::TraceSink>) -> L
 }
 
 fn run_respct(cfg: LinregConfig, sink: Option<Arc<dyn respct_pmem::TraceSink>>) -> LinregOutput {
-    let region = Region::new(RegionConfig::optane(64 << 20));
+    let region = Region::new(crate::backend::nvmm_config(64 << 20));
     if let Some(sink) = sink {
         region.set_trace_sink(sink);
     }

@@ -81,13 +81,14 @@ fn run_respct(cfg: MatmulConfig, sink: Option<Arc<dyn respct_pmem::TraceSink>>) 
     run_region(cfg, region, Some(pool))
 }
 
-fn region_cfg(cfg: MatmulConfig, optane: bool) -> RegionConfig {
+fn region_cfg(cfg: MatmulConfig, transient: bool) -> RegionConfig {
     let bytes = 3 * cfg.n * cfg.n * 8 + (4 << 20);
-    if optane {
+    if transient {
+        // Transient<NVMM> always uses the emulated-Optane latency tax.
         RegionConfig::optane(bytes)
     } else {
-        // ResPCT mode also models NVMM latency.
-        RegionConfig::optane(bytes)
+        // ResPCT mode runs on whichever backend RESPCT_BACKEND selects.
+        crate::backend::nvmm_config(bytes)
     }
 }
 

@@ -146,7 +146,7 @@ fn run_respct(
     cfg: SwaptionsConfig,
     sink: Option<Arc<dyn respct_pmem::TraceSink>>,
 ) -> SwaptionsOutput {
-    let region = Region::new(RegionConfig::optane(64 << 20));
+    let region = Region::new(crate::backend::nvmm_config(64 << 20));
     if let Some(sink) = sink {
         region.set_trace_sink(sink);
     }

@@ -118,7 +118,7 @@ fn run_respct(
     cfg: WordCountConfig,
     sink: Option<Arc<dyn respct_pmem::TraceSink>>,
 ) -> WordCountOutput {
-    let region = Region::new(RegionConfig::optane(256 << 20));
+    let region = Region::new(crate::backend::nvmm_config(256 << 20));
     if let Some(sink) = sink {
         region.set_trace_sink(sink);
     }

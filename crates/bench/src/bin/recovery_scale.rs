@@ -1,0 +1,192 @@
+//! GB-scale recovery on the mmap backend: recovery time vs pool size vs
+//! scan threads (the axis behind paper Fig. 12, taken to real pool files).
+//!
+//! For each pool size the bench creates an mmap pool file, fills a
+//! persistent hash map sized to the pool, checkpoints, runs a dirty write
+//! burst, and drops the pool without a final checkpoint — a crashed-epoch
+//! image on disk. It then snapshots that image and, for each thread count,
+//! restores the snapshot and times `Pool::open` recovery (registry scan +
+//! rollback) on the file. Every thread count therefore recovers the *same*
+//! crashed image.
+//!
+//! Emits `BENCH_recovery.json` (schema checked by
+//! `scripts/validate_bench_recovery.py`); `$BENCH_RECOVERY_JSON` overrides
+//! the path. Quick mode (default) sweeps 64–256 MiB pools for CI; `--full`
+//! goes to the acceptance scale of 256 MiB – 1 GiB.
+
+use std::sync::Arc;
+
+use respct::{Pool, PoolConfig, RecoveryReport};
+use respct_bench::args::BenchArgs;
+use respct_bench::driver::FastRng;
+use respct_bench::table::{f3, Table};
+use respct_ds::PHashMap;
+
+/// Fill threads: one registry chain per writer slot gives the parallel
+/// recovery scan real work to partition.
+const WRITERS: usize = 8;
+
+struct Sample {
+    pool_bytes: u64,
+    elements: u64,
+    threads: usize,
+    recovery_ms: f64,
+    scan_span_ms: f64,
+    cells_scanned: u64,
+    cells_rolled_back: u64,
+}
+
+impl Sample {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"pool_bytes\":{},\"elements\":{},\"threads\":{},\
+             \"recovery_ms\":{:.3},\"scan_span_ms\":{:.3},\
+             \"cells_scanned\":{},\"cells_rolled_back\":{}}}",
+            self.pool_bytes,
+            self.elements,
+            self.threads,
+            self.recovery_ms,
+            self.scan_span_ms,
+            self.cells_scanned,
+            self.cells_rolled_back,
+        )
+    }
+}
+
+fn pool_cfg(bytes: u64, threads: usize) -> PoolConfig {
+    PoolConfig::builder()
+        .size(bytes as usize)
+        .recovery_threads(threads)
+        .build()
+        .expect("pool config")
+}
+
+/// Builds a crashed-epoch pool image at `path` and returns the element count.
+fn build_crashed_image(path: &std::path::Path, bytes: u64) -> u64 {
+    let _ = std::fs::remove_file(path);
+    let (pool, recovered) = Pool::open(path, pool_cfg(bytes, 1)).expect("create pool");
+    assert!(recovered.is_none(), "fresh file must take the create path");
+    // Node (64 B) + bucket share (16 B) + registry entries (~48 B) per
+    // element, landing the heap at roughly half the pool.
+    let elements = bytes / 256;
+    let h = pool.register();
+    let map = PHashMap::create(&h, elements / 2);
+    h.set_root(map.desc());
+    // Multi-threaded fill: registry chains spread across writer slots, the
+    // shape the parallel (slot-partitioned) recovery scan is built for.
+    let writers = WRITERS as u64;
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let (pool, map) = (&pool, &map);
+            s.spawn(move || {
+                let h = pool.register();
+                for k in (elements / writers * w)..(elements / writers * (w + 1)) {
+                    map.insert(&h, k, k);
+                }
+            });
+        }
+    });
+    h.checkpoint_here();
+    // The epoch that crashes: every writer updates a spread of keys that
+    // must roll back.
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let (pool, map) = (&pool, &map);
+            s.spawn(move || {
+                let h = pool.register();
+                let mut rng = FastRng::new(0x5ca1e + w);
+                for _ in 0..elements / (8 * writers) {
+                    let k = rng.next_u64() % elements;
+                    map.insert(&h, k, 999);
+                }
+            });
+        }
+    });
+    drop(h);
+    drop(map);
+    drop(pool); // no final checkpoint: the on-disk image is mid-epoch
+    elements
+}
+
+fn recover_once(path: &std::path::Path, bytes: u64, threads: usize) -> (Arc<Pool>, RecoveryReport) {
+    let (pool, recovered) = Pool::open(path, pool_cfg(bytes, threads)).expect("recover pool");
+    (
+        pool,
+        recovered.expect("existing image must take the recovery path"),
+    )
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let sizes: &[u64] = if args.full {
+        &[256 << 20, 512 << 20, 1 << 30]
+    } else {
+        &[64 << 20, 128 << 20, 256 << 20]
+    };
+    let thread_counts: Vec<usize> = if args.threads == BenchArgs::default().threads {
+        vec![1, 2, 4, 8]
+    } else {
+        args.threads.clone()
+    };
+
+    let dir = std::env::temp_dir();
+    let base = dir.join(format!("respct_recovery_scale_{}.pool", std::process::id()));
+    let snap = dir.join(format!("respct_recovery_scale_{}.snap", std::process::id()));
+
+    println!("# recovery_scale — mmap pool recovery vs size vs scan threads");
+    let mut table = Table::new(&[
+        "pool_mib",
+        "elements",
+        "threads",
+        "recovery_ms",
+        "scan_span_ms",
+        "cells_scanned",
+        "rolled_back",
+    ]);
+    let mut samples: Vec<Sample> = Vec::new();
+    for &bytes in sizes {
+        let elements = build_crashed_image(&base, bytes);
+        std::fs::rename(&base, &snap).expect("snapshot crashed image");
+        for &threads in &thread_counts {
+            std::fs::copy(&snap, &base).expect("restore crashed image");
+            let (pool, report) = recover_once(&base, bytes, threads);
+            assert!(pool.verify().is_clean(), "recovered pool must verify");
+            assert!(report.cells_rolled_back > 0, "burst must dirty the epoch");
+            drop(pool);
+            let ms = report.duration.as_secs_f64() * 1e3;
+            let span_ms = report.scan_span.as_secs_f64() * 1e3;
+            table.row(vec![
+                (bytes >> 20).to_string(),
+                elements.to_string(),
+                threads.to_string(),
+                f3(ms),
+                f3(span_ms),
+                report.cells_scanned.to_string(),
+                report.cells_rolled_back.to_string(),
+            ]);
+            samples.push(Sample {
+                pool_bytes: bytes,
+                elements,
+                threads,
+                recovery_ms: ms,
+                scan_span_ms: span_ms,
+                cells_scanned: report.cells_scanned,
+                cells_rolled_back: report.cells_rolled_back,
+            });
+        }
+        let _ = std::fs::remove_file(&snap);
+    }
+    let _ = std::fs::remove_file(&base);
+    table.print();
+
+    let out =
+        std::env::var("BENCH_RECOVERY_JSON").unwrap_or_else(|_| "BENCH_recovery.json".to_string());
+    let body: Vec<String> = samples.iter().map(Sample::to_json).collect();
+    let doc = format!(
+        "{{\n  \"bench\": \"recovery_scale\",\n  \"backend\": \"mmap\",\n  \
+         \"samples\": [\n    {}\n  ]\n}}\n",
+        body.join(",\n    ")
+    );
+    std::fs::write(&out, doc).expect("write BENCH_recovery.json");
+    println!("wrote {out}");
+}

@@ -140,6 +140,46 @@ pub unsafe fn pwb(ptr: *const u8) {
     unsafe { imp::pwb(ptr) }
 }
 
+/// CPU time consumed by the calling thread, in nanoseconds.
+///
+/// Used by the parallel recovery scan to report its critical path (the
+/// longest per-worker busy time): on a core-limited machine the workers
+/// timeshare and wall-clock collapses to the sum, but the span still
+/// reflects what an unconstrained machine would observe.
+#[cfg(unix)]
+pub fn thread_cpu_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    // POSIX; value of CLOCK_THREAD_CPUTIME_ID on Linux and the BSDs' clock
+    // id differs, so resolve it per-OS.
+    #[cfg(target_os = "linux")]
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    #[cfg(not(target_os = "linux"))]
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 16; // macOS
+    extern "C" {
+        fn clock_gettime(clock_id: i32, tp: *mut Timespec) -> i32;
+    }
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: `ts` is a valid, writable timespec; the clock id is constant.
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    if rc != 0 {
+        return 0;
+    }
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+/// Fallback for platforms without thread CPU clocks: no measurement.
+#[cfg(not(unix))]
+pub fn thread_cpu_ns() -> u64 {
+    0
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -22,24 +22,34 @@
 //!   benchmarks can charge NVMM's extra write-back/read cost without a real
 //!   Optane DIMM.
 //!
-//! Two operating modes (per [`Region`]):
+//! A [`Region`] runs on one of three pluggable [`backend`]s:
 //!
-//! * **Fast mode** — stores compile to plain volatile writes; `pwb`/`psync`
-//!   issue the real x86 instructions plus optional modeled latency. Used by
-//!   the benchmark harness.
-//! * **Sim mode** — every store additionally updates the [`sim::CacheSim`]
-//!   bookkeeping so tests can crash the "machine" at any instant and recover
-//!   from exactly the state a real PCSO machine would have persisted.
+//! * **Fast** ([`FastBackend`]) — stores compile to plain volatile writes;
+//!   write-backs are accounted against the modeled latency. Used by the
+//!   benchmark harness.
+//! * **Sim** ([`SimBackend`]) — every store additionally updates the
+//!   [`sim::CacheSim`] bookkeeping so tests can crash the "machine" at any
+//!   instant and recover from exactly the state a real PCSO machine would
+//!   have persisted.
+//! * **Mmap** ([`MmapBackend`]) — a `MAP_SHARED` pool-file mapping: `pwb`
+//!   issues the real `clwb` on the mapped line and the pool survives the
+//!   process, so a fresh process can reopen and recover it.
 
 pub mod arch;
+pub mod backend;
+pub mod error;
 pub mod latency;
+pub mod mmap;
 pub mod region;
 pub mod replay;
 pub mod sim;
 pub mod stats;
 pub mod trace;
 
-pub use region::{Region, RegionConfig, RegionMode};
+pub use backend::{BackendKind, FastBackend, PmemBackend, SimBackend};
+pub use error::RegionError;
+pub use mmap::MmapBackend;
+pub use region::{Region, RegionConfig, RegionConfigBuilder, RegionMode};
 pub use replay::{is_crash_point, is_protocol_point, Replayer};
 pub use sim::{CacheSim, CrashImage, SimConfig};
 pub use stats::PmemStats;

@@ -1,9 +1,18 @@
-//! The emulated NVMM arena.
+//! The NVMM arena.
 //!
 //! A [`Region`] is a cache-line-aligned memory arena standing in for an
 //! App-Direct NVMM mapping. Persistent data structures address it with
 //! [`PAddr`] offsets (stable across crash + recovery), and every access goes
-//! through its typed accessors so the persistence simulator can interpose.
+//! through its typed accessors so the persistence substrate can interpose.
+//!
+//! The bytes themselves are owned by a pluggable [`PmemBackend`]
+//! (see [`crate::backend`]): a heap arena with modeled latency
+//! ([`FastBackend`]), the same arena under the PCSO simulator
+//! ([`SimBackend`]), or a file mapping that outlives the process
+//! ([`MmapBackend`](crate::mmap::MmapBackend)). The region caches the
+//! backend's base pointer, latency model, and simulator handle, so the
+//! store/load hot paths are identical for every backend; only `pwb`,
+//! `psync`, and `sync_data` dispatch dynamically.
 //!
 //! All accesses are implemented as **relaxed atomic operations** of the
 //! access width. On x86-64 these compile to plain `mov`s, so fast mode pays
@@ -11,33 +20,46 @@
 //! paper's race-freedom assumption (a race then yields an unexpected value,
 //! not undefined behavior — mirroring what the hardware would do).
 
-use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
-use crate::latency::{charge_ns, drain_psync, note_pwb, LatencyModel};
+use crate::backend::{BackendKind, FastBackend, PmemBackend, SimBackend};
+use crate::error::RegionError;
+use crate::latency::{charge_ns, LatencyModel};
+use crate::mmap::MmapBackend;
 use crate::sim::{CacheSim, CrashImage, CrashMode, SimConfig};
 use crate::stats::PmemStats;
 use crate::trace::{trace_tid, SyncToken, TraceEvent, TraceMarker, TraceSink};
-use crate::{arch, PAddr, Pod, CACHE_LINE};
+use crate::{PAddr, Pod, CACHE_LINE};
 
-/// Operating mode of a [`Region`].
-#[derive(Debug, Clone, Copy)]
+/// Operating mode of a [`Region`] — which [`PmemBackend`] it runs on.
+#[derive(Debug, Clone)]
 pub enum RegionMode {
-    /// Benchmark mode: direct accesses, real `clwb`/`sfence`, modeled
-    /// latency. No crash injection available.
+    /// Benchmark mode: direct accesses, accounting-only write-backs,
+    /// modeled latency. No crash injection available.
     Fast(LatencyModel),
     /// Test mode: every access updates the PCSO simulator; crash injection
     /// and recovery are available.
     Sim(SimConfig),
+    /// File-backed mode: a `MAP_SHARED` mapping of the given pool file;
+    /// `pwb` issues the real `clwb` and the pool survives the process.
+    Mmap(PathBuf),
 }
 
 /// Construction parameters for a [`Region`].
-#[derive(Debug, Clone, Copy)]
+///
+/// Build one with the named constructors ([`fast`](RegionConfig::fast),
+/// [`optane`](RegionConfig::optane), [`sim`](RegionConfig::sim),
+/// [`mmap`](RegionConfig::mmap)) or the validated
+/// [`builder`](RegionConfig::builder).
+#[derive(Debug, Clone)]
 pub struct RegionConfig {
     /// Arena size in bytes (rounded up to a whole number of cache lines).
-    pub size: usize,
-    pub mode: RegionMode,
+    /// For an mmap region this is the size of a *newly created* pool file;
+    /// an existing file is mapped at its own length.
+    pub(crate) size: usize,
+    pub(crate) mode: RegionMode,
 }
 
 impl RegionConfig {
@@ -64,16 +86,98 @@ impl RegionConfig {
             mode: RegionMode::Sim(cfg),
         }
     }
+
+    /// A file-backed region at `path` (create-or-recover; `size` applies
+    /// only when the file does not exist yet).
+    pub fn mmap(size: usize, path: impl Into<PathBuf>) -> Self {
+        RegionConfig {
+            size,
+            mode: RegionMode::Mmap(path.into()),
+        }
+    }
+
+    /// Starts a validated builder.
+    pub fn builder() -> RegionConfigBuilder {
+        RegionConfigBuilder {
+            size: None,
+            mode: RegionMode::Fast(LatencyModel::dram()),
+        }
+    }
+
+    /// Configured arena size in bytes (before line rounding).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Configured operating mode.
+    pub fn mode(&self) -> &RegionMode {
+        &self.mode
+    }
 }
 
-/// An emulated NVMM arena. See the module docs.
+/// Validated builder for [`RegionConfig`], mirroring `PoolConfig::builder`.
+#[derive(Debug, Clone)]
+pub struct RegionConfigBuilder {
+    size: Option<usize>,
+    mode: RegionMode,
+}
+
+impl RegionConfigBuilder {
+    /// Arena size in bytes. Required for heap-backed modes; optional for
+    /// [`RegionMode::Mmap`] when the pool file already exists.
+    pub fn size(mut self, size: usize) -> Self {
+        self.size = Some(size);
+        self
+    }
+
+    /// Operating mode (default: [`RegionMode::Fast`] with DRAM latency).
+    pub fn mode(mut self, mode: RegionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Validates and produces the config.
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::InvalidConfig`] when the size is missing or zero for
+    /// a heap-backed mode, or when an mmap path is empty.
+    pub fn build(self) -> Result<RegionConfig, RegionError> {
+        let size = self.size.unwrap_or(0);
+        match &self.mode {
+            RegionMode::Fast(_) | RegionMode::Sim(_) => {
+                if size == 0 {
+                    return Err(RegionError::InvalidConfig("region size must be positive"));
+                }
+            }
+            RegionMode::Mmap(path) => {
+                // Size 0 is allowed: it means "the pool file must already
+                // exist"; MmapBackend rejects creating an empty pool.
+                if path.as_os_str().is_empty() {
+                    return Err(RegionError::InvalidConfig(
+                        "mmap backend needs a non-empty pool path",
+                    ));
+                }
+            }
+        }
+        Ok(RegionConfig {
+            size,
+            mode: self.mode,
+        })
+    }
+}
+
+/// An NVMM arena over a pluggable backend. See the module docs.
 pub struct Region {
+    /// The persistence substrate owning the bytes. Held for `pwb`/`psync`/
+    /// `sync_data` dispatch and to keep the arena alive; everything on the
+    /// store/load hot paths is cached in the fields below.
+    backend: Arc<dyn PmemBackend>,
     buf: *mut u8,
     size: usize,
-    layout: Layout,
     latency: LatencyModel,
     latency_free: bool,
-    sim: Option<CacheSim>,
+    sim: Option<Arc<CacheSim>>,
     stats: Arc<PmemStats>,
     /// Optional persistency-event observer (set once, read on every access;
     /// a single relaxed-ish atomic load when unset).
@@ -86,61 +190,101 @@ pub struct Region {
 }
 
 // SAFETY: the raw buffer is only accessed through atomic operations (or
-// under the simulator's shard locks), and the allocation is owned by the
-// `Region` for its whole lifetime.
+// under the simulator's shard locks), and the backing allocation is owned
+// by the backend, which the `Region` keeps alive for its whole lifetime.
 unsafe impl Send for Region {}
 // SAFETY: as above.
 unsafe impl Sync for Region {}
 
-impl Drop for Region {
-    fn drop(&mut self) {
-        // SAFETY: `buf` was allocated with exactly `layout` in `new`.
-        unsafe { dealloc(self.buf, self.layout) };
-    }
-}
-
 impl Region {
-    /// Allocates a zeroed region.
+    /// Opens a region on the configured backend.
+    ///
+    /// Heap-backed modes allocate a zeroed arena. [`RegionMode::Mmap`]
+    /// resolves to create-or-recover: a missing or empty pool file is
+    /// created at the configured size; an existing file is mapped as-is
+    /// (check [`Region::was_created`] to know which happened).
+    ///
+    /// # Errors
+    ///
+    /// [`RegionError::InvalidConfig`] for a zero-sized heap region, plus
+    /// the I/O and image errors of the mmap backend.
+    pub fn try_new(cfg: RegionConfig) -> Result<Arc<Region>, RegionError> {
+        let backend: Arc<dyn PmemBackend> = match cfg.mode {
+            RegionMode::Fast(lat) => {
+                if cfg.size == 0 {
+                    return Err(RegionError::InvalidConfig("region size must be positive"));
+                }
+                Arc::new(FastBackend::new(cfg.size, lat))
+            }
+            RegionMode::Sim(sim_cfg) => {
+                if cfg.size == 0 {
+                    return Err(RegionError::InvalidConfig("region size must be positive"));
+                }
+                Arc::new(SimBackend::new(cfg.size, sim_cfg))
+            }
+            RegionMode::Mmap(ref path) => Arc::new(MmapBackend::open(path, cfg.size)?),
+        };
+        Ok(Region::from_backend(backend))
+    }
+
+    /// Opens a region, panicking on failure.
     ///
     /// # Panics
     ///
-    /// Panics if the allocation fails or `size` is zero.
+    /// Panics if the configuration is invalid or the backend fails to open
+    /// (allocation failure, pool-file I/O error). Use [`Region::try_new`]
+    /// to handle these as errors.
     pub fn new(cfg: RegionConfig) -> Arc<Region> {
-        assert!(cfg.size > 0, "region size must be positive");
-        let size = crate::align_up(cfg.size as u64, CACHE_LINE as u64) as usize;
-        let layout = Layout::from_size_align(size, 4096).expect("valid region layout");
-        // SAFETY: `layout` has non-zero size.
-        let buf = unsafe { alloc_zeroed(layout) };
-        assert!(!buf.is_null(), "region allocation of {size} bytes failed");
-        let stats = Arc::new(PmemStats::default());
-        let (latency, sim) = match cfg.mode {
-            RegionMode::Fast(lat) => (lat, None),
-            RegionMode::Sim(sim_cfg) => (
-                LatencyModel::dram(),
-                Some(CacheSim::new(sim_cfg, size, Arc::clone(&stats))),
-            ),
-        };
-        let region = Region {
-            buf,
-            size,
-            layout,
+        Region::try_new(cfg).expect("region open failed")
+    }
+
+    /// Wraps an already-open backend in a region. This is how external
+    /// backend implementations (outside this crate's three) plug in.
+    pub fn from_backend(backend: Arc<dyn PmemBackend>) -> Arc<Region> {
+        let latency = backend.latency();
+        Arc::new(Region {
+            buf: backend.base(),
+            size: backend.size(),
             latency,
             latency_free: latency.is_free(),
-            sim,
-            stats,
+            sim: backend.sim().cloned(),
+            stats: Arc::clone(backend.stats()),
+            backend,
             trace: std::sync::OnceLock::new(),
             trace_loads: std::sync::atomic::AtomicBool::new(false),
-        };
-        if let Some(sim) = &region.sim {
-            sim.attach(region.buf);
-        }
-        Arc::new(region)
+        })
     }
 
     /// Region size in bytes.
     #[inline]
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Which backend this region runs on.
+    #[inline]
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// Path of the backing pool file, if the backend has one.
+    pub fn path(&self) -> Option<&Path> {
+        self.backend.path()
+    }
+
+    /// Whether the backend created its arena from scratch (`true`) or
+    /// mapped existing content that may need recovery (`false`). Heap
+    /// backends always report `true`.
+    pub fn was_created(&self) -> bool {
+        self.backend.was_created()
+    }
+
+    /// Flushes the arena to its backing store (`msync` for an mmap region;
+    /// no-op for heap regions). This is the machine-crash durability point
+    /// for pool files on non-DAX filesystems — `pwb`/`psync` alone only
+    /// reach the kernel's copy of the pages there.
+    pub fn sync_data(&self) -> Result<(), RegionError> {
+        self.backend.sync_data()
     }
 
     /// Whether the persistence simulator is active.
@@ -409,15 +553,11 @@ impl Region {
         if let Some(sim) = &self.sim {
             sim.pwb(addr.line());
         } else {
-            // The region is emulated (DRAM behind it): issuing the real
-            // `clwb` would add host-VM overhead (~150 ns/line here) without
-            // any durability semantics. Fast mode only *accounts* for the
-            // write-back: issue cost now, bandwidth-bound drain at `psync`.
-            // The real instruction wrappers live in `crate::arch`.
-            self.stats.count_pwb();
-            if !self.latency_free {
-                note_pwb(&self.latency);
-            }
+            // What a write-back *is* depends on the backend: the fast
+            // backend only accounts for it (flushing emulated-NVMM DRAM
+            // buys nothing and costs ~150 ns/line of host overhead), the
+            // mmap backend issues the real `clwb` on the mapped line.
+            self.backend.pwb(addr.line());
         }
     }
 
@@ -436,13 +576,7 @@ impl Region {
         if let Some(sim) = &self.sim {
             sim.psync();
         } else {
-            self.stats.count_psync();
-            // An `sfence` still orders our (relaxed atomic) stores cheaply
-            // and mirrors the paper's instruction sequence.
-            arch::psync();
-            if !self.latency_free {
-                drain_psync(&self.latency);
-            }
+            self.backend.psync();
         }
     }
 
@@ -580,14 +714,15 @@ impl Region {
 
     /// Writes the region's current content to `path` (atomic via a
     /// temporary file + rename). Pair with [`Region::load_file`] to carry
-    /// an emulated pool across process runs — the moral equivalent of the
-    /// DAX file backing a real NVMM deployment. Callers should checkpoint
-    /// first so the saved image is a consistent cut.
-    pub fn save_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+    /// an emulated pool across process runs by copy — an [`RegionMode::Mmap`]
+    /// region makes the pool file the arena itself and needs neither.
+    /// Callers should checkpoint first so the saved image is a consistent
+    /// cut.
+    pub fn save_file(&self, path: &std::path::Path) -> Result<(), RegionError> {
         let bytes = self.dump_volatile();
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, path)
+        std::fs::write(&tmp, &bytes).map_err(|e| RegionError::io(&tmp, "write", &e))?;
+        std::fs::rename(&tmp, path).map_err(|e| RegionError::io(path, "rename", &e))
     }
 
     /// Creates a region initialized from a file previously written by
@@ -595,23 +730,21 @@ impl Region {
     ///
     /// # Errors
     ///
-    /// I/O errors reading the file; the file length must be a whole number
-    /// of cache lines (it always is for saved regions).
-    pub fn load_file(path: &std::path::Path, mode: RegionMode) -> std::io::Result<Arc<Region>> {
-        let bytes = std::fs::read(path)?;
+    /// [`RegionError::Io`] for read failures; [`RegionError::BadImage`] if
+    /// the file length is not a positive whole number of cache lines (it
+    /// always is for saved regions).
+    pub fn load_file(path: &std::path::Path, mode: RegionMode) -> Result<Arc<Region>, RegionError> {
+        let bytes = std::fs::read(path).map_err(|e| RegionError::io(path, "read", &e))?;
         if bytes.is_empty() || bytes.len() % CACHE_LINE != 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!(
-                    "region file length {} is not a positive line multiple",
-                    bytes.len()
-                ),
-            ));
+            return Err(RegionError::BadImage {
+                path: path.to_path_buf(),
+                len: bytes.len() as u64,
+            });
         }
-        let region = Region::new(RegionConfig {
+        let region = Region::try_new(RegionConfig {
             size: bytes.len(),
             mode,
-        });
+        })?;
         // SAFETY: writing the full owned buffer before any other handle to
         // the region exists.
         unsafe { atomic_store_raw(region.buf, &bytes) };
@@ -905,7 +1038,115 @@ mod file_tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.img");
         std::fs::write(&path, [0u8; 100]).unwrap();
-        assert!(Region::load_file(&path, RegionMode::Fast(Default::default())).is_err());
+        assert!(matches!(
+            Region::load_file(&path, RegionMode::Fast(Default::default())),
+            Err(RegionError::BadImage { len: 100, .. })
+        ));
         std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod builder_tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let cfg = RegionConfig::builder()
+            .size(4096)
+            .mode(RegionMode::Sim(SimConfig::no_eviction(9)))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.size(), 4096);
+        assert!(matches!(cfg.mode(), RegionMode::Sim(_)));
+        let r = Region::new(cfg);
+        assert!(r.is_sim());
+        assert_eq!(r.backend_kind(), BackendKind::Sim);
+    }
+
+    #[test]
+    fn builder_defaults_to_fast() {
+        let cfg = RegionConfig::builder().size(128).build().unwrap();
+        let r = Region::new(cfg);
+        assert!(!r.is_sim());
+        assert_eq!(r.backend_kind(), BackendKind::Fast);
+        assert!(r.was_created());
+        assert!(r.path().is_none());
+        r.sync_data().unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_missing_size() {
+        assert!(matches!(
+            RegionConfig::builder().build(),
+            Err(RegionError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            RegionConfig::builder().size(0).build(),
+            Err(RegionError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_empty_mmap_path() {
+        assert!(matches!(
+            RegionConfig::builder()
+                .size(4096)
+                .mode(RegionMode::Mmap(PathBuf::new()))
+                .build(),
+            Err(RegionError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn try_new_rejects_zero_size() {
+        assert!(Region::try_new(RegionConfig::fast(0)).is_err());
+    }
+}
+
+#[cfg(all(test, unix, not(miri)))]
+mod mmap_tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("respct_region_mmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn mmap_region_survives_reopen() {
+        let path = tmp("reopen.pool");
+        {
+            let r = Region::new(RegionConfig::mmap(8192, &path));
+            assert_eq!(r.backend_kind(), BackendKind::Mmap);
+            assert!(r.was_created());
+            assert_eq!(r.path().unwrap(), path.as_path());
+            r.store(PAddr(256), 0xcafe_f00d_u64);
+            r.flush_range(PAddr(256), 8);
+            r.sync_data().unwrap();
+        }
+        let r = Region::new(RegionConfig::mmap(0, &path));
+        assert!(!r.was_created());
+        assert_eq!(r.size(), 8192);
+        assert_eq!(r.load::<u64>(PAddr(256)), 0xcafe_f00d);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mmap_open_missing_without_size_fails() {
+        let path = tmp("missing.pool");
+        assert!(Region::try_new(RegionConfig::mmap(0, &path)).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a sim-mode region")]
+    fn mmap_region_has_no_crash_injection() {
+        let path = tmp("nocrash.pool");
+        let r = Region::new(RegionConfig::mmap(4096, &path));
+        r.crash(CrashMode::PowerFailure);
     }
 }

@@ -66,8 +66,30 @@ impl Pool {
             }
             None => {
                 let align = align.max(64);
-                self.bump_global(size, align)
+                let addr = self.bump_global(size, align);
+                self.scrub_fresh_block(addr, size);
+                addr
             }
+        }
+    }
+
+    /// Zeroes a bump-fresh block before hand-out on recovered pools (see
+    /// [`Pool::scrub_fresh`]): the crashed epoch may have left live-looking
+    /// InCLL epoch tags in un-allocated memory, which would fool
+    /// `init_InCLL`'s recycled-cell detection. Free-list blocks are *not*
+    /// scrubbed — their tags and registry entries are exactly what the
+    /// recycled-cell path relies on.
+    #[inline]
+    fn scrub_fresh_block(&self, addr: PAddr, size: u64) {
+        if !self.scrub_fresh {
+            return;
+        }
+        const ZEROS: [u8; 4096] = [0u8; 4096];
+        let mut off = 0u64;
+        while off < size {
+            let n = ((size - off) as usize).min(ZEROS.len());
+            self.region.store_bytes(PAddr(addr.0 + off), &ZEROS[..n]);
+            off += n as u64;
         }
     }
 
@@ -98,6 +120,7 @@ impl Pool {
         let aligned = align_up(st.alloc_cur, block.min(64));
         if st.alloc_cur != 0 && aligned + block <= st.alloc_end {
             st.alloc_cur = aligned + block;
+            self.scrub_fresh_block(PAddr(aligned), block);
             return PAddr(aligned);
         }
         // Grab a fresh chunk. The remainder of the old chunk (< one block)
@@ -105,6 +128,7 @@ impl Pool {
         let chunk = self.bump_global(CHUNK_SIZE, 64);
         st.alloc_cur = chunk.0 + block;
         st.alloc_end = chunk.0 + CHUNK_SIZE;
+        self.scrub_fresh_block(chunk, block);
         PAddr(chunk.0)
     }
 

@@ -6,8 +6,10 @@
 //! config that makes no sense are all conditions an embedding application
 //! can hit with user-supplied inputs and must be able to handle.
 
+use respct_pmem::RegionError;
+
 /// Why a pool could not be created, recovered, or configured.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PoolError {
     /// The region cannot hold the pool header plus a minimal heap.
     RegionTooSmall {
@@ -32,6 +34,15 @@ pub enum PoolError {
     /// or shard count, contradictory mode combination). Produced by
     /// [`PoolConfig::builder`](crate::PoolConfig::builder).
     InvalidConfig(&'static str),
+    /// The persistence backend failed: region construction, pool-file I/O,
+    /// or a bad image. Carries the path and operation that failed.
+    Backend(RegionError),
+}
+
+impl From<RegionError> for PoolError {
+    fn from(e: RegionError) -> PoolError {
+        PoolError::Backend(e)
+    }
 }
 
 impl std::fmt::Display for PoolError {
@@ -49,11 +60,19 @@ impl std::fmt::Display for PoolError {
                 "size mismatch: header says {header} bytes, region is {region}"
             ),
             PoolError::InvalidConfig(why) => write!(f, "invalid pool config: {why}"),
+            PoolError::Backend(e) => write!(f, "backend error: {e}"),
         }
     }
 }
 
-impl std::error::Error for PoolError {}
+impl std::error::Error for PoolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PoolError::Backend(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -73,5 +92,16 @@ mod tests {
         assert!(PoolError::InvalidConfig("shards")
             .to_string()
             .contains("shards"));
+    }
+
+    #[test]
+    fn backend_errors_wrap_with_context() {
+        let io = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied");
+        let e: PoolError = RegionError::io("/pools/a.pool", "mmap", &io).into();
+        let s = e.to_string();
+        assert!(s.contains("mmap"), "{s}");
+        assert!(s.contains("/pools/a.pool"), "{s}");
+        assert!(std::error::Error::source(&e).is_some());
+        assert_eq!(e.clone(), e);
     }
 }

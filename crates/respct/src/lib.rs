@@ -85,7 +85,8 @@ pub use error::PoolError;
 pub use incll::{cell_layout, epoch_tag, tag_epoch, ICell};
 pub use metrics::RuntimeMetrics;
 pub use pool::{
-    CheckpointMode, Pool, PoolConfig, PoolConfigBuilder, MAX_FLUSHERS, MAX_FLUSH_SHARDS,
+    Backend, CheckpointMode, Pool, PoolConfig, PoolConfigBuilder, DEFAULT_POOL_SIZE, MAX_FLUSHERS,
+    MAX_FLUSH_SHARDS,
 };
 #[cfg(feature = "fault-inject")]
 pub use pool::{Fault, SyncEdgeSite};
@@ -96,7 +97,9 @@ pub use thread::{AllowGuard, RpId, ThreadHandle};
 pub use verify::{VerifyReport, Violation, ViolationKind};
 
 // Re-export the substrate types users need alongside the pool API.
-pub use respct_pmem::{PAddr, Pod, Region, RegionConfig, RegionMode};
+pub use respct_pmem::{
+    BackendKind, PAddr, Pod, Region, RegionConfig, RegionConfigBuilder, RegionError, RegionMode,
+};
 
 // Re-export the observability types surfaced through `Pool::metrics`,
 // `Pool::serve_metrics`, and `Pool::start_metrics_reporter`.

@@ -90,7 +90,7 @@ pub enum SyncEdgeSite {
 /// Construct via [`PoolConfig::default`] or, for anything non-default,
 /// [`PoolConfig::builder`] — the builder validates knob combinations so an
 /// invalid config is unrepresentable as a live `PoolConfig`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PoolConfig {
     /// Number of dedicated flusher threads; 0 flushes inline on the
     /// checkpointing thread. The paper uses a pool of flusher threads
@@ -110,7 +110,26 @@ pub struct PoolConfig {
     /// record is durable, then write the snapshot back in the background
     /// and commit the record afterwards (two-phase commit). Default off.
     pub(crate) async_checkpoint: bool,
+    /// Which persistence backend [`Pool::open`] builds the region on
+    /// (default: fast mode with DRAM latency). `Pool::open(path, ..)`
+    /// overrides an mmap backend's path with its `path` argument.
+    pub(crate) backend: Backend,
+    /// Region size [`Pool::open`] uses when it must create a fresh pool
+    /// (an existing pool file keeps its own size). Default 64 MiB.
+    pub(crate) pool_size: usize,
+    /// Worker threads for the recovery registry scan when [`Pool::open`]
+    /// finds an existing pool (default 1; paper Fig. 12 uses 32).
+    pub(crate) recovery_threads: usize,
 }
+
+/// Which persistence substrate a pool's region runs on — an alias for
+/// [`respct_pmem::RegionMode`], re-exported so pool users can write
+/// `PoolConfig::builder().backend(Backend::Mmap(path))` without importing
+/// the pmem crate.
+pub type Backend = respct_pmem::RegionMode;
+
+/// Default region size for pools created by [`Pool::open`] (64 MiB).
+pub const DEFAULT_POOL_SIZE: usize = 64 << 20;
 
 impl Default for PoolConfig {
     fn default() -> Self {
@@ -120,6 +139,9 @@ impl Default for PoolConfig {
             flush_shards: 0,
             metrics: true,
             async_checkpoint: false,
+            backend: Backend::Fast(respct_pmem::latency::LatencyModel::dram()),
+            pool_size: DEFAULT_POOL_SIZE,
+            recovery_threads: 1,
         }
     }
 }
@@ -157,6 +179,21 @@ impl PoolConfig {
     /// epoch swap, flush + commit in the background).
     pub fn async_checkpoint(&self) -> bool {
         self.async_checkpoint
+    }
+
+    /// The persistence backend [`Pool::open`] builds the region on.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Region size [`Pool::open`] uses when creating a fresh pool.
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Worker threads for the recovery registry scan in [`Pool::open`].
+    pub fn recovery_threads(&self) -> usize {
+        self.recovery_threads
     }
 
     /// The effective shard count: the configured power of two, or — when
@@ -222,6 +259,29 @@ impl PoolConfigBuilder {
         self
     }
 
+    /// Sets the persistence backend [`Pool::open`] builds the region on
+    /// (default: [`Backend::Fast`] with DRAM latency). For
+    /// [`Backend::Mmap`], `Pool::open`'s `path` argument wins over the path
+    /// embedded here.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
+    /// Sets the region size [`Pool::open`] uses when it creates a fresh
+    /// pool (default 64 MiB). An existing pool file keeps its own size.
+    pub fn size(mut self, bytes: usize) -> Self {
+        self.cfg.pool_size = bytes;
+        self
+    }
+
+    /// Sets the worker-thread count for the recovery registry scan when
+    /// [`Pool::open`] finds an existing pool (default 1).
+    pub fn recovery_threads(mut self, n: usize) -> Self {
+        self.cfg.recovery_threads = n;
+        self
+    }
+
     /// Validates and returns the config.
     pub fn build(self) -> Result<PoolConfig, crate::error::PoolError> {
         use crate::error::PoolError::InvalidConfig;
@@ -252,6 +312,14 @@ impl PoolConfigBuilder {
         if c.mode == CheckpointMode::NoFlush && c.async_checkpoint {
             return Err(InvalidConfig(
                 "NoFlush mode has no drain to run asynchronously; async_checkpoint must be off",
+            ));
+        }
+        if c.pool_size == 0 {
+            return Err(InvalidConfig("pool size must be positive"));
+        }
+        if c.recovery_threads == 0 {
+            return Err(InvalidConfig(
+                "recovery_threads must be at least 1 (the scan needs a worker)",
             ));
         }
         Ok(self.cfg)
@@ -334,6 +402,18 @@ pub struct Pool {
     pub(crate) metrics: Arc<crate::metrics::RuntimeMetrics>,
     pub(crate) ckpt_stats: CkptStats,
     pub(crate) flushers: Option<crate::checkpoint::FlusherPool>,
+    /// Whether bump-fresh allocations must be zeroed before hand-out. Set
+    /// on recovered pools: memory the crashed epoch allocated and wrote
+    /// sits above the restored cursors with live-looking InCLL epoch tags,
+    /// while the registry entries describing it rolled back with
+    /// `reg_len`. Handing such a block out as-is would fool `init_InCLL`'s
+    /// recycled-cell detection into skipping re-registration, leaving the
+    /// new cell invisible to every future recovery. Zeroing on hand-out
+    /// restores the fresh-memory invariant exactly where it is consumed
+    /// (the crashed epoch's high-water mark is not recorded anywhere, so
+    /// recovery itself cannot bound a scrub). Fresh pools skip the cost:
+    /// their bump memory is virgin-zero by construction.
+    pub(crate) scrub_fresh: bool,
     /// One-shot injected fault (test-only). See [`Fault`].
     #[cfg(feature = "fault-inject")]
     pub(crate) fault: Mutex<Option<Fault>>,
@@ -393,7 +473,83 @@ impl Pool {
         region.flush_range(PAddr(0), heap.0 as usize);
         region.store(OFF_MAGIC, MAGIC);
         region.flush_range(OFF_MAGIC, 8);
-        Ok(Self::attach(region, cfg, FIRST_EPOCH))
+        Ok(Self::attach(region, cfg, FIRST_EPOCH, false))
+    }
+
+    /// Opens the pool file at `path` on the mmap backend, resolving to
+    /// create-or-recover:
+    ///
+    /// * no file (or an empty one) → create a fresh pool of
+    ///   [`PoolConfig::pool_size`] bytes and format it; the returned report
+    ///   is `None`;
+    /// * an existing formatted pool → map it at its own size and run
+    ///   recovery with [`PoolConfig::recovery_threads`] scan workers; the
+    ///   returned report is `Some` (its `failed_epoch` is the epoch
+    ///   execution resumes in — recovery after a clean shutdown simply
+    ///   rolls back the empty open epoch);
+    /// * an existing file that is not a pool →
+    ///   [`PoolError::NotAPool`](crate::PoolError::NotAPool) — never a
+    ///   silent reformat.
+    ///
+    /// `cfg.backend()` is ignored here: `open` always maps `path`. Use
+    /// [`Pool::open_with`] to honor a heap backend from the config.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Backend`](crate::PoolError::Backend) for pool-file I/O
+    /// failures, plus every error [`Pool::create`] and recovery can return.
+    pub fn open(
+        path: impl AsRef<std::path::Path>,
+        cfg: PoolConfig,
+    ) -> Result<(Arc<Pool>, Option<crate::recovery::RecoveryReport>), crate::error::PoolError> {
+        let mut cfg = cfg;
+        cfg.backend = Backend::Mmap(path.as_ref().to_path_buf());
+        Self::open_with(cfg)
+    }
+
+    /// Opens a pool on whatever backend the config names. Heap backends
+    /// ([`Backend::Fast`], [`Backend::Sim`]) always create a fresh pool;
+    /// [`Backend::Mmap`] resolves to create-or-recover as in [`Pool::open`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Pool::open`].
+    pub fn open_with(
+        cfg: PoolConfig,
+    ) -> Result<(Arc<Pool>, Option<crate::recovery::RecoveryReport>), crate::error::PoolError> {
+        let region_cfg = respct_pmem::RegionConfig::builder()
+            .size(cfg.pool_size)
+            .mode(cfg.backend.clone())
+            .build()?;
+        let region = Region::try_new(region_cfg)?;
+        if region.was_created() {
+            return Ok((Self::create(region, cfg)?, None));
+        }
+        // Existing content: recover, never reformat. A wrong file (magic
+        // mismatch) surfaces as NotAPool.
+        let threads = cfg.recovery_threads;
+        let (pool, report) = Self::recover_with(
+            crate::recovery::RecoveryOptions::from_region(region)
+                .config(cfg)
+                .threads(threads),
+        )?;
+        Ok((pool, Some(report)))
+    }
+
+    /// Flushes the region to its backing store (`msync` on the mmap
+    /// backend; no-op on heap backends). Call after a checkpoint when the
+    /// pool file must survive a *machine* crash on a non-DAX filesystem —
+    /// process-crash durability needs no msync (the kernel owns the mapped
+    /// pages).
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Backend`](crate::PoolError::Backend) with the `msync`
+    /// failure.
+    pub fn sync_data(&self) -> Result<(), crate::error::PoolError> {
+        self.region
+            .sync_data()
+            .map_err(crate::error::PoolError::from)
     }
 
     fn format_cell_u64(region: &Region, addr: PAddr, val: u64) {
@@ -411,7 +567,13 @@ impl Pool {
     }
 
     /// Builds the volatile side of a pool over an already-valid region.
-    pub(crate) fn attach(region: Arc<Region>, cfg: PoolConfig, epoch: u64) -> Arc<Pool> {
+    /// `scrub_fresh` is set for recovered pools (see [`Pool::scrub_fresh`]).
+    pub(crate) fn attach(
+        region: Arc<Region>,
+        cfg: PoolConfig,
+        epoch: u64,
+        scrub_fresh: bool,
+    ) -> Arc<Pool> {
         let nshards = cfg.resolved_shards();
         let flags = (0..MAX_THREADS)
             .map(|i| CachePadded::new(AtomicBool::new(i == SYSTEM_SLOT)))
@@ -469,6 +631,7 @@ impl Pool {
             ckpt_stats: CkptStats::over(Arc::clone(&metrics)),
             metrics,
             flushers,
+            scrub_fresh,
             #[cfg(feature = "fault-inject")]
             fault: Mutex::new(None),
         });

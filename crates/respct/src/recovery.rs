@@ -24,7 +24,8 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use respct_pmem::{PAddr, Region, SyncToken, TraceMarker};
+use respct_pmem::arch::thread_cpu_ns;
+use respct_pmem::{BackendKind, PAddr, Region, SyncToken, TraceMarker};
 
 use crate::layout::{
     self, CellLayout, MAGIC, MAX_THREADS, NUM_CLASSES, OFF_BUMP, OFF_EPOCH, OFF_EPOCH_STATE,
@@ -129,6 +130,12 @@ pub struct RecoveryReport {
     pub cells_rolled_back: u64,
     /// Wall-clock duration of the recovery procedure.
     pub duration: Duration,
+    /// Critical path of the registry scan: the longest per-worker thread
+    /// CPU time. Equals the scan's wall time on an unloaded multicore
+    /// machine; on a core-limited runner (where workers timeshare and
+    /// wall-clock collapses to the sum of their work) it still reflects
+    /// the parallel speedup an unconstrained machine would observe.
+    pub scan_span: Duration,
     /// Worker threads used for the registry scan.
     pub threads: usize,
 }
@@ -288,6 +295,30 @@ impl Pool {
             s if s + 1 == recorded_epoch => (s, Some(recorded_epoch)),
             s => panic!("corrupt drain-state word {s} for epoch {recorded_epoch}"),
         };
+        // Phase 0: prefault an mmap-backed region. A freshly mapped pool
+        // file is all unpopulated PTEs, and at GB scale the demand minor
+        // faults (one per 4 KiB) would otherwise dominate the registry
+        // scan. Touch every page up front, one contiguous extent per scan
+        // worker, so the fault storm parallelizes and each worker's stream
+        // keeps the kernel's readahead sequential. Runs before load
+        // tracing is enabled: warm-up reads carry no recovery semantics.
+        if region.backend_kind() == BackendKind::Mmap {
+            const PAGE: u64 = 4096;
+            let pages = (region.size() as u64).div_ceil(PAGE);
+            let per = pages.div_ceil(threads as u64);
+            std::thread::scope(|s| {
+                for w in 0..threads as u64 {
+                    let region = &region;
+                    s.spawn(move || {
+                        let mut acc = 0u8;
+                        for p in (per * w)..(per * (w + 1)).min(pages) {
+                            acc ^= region.load::<u8>(PAddr(p * PAGE));
+                        }
+                        std::hint::black_box(acc);
+                    });
+                }
+            });
+        }
         region.trace_marker(TraceMarker::RecoveryBegin { failed_epoch });
         // Recovery-time reads are what rule (c) of the race detector
         // audits: surface them as Load events for the recovery window.
@@ -327,13 +358,37 @@ impl Pool {
             }
         }
 
+        // Phase 1.5: clear registry heads whose every entry rolled back.
+        // Such a head chunk was allocated in the failed epoch, so the
+        // allocator rollback reclaims its memory — the pointer dangles
+        // into re-allocatable space. An empty chain contributes nothing to
+        // recovery, so clearing is always safe; the next `register_cell`
+        // starts a fresh chain.
+        let mut cleared_head = false;
+        for slot in 0..MAX_THREADS {
+            let b = layout::slot_base(slot).0;
+            let len: u64 = region.load(PAddr(b + layout::SLOT_REG_LEN));
+            let head_field = PAddr(b + layout::SLOT_REG_HEAD);
+            let head: u64 = region.load(head_field);
+            if len == 0 && head != 0 {
+                region.store(head_field, 0u64);
+                region.pwb(head_field);
+                cleared_head = true;
+            }
+        }
+        if cleared_head {
+            region.psync();
+        }
+
         // Phase 2: registered cells, scanned in parallel. Slot registries
         // are disjoint, so slots partition cleanly across workers. The pool
         // is only needed for its registry-walk helpers; build it now (no
         // application thread exists yet).
-        let pool = Pool::attach(Arc::clone(&region), cfg, failed_epoch);
+        let pool = Pool::attach(Arc::clone(&region), cfg, failed_epoch, true);
         let mut scanned = 0u64;
+        let mut scan_span_ns = 0u64;
         if threads == 1 {
+            let cpu0 = thread_cpu_ns();
             for slot in 0..MAX_THREADS {
                 let len = pool.reg_len_persistent(slot);
                 pool.for_each_registered(slot, len, |addr, l| {
@@ -343,13 +398,15 @@ impl Pool {
                     }
                 });
             }
+            scan_span_ns = thread_cpu_ns().saturating_sub(cpu0);
         } else {
-            let results: Vec<(u64, u64, Vec<u64>)> = std::thread::scope(|s| {
+            let results: Vec<(u64, u64, u64, Vec<u64>)> = std::thread::scope(|s| {
                 let mut joins = Vec::new();
                 for w in 0..threads {
                     let pool = &pool;
                     let region = &region;
                     joins.push(s.spawn(move || {
+                        let cpu0 = thread_cpu_ns();
                         let mut scanned = 0u64;
                         let mut rolled = 0u64;
                         let mut lines = Vec::new();
@@ -372,7 +429,7 @@ impl Pool {
                             slot += threads;
                         }
                         region.sync_release(recovery_join_token(region));
-                        (scanned, rolled, lines)
+                        (scanned, rolled, thread_cpu_ns().saturating_sub(cpu0), lines)
                     }));
                 }
                 joins
@@ -384,9 +441,10 @@ impl Pool {
             // worker to this thread; report it so the workers' rollback
             // stores are visibly ordered before post-recovery execution.
             region.sync_acquire(recovery_join_token(&region));
-            for (s, r, mut l) in results {
+            for (s, r, cpu, mut l) in results {
                 scanned += s;
                 rolled += r;
+                scan_span_ns = scan_span_ns.max(cpu);
                 lines.append(&mut l);
             }
         }
@@ -435,6 +493,7 @@ impl Pool {
             cells_scanned: scanned + fixed_count,
             cells_rolled_back: rolled,
             duration: t0.elapsed(),
+            scan_span: Duration::from_nanos(scan_span_ns),
             threads,
         };
         Ok((pool, report))
@@ -533,6 +592,47 @@ mod tests {
         drop(pool);
         let (pool2, _) = crash_and_recover(&region);
         assert_eq!(pool2.heap_used(), used_before, "bump cursor must roll back");
+    }
+
+    #[test]
+    fn repeated_crash_rounds_reuse_dirty_allocations() {
+        // Regression: memory allocated in a crashed epoch keeps valid
+        // address-mixed epoch tags while the registry entries describing it
+        // roll back with `reg_len`. A later epoch re-allocating that memory
+        // as-is fooled `init_InCLL`'s recycled-cell detection into skipping
+        // re-registration — the new cell was then invisible to every future
+        // recovery, and its dirty updates survived the *next* crash.
+        // `EvictAll` persists everything (the mmap-backend shape, where all
+        // stores reach the pool file), which maximizes surviving stale tags.
+        let region = sim_region(11);
+        {
+            let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).unwrap();
+            let h = pool.register();
+            h.checkpoint_here();
+            let _dirty = h.alloc_cell(0xdeadu64); // crashed-epoch allocation
+        }
+        let mut cells: Vec<crate::ICell<u64>> = Vec::new();
+        for round in 0..4u64 {
+            let img = region.crash(CrashMode::EvictAll);
+            region.restore(&img);
+            let (pool, _) = Pool::recover(Arc::clone(&region), PoolConfig::default()).unwrap();
+            for (i, c) in cells.iter().enumerate() {
+                assert_eq!(
+                    pool.cell_get(*c),
+                    i as u64,
+                    "round {round}: dirty update of round-{i} cell must have rolled back"
+                );
+            }
+            let h = pool.register();
+            // Committed work: a fresh cell, re-using the previous round's
+            // rolled-back allocation.
+            let c = h.alloc_cell(round);
+            h.checkpoint_here();
+            cells.push(c);
+            // Dirty epoch: overwrite the committed cell and allocate again.
+            h.update(c, 5555);
+            let _dirty = h.alloc_cell(0xdeadu64);
+        }
     }
 
     #[test]

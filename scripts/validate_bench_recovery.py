@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Schema and floor check for BENCH_recovery.json (recovery_scale bench).
+
+Usage: validate_bench_recovery.py [path]        (default: BENCH_recovery.json)
+
+Fails (exit 1) when a required field is missing or mistyped, when the sweep
+never reaches the pool-size floor (1 GiB by default; override with
+RECOVERY_MIN_POOL_BYTES for the quick CI sweep), when any sample rolled back
+nothing (the crashed epoch was empty — nothing was measured), or when the
+largest pool's best multi-threaded scan span fails to beat single-threaded
+by RECOVERY_MIN_PARALLEL_SPEEDUP (default 1.5x).
+
+The speedup check uses `scan_span_ms` — the longest per-worker thread-CPU
+time of the registry scan — rather than wall clock, so it holds on
+core-limited CI runners where parallel workers timeshare one core and
+wall-clock collapses to the sum of their work.
+"""
+
+import json
+import os
+import sys
+
+SAMPLE_FIELDS = (
+    ("pool_bytes", int),
+    ("elements", int),
+    ("threads", int),
+    ("recovery_ms", (int, float)),
+    ("scan_span_ms", (int, float)),
+    ("cells_scanned", int),
+    ("cells_rolled_back", int),
+)
+
+
+def fail(msg: str) -> None:
+    print(f"BENCH_recovery.json invalid: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_recovery.json"
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    if doc.get("bench") != "recovery_scale":
+        fail(f"bench field is {doc.get('bench')!r}, expected 'recovery_scale'")
+    if doc.get("backend") != "mmap":
+        fail(f"backend field is {doc.get('backend')!r}, expected 'mmap'")
+    samples = doc.get("samples")
+    if not isinstance(samples, list) or not samples:
+        fail("samples must be a non-empty list")
+
+    for i, s in enumerate(samples):
+        if not isinstance(s, dict):
+            fail(f"samples[{i}] is not an object")
+        for field, ty in SAMPLE_FIELDS:
+            if not isinstance(s.get(field), ty):
+                fail(f"samples[{i}].{field} missing or not {ty}")
+        if s["cells_rolled_back"] <= 0:
+            fail(f"samples[{i}] rolled back no cells — the crashed epoch was empty")
+        if s["cells_scanned"] < s["cells_rolled_back"]:
+            fail(f"samples[{i}] scanned fewer cells than it rolled back")
+        if s["recovery_ms"] <= 0 or s["scan_span_ms"] <= 0:
+            fail(f"samples[{i}] has a non-positive duration")
+
+    size_floor = int(os.environ.get("RECOVERY_MIN_POOL_BYTES", str(1 << 30)))
+    biggest = max(s["pool_bytes"] for s in samples)
+    if biggest < size_floor:
+        fail(
+            f"largest pool is {biggest} bytes, below the {size_floor}-byte "
+            f"floor (set RECOVERY_MIN_POOL_BYTES for quick sweeps)"
+        )
+
+    at_biggest = [s for s in samples if s["pool_bytes"] == biggest]
+    single = [s for s in at_biggest if s["threads"] == 1]
+    multi = [s for s in at_biggest if s["threads"] > 1]
+    if not single or not multi:
+        fail(
+            f"largest pool needs both a single-threaded and a multi-threaded "
+            f"sample, got threads={sorted(s['threads'] for s in at_biggest)}"
+        )
+    base = min(s["scan_span_ms"] for s in single)
+    best = min(multi, key=lambda s: s["scan_span_ms"])
+    speedup = base / best["scan_span_ms"]
+    floor = float(os.environ.get("RECOVERY_MIN_PARALLEL_SPEEDUP", "1.5"))
+    if speedup < floor:
+        fail(
+            f"parallel scan speedup {speedup:.2f}x at {biggest} bytes is "
+            f"below the {floor}x floor ({base:.1f}ms @ 1 thread vs "
+            f"{best['scan_span_ms']:.1f}ms @ {best['threads']} threads)"
+        )
+
+    print(
+        f"BENCH_recovery.json OK: {len(samples)} samples, pools up to "
+        f"{biggest >> 20} MiB, scan span {base:.1f}ms @ 1 thread -> "
+        f"{best['scan_span_ms']:.1f}ms @ {best['threads']} threads "
+        f"({speedup:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+//! Subprocess workload for the process-restart integration test.
+//!
+//! Opens (create-or-recover) an mmap pool at `argv[1]` and inserts keys into
+//! a persistent ordered map in fixed-size batches, checkpointing after each
+//! batch and reporting `ckpt <batch>` on stdout. It runs until killed — the
+//! test SIGKILLs it mid-batch and then recovers the pool in its own process,
+//! asserting that only whole checkpointed batches survive.
+
+use std::io::Write;
+
+use respct_repro::ds::POrderedMap;
+use respct_repro::respct::{Pool, PoolConfig};
+
+/// Keys per epoch; the test asserts the recovered map length is a multiple.
+pub const BATCH: u64 = 64;
+
+fn main() {
+    let path = std::env::args_os()
+        .nth(1)
+        .expect("usage: restart_worker <pool-file>");
+    let cfg = PoolConfig::builder()
+        .size(64 << 20)
+        .recovery_threads(2)
+        .build()
+        .expect("config");
+    let (pool, recovered) = Pool::open(std::path::Path::new(&path), cfg).expect("open pool");
+
+    let h = pool.register();
+    let (map, mut next) = match recovered {
+        None => {
+            let map = POrderedMap::create(&h);
+            h.set_root(map.desc());
+            h.checkpoint_here();
+            (map, 0)
+        }
+        Some(_) => {
+            let map = POrderedMap::open(&pool, pool.root());
+            let next = map.len();
+            (map, next)
+        }
+    };
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    loop {
+        let batch = next / BATCH;
+        for k in next..next + BATCH {
+            map.insert(&h, k, k * 7);
+        }
+        next += BATCH;
+        h.checkpoint_here();
+        // stdout is block-buffered when piped: flush so the test sees progress.
+        writeln!(out, "ckpt {batch}").expect("report progress");
+        out.flush().expect("flush progress");
+    }
+}

@@ -1,0 +1,131 @@
+//! Real process-crash recovery on the mmap backend (ISSUE 7, satellite 3).
+//!
+//! Spawns the `restart_worker` binary against a pool file, SIGKILLs it
+//! mid-epoch, restarts it (recovery happens in the fresh subprocess), kills
+//! it again, and finally recovers the pool in *this* process. Only whole
+//! checkpointed batches may survive: a partial batch in the recovered map
+//! would mean the open epoch leaked through the crash.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use respct_repro::ds::POrderedMap;
+use respct_repro::respct::{Pool, PoolConfig};
+
+/// Must match `BATCH` in `src/bin/restart_worker.rs`.
+const BATCH: u64 = 64;
+
+/// Per-line timeout: the worker checkpoints every few milliseconds, so a
+/// minute of silence means it wedged (or the build is pathologically slow).
+const LINE_TIMEOUT: Duration = Duration::from_secs(60);
+
+struct Worker {
+    child: Child,
+    lines: mpsc::Receiver<String>,
+}
+
+impl Worker {
+    fn spawn(pool_path: &std::path::Path) -> Worker {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_restart_worker"))
+            .arg(pool_path)
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn restart_worker");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let (tx, lines) = mpsc::channel();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if tx.send(line).is_err() {
+                    break;
+                }
+            }
+        });
+        Worker { child, lines }
+    }
+
+    /// Waits for the next `ckpt <n>` report and returns `n`.
+    fn next_ckpt(&self) -> u64 {
+        let line = self
+            .lines
+            .recv_timeout(LINE_TIMEOUT)
+            .expect("worker progress report");
+        let batch = line
+            .strip_prefix("ckpt ")
+            .unwrap_or_else(|| panic!("unexpected worker output: {line:?}"));
+        batch.parse().expect("batch index")
+    }
+
+    /// SIGKILLs the worker — no signal handler runs, no flush, no unmap.
+    fn kill(mut self) {
+        self.child.kill().expect("deliver SIGKILL");
+        self.child.wait().expect("reap worker");
+    }
+}
+
+#[test]
+fn sigkill_mid_epoch_recovers_in_fresh_process() {
+    let path = std::env::temp_dir().join(format!(
+        "respct_process_restart_{}.pool",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    // Round 1: fresh pool. Let three whole batches checkpoint, then kill
+    // while the fourth is (almost certainly) mid-flight.
+    let worker = Worker::spawn(&path);
+    let mut ckpts = 0;
+    while worker.next_ckpt() < 3 {
+        ckpts += 1;
+        assert!(ckpts < 100, "batch indices must be increasing from 0");
+    }
+    worker.kill();
+
+    // Round 2: recovery happens inside a fresh *subprocess*, which must
+    // resume from the checkpointed prefix, not from scratch.
+    let worker = Worker::spawn(&path);
+    let resumed_at = worker.next_ckpt();
+    assert!(
+        resumed_at >= 3,
+        "worker restarted from batch {resumed_at}, expected the recovered \
+         prefix of >= 4 checkpointed batches"
+    );
+    while worker.next_ckpt() < resumed_at + 2 {}
+    worker.kill();
+
+    // Final recovery in *this* process (the worker no longer exists).
+    let cfg = PoolConfig::builder()
+        .size(64 << 20)
+        .recovery_threads(2)
+        .build()
+        .expect("config");
+    let (pool, recovered) = Pool::open(&path, cfg).expect("reopen pool");
+    let report = recovered.expect("existing pool file must take the recovery path");
+    assert!(report.failed_epoch >= 1);
+    assert!(pool.verify().is_clean(), "pool integrity after SIGKILL x2");
+
+    let map = POrderedMap::open(&pool, pool.root());
+    let entries = map.collect_sorted();
+    assert_eq!(
+        entries.len() as u64 % BATCH,
+        0,
+        "partial batch survived the crash: {} entries",
+        entries.len()
+    );
+    assert!(
+        entries.len() as u64 >= (resumed_at + 2) * BATCH,
+        "checkpointed batches lost: {} entries, saw batch {} reported",
+        entries.len(),
+        resumed_at + 2
+    );
+    for (i, &(k, v)) in entries.iter().enumerate() {
+        assert_eq!(k, i as u64, "keys are the contiguous checkpointed prefix");
+        assert_eq!(v, k * 7, "value payload intact after recovery");
+    }
+
+    drop(pool);
+    let _ = std::fs::remove_file(&path);
+}
