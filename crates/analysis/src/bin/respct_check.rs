@@ -3,9 +3,10 @@
 //!
 //! ```text
 //! respct-check [hashmap|queue|kvstore|recovery|all] [--async] [--races]
-//!              [--format text|json]
+//!              [--pipeline K] [--format text|json]
 //! respct-check --sweep [hashmap|queue|both] [--ops N] [--seed S]
 //!              [--budget B] [--stride K] [--trace-out PATH] [--async]
+//!              [--pipeline K]
 //! ```
 //!
 //! In the default (checker) mode each workload runs on a sim-mode region
@@ -45,6 +46,13 @@
 //! runs tolerate redundant-flush advisories (on-demand push-outs can
 //! legitimately double-flush a line) but still fail on any
 //! error-severity diagnostic.
+//!
+//! `--pipeline K` (K > 1; implies async) runs with
+//! [`PoolConfig::epoch_pipeline`] set to `K`, exercising the epoch-ring
+//! pipelined drain under the checker's ring-commit-order rule. Do not
+//! combine with `--races`: the pipelined commit handshake is published
+//! through `drain_oldest` atomics the token-based happens-before engine
+//! cannot observe, so race findings on a pipelined trace are noise.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -61,11 +69,13 @@ const THREADS: usize = 4;
 const OPS_PER_THREAD: u64 = 3_000;
 const CKPT_PERIOD: Duration = Duration::from_millis(5);
 
-/// How a workload should run: async drain on/off, race detection on/off.
+/// How a workload should run: async drain on/off, race detection on/off,
+/// epoch-pipeline depth (1 = single in-flight drain, today's default).
 #[derive(Clone, Copy)]
 struct RunOpts {
     async_on: bool,
     races: bool,
+    pipeline: usize,
 }
 
 /// The sinks attached to a run's region.
@@ -129,6 +139,7 @@ fn checked_pool(bytes: usize, seed: u64, flushers: usize, opts: RunOpts) -> (Sin
     let cfg = PoolConfig::builder()
         .flusher_threads(flushers)
         .async_checkpoint(opts.async_on)
+        .epoch_pipeline(opts.pipeline)
         .build()
         .expect("config");
     let pool = Pool::create(region, cfg).expect("pool");
@@ -257,6 +268,7 @@ fn run_kvstore(opts: RunOpts) -> RunOut {
 fn run_recovery(opts: RunOpts) -> RunOut {
     let cfg = PoolConfig::builder()
         .async_checkpoint(opts.async_on)
+        .epoch_pipeline(opts.pipeline)
         .build()
         .expect("config");
     let region = Region::new(RegionConfig::sim(32 << 20, SimConfig::with_eviction(4, 44)));
@@ -297,6 +309,8 @@ fn sweep_main(args: &[String]) -> ExitCode {
     cfg.eviction_budget = 3;
     cfg.stride = 4;
     let mut trace_out: Option<String> = None;
+    let mut async_on = false;
+    let mut pipeline = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| {
@@ -313,18 +327,19 @@ fn sweep_main(args: &[String]) -> ExitCode {
             "--budget" => cfg.eviction_budget = value("--budget").parse().expect("--budget"),
             "--stride" => cfg.stride = value("--stride").parse().expect("--stride"),
             "--trace-out" => trace_out = Some(value("--trace-out")),
-            "--async" => {
-                cfg.pool = PoolConfig::builder()
-                    .async_checkpoint(true)
-                    .build()
-                    .expect("config");
-            }
+            "--async" => async_on = true,
+            "--pipeline" => pipeline = value("--pipeline").parse().expect("--pipeline"),
             other => {
                 eprintln!("unknown sweep argument {other:?}");
                 return ExitCode::FAILURE;
             }
         }
     }
+    cfg.pool = PoolConfig::builder()
+        .async_checkpoint(async_on || pipeline > 1)
+        .epoch_pipeline(pipeline)
+        .build()
+        .expect("config");
     cfg.seed = seed;
     let mut failed = false;
     for w in workloads {
@@ -420,9 +435,21 @@ fn main() -> ExitCode {
     if argv.first().map(String::as_str) == Some("--sweep") {
         return sweep_main(&argv[1..]);
     }
+    let mut pipeline = 1usize;
+    if let Some(pos) = argv.iter().position(|a| a == "--pipeline") {
+        let parsed = argv.get(pos + 1).and_then(|k| k.parse().ok());
+        let Some(k) = parsed.filter(|&k: &usize| k >= 1) else {
+            eprintln!("--pipeline requires a positive integer depth");
+            return ExitCode::from(EXIT_USAGE);
+        };
+        pipeline = k;
+        argv.drain(pos..=pos + 1);
+    }
     let opts = RunOpts {
-        async_on: argv.iter().any(|a| a == "--async"),
+        // A pipeline depth implies the asynchronous drain machinery.
+        async_on: argv.iter().any(|a| a == "--async") || pipeline > 1,
         races: argv.iter().any(|a| a == "--races"),
+        pipeline,
     };
     argv.retain(|a| a != "--async" && a != "--races");
     let mut json = false;

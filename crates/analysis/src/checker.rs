@@ -40,6 +40,15 @@
 //!    durable-zero). At commit, every snapshotted line must be durable *at
 //!    least at its snapshot generation*; later epoch-N+1 stores to the same
 //!    line are fine — they belong to the next checkpoint.
+//! 8. **Ring commit order** — a pipelined checkpoint (`epoch_pipeline(K)`)
+//!    opens each epoch's drain at `PipelineBegin` (snapshotting tracked
+//!    lines under that epoch's generation; unlike rule 7, *several* drains
+//!    may legally be open at once) and commits at `RingCommit`. Commits
+//!    must appear in strict epoch order — `RingCommit { e }` while an
+//!    epoch older than `e` is still open is a violation, because zeroing
+//!    slot `e` durably claims every predecessor committed (and releases
+//!    epoch-`e` frees for reclamation). At each commit, the epoch's own
+//!    snapshot must be durable at its snapshot generations, as in rule 7.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -84,6 +93,10 @@ struct CheckerState {
     /// Snapshot taken at `DrainBegin`: line -> content generation the
     /// asynchronous drain promised to persist before `DrainCommit`.
     draining_tracked: HashMap<u64, u64>,
+    /// Per-epoch snapshots taken at `PipelineBegin` (pipelined mode): each
+    /// open epoch's line -> generation debt, keyed by epoch so rule 8 can
+    /// both check commits in order and settle each epoch's own debt.
+    ring_open: BTreeMap<u64, HashMap<u64, u64>>,
     /// Flush shards opened (`ShardFlushBegin`) but not yet fenced-and-closed
     /// (`ShardFlushEnd`) in the current checkpoint.
     open_shards: HashSet<u64>,
@@ -110,6 +123,7 @@ impl CheckerState {
             DiagnosticKind::EpochDiscipline => "epoch",
             DiagnosticKind::ShardFence => "shard",
             DiagnosticKind::DrainCommitOrder => "drain",
+            DiagnosticKind::RingCommitOrder => "ring",
             DiagnosticKind::RecoveryDivergence => "divergence",
             DiagnosticKind::PersistRace => "race",
             DiagnosticKind::UnorderedCommit => "unordered",
@@ -178,6 +192,7 @@ impl CheckerState {
                 self.pending.clear();
                 self.tracked.clear();
                 self.draining_tracked.clear();
+                self.ring_open.clear();
                 self.open_shards.clear();
                 for c in self.cells.values_mut() {
                     c.logged_epoch = None;
@@ -553,6 +568,95 @@ impl CheckerState {
                     }
                 }
                 self.draining_tracked.clear();
+            }
+            TraceMarker::PipelineBegin { epoch } => {
+                // The pipelined ring-slot claim: like `DrainBegin` this is
+                // the volatile epoch advance and snapshots what the drain
+                // owes, but unlike rule 7 several drains may legally be open
+                // at once — overlap is the whole point, so no diagnostic for
+                // an earlier uncommitted epoch here. Ordering is enforced at
+                // `RingCommit` instead.
+                if !self.in_checkpoint {
+                    self.diag(
+                        DiagnosticKind::EpochDiscipline,
+                        None,
+                        None,
+                        format!("pipelined drain begins for epoch {epoch} outside a checkpoint"),
+                    );
+                }
+                match self.epoch {
+                    None => self.epoch = Some(epoch),
+                    Some(e) if e != epoch => self.diag(
+                        DiagnosticKind::EpochDiscipline,
+                        None,
+                        None,
+                        format!("pipelined drain begins for epoch {epoch}, current {e}"),
+                    ),
+                    _ => {}
+                }
+                let snapshot: HashMap<u64, u64> = self
+                    .tracked
+                    .drain()
+                    .map(|line| {
+                        let gen = self.lines.get(&line).map_or(0, |s| s.gen);
+                        (line, gen)
+                    })
+                    .collect();
+                self.ring_open.insert(epoch, snapshot);
+                self.epoch = Some(epoch + 1);
+            }
+            TraceMarker::RingCommit { epoch } => {
+                // Rule 8: ring slot `epoch % K` is durably zero. Commits
+                // must retire oldest-first — zeroing this slot claims every
+                // predecessor already committed, so an older epoch still
+                // open here means a crash now would leave a ring hole.
+                let stale: Vec<u64> = self
+                    .ring_open
+                    .keys()
+                    .copied()
+                    .filter(|&open| open < epoch)
+                    .collect();
+                if !stale.is_empty() {
+                    self.diag(
+                        DiagnosticKind::RingCommitOrder,
+                        None,
+                        None,
+                        format!(
+                            "ring commit for epoch {epoch} while older epoch(s) {stale:?} \
+                             are still draining"
+                        ),
+                    );
+                }
+                match self.ring_open.remove(&epoch) {
+                    None => self.diag(
+                        DiagnosticKind::RingCommitOrder,
+                        None,
+                        None,
+                        format!("ring commit for epoch {epoch} without a matching PipelineBegin"),
+                    ),
+                    Some(snapshot) if self.ckpt_full => {
+                        let mut missed: Vec<(u64, u64, u64)> = snapshot
+                            .iter()
+                            .filter_map(|(&line, &snap_gen)| {
+                                let durable = self.lines.get(&line).map_or(0, |s| s.persisted_gen);
+                                (durable < snap_gen).then_some((line, snap_gen, durable))
+                            })
+                            .collect();
+                        missed.sort_unstable();
+                        for (line, snap_gen, durable) in missed {
+                            self.diag(
+                                DiagnosticKind::RingCommitOrder,
+                                Some(line),
+                                None,
+                                format!(
+                                    "ring commit for epoch {epoch} but line {line} is durable \
+                                     only at gen {durable} < snapshot gen {snap_gen}"
+                                ),
+                            );
+                        }
+                    }
+                    Some(_) => {}
+                }
             }
             TraceMarker::RestartPoint { .. } => {}
             // Push-out ordering is a happens-before rule (race detector).
@@ -973,6 +1077,96 @@ mod tests {
             marker(TraceMarker::DrainBegin { epoch: 2 }), // current is 1
         ]);
         assert_eq!(r.of_kind(DiagnosticKind::EpochDiscipline).len(), 1, "{r}");
+    }
+
+    #[test]
+    fn pipelined_ring_cycle_is_clean() {
+        // Two epochs overlap: epoch 2 opens while epoch 1's drain is still
+        // flushing (legal under rule 8), and the commits retire in order.
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            TraceEvent::store_meta(1, 640, 8),
+            marker(TraceMarker::TrackLine { line: 10 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 1,
+                full: true,
+            }),
+            marker(TraceMarker::PipelineBegin { epoch: 1 }),
+            marker(TraceMarker::CheckpointEnd { epoch: 1 }),
+            // Released threads run epoch 2 while epoch 1 still drains.
+            TraceEvent::store_meta(2, 704, 8),
+            marker(TraceMarker::TrackLine { line: 11 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 2,
+                full: true,
+            }),
+            marker(TraceMarker::PipelineBegin { epoch: 2 }),
+            marker(TraceMarker::CheckpointEnd { epoch: 2 }),
+            // Drain worker settles both epochs oldest-first.
+            TraceEvent::Pwb { tid: 3, line: 10 },
+            TraceEvent::Psync { tid: 3 },
+            marker(TraceMarker::RingCommit { epoch: 1 }),
+            TraceEvent::Pwb { tid: 3, line: 11 },
+            TraceEvent::Psync { tid: 3 },
+            marker(TraceMarker::RingCommit { epoch: 2 }),
+        ]);
+        assert!(r.is_clean(), "{r}");
+        assert!(r.diagnostics.is_empty(), "{r}");
+    }
+
+    #[test]
+    fn ring_commit_out_of_order_flagged() {
+        // Epoch 2's slot is zeroed while epoch 1 is still draining — a
+        // crash here leaves a ring hole recovery rejects.
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            TraceEvent::store_meta(1, 640, 8),
+            marker(TraceMarker::TrackLine { line: 10 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 1,
+                full: true,
+            }),
+            marker(TraceMarker::PipelineBegin { epoch: 1 }),
+            marker(TraceMarker::CheckpointEnd { epoch: 1 }),
+            TraceEvent::store_meta(2, 704, 8),
+            marker(TraceMarker::TrackLine { line: 11 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 2,
+                full: true,
+            }),
+            marker(TraceMarker::PipelineBegin { epoch: 2 }),
+            marker(TraceMarker::CheckpointEnd { epoch: 2 }),
+            TraceEvent::Pwb { tid: 3, line: 10 },
+            TraceEvent::Pwb { tid: 3, line: 11 },
+            TraceEvent::Psync { tid: 3 },
+            marker(TraceMarker::RingCommit { epoch: 2 }), // epoch 1 still open
+            marker(TraceMarker::RingCommit { epoch: 1 }),
+        ]);
+        let v = r.of_kind(DiagnosticKind::RingCommitOrder);
+        assert_eq!(v.len(), 1, "{r}");
+        assert!(v[0].detail.contains("still draining"), "{r}");
+        assert!(!r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn ring_commit_before_durable_flagged() {
+        let r = replay(&[
+            marker(TraceMarker::EpochAdvance { epoch: 1 }),
+            TraceEvent::store_meta(1, 640, 8),
+            marker(TraceMarker::TrackLine { line: 10 }),
+            marker(TraceMarker::CheckpointBegin {
+                epoch: 1,
+                full: true,
+            }),
+            marker(TraceMarker::PipelineBegin { epoch: 1 }),
+            // no pwb/psync of line 10: the worker skipped its write-backs
+            marker(TraceMarker::RingCommit { epoch: 1 }),
+            marker(TraceMarker::CheckpointEnd { epoch: 1 }),
+        ]);
+        let v = r.of_kind(DiagnosticKind::RingCommitOrder);
+        assert_eq!(v.len(), 1, "{r}");
+        assert_eq!(v[0].line, Some(10));
+        assert!(!r.is_clean(), "{r}");
     }
 
     #[test]

@@ -515,10 +515,21 @@ impl RaceState {
                 self.in_recovery = false;
                 self.reset_epoch_writes();
             }
+            TraceMarker::PipelineBegin { epoch } => {
+                // Pipelined ring commits publish through `drain_oldest`
+                // atomics the token-based detector cannot see, so pipelined
+                // traces run with race detection off. Keep the epoch
+                // bookkeeping coherent anyway so rule (a) stays sane if a
+                // mixed trace slips through.
+                self.tracked.clear();
+                self.reset_epoch_writes();
+                self.epoch = Some(epoch + 1);
+            }
             TraceMarker::OrderBarrier
             | TraceMarker::ShardFlushBegin { .. }
             | TraceMarker::ShardFlushEnd { .. }
             | TraceMarker::RecoveryApply { .. }
+            | TraceMarker::RingCommit { .. }
             | TraceMarker::RestartPoint { .. } => {}
         }
     }

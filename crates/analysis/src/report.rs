@@ -54,6 +54,14 @@ pub enum DiagnosticKind {
     /// snapshot generation: a crash after the commit would recover to
     /// epoch N+1 with epoch-N data missing.
     DrainCommitOrder,
+    /// The pipelined epoch-record ring broke its ordered-commit invariant:
+    /// a `RingCommit` was published while an *older* epoch's drain was
+    /// still uncommitted, or an epoch committed while a line it snapshotted
+    /// at `PipelineBegin` was not yet durable at its snapshot generation. A
+    /// crash between an out-of-order pair leaves a hole in the ring, which
+    /// recovery rejects as corruption — and the frees the early commit
+    /// released may already have clobbered rollback state.
+    RingCommitOrder,
     /// A crash-point sweep found a reachable crash image whose recovered
     /// state differs from the model snapshot of the last committed
     /// checkpoint: the durability invariant the paper proves (recovery to a
@@ -93,6 +101,7 @@ impl DiagnosticKind {
             DiagnosticKind::EpochDiscipline => "epoch_discipline",
             DiagnosticKind::ShardFence => "shard_fence",
             DiagnosticKind::DrainCommitOrder => "drain_commit_order",
+            DiagnosticKind::RingCommitOrder => "ring_commit_order",
             DiagnosticKind::RecoveryDivergence => "recovery_divergence",
             DiagnosticKind::PersistRace => "persist_race",
             DiagnosticKind::UnorderedCommit => "unordered_commit",

@@ -159,19 +159,36 @@ where
             .enumerate()
         {
             images += 1;
-            match Pool::recover_from_image(&image, cfg.pool.clone()) {
-                Ok((pool, rec)) => {
-                    if let Err(detail) = oracle(&pool, &rec) {
-                        diverge(
-                            Some(rec.failed_epoch),
-                            format!("event #{idx} ({ev:?}), image #{img_idx}: {detail}"),
-                        );
-                    }
+            // Recovery may *panic* on images no correct execution can
+            // produce (e.g. an epoch-ring hole left by an out-of-order
+            // commit). A sweep must survive that and report it as a
+            // divergence, not die: a panicking recovery is exactly the
+            // broken-protocol evidence the sweep exists to surface.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                match Pool::recover_from_image(&image, cfg.pool.clone()) {
+                    Ok((pool, rec)) => (Some(rec.failed_epoch), oracle(&pool, &rec)),
+                    Err(e) => (None, Err(format!("recovery failed: {e:?}"))),
                 }
-                Err(e) => diverge(
-                    None,
-                    format!("event #{idx} ({ev:?}), image #{img_idx}: recovery failed: {e:?}"),
+            }));
+            match outcome {
+                Ok((_, Ok(()))) => {}
+                Ok((epoch, Err(detail))) => diverge(
+                    epoch,
+                    format!("event #{idx} ({ev:?}), image #{img_idx}: {detail}"),
                 ),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("non-string panic payload");
+                    diverge(
+                        None,
+                        format!(
+                            "event #{idx} ({ev:?}), image #{img_idx}: recovery panicked: {msg}"
+                        ),
+                    );
+                }
             }
         }
     }

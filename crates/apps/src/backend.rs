@@ -11,12 +11,20 @@
 //!   much slower; for correctness runs);
 //! * `RESPCT_BACKEND=mmap:/path/to/file.pool` — file-backed mmap: the heap
 //!   outlives the process, as on real App-Direct NVMM.
+//!
+//! A second variable picks the checkpoint drain for the whole suite:
+//! `RESPCT_PIPELINE=K` (see [`pool_config`]) runs every app with the
+//! epoch-ring pipelined drain at depth `K` (`K = 1`, the default, keeps
+//! the plain synchronous checkpoint).
 
-use respct::{RegionConfig, RegionMode};
+use respct::{PoolConfig, RegionConfig, RegionMode};
 use respct_pmem::{latency::LatencyModel, SimConfig};
 
 /// Environment variable naming the persistence backend.
 pub const BACKEND_ENV: &str = "RESPCT_BACKEND";
+
+/// Environment variable naming the epoch-pipeline depth (`K`).
+pub const PIPELINE_ENV: &str = "RESPCT_PIPELINE";
 
 /// Parses a backend spec (the `RESPCT_BACKEND` syntax above) into a
 /// [`RegionMode`]. Unknown specs return `None`.
@@ -52,6 +60,30 @@ pub fn nvmm_config(size: usize) -> RegionConfig {
         .expect("valid region config")
 }
 
+/// The pool config every app's ResPCT mode runs with: `RESPCT_PIPELINE=K`
+/// selects the epoch-ring pipelined drain (`K ≥ 2` implies the
+/// asynchronous drain machinery; `K = 1` or unset keeps the default
+/// synchronous checkpoint, so existing runs are unchanged).
+///
+/// # Panics
+///
+/// Panics on an unparseable or out-of-range `RESPCT_PIPELINE` value — a
+/// typo silently falling back to the synchronous drain would invalidate
+/// a benchmark run.
+pub fn pool_config() -> PoolConfig {
+    let k: usize = match std::env::var(PIPELINE_ENV) {
+        Ok(spec) => spec
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable {PIPELINE_ENV} value: {spec:?}")),
+        Err(_) => 1,
+    };
+    PoolConfig::builder()
+        .async_checkpoint(k > 1)
+        .epoch_pipeline(k)
+        .build()
+        .unwrap_or_else(|e| panic!("invalid {PIPELINE_ENV} depth {k}: {e:?}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +102,16 @@ mod tests {
         }
         assert!(parse_backend("mmap:").is_none());
         assert!(parse_backend("pmem").is_none());
+    }
+
+    #[test]
+    fn pool_config_defaults_to_synchronous() {
+        // The test environment does not set the variable.
+        if std::env::var(PIPELINE_ENV).is_err() {
+            let cfg = pool_config();
+            assert_eq!(cfg.epoch_pipeline(), 1);
+            assert!(!cfg.async_checkpoint());
+        }
     }
 
     #[test]

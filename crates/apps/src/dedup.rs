@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use respct::{Pool, PoolConfig, RpId, ThreadHandle};
+use respct::{Pool, RpId, ThreadHandle};
 use respct_ds::{PHashMap, TransientHashMap};
 use respct_pmem::Region;
 
@@ -323,7 +323,7 @@ fn run_inner(
             if let Some(sink) = sink.take() {
                 region.set_trace_sink(sink);
             }
-            let pool = Pool::create(region, PoolConfig::default()).expect("pool");
+            let pool = Pool::create(region, crate::backend::pool_config()).expect("pool");
             let h = pool.register();
             let map = PHashMap::create(&h, 4096);
             let bytes_cell = h.alloc_cell(0u64);

@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
-use respct::{Pool, PoolConfig, RpId, ThreadHandle};
+use respct::{Pool, RpId, ThreadHandle};
 use respct_ds::{hash_u64, PHashMap};
 use respct_pmem::{PAddr, Region};
 
@@ -415,7 +415,7 @@ fn run_respct(cfg: &KvConfig, sink: Option<Arc<dyn respct_pmem::TraceSink>>) -> 
     if let Some(sink) = sink {
         region.set_trace_sink(sink);
     }
-    let pool = Pool::create(region, PoolConfig::default()).expect("pool");
+    let pool = Pool::create(region, crate::backend::pool_config()).expect("pool");
     let _ckpt = pool.start_checkpointer(cfg.ckpt_period);
     let store = Arc::new(RespctStore::new(
         Arc::clone(&pool),
@@ -450,7 +450,7 @@ mod tests {
     #[test]
     fn respct_store_roundtrip() {
         let region = Region::new(RegionConfig::fast(64 << 20));
-        let pool = Pool::create(region, PoolConfig::default()).expect("pool");
+        let pool = Pool::create(region, crate::backend::pool_config()).expect("pool");
         let store = RespctStore::new(Arc::clone(&pool), 64, 100);
         let mut ctx = store.ctx();
         store.put(&mut ctx, 5, 1);

@@ -15,7 +15,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use respct::{Pool, PoolConfig, RpId};
+use respct::{Pool, RpId};
 use respct_pmem::{Region, RegionConfig};
 
 use crate::Mode;
@@ -168,7 +168,7 @@ fn run_respct(cfg: LinregConfig, sink: Option<Arc<dyn respct_pmem::TraceSink>>) 
     if let Some(sink) = sink {
         region.set_trace_sink(sink);
     }
-    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
+    let pool = Pool::create(Arc::clone(&region), crate::backend::pool_config()).expect("pool");
     let _ckpt = pool.start_checkpointer(cfg.ckpt_period);
     let per = cfg.npoints.div_ceil(cfg.threads);
     let t0 = Instant::now();

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use respct::{Pool, PoolConfig, RpId};
+use respct::{Pool, RpId};
 use respct_pmem::{PAddr, Region, RegionConfig};
 
 use crate::Mode;
@@ -77,7 +77,7 @@ fn run_respct(cfg: MatmulConfig, sink: Option<Arc<dyn respct_pmem::TraceSink>>) 
     if let Some(sink) = sink {
         region.set_trace_sink(sink);
     }
-    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
+    let pool = Pool::create(Arc::clone(&region), crate::backend::pool_config()).expect("pool");
     run_region(cfg, region, Some(pool))
 }
 

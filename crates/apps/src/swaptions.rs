@@ -11,7 +11,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use respct::{Pool, PoolConfig, RpId};
+use respct::{Pool, RpId};
 use respct_pmem::{Region, RegionConfig};
 
 use crate::Mode;
@@ -150,7 +150,7 @@ fn run_respct(
     if let Some(sink) = sink {
         region.set_trace_sink(sink);
     }
-    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
+    let pool = Pool::create(Arc::clone(&region), crate::backend::pool_config()).expect("pool");
     let _ckpt = pool.start_checkpointer(cfg.ckpt_period);
     let t0 = Instant::now();
     let per = cfg.nswaptions.div_ceil(cfg.threads);

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use respct::{Pool, PoolConfig, RpId};
+use respct::{Pool, RpId};
 use respct_ds::{PHashMap, TransientHashMap};
 use respct_pmem::{Region, RegionConfig};
 
@@ -122,7 +122,7 @@ fn run_respct(
     if let Some(sink) = sink {
         region.set_trace_sink(sink);
     }
-    let pool = Pool::create(Arc::clone(&region), PoolConfig::default()).expect("pool");
+    let pool = Pool::create(Arc::clone(&region), crate::backend::pool_config()).expect("pool");
     let map = {
         let h = pool.register();
         let m = PHashMap::create(&h, (cfg.vocab / 2).max(8));

@@ -81,6 +81,20 @@ pub enum TraceMarker {
     /// written back and fenced, and the drain-state word is committed back
     /// to zero — the two-phase commit of `epoch` is complete.
     DrainCommit { epoch: u64 },
+    /// A pipelined checkpoint claimed ring slot `epoch % K` for `epoch` and
+    /// released the quiesced threads: the claim (`ring[slot] = epoch`,
+    /// `epoch = epoch + 1`) is durable, the epoch's tracking lists are
+    /// snapshotted under the epoch's generation, and the drain of `epoch`
+    /// proceeds in the background while up to `K - 1` older drains may
+    /// still be committing. Unlike [`TraceMarker::DrainBegin`], an earlier
+    /// uncommitted drain is legal here.
+    PipelineBegin { epoch: u64 },
+    /// The pipelined drain of `epoch` is complete: every snapshotted line
+    /// is written back and fenced, and ring slot `epoch % K` is committed
+    /// back to zero. Commits must appear in epoch order — a `RingCommit`
+    /// for `epoch` while an older claimed epoch is still uncommitted is a
+    /// discipline violation (checker rule 8).
+    RingCommit { epoch: u64 },
     /// Checkpoint finished; `epoch` is the epoch it closed.
     CheckpointEnd { epoch: u64 },
     /// Recovery started; `failed_epoch` is the epoch being rolled back and

@@ -22,15 +22,16 @@
 //! round-trip per chunk are both gone: the checkpointer sends one job
 //! message per flusher and waits for one ack per flusher.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use respct_pmem::{Region, SyncToken, TraceMarker};
+use respct_pmem::{PAddr, Region, SyncToken, TraceMarker};
 
-use crate::layout::{MAX_THREADS, OFF_EPOCH, OFF_EPOCH_STATE};
+use crate::layout::{epoch_ring_slot, MAX_THREADS, OFF_EPOCH, OFF_EPOCH_STATE};
+use crate::metrics::RuntimeMetrics;
 use crate::pool::{CheckpointMode, Pool, SYSTEM_SLOT};
 
 /// The flush shard a cache line belongs to. `nshards` must be a power of
@@ -84,8 +85,12 @@ pub struct CkptReport {
     /// checkpoints hold threads through the flush, so this covers wait +
     /// partition + flush; asynchronous checkpoints release at the epoch
     /// swap, so it covers only wait + partition + the draining-record
-    /// persist. This — not `wait_ns`, which is pure quiescence — is what
-    /// the threads actually experience as stall.
+    /// persist. Pipelined checkpoints (`epoch_pipeline(K)`, K > 1) measure
+    /// from the instant quiescence completes to the release — the window
+    /// the ring design actually shrinks: list snapshot + ring-slot claim,
+    /// with no flush and no commit wait in it. This — not `wait_ns`, which
+    /// is pure quiescence — is what the threads actually experience as
+    /// stall.
     pub stw_ns: u64,
     /// Nanoseconds of background drain after the threads were released
     /// (flush + two-phase commit). Zero for synchronous checkpoints.
@@ -107,6 +112,29 @@ impl Pool {
     /// [`ThreadHandle::checkpoint_here`]: crate::thread::ThreadHandle::checkpoint_here
     pub fn checkpoint_now(&self) -> CkptReport {
         let _serial = self.lock_ckpt();
+        if self.pipeline.is_some() {
+            // Backpressure: epoch N's ring slot is `N mod K`, free only
+            // once the drain of epoch `N − K` has committed. Wait that
+            // out *before* raising `timer` — application threads keep
+            // running while a full ring holds the checkpoint back.
+            let closing = self.epoch_mirror.load(Ordering::Relaxed);
+            let k = self.cfg.epoch_pipeline as u64;
+            let mut spins = 0u32;
+            while closing - self.drain_oldest.load(Ordering::Acquire) >= k {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            if closing > k {
+                // Slot `closing mod K` was last claimed by epoch
+                // `closing − K`, whose commit we just waited out: join the
+                // executor's release so the claim below is HB-after it.
+                self.region.sync_acquire(SyncToken::Drain);
+            }
+        }
         let t0 = Instant::now();
         self.timer.store(true, Ordering::SeqCst);
         // Wait until every active thread is parked at a restart point
@@ -132,6 +160,7 @@ impl Pool {
                 .sync_acquire(SyncToken::Flag { slot: slot as u64 });
         }
         let waited = t0.elapsed();
+        let t_parked = Instant::now();
         let closing = self.epoch_mirror.load(Ordering::Relaxed);
         self.region.trace_marker(TraceMarker::CheckpointBegin {
             epoch: closing,
@@ -143,6 +172,32 @@ impl Pool {
         // persists end-of-epoch metadata), then gather the tracking lists.
         // SAFETY: quiescence established above; `ckpt_lock` held.
         unsafe { self.sync_deferred_cells() };
+
+        if self.pipeline.is_some() {
+            // Pipelined gather: snapshot the raw per-slot lists by pointer
+            // move, no merging — the drain executor flattens and dedups the
+            // whole epoch off-thread anyway, so per-shard merge here would
+            // be O(lines) of copying inside the parked window for nothing.
+            let tp = Instant::now();
+            let mut lists: Vec<Vec<u64>> = Vec::new();
+            for slot in 0..MAX_THREADS {
+                // SAFETY: `timer` is set and every active owner's flag was
+                // observed true with SeqCst, so owners are parked; inactive
+                // slots have no owner. The checkpointer has exclusive
+                // access.
+                let st = unsafe { self.slot_state(slot) };
+                for list in &mut st.to_flush {
+                    if !list.is_empty() {
+                        lists.push(std::mem::take(list));
+                    }
+                }
+            }
+            let partitioned = tp.elapsed();
+            let report = self.drain_pipelined(t0, t_parked, waited, partitioned, closing, lists);
+            self.region
+                .trace_marker(TraceMarker::CheckpointEnd { epoch: closing });
+            return report;
+        }
 
         // Gather: move each slot's per-shard lists into per-shard vectors.
         // No sorting and no per-line work here — dedup happens per shard,
@@ -172,7 +227,6 @@ impl Pool {
         } else {
             self.drain_sync(t0, waited, partitioned, closing, shards)
         };
-        self.metrics.on_checkpoint(&report);
         self.region
             .trace_marker(TraceMarker::CheckpointEnd { epoch: closing });
         report
@@ -214,7 +268,7 @@ impl Pool {
         // observing `timer == false`, so their acquire follows this edge.
         self.region.sync_release(SyncToken::Timer);
         self.timer.store(false, Ordering::SeqCst);
-        CkptReport {
+        let report = CkptReport {
             closed_epoch: closing,
             lines: nlines,
             wait_ns: waited.as_nanos() as u64,
@@ -224,7 +278,9 @@ impl Pool {
             drain_ns: 0,
             total_ns: t0.elapsed().as_nanos() as u64,
             shards: shard_reports,
-        }
+        };
+        self.metrics.on_checkpoint(&report);
+        report
     }
 
     /// Asynchronous tail of a checkpoint (two-phase commit). While the
@@ -261,8 +317,8 @@ impl Pool {
 
         // Publish the drain before releasing: the `SeqCst` timer store
         // orders these after-the-fact for every thread whose park loop
-        // observes `timer == false`.
-        self.draining_epoch.store(closing, Ordering::Relaxed);
+        // observes `timer == false`. `drain_oldest` stays at `closing`
+        // (nothing below it is uncommitted) until the commit advances it.
         self.drain_active.store(true, Ordering::Relaxed);
         self.epoch_mirror.store(closing + 1, Ordering::SeqCst);
         self.region
@@ -300,8 +356,10 @@ impl Pool {
             .trace_marker(TraceMarker::DrainCommit { epoch: closing });
         // Release before clearing `drain_active`: a thread leaving the
         // push-out wait acquires this edge, ordering its backup overwrite
-        // after the two-phase commit.
+        // after the two-phase commit. Advancing `drain_oldest` past
+        // `closing` is what actually ends the push-out wait.
         self.region.sync_release(SyncToken::Drain);
+        self.drain_oldest.store(closing + 1, Ordering::Release);
         self.drain_active.store(false, Ordering::Release);
 
         // SAFETY: this thread is the checkpointer, holds `ckpt_lock`, and
@@ -309,7 +367,7 @@ impl Pool {
         // in epoch N + 1's fresh lists.
         unsafe { self.push_frees(SYSTEM_SLOT, taken_frees) };
 
-        CkptReport {
+        let report = CkptReport {
             closed_epoch: closing,
             lines: nlines,
             wait_ns: waited.as_nanos() as u64,
@@ -319,7 +377,92 @@ impl Pool {
             drain_ns: td.elapsed().as_nanos() as u64,
             total_ns: t0.elapsed().as_nanos() as u64,
             shards: shard_reports,
+        };
+        self.metrics.on_checkpoint(&report);
+        report
+    }
+
+    /// Pipelined tail of a checkpoint (`epoch_pipeline(K)`, K > 1): claim
+    /// the closing epoch's ring slot — `ring[N mod K] ← N`, `epoch ← N+1`,
+    /// one write-back and one fence for both (they share the epoch header
+    /// line, so PCSO makes any torn durable state a program-order prefix,
+    /// and every prefix is handled by recovery's ring decode) — hand the
+    /// snapshotted lists to the drain executor, and release the threads.
+    /// Up to K−1 earlier drains may still be in flight; the executor
+    /// commits strictly in ring order, so `ring[e] = 0` always implies
+    /// every predecessor of `e` is durable too.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_pipelined(
+        &self,
+        t0: Instant,
+        t_parked: Instant,
+        waited: Duration,
+        partitioned: Duration,
+        closing: u64,
+        lists: Vec<Vec<u64>>,
+    ) -> CkptReport {
+        let exec = self
+            .pipeline
+            .as_ref()
+            .expect("pipelined mode has an executor");
+        // Frees from the closing epoch park inside the ticket until its
+        // commit lands; the *next* checkpoint pushes them onto the free
+        // lists (see `checkpoint_now`). Pushing them any earlier would let
+        // a pre-commit crash roll blocks back to live while their link
+        // words are already clobbered.
+        // SAFETY: quiescence established by the caller; `ckpt_lock` held.
+        let frees = unsafe { self.take_frees() };
+
+        let k = self.cfg.epoch_pipeline as u64;
+        self.region
+            .store(epoch_ring_slot((closing % k) as usize), closing);
+        self.region.store(OFF_EPOCH, closing + 1);
+        self.region.pwb(OFF_EPOCH);
+        self.region.psync();
+
+        // `drain_active` is sticky in pipelined mode: with up to K−1
+        // drains overlapping there is no idle window worth detecting, and
+        // the push-out guard's `drain_oldest` lower bound already filters
+        // committed epochs out of the wait path.
+        self.drain_active.store(true, Ordering::Relaxed);
+        self.epoch_mirror.store(closing + 1, Ordering::SeqCst);
+        self.region
+            .trace_marker(TraceMarker::PipelineBegin { epoch: closing });
+
+        let report = CkptReport {
+            closed_epoch: closing,
+            // Pre-dedup estimate; the executor records the exact deduped
+            // count into the metrics when the drain commits.
+            lines: lists.iter().map(|l| l.len() as u64).sum(),
+            wait_ns: waited.as_nanos() as u64,
+            partition_ns: partitioned.as_nanos() as u64,
+            flush_ns: 0,
+            stw_ns: t_parked.elapsed().as_nanos() as u64,
+            drain_ns: 0,
+            total_ns: t0.elapsed().as_nanos() as u64,
+            shards: Vec::new(),
+        };
+        exec.submit(DrainTicket {
+            epoch: closing,
+            lists,
+            frees,
+            report: report.clone(),
+        });
+        self.region.sync_release(SyncToken::Timer);
+        self.timer.store(false, Ordering::SeqCst);
+
+        // Recycle frees parked by now-committed drains, *after* releasing
+        // the threads: `push_frees` publishes each link-word store through
+        // the class lock (exactly the asynchronous path's ordering), so
+        // running it concurrently with the new epoch is safe and keeps its
+        // per-block cost out of the parked window. The link-word lines land
+        // in the new epoch's tracking lists.
+        let ready = exec.take_committed_frees();
+        if !ready.is_empty() {
+            // SAFETY: `ckpt_lock` held; SYSTEM_SLOT has no other owner.
+            unsafe { self.push_frees(SYSTEM_SLOT, ready) };
         }
+        report
     }
 
     /// Sort + dedup + count without writing anything back (the `NoFlush`
@@ -714,6 +857,234 @@ impl Drop for FlusherPool {
         let (tx, _rx) = bounded(1);
         drop(std::mem::replace(&mut self.job_tx, tx));
         for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+// ---- Pipelined drain executor ----------------------------------------------
+
+/// One closed epoch's drain obligation, snapshotted during the
+/// stop-the-world window and handed to the [`DrainExec`] worker.
+pub(crate) struct DrainTicket {
+    /// The epoch this ticket closes (its generation tag).
+    epoch: u64,
+    /// The epoch's tracked-line lists, pre-sort and pre-dedup.
+    lists: Vec<Vec<u64>>,
+    /// Blocks freed during `epoch`, recyclable only after its commit.
+    frees: Vec<(PAddr, usize)>,
+    /// The stop-the-world report; the worker fills in the flush figures
+    /// and records it into the metrics when the commit lands.
+    report: CkptReport,
+}
+
+/// State shared between the pool and the executor's worker thread. The
+/// worker deliberately holds this — not the `Pool` — so dropping the pool
+/// drops the executor (joining the worker) without an `Arc` cycle.
+struct DrainCtx {
+    region: Arc<Region>,
+    /// Oldest epoch whose drain has not yet committed; equals the running
+    /// epoch when the ring is empty. Commits advance it in strict order.
+    drain_oldest: Arc<AtomicU64>,
+    metrics: Arc<RuntimeMetrics>,
+    /// Ring capacity K.
+    k: u64,
+    /// Whether to actually write lines back (false under `NoFlush`).
+    flush: bool,
+    /// Tickets submitted but not yet committed (the in-flight gauge).
+    inflight: Arc<AtomicU64>,
+    ring_commits: Arc<respct_obs::Counter>,
+    /// Frees whose epochs have committed, parked until the next
+    /// checkpoint's stop-the-world window recycles them.
+    committed_frees: Mutex<Vec<(PAddr, usize)>>,
+    /// Test hook (`Pool::hold_drains`): park the worker without letting it
+    /// consume tickets, pinning multiple epochs in flight.
+    hold: AtomicBool,
+    /// `Fault::SkipRingOrder`: commit the next two tickets newest-first.
+    reorder: AtomicBool,
+}
+
+/// The background drain executor for pipelined checkpoints: a single FIFO
+/// worker that flushes each ticket's lines and publishes `ring[e] ← 0`.
+/// One worker draining a FIFO queue is the whole ordered-commit argument —
+/// epoch `e`'s commit cannot be issued before `e − 1`'s has retired.
+pub(crate) struct DrainExec {
+    ctx: Arc<DrainCtx>,
+    tx: Sender<DrainTicket>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DrainExec {
+    pub(crate) fn new(
+        region: Arc<Region>,
+        drain_oldest: Arc<AtomicU64>,
+        k: usize,
+        flush: bool,
+        metrics: Arc<RuntimeMetrics>,
+    ) -> DrainExec {
+        let inflight = Arc::new(AtomicU64::new(0));
+        let ring_commits = metrics.register_pipeline(&inflight);
+        let ctx = Arc::new(DrainCtx {
+            region,
+            drain_oldest,
+            metrics,
+            k: k as u64,
+            flush,
+            inflight,
+            ring_commits,
+            committed_frees: Mutex::new(Vec::new()),
+            hold: AtomicBool::new(false),
+            reorder: AtomicBool::new(false),
+        });
+        let (tx, rx) = unbounded::<DrainTicket>();
+        let worker = {
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name("respct-drain".into())
+                .spawn(move || Self::run(&ctx, &rx))
+                .expect("spawn drain executor")
+        };
+        DrainExec {
+            ctx,
+            tx,
+            worker: Some(worker),
+        }
+    }
+
+    /// Hands one closed epoch to the worker. Called from the checkpointer
+    /// during the stop-the-world window, after the ring-slot claim.
+    pub(crate) fn submit(&self, ticket: DrainTicket) {
+        self.ctx.inflight.fetch_add(1, Ordering::Relaxed);
+        self.tx.send(ticket).expect("drain executor alive");
+    }
+
+    /// Takes the frees parked by committed drains (checkpointer only).
+    pub(crate) fn take_committed_frees(&self) -> Vec<(PAddr, usize)> {
+        std::mem::take(&mut *self.ctx.committed_frees.lock())
+    }
+
+    /// Arms `Fault::SkipRingOrder`: the worker commits the next two
+    /// tickets newest-first, violating the ring-order invariant.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn arm_reorder(&self) {
+        self.ctx.reorder.store(true, Ordering::Release);
+    }
+
+    /// Parks (`true`) or releases (`false`) the worker without consuming
+    /// tickets — the deterministic way to pin several epochs in flight.
+    #[cfg(feature = "fault-inject")]
+    pub(crate) fn hold(&self, on: bool) {
+        self.ctx.hold.store(on, Ordering::Release);
+    }
+
+    fn run(ctx: &DrainCtx, rx: &Receiver<DrainTicket>) {
+        loop {
+            if ctx.hold.load(Ordering::Acquire) {
+                std::thread::yield_now();
+                continue;
+            }
+            // A short timeout instead of a blocking `recv`, so a `hold`
+            // raised while the queue is empty parks the worker before the
+            // next ticket arrives.
+            let ticket = match rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(t) => t,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            };
+            if ctx.reorder.swap(false, Ordering::AcqRel) {
+                // Injected bug (`Fault::SkipRingOrder`): hold this ticket,
+                // fully drain and commit its *successor* first, then commit
+                // this one — `RingCommit` markers appear out of epoch
+                // order, and a crash between the two commits leaves a hole
+                // in the ring.
+                match rx.recv() {
+                    Ok(next) => {
+                        Self::drain_one(ctx, next);
+                        Self::drain_one(ctx, ticket);
+                    }
+                    // Shutdown before a successor arrived: the fault needs
+                    // two outstanding drains, so fall back to a clean
+                    // commit.
+                    Err(_) => {
+                        Self::drain_one(ctx, ticket);
+                        break;
+                    }
+                }
+            } else {
+                Self::drain_one(ctx, ticket);
+            }
+        }
+    }
+
+    /// Flushes one ticket's lines and publishes its ring commit.
+    fn drain_one(ctx: &DrainCtx, ticket: DrainTicket) {
+        let DrainTicket {
+            epoch,
+            lists,
+            frees,
+            mut report,
+        } = ticket;
+        let td = Instant::now();
+        // Merge + sort + dedup the whole epoch: a single worker drains one
+        // epoch at a time, so the per-shard split from the gather phase is
+        // not load-bearing here.
+        let mut lines: Vec<u64> = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+        for l in lists {
+            lines.extend(l);
+        }
+        lines.sort_unstable();
+        lines.dedup();
+        let tf = Instant::now();
+        if ctx.flush {
+            // Application threads are running concurrently; yield
+            // periodically so the drain cannot monopolize a core.
+            for (i, &line) in lines.iter().enumerate() {
+                ctx.region.pwb_line(line);
+                if i % 128 == 127 {
+                    std::thread::yield_now();
+                }
+            }
+            ctx.region.psync();
+        }
+        report.lines = lines.len() as u64;
+        report.flush_ns = tf.elapsed().as_nanos() as u64;
+
+        // The ordered commit: `ring[epoch mod K] ← 0` claims "this epoch
+        // and every predecessor are durable", which a FIFO worker makes
+        // true by construction (the injected reorder fault above is the
+        // deliberate exception — the checker and crash sweep catch it).
+        let slot = epoch_ring_slot((epoch % ctx.k) as usize);
+        ctx.region.store(slot, 0u64);
+        ctx.region.pwb(slot);
+        ctx.region.psync();
+        ctx.region.trace_marker(TraceMarker::RingCommit { epoch });
+        // Release before advancing `drain_oldest`: a thread leaving the
+        // push-out wait acquires this edge, ordering its backup overwrite
+        // after the commit fence. `fetch_max` keeps the counter monotone
+        // even under the reorder fault.
+        ctx.region.sync_release(SyncToken::Drain);
+        ctx.drain_oldest.fetch_max(epoch + 1, Ordering::AcqRel);
+        ctx.inflight.fetch_sub(1, Ordering::Relaxed);
+        ctx.ring_commits.inc();
+        if !frees.is_empty() {
+            ctx.committed_frees.lock().extend(frees);
+        }
+        report.drain_ns = td.elapsed().as_nanos() as u64;
+        report.total_ns += report.drain_ns;
+        ctx.metrics.on_checkpoint(&report);
+    }
+}
+
+impl Drop for DrainExec {
+    fn drop(&mut self) {
+        // Un-park a held worker so queued tickets still drain, then close
+        // the channel and join: every submitted epoch commits before the
+        // pool's executor goes away, which is what lets tests (and apps)
+        // crash the region right after dropping the pool.
+        self.ctx.hold.store(false, Ordering::Release);
+        let (tx, _rx) = unbounded();
+        drop(std::mem::replace(&mut self.tx, tx));
+        if let Some(w) = self.worker.take() {
             let _ = w.join();
         }
     }

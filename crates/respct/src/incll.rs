@@ -20,9 +20,20 @@
 //! must *push the line out* (write back + fence) and then wait for the
 //! drain commit before overwriting `backup`. Until the commit, a crash
 //! rolls epochs `N` and `N + 1` back to the start of `N`, and the
-//! start-of-`N` value lives only in that backup slot. The check is two
-//! relaxed loads on the fast path and the push-out itself is
-//! `#[cold]` — see `Pool::cell_update_raw` and DESIGN.md §3.7.
+//! start-of-`N` value lives only in that backup slot.
+//!
+//! With `epoch_pipeline(K)` up to `K − 1` drains overlap, and the rule
+//! becomes *generation-aware*: the tag is compared against
+//! `drain_oldest`, the oldest epoch whose ring commit has not yet
+//! landed. A first-touch waits only when
+//! `drain_oldest ≤ tag < current epoch` — its backup is still a
+//! rollback target of some in-flight drain — and the wait ends when
+//! `drain_oldest` passes the tag, i.e. when the *tag's own epoch*
+//! commits (commits land in ring order, so every older epoch is durable
+//! too). Tags below `drain_oldest` are fully durable history and log a
+//! plain backup with no wait. The check is two relaxed loads on the
+//! fast path and the push-out itself is `#[cold]` — see
+//! `Pool::cell_update_raw` and DESIGN.md §3.7 / §3.10.
 
 use std::marker::PhantomData;
 

@@ -139,17 +139,35 @@ pub const OFF_MAGIC: PAddr = PAddr(0);
 /// Formatted size (u64).
 pub const OFF_SIZE: PAddr = PAddr(8);
 /// The global epoch counter (paper Fig. 4 line 56). It shares its cache
-/// line only with [`OFF_EPOCH_STATE`], so PCSO's same-line prefix ordering
-/// makes the two-word epoch record (`epoch`, `drain state`) recover to a
-/// prefix of the program-order stores — any torn combination the recovery
-/// code must handle is a prefix, never a reordering.
+/// line only with the epoch-record ring ([`OFF_EPOCH_STATE`]), so PCSO's
+/// same-line prefix ordering makes every epoch-record update (`ring slot`,
+/// `epoch`) recover to a prefix of the program-order stores — any torn
+/// combination the recovery code must handle is a prefix, never a
+/// reordering.
 pub const OFF_EPOCH: PAddr = PAddr(64);
-/// Drain-state word of the two-phase epoch commit (plain u64, same cache
-/// line as [`OFF_EPOCH`]). Zero when the last checkpoint committed fully;
-/// equal to epoch `N` while an asynchronous checkpoint is still draining
-/// epoch `N`'s modified lines in the background. Recovery that finds a
-/// non-zero state rolls the drained epoch back too.
+/// First slot of the epoch-record **ring**: [`MAX_EPOCH_PIPELINE`]
+/// consecutive plain u64 words, all on the same cache line as
+/// [`OFF_EPOCH`]. Slot `i` (see [`epoch_ring_slot`]) holds epoch `N` while
+/// a checkpoint of epoch `N` with `N % K == i` is still draining its
+/// modified lines in the background, and zero once that drain's two-phase
+/// commit lands. With `epoch_pipeline(1)` (the default) only slot 0 is
+/// ever used and the media format is identical to the single drain-state
+/// word it generalizes. Recovery rolls back every epoch still named by a
+/// non-zero slot.
 pub const OFF_EPOCH_STATE: PAddr = PAddr(72);
+
+/// Capacity of the epoch-record ring: the maximum number of epochs that
+/// may be in flight (claimed but not yet drain-committed) at once, and the
+/// upper bound of `PoolConfig::builder().epoch_pipeline(K)`. Fixed by the
+/// header format — recovery always decodes all slots, independent of the
+/// K the crashed process ran with.
+pub const MAX_EPOCH_PIPELINE: usize = 4;
+
+/// Address of ring slot `i` (`i < MAX_EPOCH_PIPELINE`). The slot for epoch
+/// `N` under a pipeline depth of `K` is `N % K`.
+pub const fn epoch_ring_slot(i: usize) -> PAddr {
+    PAddr(OFF_EPOCH_STATE.0 + 8 * i as u64)
+}
 /// Root object pointer: an `ICell<u64>` holding a `PAddr`.
 pub const OFF_ROOT: PAddr = PAddr(128);
 /// Global bump offset: an `ICell<u64>`.
@@ -202,10 +220,12 @@ pub const fn reg_entry_off(i: u64) -> u64 {
 
 const _HEADER_FIELDS_DISJOINT: () = {
     assert!(OFF_EPOCH_STATE.0 == OFF_EPOCH.0 + 8);
-    // Epoch + drain state must share a cache line (two-phase commit relies
-    // on PCSO same-line prefix order between them).
+    // Epoch + the whole epoch-record ring must share a cache line (the
+    // ring-slot claim and the two-phase commit rely on PCSO same-line
+    // prefix order between the epoch counter and every slot).
     assert!(OFF_EPOCH_STATE.0 / 64 == OFF_EPOCH.0 / 64);
-    assert!(OFF_ROOT.0 >= OFF_EPOCH_STATE.0 + 8);
+    assert!(epoch_ring_slot(MAX_EPOCH_PIPELINE - 1).0 / 64 == OFF_EPOCH.0 / 64);
+    assert!(OFF_ROOT.0 >= OFF_EPOCH_STATE.0 + 8 * MAX_EPOCH_PIPELINE as u64);
     assert!(OFF_BUMP.0 >= OFF_ROOT.0 + 24);
     assert!(OFF_FREELISTS.0 >= OFF_BUMP.0 + 24);
 };
@@ -273,6 +293,16 @@ mod tests {
     // (`_HEADER_FIELDS_DISJOINT`); this test covers the computed ones.
     #[test]
     fn header_fields_do_not_overlap() {
+        // Ring slots are consecutive, disjoint from the root cell, and all
+        // share the epoch counter's cache line.
+        for i in 0..MAX_EPOCH_PIPELINE {
+            assert_eq!(epoch_ring_slot(i).0, OFF_EPOCH_STATE.0 + 8 * i as u64);
+            assert!(epoch_ring_slot(i).0 + 8 <= OFF_ROOT.0);
+            assert_eq!(
+                epoch_ring_slot(i).0 / CACHE_LINE as u64,
+                OFF_EPOCH.0 / CACHE_LINE as u64
+            );
+        }
         assert!(OFF_SLOTS.0 >= OFF_FREELISTS.0 + NUM_CLASSES as u64 * U64_CELL_SLOT);
         assert!(heap_start().0 >= slot_base(MAX_THREADS).0);
         // Every u64 cell slot in the header must fit its line.

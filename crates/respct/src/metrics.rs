@@ -272,6 +272,26 @@ impl RuntimeMetrics {
         }
     }
 
+    /// Registers the pipelined-checkpoint metrics: a gauge over the number
+    /// of epochs in flight (closed, ring slot claimed, commit not yet
+    /// published) and a counter of ring commits. Returns the counter for
+    /// the drain executor to bump; called once per pool, from
+    /// [`DrainExec::new`](crate::checkpoint::DrainExec).
+    pub(crate) fn register_pipeline(&self, inflight: &Arc<AtomicU64>) -> Arc<Counter> {
+        let gauge_src = Arc::clone(inflight);
+        self.registry.gauge_fn(
+            "respct_epochs_in_flight",
+            "Closed epochs whose drains have not yet ring-committed",
+            Unit::None,
+            move || gauge_src.load(Ordering::Relaxed) as f64,
+        );
+        self.registry.counter(
+            "respct_ring_commits_total",
+            "Pipelined drain commits published in ring order",
+            Unit::None,
+        )
+    }
+
     /// Whether hot-path instrumentation is on.
     #[inline]
     pub fn enabled(&self) -> bool {

@@ -19,7 +19,7 @@ use respct_pmem::{PAddr, Pod, Region, SyncToken, TraceMarker};
 use crate::incll::{cell_layout, ICell};
 use crate::layout::{
     self, CellLayout, FIRST_EPOCH, MAGIC, MAX_THREADS, NUM_CLASSES, OFF_BUMP, OFF_EPOCH,
-    OFF_EPOCH_STATE, OFF_FREELISTS, OFF_MAGIC, OFF_ROOT, OFF_SIZE, U64_CELL_SLOT,
+    OFF_FREELISTS, OFF_MAGIC, OFF_ROOT, OFF_SIZE, U64_CELL_SLOT,
 };
 use crate::stats::CkptStats;
 
@@ -60,6 +60,13 @@ pub enum Fault {
     /// the two-phase commit's characteristic bug (committing a drain whose
     /// write-backs are not durable).
     SkipDrainCommitOrder,
+    /// The pipelined drain executor commits the next two queued epochs in
+    /// the *wrong* order: it holds the older epoch's ticket, flushes and
+    /// commits the newer epoch first, then commits the older one — the
+    /// ordered-commit invariant's characteristic bug. A crash between the
+    /// two commits leaves a ring with a hole (a committed epoch sandwiched
+    /// between uncommitted ones), which recovery rejects as corrupt.
+    SkipRingOrder,
     /// The next happens-before edge at the given site is *not* reported to
     /// the trace sink (the runtime still synchronizes — only the edge the
     /// race detector relies on disappears). Proves each race-detector rule
@@ -110,6 +117,13 @@ pub struct PoolConfig {
     /// record is durable, then write the snapshot back in the background
     /// and commit the record afterwards (two-phase commit). Default off.
     pub(crate) async_checkpoint: bool,
+    /// Epoch pipeline depth `K`: how many epochs may be in flight (claimed
+    /// in the header's epoch-record ring but not yet drain-committed) at
+    /// once. 1 (the default) is exactly the single-record asynchronous
+    /// drain; `K > 1` routes drains through a background executor so a new
+    /// epoch begins with one atomic ring-slot claim while up to `K - 1`
+    /// older drains are still committing. Requires `async_checkpoint`.
+    pub(crate) epoch_pipeline: usize,
     /// Which persistence backend [`Pool::open`] builds the region on
     /// (default: fast mode with DRAM latency). `Pool::open(path, ..)`
     /// overrides an mmap backend's path with its `path` argument.
@@ -139,6 +153,7 @@ impl Default for PoolConfig {
             flush_shards: 0,
             metrics: true,
             async_checkpoint: false,
+            epoch_pipeline: 1,
             backend: Backend::Fast(respct_pmem::latency::LatencyModel::dram()),
             pool_size: DEFAULT_POOL_SIZE,
             recovery_threads: 1,
@@ -179,6 +194,11 @@ impl PoolConfig {
     /// epoch swap, flush + commit in the background).
     pub fn async_checkpoint(&self) -> bool {
         self.async_checkpoint
+    }
+
+    /// The epoch pipeline depth `K` (1 = one drain in flight at a time).
+    pub fn epoch_pipeline(&self) -> usize {
+        self.epoch_pipeline
     }
 
     /// The persistence backend [`Pool::open`] builds the region on.
@@ -259,6 +279,18 @@ impl PoolConfigBuilder {
         self
     }
 
+    /// Sets the epoch pipeline depth `K` (default 1): how many epochs may
+    /// be claimed-but-uncommitted at once. `K > 1` requires
+    /// [`async_checkpoint`](Self::async_checkpoint) and is capped by
+    /// [`layout::MAX_EPOCH_PIPELINE`](crate::layout::MAX_EPOCH_PIPELINE)
+    /// (the header ring's capacity). With `K > 1` the stop-the-world phase
+    /// shrinks to the ring-slot claim: drains queue to a background
+    /// executor and commit strictly in epoch order.
+    pub fn epoch_pipeline(mut self, k: usize) -> Self {
+        self.cfg.epoch_pipeline = k;
+        self
+    }
+
     /// Sets the persistence backend [`Pool::open`] builds the region on
     /// (default: [`Backend::Fast`] with DRAM latency). For
     /// [`Backend::Mmap`], `Pool::open`'s `path` argument wins over the path
@@ -312,6 +344,21 @@ impl PoolConfigBuilder {
         if c.mode == CheckpointMode::NoFlush && c.async_checkpoint {
             return Err(InvalidConfig(
                 "NoFlush mode has no drain to run asynchronously; async_checkpoint must be off",
+            ));
+        }
+        if c.epoch_pipeline == 0 {
+            return Err(InvalidConfig(
+                "epoch_pipeline must be at least 1 (1 = single drain in flight)",
+            ));
+        }
+        if c.epoch_pipeline > layout::MAX_EPOCH_PIPELINE {
+            return Err(InvalidConfig(
+                "epoch_pipeline exceeds MAX_EPOCH_PIPELINE (the header's epoch-record ring capacity)",
+            ));
+        }
+        if c.epoch_pipeline > 1 && !c.async_checkpoint {
+            return Err(InvalidConfig(
+                "epoch_pipeline > 1 pipelines the asynchronous drain; enable async_checkpoint",
             ));
         }
         if c.pool_size == 0 {
@@ -390,15 +437,25 @@ pub struct Pool {
     pub(crate) class_heads: Box<[Mutex<u64>]>,
     /// Serializes checkpoints and registration/deregistration.
     pub(crate) ckpt_lock: Mutex<()>,
-    /// Whether an asynchronous drain is in flight: set (with the draining
-    /// epoch below) before the quiesced threads are released, cleared with
-    /// `Release` once the drain's two-phase commit completes. The hot path
+    /// Whether an asynchronous drain may be in flight: set before the
+    /// quiesced threads are released, cleared with `Release` once the
+    /// drain's two-phase commit completes (with `epoch_pipeline > 1` it is
+    /// set at the first pipelined checkpoint and stays set — `drain_oldest`
+    /// alone decides whether a given epoch is still owed). The hot path
     /// reads it relaxed — one branch, no fence — and only escalates to an
-    /// `Acquire` wait when it must overwrite a backup still owed to the
-    /// draining epoch.
+    /// `Acquire` wait when it must overwrite a backup still owed to an
+    /// uncommitted epoch.
     pub(crate) drain_active: AtomicBool,
-    /// The epoch currently being drained (valid while `drain_active`).
-    pub(crate) draining_epoch: AtomicU64,
+    /// The oldest epoch whose drain has not yet committed; equal to the
+    /// current epoch when no drain is in flight. Commits advance it in
+    /// strict epoch order (the ring's ordered-commit invariant), so an
+    /// epoch `e` is fully durable iff `e < drain_oldest`. Shared (`Arc`)
+    /// with the pipelined drain executor's worker thread.
+    pub(crate) drain_oldest: Arc<AtomicU64>,
+    /// Background drain executor (`epoch_pipeline > 1` only): owns the
+    /// worker thread that flushes queued epoch tickets and commits their
+    /// ring slots in order.
+    pub(crate) pipeline: Option<crate::checkpoint::DrainExec>,
     pub(crate) metrics: Arc<crate::metrics::RuntimeMetrics>,
     pub(crate) ckpt_stats: CkptStats,
     pub(crate) flushers: Option<crate::checkpoint::FlusherPool>,
@@ -442,7 +499,10 @@ impl Pool {
         }
         region.store(OFF_SIZE, region.size() as u64);
         region.store(OFF_EPOCH, FIRST_EPOCH);
-        region.store(OFF_EPOCH_STATE, 0u64); // no drain in flight
+        // No drain in flight: every epoch-record ring slot is free.
+        for i in 0..layout::MAX_EPOCH_PIPELINE {
+            region.store(layout::epoch_ring_slot(i), 0u64);
+        }
 
         // Header cells: record = backup = initial value, epoch_id = 0 so the
         // first update in epoch FIRST_EPOCH logs them normally.
@@ -613,6 +673,16 @@ impl Pool {
         let free: Vec<usize> = (1..MAX_THREADS).rev().collect();
         let metrics = Arc::new(crate::metrics::RuntimeMetrics::new(cfg.metrics));
         metrics.register_pmem(region.stats());
+        let drain_oldest = Arc::new(AtomicU64::new(epoch));
+        let pipeline = (cfg.epoch_pipeline > 1).then(|| {
+            crate::checkpoint::DrainExec::new(
+                Arc::clone(&region),
+                Arc::clone(&drain_oldest),
+                cfg.epoch_pipeline,
+                cfg.mode == CheckpointMode::Full,
+                Arc::clone(&metrics),
+            )
+        });
         let pool = Arc::new(Pool {
             region,
             cfg,
@@ -627,7 +697,8 @@ impl Pool {
             class_heads: class_heads.into_boxed_slice(),
             ckpt_lock: Mutex::new(()),
             drain_active: AtomicBool::new(false),
-            draining_epoch: AtomicU64::new(0),
+            drain_oldest,
+            pipeline,
             ckpt_stats: CkptStats::over(Arc::clone(&metrics)),
             metrics,
             flushers,
@@ -648,7 +719,29 @@ impl Pool {
     /// crate prove its checker catches real protocol violations.
     #[cfg(feature = "fault-inject")]
     pub fn inject_fault(&self, fault: Fault) {
+        if fault == Fault::SkipRingOrder {
+            // This fault fires on the drain executor's worker thread, which
+            // has no access to the pool's fault slot — arm it directly.
+            let exec = self
+                .pipeline
+                .as_ref()
+                .expect("SkipRingOrder needs epoch_pipeline > 1");
+            exec.arm_reorder();
+            return;
+        }
         *self.fault.lock() = Some(fault);
+    }
+
+    /// Pauses (`true`) or resumes (`false`) the pipelined drain executor
+    /// *before* it dequeues its next ticket. Test-only: lets tests park
+    /// several claimed epochs in the ring deterministically (e.g. to record
+    /// a trace window with two drains genuinely outstanding). No-op without
+    /// `epoch_pipeline > 1`.
+    #[cfg(feature = "fault-inject")]
+    pub fn hold_drains(&self, on: bool) {
+        if let Some(exec) = &self.pipeline {
+            exec.hold(on);
+        }
     }
 
     /// Consumes the armed fault if it matches `want`.
@@ -799,12 +892,17 @@ impl Pool {
         if first_touch {
             // On-demand push-out (asynchronous drain only — one relaxed
             // load + branch otherwise): the cell's single backup slot may
-            // still be owed to the epoch being drained in the background.
-            if self.drain_active.load(Ordering::Relaxed)
-                && crate::incll::tag_epoch(cell.addr(), eid)
-                    == self.draining_epoch.load(Ordering::Relaxed)
-            {
-                self.push_out_pending_line(cell.addr());
+            // still be owed to an epoch whose drain has not committed. The
+            // guard is generation-aware: any valid tag in
+            // `[drain_oldest, current)` names an uncommitted epoch (commits
+            // advance `drain_oldest` in strict order). The upper bound
+            // keeps garbage tags (which decode to huge epochs) off the
+            // wait path.
+            if self.drain_active.load(Ordering::Relaxed) {
+                let t = crate::incll::tag_epoch(cell.addr(), eid);
+                if t < plain_epoch && t >= self.drain_oldest.load(Ordering::Relaxed) {
+                    self.push_out_pending_line(cell.addr(), t);
+                }
             }
             let old: T = self.region.load(cell.addr());
             self.region.store(cell.backup_addr(), old);
@@ -828,24 +926,25 @@ impl Pool {
             .on_update(std::mem::size_of::<T>() as u64, first_touch);
     }
 
-    /// On-demand push-out: a first touch in epoch `N+1` hit a cell whose
-    /// in-line log is still owed to the draining epoch `N`. Eagerly write
-    /// the line back and fence it (the line's epoch-`N` state — record,
-    /// backup, tag — becomes durable ahead of the background drain reaching
-    /// it), then wait for the drain's two-phase commit before the caller
-    /// overwrites the backup: until the commit lands, recovery may roll
-    /// epoch `N` back and must still find the start-of-`N` value in the
-    /// single backup slot. The wait is bounded by the drain itself, whose
-    /// progress never depends on application locks.
+    /// On-demand push-out: a first touch in the current epoch hit a cell
+    /// whose in-line log is still owed to an uncommitted epoch `t`. Eagerly
+    /// write the line back and fence it (the line's epoch-`t` state —
+    /// record, backup, tag — becomes durable ahead of the background drain
+    /// reaching it), then wait for `t`'s commit (`drain_oldest > t`; with a
+    /// pipeline this may wait out several ordered commits) before the
+    /// caller overwrites the backup: until the commit lands, recovery may
+    /// roll epoch `t` back and must still find the start-of-`t` value in
+    /// the single backup slot. The wait is bounded by the drain itself,
+    /// whose progress never depends on application locks.
     #[cold]
-    fn push_out_pending_line(&self, addr: PAddr) {
+    fn push_out_pending_line(&self, addr: PAddr, t: u64) {
         self.region
             .trace_marker(TraceMarker::DrainPushOut { addr: addr.0 });
         self.region.pwb_line(addr.line());
         self.region.psync();
         self.metrics.on_drain_pushout();
         let mut spins = 0u32;
-        while self.drain_active.load(Ordering::Acquire) {
+        while self.drain_oldest.load(Ordering::Acquire) <= t {
             spins += 1;
             if spins < 64 {
                 std::hint::spin_loop();

@@ -5,12 +5,15 @@
 //! crashed epoch's updates (lines that happened to be written back). The
 //! recovery procedure:
 //!
-//! 1. reads the failed epoch number `E` from its dedicated line;
+//! 1. decodes the epoch-record ring on the epoch header line: the failed
+//!    epoch `E` is the oldest epoch whose drain never committed (or the
+//!    recorded running epoch when the ring is empty), and every epoch from
+//!    `E` through the running one rolls back with it;
 //! 2. rolls back every fixed header cell (root, bump, free lists, per-slot
-//!    descriptors) whose `epoch_id == E`;
+//!    descriptors) tagged inside the rolled-back range;
 //! 3. walks every slot's cell registry (lengths now rolled back to their
-//!    checkpointed values) and rolls back every registered cell with
-//!    `epoch_id == E` — this step parallelizes across worker threads, which
+//!    checkpointed values) and rolls back every registered cell tagged
+//!    inside the range — this step parallelizes across worker threads, which
 //!    is how the paper reconstructs a 4M-bucket hash map in < 240 ms
 //!    (Fig. 12);
 //! 4. re-tracks every such cell in the system tracking list, so the next
@@ -28,8 +31,8 @@ use respct_pmem::arch::thread_cpu_ns;
 use respct_pmem::{BackendKind, PAddr, Region, SyncToken, TraceMarker};
 
 use crate::layout::{
-    self, CellLayout, MAGIC, MAX_THREADS, NUM_CLASSES, OFF_BUMP, OFF_EPOCH, OFF_EPOCH_STATE,
-    OFF_FREELISTS, OFF_MAGIC, OFF_ROOT, U64_CELL_SLOT,
+    self, CellLayout, MAGIC, MAX_THREADS, NUM_CLASSES, OFF_BUMP, OFF_EPOCH, OFF_FREELISTS,
+    OFF_MAGIC, OFF_ROOT, U64_CELL_SLOT,
 };
 use crate::pool::{Pool, PoolConfig, SYSTEM_SLOT};
 
@@ -149,24 +152,27 @@ fn recovery_join_token(region: &Region) -> SyncToken {
     }
 }
 
-/// Restores `record` from `backup` if the cell was touched in the failed
-/// epoch — or, when a crash interrupted an asynchronous drain, in the
-/// half-drained epoch `extra_epoch` (both epochs roll back to the start of
-/// the drained one; see [`crate::layout::OFF_EPOCH_STATE`]). Returns
-/// whether a rollback happened. Collects the cell's line either way when it
-/// belongs to a rolled-back epoch (it must be flushed at the next
-/// checkpoint; see module docs).
+/// Restores `record` from `backup` if the cell was touched in any epoch of
+/// the uncommitted range `failed_epoch ..= recorded_epoch` — the oldest
+/// epoch whose drain never committed through the epoch that was running at
+/// the crash (see [`crate::layout::epoch_ring_slot`]; with a single drain
+/// in flight the range is one or two epochs, matching the original
+/// two-phase record). Returns whether a rollback happened. Collects the
+/// cell's line either way when it belongs to a rolled-back epoch (it must
+/// be flushed at the next checkpoint; see module docs). Garbage tags in
+/// never-initialized cells decode to astronomically large epochs and fall
+/// outside the range.
 fn roll_back_cell(
     region: &Region,
     addr: PAddr,
     l: CellLayout,
     failed_epoch: u64,
-    extra_epoch: Option<u64>,
+    recorded_epoch: u64,
     lines: &mut Vec<u64>,
 ) -> bool {
     let stored: u64 = region.load(addr.offset(l.epoch_off as u64));
     let tag = crate::incll::tag_epoch(addr, stored);
-    if tag != failed_epoch && Some(tag) != extra_epoch {
+    if tag < failed_epoch || tag > recorded_epoch {
         return false;
     }
     let mut buf = [0u8; 24];
@@ -278,22 +284,40 @@ impl Pool {
                 region: region.size() as u64,
             });
         }
-        // Decode the two-phase epoch record. `state == 0`: the last
-        // checkpoint committed fully — roll back the recorded epoch alone.
-        // `state == epoch`: a crash tore the draining record after its
-        // first word — the drain never began (threads were still parked),
-        // so this too is a plain single-epoch rollback, plus clearing the
-        // state word. `state == epoch - 1`: an asynchronous drain of epoch
-        // `N = state` was interrupted while threads ran `N + 1` — both
-        // epochs roll back to the start of `N`, and execution resumes in
-        // `N`.
+        // Decode the epoch-record ring. Each slot holds the epoch number of
+        // an in-flight (claimed, uncommitted) drain, or 0 once committed;
+        // the decode is config-independent — a K=1 pool simply never wrote
+        // slots 1.. and they read back 0. An empty ring means the last
+        // checkpoint committed fully: only the recorded (running) epoch
+        // rolls back. Otherwise the oldest uncommitted epoch and everything
+        // after it — through the running epoch — roll back, and execution
+        // resumes in the oldest one. Drains commit strictly in ring order,
+        // so legitimate images always show a *contiguous* ascending run of
+        // uncommitted epochs ending at the running epoch or (when the
+        // ring-slot claim itself tore mid-line) at the recorded epoch
+        // itself; anything else is corruption.
         let recorded_epoch: u64 = region.load(OFF_EPOCH);
-        let drain_state: u64 = region.load(OFF_EPOCH_STATE);
-        let (failed_epoch, extra_epoch) = match drain_state {
-            0 => (recorded_epoch, None),
-            s if s == recorded_epoch => (recorded_epoch, None),
-            s if s + 1 == recorded_epoch => (s, Some(recorded_epoch)),
-            s => panic!("corrupt drain-state word {s} for epoch {recorded_epoch}"),
+        // `(slot index, claimed epoch)` for every in-flight drain, oldest
+        // epoch first. The slot index is remembered rather than recomputed:
+        // the crashed pool's ring width K (which determined `epoch mod K`)
+        // is not knowable from the image, and does not need to be.
+        let mut uncommitted: Vec<(usize, u64)> = (0..layout::MAX_EPOCH_PIPELINE)
+            .map(|i| (i, region.load::<u64>(layout::epoch_ring_slot(i))))
+            .filter(|&(_, e)| e != 0)
+            .collect();
+        uncommitted.sort_unstable_by_key(|&(_, e)| e);
+        let failed_epoch = match uncommitted.first() {
+            None => recorded_epoch,
+            Some(&(_, oldest)) => {
+                let newest = uncommitted.last().expect("non-empty").1;
+                let contiguous = uncommitted.windows(2).all(|w| w[1].1 == w[0].1 + 1);
+                assert!(
+                    contiguous && (newest == recorded_epoch || newest + 1 == recorded_epoch),
+                    "corrupt epoch ring {uncommitted:?} for epoch {recorded_epoch}: \
+                     a hole or a stray commit means drains did not commit in ring order",
+                );
+                oldest
+            }
         };
         // Phase 0: prefault an mmap-backed region. A freshly mapped pool
         // file is all unpopulated PTEs, and at GB scale the demand minor
@@ -351,7 +375,7 @@ impl Pool {
                 addr,
                 u64_layout,
                 failed_epoch,
-                extra_epoch,
+                recorded_epoch,
                 &mut lines,
             ) {
                 rolled += 1;
@@ -393,7 +417,7 @@ impl Pool {
                 let len = pool.reg_len_persistent(slot);
                 pool.for_each_registered(slot, len, |addr, l| {
                     scanned += 1;
-                    if roll_back_cell(&region, addr, l, failed_epoch, extra_epoch, &mut lines) {
+                    if roll_back_cell(&region, addr, l, failed_epoch, recorded_epoch, &mut lines) {
                         rolled += 1;
                     }
                 });
@@ -420,7 +444,7 @@ impl Pool {
                                     addr,
                                     l,
                                     failed_epoch,
-                                    extra_epoch,
+                                    recorded_epoch,
                                     &mut lines,
                                 ) {
                                     rolled += 1;
@@ -460,22 +484,27 @@ impl Pool {
             unsafe { pool.track_line_raw(SYSTEM_SLOT, line) };
         }
 
-        // Repair the epoch record if a drain was interrupted. For a full
-        // draining record, the rollback writes must be durable *before* the
-        // rewrite: once the record reads `(N, 0)`, a re-crash rolls back
-        // only epoch `N` — the `N + 1`-tagged cells have to already hold
-        // their restored values in NVMM. The rewrite itself stores epoch
-        // before state, so every torn prefix is a record this function
-        // already handles idempotently.
-        if drain_state != 0 {
-            if extra_epoch.is_some() {
-                for &line in &lines {
-                    region.pwb_line(line);
-                }
-                region.psync();
-                region.store(OFF_EPOCH, failed_epoch);
+        // Repair the epoch ring if any drain was interrupted. The rollback
+        // writes must be durable *before* the ring mutates: zeroing slot
+        // `e mod K` claims "epoch `e` committed", which a re-crash trusts
+        // by not re-rolling `e`'s cells — so their restored values have to
+        // already sit in NVMM (a rolled cell's record equals its backup, so
+        // later epochs re-using a stale tag still roll back to the same
+        // committed value). The ring words and the epoch counter share one
+        // cache line and the stores run oldest-epoch-first with the epoch
+        // counter last, so by PCSO's same-line prefix order every torn
+        // state a re-crash can observe is a contiguous ring suffix this
+        // decode handles idempotently — the committed horizon only ever
+        // moves forward.
+        if !uncommitted.is_empty() {
+            for &line in &lines {
+                region.pwb_line(line);
             }
-            region.store(OFF_EPOCH_STATE, 0u64);
+            region.psync();
+            for &(slot, _) in &uncommitted {
+                region.store(layout::epoch_ring_slot(slot), 0u64);
+            }
+            region.store(OFF_EPOCH, failed_epoch);
             region.pwb(OFF_EPOCH);
             region.psync();
         }

@@ -131,6 +131,116 @@ fn pushout_wait_orders_backup_overwrite_after_commit() {
     });
 }
 
+/// Epoch-ring pipelined checkpoints: the ring-slot claim / ordered-commit
+/// handshake (checkpoint.rs `drain_pipelined` + `DrainExec::drain_one`).
+///
+/// Model: a ring of K = 2 slots, a claimer (the checkpointer) that spins
+/// on backpressure (`closing − drain_oldest < K`) before writing epoch
+/// `e` into slot `e mod K`, and a committer (the drain executor) that
+/// zeroes slots strictly oldest-first and only then advances
+/// `drain_oldest`. Two invariants the real code relies on are asserted in
+/// the interleaved threads:
+///
+/// * a claim never lands on a still-claimed slot (backpressure makes slot
+///   reuse wait for the predecessor commit that frees it);
+/// * at each commit of epoch `e`, every epoch older than `e` has already
+///   committed (`drain_oldest == e`) — a crash at any instant therefore
+///   leaves the claimed slots a contiguous suffix, which is exactly what
+///   recovery's ring decode asserts.
+#[test]
+fn ring_claim_and_ordered_commit_keep_the_ring_contiguous() {
+    const K: u64 = 2;
+    const EPOCHS: u64 = 3;
+    loom::model(|| {
+        let slots = Arc::new([AtomicU64::new(0), AtomicU64::new(0)]);
+        let drain_oldest = Arc::new(AtomicU64::new(1));
+
+        let committer = {
+            let (slots, drain_oldest) = (slots.clone(), drain_oldest.clone());
+            loom::thread::spawn(move || {
+                for e in 1..=EPOCHS {
+                    let slot = &slots[(e % K) as usize];
+                    while slot.load(Ordering::SeqCst) != e {
+                        loom::hint::spin_loop();
+                    }
+                    // Ordered commit: every predecessor already retired.
+                    assert_eq!(
+                        drain_oldest.load(Ordering::SeqCst),
+                        e,
+                        "commit of epoch {e} issued before its predecessor's"
+                    );
+                    slot.store(0, Ordering::SeqCst);
+                    drain_oldest.store(e + 1, Ordering::SeqCst);
+                }
+            })
+        };
+
+        // Claimer: the checkpointer's stop-the-world ring-slot swap.
+        for e in 1..=EPOCHS {
+            while e - drain_oldest.load(Ordering::SeqCst) >= K {
+                loom::hint::spin_loop();
+            }
+            let slot = &slots[(e % K) as usize];
+            assert_eq!(
+                slot.load(Ordering::SeqCst),
+                0,
+                "claim of epoch {e} would overwrite a still-draining slot"
+            );
+            slot.store(e, Ordering::SeqCst);
+        }
+        committer.join().expect("committer");
+        assert_eq!(drain_oldest.load(Ordering::SeqCst), EPOCHS + 1);
+        assert!(
+            slots.iter().all(|s| s.load(Ordering::SeqCst) == 0),
+            "ring not empty after all commits"
+        );
+    });
+}
+
+/// The inverse: a committer that retires epochs newest-first (the
+/// `SkipRingOrder` fault) produces at least one reachable state whose
+/// claimed slots are *not* a contiguous suffix — the hole recovery's
+/// decode rejects. Proves the contiguity assertion above has teeth.
+#[test]
+fn out_of_order_commit_leaves_a_ring_hole() {
+    let saw_hole = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let saw = saw_hole.clone();
+    loom::model(move || {
+        // Epochs 1 and 2 both claimed (two drains in flight).
+        let slots = Arc::new([AtomicU64::new(2), AtomicU64::new(1)]);
+
+        let committer = {
+            let slots = slots.clone();
+            loom::thread::spawn(move || {
+                // Buggy order: newest first.
+                slots[0].store(0, Ordering::SeqCst); // epoch 2's slot
+                slots[1].store(0, Ordering::SeqCst); // epoch 1's slot
+            })
+        };
+        // Crash observer: decode the ring the way recovery does, sampling
+        // until the commits finish. With the recorded epoch at 3, a sound
+        // ring only ever shows {1,2}, {2} or {} — seeing epoch 1 claimed
+        // while epoch 2's slot is already zero is the hole.
+        loop {
+            let newest = slots[0].load(Ordering::SeqCst); // epoch 2's slot
+            let oldest = slots[1].load(Ordering::SeqCst); // epoch 1's slot
+            if newest == 0 && oldest == 1 {
+                saw.store(true, std::sync::atomic::Ordering::SeqCst);
+                break;
+            }
+            if newest == 0 && oldest == 0 {
+                break; // both committed; this schedule missed the window
+            }
+            loom::hint::spin_loop();
+        }
+        committer.join().expect("committer");
+    });
+    assert!(
+        saw_hole.load(std::sync::atomic::Ordering::SeqCst),
+        "no schedule exposed the ring hole; the model lost its teeth"
+    );
+}
+
 /// The inverse schedule: skipping the push-out wait (the bug the
 /// `DrainHandshake` fault injects) lets at least one schedule overwrite
 /// the backup pre-commit — the model is not vacuously safe.

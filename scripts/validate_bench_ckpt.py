@@ -3,11 +3,14 @@
 
 Usage: validate_bench_ckpt.py [path]           (default: BENCH_ckpt.json)
 
-Fails (exit 1) when a required field is missing or mistyped, when either
+Fails (exit 1) when a required field is missing or mistyped, when any
 arm recorded no checkpoints or no restart-point stalls, when the sync arm
-reports a drain (it must not have one), or when the async drain's p99
+reports a drain (it must not have one), when the async drain's p99
 stall speedup falls below the floor (2x by default; override with
-CKPT_MIN_SPEEDUP for noisy shared runners).
+CKPT_MIN_SPEEDUP for noisy shared runners), or when the pipelined arm's
+mean stop-the-world window is not at least CKPT_MIN_STW_RATIO (default
+5x) smaller than the async arm's — the epoch ring's whole point is that
+the parked window collapses to the ring-slot claim.
 """
 
 import json
@@ -64,19 +67,26 @@ def main() -> None:
         ("secs", (int, float)),
         ("reps", int),
         ("period_ms", int),
+        ("pipeline", int),
         ("p50_speedup", (int, float)),
         ("p99_speedup", (int, float)),
+        ("stw_ratio", (int, float)),
     ):
         if not isinstance(doc.get(field), ty):
             fail(f"{field} missing or not {ty}")
+    if doc["pipeline"] < 2:
+        fail(f"pipeline depth {doc['pipeline']} — the pipelined arm needs K >= 2")
 
     sync = check_mode(doc, "sync")
     async_ = check_mode(doc, "async")
+    pipelined = check_mode(doc, "pipelined")
 
     if sync["drain_mean_ns"] != 0:
         fail(f"sync arm reports a background drain: {sync['drain_mean_ns']}")
     if async_["drain_mean_ns"] <= 0:
         fail("async arm reports no background drain — mode flag ignored?")
+    if pipelined["drain_mean_ns"] <= 0:
+        fail("pipelined arm reports no executor drain — mode flag ignored?")
 
     floor = float(os.environ.get("CKPT_MIN_SPEEDUP", "2.0"))
     if doc["p99_speedup"] < floor:
@@ -86,11 +96,31 @@ def main() -> None:
             f"async {async_['stall_p99_ns']}ns)"
         )
 
+    # Recompute from the rows rather than trusting the summary field, then
+    # require the two to agree so the headline number cannot go stale.
+    ratio = async_["stw_mean_ns"] / max(pipelined["stw_mean_ns"], 1.0)
+    if abs(ratio - doc["stw_ratio"]) > max(0.02 * ratio, 0.01):
+        fail(
+            f"stw_ratio {doc['stw_ratio']:.2f} does not match the rows "
+            f"({ratio:.2f} = async {async_['stw_mean_ns']:.0f}ns / "
+            f"pipelined {pipelined['stw_mean_ns']:.0f}ns)"
+        )
+    stw_floor = float(os.environ.get("CKPT_MIN_STW_RATIO", "5.0"))
+    if ratio < stw_floor:
+        fail(
+            f"pipelined stop-the-world shrink {ratio:.2f}x is below the "
+            f"{stw_floor}x floor (async {async_['stw_mean_ns']:.0f}ns, "
+            f"pipelined {pipelined['stw_mean_ns']:.0f}ns)"
+        )
+
     print(
         f"BENCH_ckpt.json OK: stall p99 {sync['stall_p99_ns'] / 1e3:.1f}us -> "
         f"{async_['stall_p99_ns'] / 1e3:.1f}us ({doc['p99_speedup']:.2f}x), "
+        f"stw mean {async_['stw_mean_ns'] / 1e3:.1f}us -> "
+        f"{pipelined['stw_mean_ns'] / 1e3:.1f}us ({ratio:.2f}x, K={doc['pipeline']}), "
         f"ckpts/s {sync['ckpts_per_sec']:.1f} sync / "
-        f"{async_['ckpts_per_sec']:.1f} async, "
+        f"{async_['ckpts_per_sec']:.1f} async / "
+        f"{pipelined['ckpts_per_sec']:.1f} pipelined, "
         f"{async_['drain_pushouts']} push-outs"
     )
 

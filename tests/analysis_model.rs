@@ -393,6 +393,121 @@ fn dirty_async_pool(seed: u64, fault: Option<Fault>) -> (Arc<Checker>, Arc<Pool>
 }
 
 #[test]
+fn pipelined_hashmap_workload_is_clean() {
+    // Epoch-ring pipelined drains (K = 4): overlapping drains may
+    // double-flush pushed-out lines (perf advisories), but no
+    // error-severity diagnostic — in particular no RingCommitOrder.
+    let (checker, pool) = checked_pool_cfg(
+        32 << 20,
+        14,
+        PoolConfig::builder()
+            .async_checkpoint(true)
+            .epoch_pipeline(4)
+            .build()
+            .unwrap(),
+    );
+    let map = {
+        let h = pool.register();
+        let map = PHashMap::create(&h, 64);
+        h.set_root(map.desc());
+        map
+    };
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let (pool, map) = (&pool, &map);
+            s.spawn(move || {
+                let h = pool.register();
+                for i in 0..400 {
+                    let k = t * 1_000 + i;
+                    map.insert(&h, k, k + 7);
+                    h.rp(rp_ids::MAP_INSERT);
+                    if i % 4 == 0 {
+                        map.remove(&h, k);
+                        h.rp(rp_ids::MAP_REMOVE);
+                    }
+                    if i % 100 == 0 {
+                        h.checkpoint_here();
+                    }
+                }
+            });
+        }
+    });
+    pool.register().checkpoint_here();
+    drop(pool); // joins the drain executor: every submitted epoch commits
+    checker.assert_clean();
+}
+
+/// Pipelined pool (K = 2) driven through a deterministic schedule that
+/// pins two drains in flight, with an optional fault armed before the
+/// worker is released. The schedule is deadlock-free under `hold_drains`:
+/// after the first update synchronizes with epoch 1's commit, later
+/// epochs only touch cells whose tags are already committed, so no
+/// push-out ever waits on a held drain.
+fn two_inflight_pipelined_run(seed: u64, fault: Option<Fault>) -> Arc<Checker> {
+    let (checker, pool) = checked_pool_cfg(
+        16 << 20,
+        seed,
+        PoolConfig::builder()
+            .async_checkpoint(true)
+            .epoch_pipeline(2)
+            .build()
+            .unwrap(),
+    );
+    let h = pool.register();
+    let cells: Vec<_> = (0..32u64).map(|i| h.alloc_cell(i)).collect();
+    h.checkpoint_here(); // epoch 1 closed, ticket 1 in flight
+                         // First touch of an epoch-1 cell push-out-waits for ticket 1's ring
+                         // commit — after this update, the worker is provably idle.
+    h.update(cells[0], 100);
+    pool.hold_drains(true);
+    // The worker re-checks the hold flag between 1 ms receive polls; wait
+    // out one full poll so the tickets below queue behind a parked worker.
+    std::thread::sleep(Duration::from_millis(10));
+    if let Some(f) = fault {
+        pool.inject_fault(f);
+    }
+    for (i, c) in cells.iter().enumerate().take(16).skip(1) {
+        h.update(*c, 100 + i as u64);
+    }
+    h.checkpoint_here(); // epoch 2 closed; its ticket is parked
+    for (i, c) in cells.iter().enumerate().skip(16) {
+        // Tags here are epoch 1 (< drain_oldest): plain backup logging,
+        // no push-out, so the held worker cannot deadlock us.
+        h.update(*c, 100 + i as u64);
+    }
+    h.checkpoint_here(); // epoch 3 closed: two tickets now outstanding
+    pool.hold_drains(false);
+    drop(h);
+    drop(pool); // joins the executor: both tickets commit before this returns
+    checker
+}
+
+#[test]
+fn pipelined_two_inflight_control_run_is_clean() {
+    let checker = two_inflight_pipelined_run(15, None);
+    checker.assert_clean();
+}
+
+#[test]
+fn checker_catches_skipped_ring_order() {
+    // `SkipRingOrder` makes the executor commit the two outstanding
+    // tickets newest-first: `RingCommit { 3 }` lands while epoch 2 is
+    // still draining — exactly the checker's rule-8 violation.
+    let checker = two_inflight_pipelined_run(15, Some(Fault::SkipRingOrder));
+    let report = checker.report();
+    let ring = report.of_kind(DiagnosticKind::RingCommitOrder);
+    assert!(
+        !ring.is_empty(),
+        "out-of-order ring commit not detected:\n{report}"
+    );
+    assert!(
+        ring.iter().any(|d| d.detail.contains("still draining")),
+        "ring diagnostics must name the stale epoch:\n{report}"
+    );
+    assert!(!report.is_clean());
+}
+
+#[test]
 fn async_drain_control_run_is_clean() {
     let (checker, _pool) = dirty_async_pool(12, None);
     checker.assert_clean();

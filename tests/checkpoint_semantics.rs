@@ -211,6 +211,119 @@ fn async_checkpoint_produces_identical_persistence() {
     assert_eq!(images[0], (0..200).map(|i| 1000 + i).collect::<Vec<u64>>());
 }
 
+/// Pipelined checkpoints move the flush and commit entirely off the
+/// checkpointing thread: the report's stop-the-world figure covers only
+/// the window from quiescence to release (the ring-slot claim), and the
+/// flush/drain figures are the executor's to record.
+#[test]
+fn pipelined_stall_split_is_honest() {
+    let pool = Pool::create(
+        Region::new(RegionConfig::fast(32 << 20)),
+        PoolConfig::builder()
+            .async_checkpoint(true)
+            .epoch_pipeline(4)
+            .build()
+            .expect("config"),
+    )
+    .expect("pool");
+    let h = pool.register();
+    let cells: Vec<_> = (0..4_000u64).map(|i| h.alloc_cell(i)).collect();
+    for (i, c) in cells.iter().enumerate() {
+        h.update(*c, 9_000 + i as u64);
+    }
+    let r = h.checkpoint_here();
+    assert!(r.lines > 100, "workload too small to split phases");
+    assert!(
+        r.stw_ns <= r.total_ns,
+        "stw {} > total {}",
+        r.stw_ns,
+        r.total_ns
+    );
+    assert_eq!(
+        r.flush_ns, 0,
+        "the pipelined stop-the-world window must not contain a flush"
+    );
+    assert_eq!(
+        r.drain_ns, 0,
+        "the drain happens after release, on the executor"
+    );
+}
+
+/// The epoch-ring pipeline must persist exactly what the synchronous and
+/// single-drain asynchronous paths do: over randomized op/checkpoint/RP
+/// schedules, all four modes (sync, async, pipelined K = 2 and K = 4)
+/// recover to identical state from a crash with a dirty trailing epoch.
+#[test]
+fn pipelined_checkpoint_produces_identical_persistence() {
+    fn next_rand(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+    let configs: [(&str, bool, usize); 4] = [
+        ("sync", false, 1),
+        ("async", true, 1),
+        ("pipelined-2", true, 2),
+        ("pipelined-4", true, 4),
+    ];
+    for seed in 1..=4u64 {
+        let mut images: Vec<(&str, Vec<u64>)> = Vec::new();
+        for (name, async_on, k) in configs {
+            let region = Region::new(RegionConfig::sim(8 << 20, SimConfig::no_eviction(seed)));
+            let pool = Pool::create(
+                Arc::clone(&region),
+                PoolConfig::builder()
+                    .async_checkpoint(async_on)
+                    .epoch_pipeline(k)
+                    .build()
+                    .expect("config"),
+            )
+            .expect("pool");
+            let h = pool.register();
+            let cells: Vec<_> = (0..64u64).map(|i| h.alloc_cell(i)).collect();
+            h.checkpoint_here();
+            // The schedule is a pure function of the seed, so every mode
+            // replays the identical op/RP/checkpoint sequence.
+            let mut rng = seed.wrapping_mul(0x9e37_79b9) | 1;
+            for _ in 0..300 {
+                let r = next_rand(&mut rng);
+                h.update(cells[(r % 64) as usize], r);
+                if r.is_multiple_of(7) {
+                    h.rp(1);
+                }
+                if r.is_multiple_of(13) {
+                    h.checkpoint_here();
+                }
+            }
+            h.checkpoint_here();
+            // Dirty the trailing epoch: the crash must roll it back the
+            // same way in every mode.
+            for c in cells.iter().take(16) {
+                h.update(*c, 7);
+            }
+            drop(h);
+            // Dropping the pool joins any drain machinery: every submitted
+            // epoch commits before the crash image is taken.
+            drop(pool);
+            let img = region.crash(CrashMode::PowerFailure);
+            region.restore(&img);
+            let (pool, _) =
+                Pool::recover(Arc::clone(&region), PoolConfig::default()).expect("recover");
+            images.push((name, cells.iter().map(|c| pool.cell_get(*c)).collect()));
+        }
+        let (base_name, base) = &images[0];
+        for (name, values) in &images[1..] {
+            assert_eq!(
+                base, values,
+                "seed {seed}: {name} diverged from {base_name}"
+            );
+        }
+    }
+}
+
 /// Regression test for the quiescence race fixed in the flush-pipeline PR:
 /// `checkpoint_here` used to lower its per-thread parked flag
 /// *unconditionally* after driving a checkpoint. A second thread issuing a
@@ -323,6 +436,28 @@ fn pool_config_builder_validation() {
             .flusher_threads(1),
         "NoFlush",
     );
+    // Epoch pipeline: depth 0 is meaningless, the ring caps the depth,
+    // and K > 1 pipelines the *asynchronous* drain specifically.
+    expect_invalid(
+        PoolConfig::builder()
+            .async_checkpoint(true)
+            .epoch_pipeline(0),
+        "at least 1",
+    );
+    expect_invalid(
+        PoolConfig::builder()
+            .async_checkpoint(true)
+            .epoch_pipeline(respct_repro::respct::layout::MAX_EPOCH_PIPELINE + 1),
+        "MAX_EPOCH_PIPELINE",
+    );
+    expect_invalid(PoolConfig::builder().epoch_pipeline(2), "async_checkpoint");
+    let cfg = PoolConfig::builder()
+        .async_checkpoint(true)
+        .epoch_pipeline(2)
+        .build()
+        .expect("pipelined config must validate");
+    assert_eq!(cfg.epoch_pipeline(), 2);
+    assert_eq!(PoolConfig::default().epoch_pipeline(), 1);
 }
 
 /// Lemma 4.5 as a runtime check: with a happens-before edge between two

@@ -41,6 +41,15 @@ fn async_pool_cfg() -> PoolConfig {
         .unwrap()
 }
 
+/// A pipelined pool configuration (epoch ring of depth `k`).
+fn pipelined_pool_cfg(k: usize) -> PoolConfig {
+    PoolConfig::builder()
+        .async_checkpoint(true)
+        .epoch_pipeline(k)
+        .build()
+        .unwrap()
+}
+
 /// Crash points that fall inside an asynchronous drain window — between a
 /// `DrainBegin` and its `DrainCommit`. An async sweep that visits none of
 /// these would not be testing the two-phase commit at all.
@@ -56,6 +65,28 @@ fn drain_window_crash_points(events: &[TraceEvent]) -> u64 {
             }
         }
         if in_drain && is_crash_point(ev) {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Crash points that fall while at least `min_open` pipelined epochs are
+/// simultaneously in flight — between their `PipelineBegin` markers and
+/// the matching `RingCommit`s. A pipelined sweep that never crashes with
+/// two drains outstanding would not be testing the ring at all.
+fn pipeline_overlap_crash_points(events: &[TraceEvent], min_open: usize) -> u64 {
+    let mut open: Vec<u64> = Vec::new();
+    let mut n = 0;
+    for ev in events {
+        if let TraceEvent::Marker { marker, .. } = ev {
+            match marker {
+                TraceMarker::PipelineBegin { epoch } => open.push(*epoch),
+                TraceMarker::RingCommit { epoch } => open.retain(|&e| e != *epoch),
+                _ => {}
+            }
+        }
+        if open.len() >= min_open && is_crash_point(ev) {
             n += 1;
         }
     }
@@ -127,6 +158,133 @@ fn async_queue_sweep_recovers_at_every_point() {
     assert!(
         drain_window_crash_points(&events) > 0,
         "no crash points inside any drain window — async leg is vacuous"
+    );
+}
+
+#[test]
+fn pipelined_hashmap_sweep_recovers_at_every_point() {
+    let mut cfg = SweepConfig::new(workloads::SWEEP_REGION);
+    cfg.eviction_budget = 2;
+    // Stride 3, not 4: the pipelined drain dedups its flush off the
+    // recorded thread, so the trace has somewhat fewer crash points than
+    // the async recording of the same workload.
+    cfg.stride = 3;
+    cfg.pool = pipelined_pool_cfg(2);
+    let (report, events) = workloads::sweep_hashmap(48, 7, &cfg);
+    assert!(report.is_clean(), "{:?}", report.report);
+    assert!(
+        report.points >= 200,
+        "only {} distinct crash points visited",
+        report.points
+    );
+    assert!(
+        pipeline_overlap_crash_points(&events, 1) > 0,
+        "no crash points inside any ring-drain window — pipelined leg is vacuous"
+    );
+}
+
+#[test]
+fn pipelined_queue_sweep_recovers_at_every_point() {
+    let mut cfg = SweepConfig::new(workloads::SWEEP_REGION);
+    cfg.eviction_budget = 2;
+    cfg.stride = 3;
+    cfg.pool = pipelined_pool_cfg(4);
+    let (report, events) = workloads::sweep_queue(64, 7, &cfg);
+    assert!(report.is_clean(), "{:?}", report.report);
+    assert!(
+        report.points >= 200,
+        "only {} distinct crash points visited",
+        report.points
+    );
+    assert!(
+        pipeline_overlap_crash_points(&events, 1) > 0,
+        "no crash points inside any ring-drain window — pipelined leg is vacuous"
+    );
+}
+
+/// A pipelined (K = 2) cell workload recorded with `hold_drains` pinning
+/// two epochs in flight, so the trace deterministically contains crash
+/// points with two uncommitted ring slots. With `Fault::SkipRingOrder`
+/// armed the executor commits those two epochs newest-first.
+///
+/// Snapshots: `snaps[e]` is the expected cell state when recovery lands in
+/// epoch `e`. The schedule keeps held epochs away from push-outs (cells
+/// touched in epochs 3 and 4 were last tagged before `drain_oldest`), so
+/// holding the worker cannot deadlock the recording.
+fn recorded_pipelined_cells(fault: Option<Fault>) -> (Vec<TraceEvent>, Vec<ICell<u64>>, Snaps) {
+    const N: u64 = 48;
+    let region = Region::new(RegionConfig::sim(SIZE, SimConfig::no_eviction(5)));
+    let sink = Arc::new(VecSink::new());
+    region.set_trace_sink(sink.clone());
+    let pool = Pool::create(region, pipelined_pool_cfg(2)).unwrap();
+    let h = pool.register();
+    let cells: Vec<ICell<u64>> = (0..N).map(|i| h.alloc_cell(i)).collect();
+    let mut snaps: Snaps = vec![None, None]; // epochs 0, 1
+    let mut model: Vec<u64> = (0..N).collect();
+    h.checkpoint_here(); // closes epoch 1; ticket 1 in flight
+    snaps.push(Some(model.clone()));
+    // Push-out-wait on an epoch-1 cell: returns only after ticket 1's
+    // ring commit, so the worker is idle when we park it below.
+    h.update(cells[0], 100);
+    model[0] = 100;
+    pool.hold_drains(true);
+    // The worker re-checks the hold flag between 1 ms receive polls; wait
+    // out one full poll so the tickets below are guaranteed to queue up
+    // behind a parked worker instead of racing it.
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    if let Some(f) = fault {
+        pool.inject_fault(f);
+    }
+    for i in 1..24 {
+        h.update(cells[i as usize], 100 + i);
+        model[i as usize] = 100 + i;
+    }
+    h.checkpoint_here(); // closes epoch 2; its ticket is parked
+    snaps.push(Some(model.clone()));
+    for i in 24..N {
+        // Tags are epoch 1 here (< drain_oldest): plain backup logging,
+        // never a push-out wait on the held worker.
+        h.update(cells[i as usize], 100 + i);
+        model[i as usize] = 100 + i;
+    }
+    h.checkpoint_here(); // closes epoch 3: two tickets now outstanding
+    snaps.push(Some(model.clone()));
+    pool.hold_drains(false);
+    drop(h);
+    drop(pool); // joins the executor: all tickets commit, trace complete
+    (sink.drain(), cells, snaps)
+}
+
+#[test]
+fn pipelined_two_inflight_sweep_recovers_at_every_point() {
+    let (events, cells, snaps) = recorded_pipelined_cells(None);
+    let report = sweep_cells(&events, &cells, &snaps);
+    assert!(report.is_clean(), "{:?}", report.report);
+    assert!(report.points > 0 && report.images > 0);
+    assert!(
+        pipeline_overlap_crash_points(&events, 2) > 0,
+        "no crash points with two drains in flight — the ring never overlapped"
+    );
+}
+
+#[test]
+fn skip_ring_order_is_caught_by_the_sweep() {
+    // Control above proves the identical schedule sweeps clean; with the
+    // fault, the executor zeroes epoch 3's slot while epoch 2 is still
+    // claimed. Every crash image between the two commits decodes to a
+    // ring with a hole, which recovery rejects (a panic the sweep maps to
+    // a divergence).
+    let (events, cells, snaps) = recorded_pipelined_cells(Some(Fault::SkipRingOrder));
+    let faulty = sweep_cells(&events, &cells, &snaps);
+    assert!(
+        !faulty.is_clean(),
+        "sweep failed to catch an out-of-order ring commit"
+    );
+    let d = faulty.report.of_kind(DiagnosticKind::RecoveryDivergence);
+    assert!(!d.is_empty());
+    assert!(
+        d.iter().any(|d| d.detail.contains("corrupt epoch ring")),
+        "divergence must come from the ring decode: {d:?}"
     );
 }
 

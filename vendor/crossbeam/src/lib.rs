@@ -2,11 +2,12 @@
 //!
 //! Provides the two pieces this workspace uses, with matching semantics:
 //!
-//! * [`channel::bounded`] — a multi-producer **multi-consumer** bounded
-//!   channel (std's `mpsc` is single-consumer, so this is a small
-//!   `Mutex`+`Condvar` queue instead). `send` blocks when full and fails
-//!   once every receiver is gone; `recv` blocks when empty and fails once
-//!   every sender is gone and the queue is drained.
+//! * [`channel::bounded`] / [`channel::unbounded`] — multi-producer
+//!   **multi-consumer** channels (std's `mpsc` is single-consumer, so this
+//!   is a small `Mutex`+`Condvar` queue instead). `send` blocks when full
+//!   and fails once every receiver is gone; `recv` blocks when empty and
+//!   fails once every sender is gone and the queue is drained;
+//!   `recv_timeout` additionally gives up after a deadline.
 //! * [`utils::CachePadded`] — aligns a value to 128 bytes to keep it on its
 //!   own cache-line pair (matching crossbeam's x86-64 choice, where spatial
 //!   prefetching pulls line pairs).
@@ -45,6 +46,16 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`]: either nothing
+    /// arrived before the deadline, or the channel is disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the channel still empty.
+        Timeout,
+        /// Every sender is gone and the queue is drained.
+        Disconnected,
+    }
+
     /// The sending half of a channel. Clonable (multi-producer).
     pub struct Sender<T> {
         chan: Arc<Chan<T>>,
@@ -76,6 +87,11 @@ pub mod channel {
             },
             Receiver { chan },
         )
+    }
+
+    /// Creates a channel with no capacity bound: `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        bounded(usize::MAX)
     }
 
     impl<T> Sender<T> {
@@ -111,6 +127,36 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 st = self.chan.not_empty.wait(st).expect("channel mutex");
+            }
+        }
+
+        /// Receives the next message, giving up after `timeout` if nothing
+        /// arrived. Disconnection (all senders gone, queue drained) is
+        /// reported immediately, like the real crate.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.chan.state.lock().expect("channel mutex");
+            loop {
+                if let Some(msg) = st.queue.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(left) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .chan
+                    .not_empty
+                    .wait_timeout(st, left)
+                    .expect("channel mutex");
+                st = guard;
             }
         }
 
@@ -266,6 +312,23 @@ mod tests {
         drop(tx);
         let total: u64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
         assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use super::channel::{unbounded, RecvTimeoutError};
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
