@@ -71,6 +71,21 @@ pub fn nvmm_config(size: usize) -> RegionConfig {
 /// typo silently falling back to the synchronous drain would invalidate
 /// a benchmark run.
 pub fn pool_config() -> PoolConfig {
+    pool_config_sized(respct::DEFAULT_POOL_SIZE)
+}
+
+/// [`pool_config`] with an explicit fresh-pool size — what [`Pool::open`]
+/// allocates when the pool file does not exist yet (an existing file keeps
+/// its own size). Apps that size their heap from their working set (the KV
+/// service) use this; everything else keeps the default.
+///
+/// [`Pool::open`]: respct::Pool::open
+///
+/// # Panics
+///
+/// Panics on an unparseable or out-of-range `RESPCT_PIPELINE` value, like
+/// [`pool_config`].
+pub fn pool_config_sized(pool_bytes: usize) -> PoolConfig {
     let k: usize = match std::env::var(PIPELINE_ENV) {
         Ok(spec) => spec
             .parse()
@@ -80,6 +95,7 @@ pub fn pool_config() -> PoolConfig {
     PoolConfig::builder()
         .async_checkpoint(k > 1)
         .epoch_pipeline(k)
+        .size(pool_bytes)
         .build()
         .unwrap_or_else(|e| panic!("invalid {PIPELINE_ENV} depth {k}: {e:?}"))
 }

@@ -1,0 +1,601 @@
+//! The `respct-kvd` wire protocol: length-prefixed, versioned, pipelined.
+//!
+//! Every frame is `[u32 LE payload_len][payload]`. A request payload is
+//!
+//! ```text
+//! [u8 version = 1][u8 opcode][u32 LE request id][body...]
+//! ```
+//!
+//! with opcodes GET=1 (`u64 key`), PUT=2 (`u64 key, u32 len, len bytes`),
+//! DELETE=3 (`u64 key`), PING=4 (empty). A response payload mirrors it:
+//!
+//! ```text
+//! [u8 version = 1][u8 status][u32 LE request id][body...]
+//! ```
+//!
+//! with statuses OK=0, VALUE=1 (`u32 len, len bytes`), NOT_FOUND=2,
+//! PONG=3, BUSY=4, ERR=5 (`u8 code` plus code-specific detail). The
+//! request id is assigned by the client and echoed verbatim, so clients
+//! may pipeline arbitrarily many frames and match answers even when the
+//! server interleaves BUSY rejections with executed responses.
+//!
+//! All integers are little-endian. Decoding never panics: malformed input
+//! yields a typed [`WireError`]. The version byte is checked on every
+//! frame, so a mismatched peer fails on its first message.
+
+use std::io::{self, Read};
+
+use super::{KvError, KvRequest, KvResponse};
+
+/// Protocol version carried in byte 0 of every payload.
+pub const VERSION: u8 = 1;
+
+/// Frame-length prefix size.
+pub const LEN_PREFIX: usize = 4;
+
+/// Hard ceiling on a single payload, independent of the configured value
+/// cap; protects the length-prefix read from absurd allocations.
+pub const MAX_FRAME: usize = 2 << 20;
+
+const OP_GET: u8 = 1;
+const OP_PUT: u8 = 2;
+const OP_DELETE: u8 = 3;
+const OP_PING: u8 = 4;
+
+const ST_OK: u8 = 0;
+const ST_VALUE: u8 = 1;
+const ST_NOT_FOUND: u8 = 2;
+const ST_PONG: u8 = 3;
+const ST_BUSY: u8 = 4;
+const ST_ERR: u8 = 5;
+
+const ERR_VALUE_TOO_LARGE: u8 = 1;
+const ERR_STORE_FULL: u8 = 2;
+const ERR_WIRE: u8 = 3;
+const ERR_INTERNAL: u8 = 4;
+
+const WIRE_VERSION: u8 = 1;
+const WIRE_UNKNOWN_OPCODE: u8 = 2;
+const WIRE_UNKNOWN_STATUS: u8 = 3;
+const WIRE_TRUNCATED: u8 = 4;
+const WIRE_OVERSIZE: u8 = 5;
+const WIRE_TRAILING: u8 = 6;
+
+/// Typed decode failures. None of these panic; all are encodable inside an
+/// ERR response so the peer learns why its frame was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Payload byte 0 was not [`VERSION`].
+    Version { got: u8 },
+    /// Request carried an opcode outside GET/PUT/DELETE/PING.
+    UnknownOpcode(u8),
+    /// Response carried a status outside the known set.
+    UnknownStatus(u8),
+    /// Payload ended before its fixed-size fields or declared body.
+    Truncated { need: usize, got: usize },
+    /// Declared length (frame or value) exceeds the allowed maximum.
+    Oversize { len: usize, max: usize },
+    /// Payload had bytes left over after a complete message.
+    TrailingBytes { extra: usize },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Version { got } => {
+                write!(f, "protocol version {got} (this peer speaks {VERSION})")
+            }
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op}"),
+            WireError::UnknownStatus(st) => write!(f, "unknown status {st}"),
+            WireError::Truncated { need, got } => {
+                write!(f, "truncated payload: need {need} bytes, got {got}")
+            }
+            WireError::Oversize { len, max } => {
+                write!(f, "declared length {len} exceeds maximum {max}")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Little-endian cursor over a payload; every read is bounds-checked.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Oversize {
+            len: n,
+            max: MAX_FRAME,
+        })?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated {
+                need: end,
+                got: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::TrailingBytes {
+                extra: self.buf.len() - self.pos,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn header(out: &mut Vec<u8>, tag: u8, id: u32) {
+    out.push(VERSION);
+    out.push(tag);
+    out.extend_from_slice(&id.to_le_bytes());
+}
+
+/// Seals the frame started at `start`: patches the length prefix that
+/// `begin_frame` reserved.
+fn end_frame(out: &mut [u8], start: usize) {
+    let len = (out.len() - start - LEN_PREFIX) as u32;
+    out[start..start + LEN_PREFIX].copy_from_slice(&len.to_le_bytes());
+}
+
+fn begin_frame(out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; LEN_PREFIX]);
+    start
+}
+
+/// Appends one complete request frame (length prefix included) to `out`.
+pub fn encode_request(out: &mut Vec<u8>, id: u32, req: &KvRequest) {
+    let start = begin_frame(out);
+    match req {
+        KvRequest::Get { key } => {
+            header(out, OP_GET, id);
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        KvRequest::Put { key, value } => {
+            header(out, OP_PUT, id);
+            out.extend_from_slice(&key.to_le_bytes());
+            out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            out.extend_from_slice(value);
+        }
+        KvRequest::Delete { key } => {
+            header(out, OP_DELETE, id);
+            out.extend_from_slice(&key.to_le_bytes());
+        }
+        KvRequest::Ping => header(out, OP_PING, id),
+    }
+    end_frame(out, start);
+}
+
+/// Appends one complete response frame (length prefix included) to `out`.
+pub fn encode_response(out: &mut Vec<u8>, id: u32, resp: &KvResponse) {
+    let start = begin_frame(out);
+    match resp {
+        KvResponse::Ok => header(out, ST_OK, id),
+        KvResponse::Value(v) => {
+            header(out, ST_VALUE, id);
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        KvResponse::NotFound => header(out, ST_NOT_FOUND, id),
+        KvResponse::Pong => header(out, ST_PONG, id),
+        KvResponse::Busy => header(out, ST_BUSY, id),
+        KvResponse::Error(e) => {
+            header(out, ST_ERR, id);
+            encode_error(out, e);
+        }
+    }
+    end_frame(out, start);
+}
+
+fn encode_error(out: &mut Vec<u8>, e: &KvError) {
+    match e {
+        KvError::ValueTooLarge { len, max } => {
+            out.push(ERR_VALUE_TOO_LARGE);
+            out.extend_from_slice(&(*len as u32).to_le_bytes());
+            out.extend_from_slice(&(*max as u32).to_le_bytes());
+        }
+        KvError::StoreFull => out.push(ERR_STORE_FULL),
+        KvError::Wire(w) => {
+            out.push(ERR_WIRE);
+            match w {
+                WireError::Version { got } => out.extend_from_slice(&[WIRE_VERSION, *got]),
+                WireError::UnknownOpcode(op) => {
+                    out.extend_from_slice(&[WIRE_UNKNOWN_OPCODE, *op]);
+                }
+                WireError::UnknownStatus(st) => {
+                    out.extend_from_slice(&[WIRE_UNKNOWN_STATUS, *st]);
+                }
+                WireError::Truncated { need, got } => {
+                    out.push(WIRE_TRUNCATED);
+                    out.extend_from_slice(&(*need as u32).to_le_bytes());
+                    out.extend_from_slice(&(*got as u32).to_le_bytes());
+                }
+                WireError::Oversize { len, max } => {
+                    out.push(WIRE_OVERSIZE);
+                    out.extend_from_slice(&(*len as u32).to_le_bytes());
+                    out.extend_from_slice(&(*max as u32).to_le_bytes());
+                }
+                WireError::TrailingBytes { extra } => {
+                    out.push(WIRE_TRAILING);
+                    out.extend_from_slice(&(*extra as u32).to_le_bytes());
+                }
+            }
+        }
+        // Setup/transport errors never travel; collapse to INTERNAL.
+        KvError::Internal | KvError::Config(_) | KvError::Pool(_) | KvError::Io(_) => {
+            out.push(ERR_INTERNAL);
+        }
+    }
+}
+
+/// Decodes one request payload (frame body, length prefix already
+/// stripped). `max_value` is the configured PUT-value cap.
+pub fn decode_request(payload: &[u8], max_value: usize) -> Result<(u32, KvRequest), WireError> {
+    let mut c = Cursor::new(payload);
+    let ver = c.u8()?;
+    if ver != VERSION {
+        return Err(WireError::Version { got: ver });
+    }
+    let op = c.u8()?;
+    let id = c.u32()?;
+    let req = match op {
+        OP_GET => KvRequest::Get { key: c.u64()? },
+        OP_PUT => {
+            let key = c.u64()?;
+            let len = c.u32()? as usize;
+            if len > max_value {
+                return Err(WireError::Oversize {
+                    len,
+                    max: max_value,
+                });
+            }
+            let value = c.take(len)?.to_vec();
+            KvRequest::Put { key, value }
+        }
+        OP_DELETE => KvRequest::Delete { key: c.u64()? },
+        OP_PING => KvRequest::Ping,
+        other => return Err(WireError::UnknownOpcode(other)),
+    };
+    c.finish()?;
+    Ok((id, req))
+}
+
+/// Decodes one response payload (frame body, length prefix stripped).
+pub fn decode_response(payload: &[u8]) -> Result<(u32, KvResponse), WireError> {
+    let mut c = Cursor::new(payload);
+    let ver = c.u8()?;
+    if ver != VERSION {
+        return Err(WireError::Version { got: ver });
+    }
+    let st = c.u8()?;
+    let id = c.u32()?;
+    let resp = match st {
+        ST_OK => KvResponse::Ok,
+        ST_VALUE => {
+            let len = c.u32()? as usize;
+            if len > MAX_FRAME {
+                return Err(WireError::Oversize {
+                    len,
+                    max: MAX_FRAME,
+                });
+            }
+            KvResponse::Value(c.take(len)?.to_vec())
+        }
+        ST_NOT_FOUND => KvResponse::NotFound,
+        ST_PONG => KvResponse::Pong,
+        ST_BUSY => KvResponse::Busy,
+        ST_ERR => KvResponse::Error(decode_error(&mut c)?),
+        other => return Err(WireError::UnknownStatus(other)),
+    };
+    c.finish()?;
+    Ok((id, resp))
+}
+
+fn decode_error(c: &mut Cursor<'_>) -> Result<KvError, WireError> {
+    Ok(match c.u8()? {
+        ERR_VALUE_TOO_LARGE => KvError::ValueTooLarge {
+            len: c.u32()? as usize,
+            max: c.u32()? as usize,
+        },
+        ERR_STORE_FULL => KvError::StoreFull,
+        ERR_WIRE => KvError::Wire(match c.u8()? {
+            WIRE_VERSION => WireError::Version { got: c.u8()? },
+            WIRE_UNKNOWN_OPCODE => WireError::UnknownOpcode(c.u8()?),
+            WIRE_UNKNOWN_STATUS => WireError::UnknownStatus(c.u8()?),
+            WIRE_TRUNCATED => WireError::Truncated {
+                need: c.u32()? as usize,
+                got: c.u32()? as usize,
+            },
+            WIRE_OVERSIZE => WireError::Oversize {
+                len: c.u32()? as usize,
+                max: c.u32()? as usize,
+            },
+            WIRE_TRAILING => WireError::TrailingBytes {
+                extra: c.u32()? as usize,
+            },
+            other => return Err(WireError::UnknownStatus(other)),
+        }),
+        _ => KvError::Internal,
+    })
+}
+
+/// Outcome of [`read_frame`].
+#[derive(Debug)]
+pub enum FrameError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Peer declared a payload larger than `max`; the connection must be
+    /// dropped (the stream can no longer be resynchronised).
+    Oversize { len: usize, max: usize },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "io error reading frame: {e}"),
+            FrameError::Oversize { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+        }
+    }
+}
+
+/// Reads one frame into `buf`, returning its payload. `Ok(None)` means the
+/// peer closed cleanly at a frame boundary; mid-frame EOF is an error.
+pub fn read_frame<'a>(
+    r: &mut impl Read,
+    max: usize,
+    buf: &'a mut Vec<u8>,
+) -> Result<Option<&'a [u8]>, FrameError> {
+    let mut prefix = [0u8; LEN_PREFIX];
+    let mut got = 0;
+    while got < LEN_PREFIX {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length prefix",
+                )));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > max {
+        return Err(FrameError::Oversize { len, max });
+    }
+    buf.resize(len, 0);
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame payload",
+                )));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(&buf[..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip_req(id: u32, req: &KvRequest) {
+        let mut frame = Vec::new();
+        encode_request(&mut frame, id, req);
+        let declared = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(declared, frame.len() - LEN_PREFIX);
+        let (got_id, got) = decode_request(&frame[LEN_PREFIX..], MAX_FRAME).expect("decode");
+        assert_eq!(got_id, id);
+        assert_eq!(&got, req);
+    }
+
+    fn roundtrip_resp(id: u32, resp: &KvResponse) {
+        let mut frame = Vec::new();
+        encode_response(&mut frame, id, resp);
+        let (got_id, got) = decode_response(&frame[LEN_PREFIX..]).expect("decode");
+        assert_eq!(got_id, id);
+        assert_eq!(&got, resp);
+    }
+
+    fn arb_request() -> impl Strategy<Value = KvRequest> {
+        prop_oneof![
+            any::<u64>().prop_map(|key| KvRequest::Get { key }),
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..300))
+                .prop_map(|(key, value)| KvRequest::Put { key, value }),
+            any::<u64>().prop_map(|key| KvRequest::Delete { key }),
+            Just(KvRequest::Ping),
+        ]
+    }
+
+    fn arb_response() -> impl Strategy<Value = KvResponse> {
+        prop_oneof![
+            Just(KvResponse::Ok),
+            proptest::collection::vec(any::<u8>(), 0..300).prop_map(KvResponse::Value),
+            Just(KvResponse::NotFound),
+            Just(KvResponse::Pong),
+            Just(KvResponse::Busy),
+            arb_error().prop_map(KvResponse::Error),
+        ]
+    }
+
+    fn arb_error() -> impl Strategy<Value = KvError> {
+        prop_oneof![
+            (any::<u32>(), any::<u32>()).prop_map(|(len, max)| KvError::ValueTooLarge {
+                len: len as usize,
+                max: max as usize,
+            }),
+            Just(KvError::StoreFull),
+            Just(KvError::Internal),
+            arb_wire_error().prop_map(KvError::Wire),
+        ]
+    }
+
+    fn arb_wire_error() -> impl Strategy<Value = WireError> {
+        prop_oneof![
+            any::<u8>().prop_map(|got| WireError::Version { got }),
+            any::<u8>().prop_map(WireError::UnknownOpcode),
+            any::<u8>().prop_map(WireError::UnknownStatus),
+            (any::<u32>(), any::<u32>()).prop_map(|(need, got)| WireError::Truncated {
+                need: need as usize,
+                got: got as usize,
+            }),
+            (any::<u32>(), any::<u32>()).prop_map(|(len, max)| WireError::Oversize {
+                len: len as usize,
+                max: max as usize,
+            }),
+            any::<u32>().prop_map(|extra| WireError::TrailingBytes {
+                extra: extra as usize
+            }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn request_roundtrip(id in any::<u32>(), req in arb_request()) {
+            roundtrip_req(id, &req);
+        }
+
+        #[test]
+        fn response_roundtrip(id in any::<u32>(), resp in arb_response()) {
+            roundtrip_resp(id, &resp);
+        }
+
+        /// Arbitrary bytes never panic the decoders — they either decode
+        /// or produce a typed error.
+        #[test]
+        fn garbage_never_panics(payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = decode_request(&payload, 4096);
+            let _ = decode_response(&payload);
+        }
+
+        /// Truncating a valid frame anywhere yields a typed error, never
+        /// a bogus decode of a PUT (shorter reads can alias shorter valid
+        /// messages of other opcodes only if the opcode byte survives —
+        /// with a fixed PUT opcode they cannot).
+        #[test]
+        fn truncated_put_rejected(cut in 0usize..1000) {
+            let mut frame = Vec::new();
+            encode_request(&mut frame, 9, &KvRequest::Put { key: 5, value: vec![1, 2, 3, 4, 5, 6, 7] });
+            let payload = &frame[LEN_PREFIX..];
+            let cut = cut % payload.len();
+            let err = decode_request(&payload[..cut], 4096).unwrap_err();
+            let truncated = matches!(err, WireError::Truncated { need: _, got: _ });
+            assert!(truncated, "cut at {cut} gave {err:?}");
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected_first() {
+        let mut frame = Vec::new();
+        encode_request(&mut frame, 1, &KvRequest::Ping);
+        let mut payload = frame[LEN_PREFIX..].to_vec();
+        payload[0] = 9;
+        assert_eq!(
+            decode_request(&payload, 4096),
+            Err(WireError::Version { got: 9 })
+        );
+        assert_eq!(
+            decode_response(&payload),
+            Err(WireError::Version { got: 9 })
+        );
+    }
+
+    #[test]
+    fn unknown_opcode_and_trailing_bytes_rejected() {
+        let mut payload = vec![VERSION, 42];
+        payload.extend_from_slice(&7u32.to_le_bytes());
+        assert_eq!(
+            decode_request(&payload, 4096),
+            Err(WireError::UnknownOpcode(42))
+        );
+
+        let mut frame = Vec::new();
+        encode_request(&mut frame, 3, &KvRequest::Get { key: 1 });
+        let mut payload = frame[LEN_PREFIX..].to_vec();
+        payload.push(0xaa);
+        assert_eq!(
+            decode_request(&payload, 4096),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn put_over_value_cap_rejected_without_reading_body() {
+        let mut frame = Vec::new();
+        encode_request(
+            &mut frame,
+            8,
+            &KvRequest::Put {
+                key: 2,
+                value: vec![0; 128],
+            },
+        );
+        let err = decode_request(&frame[LEN_PREFIX..], 64).unwrap_err();
+        assert_eq!(err, WireError::Oversize { len: 128, max: 64 });
+    }
+
+    #[test]
+    fn read_frame_handles_eof_and_oversize() {
+        let mut frame = Vec::new();
+        encode_request(&mut frame, 1, &KvRequest::Get { key: 3 });
+        let mut buf = Vec::new();
+
+        // Clean boundary: one frame, then EOF.
+        let mut r = &frame[..];
+        assert!(read_frame(&mut r, MAX_FRAME, &mut buf).unwrap().is_some());
+        assert!(read_frame(&mut r, MAX_FRAME, &mut buf).unwrap().is_none());
+
+        // Mid-frame EOF (frame truncated by 2 bytes) is an io error.
+        let mut r = &frame[..frame.len() - 2];
+        match read_frame(&mut r, MAX_FRAME, &mut buf) {
+            Err(FrameError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected mid-frame eof error, got {other:?}"),
+        }
+
+        // Oversize prefix is rejected before allocating.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let mut r = &huge[..];
+        assert!(matches!(
+            read_frame(&mut r, MAX_FRAME, &mut buf),
+            Err(FrameError::Oversize { .. })
+        ));
+    }
+}

@@ -1,21 +1,22 @@
-//! Memcached-like key-value store (paper §5.3, Fig. 14).
+//! Memcached-like key-value store benchmark harness (paper §5.3, Fig. 14).
 //!
 //! The paper modifies Memcached to keep its hash table of key-value objects
 //! in NVMM and drives it with YCSB through 32 clients and 4 server worker
 //! threads, measuring the *asynchronous writes* configuration (a response
 //! returns before the object is durable — RocksDB's default consistency).
-//! The network stack is not what that experiment measures, so this
-//! reproduction keeps the store and the workload and replaces TCP with
-//! in-process request queues: client threads push requests into per-worker
-//! channels (sharded by key, as Memcached shards its hash table), workers
-//! execute them against the store.
+//! The network stack is not what that experiment measures, so this harness
+//! keeps the store and the workload and replaces TCP with in-process
+//! request queues: client threads push requests into per-worker channels
+//! (sharded by key, as Memcached shards its hash table), workers execute
+//! them against the store.
 //!
-//! Store design under ResPCT: a persistent hash map from key to value-blob
-//! address. Values (100 bytes in the paper's setup) are updated
-//! **copy-on-write** — a put allocates a fresh blob, writes + tracks it,
-//! and swings the map's value cell (InCLL) — so a crashed epoch rolls back
-//! to the previous blob. Old blobs are freed through the deferred-free
-//! path. An RP follows every request.
+//! The store itself is [`crate::kv::service::KvService`] — the same
+//! transport-agnostic service the real TCP server (`respct-kvd`,
+//! [`crate::kv::server`]) runs on; this file owns only threads and
+//! channels. Workers follow the service's batch discipline: up to
+//! [`BATCH`] queued requests per [`KvService::apply`] run, one restart
+//! point per batch via [`KvService::end_batch`], and the §3.3.3
+//! blocking-call protocol around the queue receive.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -23,18 +24,18 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
-use respct::{Pool, RpId, ThreadHandle};
-use respct_ds::{hash_u64, PHashMap};
-use respct_pmem::{PAddr, Region};
+use respct_ds::hash_u64;
 
+use crate::kv::service::KvService;
+use crate::kv::{fill_value, Durability, KvRequest, KvServerConfig};
 use crate::ycsb::{Op, Workload};
 use crate::Mode;
 
-/// RP ids for the two store operations (one per static call site).
-const RP_PUT: RpId = RpId(600);
-const RP_GET: RpId = RpId(601);
+/// Requests per worker batch (one RP per batch, as on the TCP path).
+const BATCH: usize = 16;
 
-/// Configuration for one KV benchmark run.
+/// Configuration for one KV benchmark run — a thin view over
+/// [`KvServerConfig`] (see [`KvConfig::server`]) plus the workload shape.
 #[derive(Debug, Clone)]
 pub struct KvConfig {
     pub nkeys: u64,
@@ -64,6 +65,26 @@ impl KvConfig {
             ckpt_period: Duration::from_millis(16),
         }
     }
+
+    /// The [`KvServerConfig`] this run maps to: the paper's asynchronous
+    /// writes, a heap budgeted for CoW churn (puts between checkpoints
+    /// hold blobs until the deferred free drains), and the hot-path
+    /// histograms off — the harness samples its own latencies.
+    pub fn server(&self) -> KvServerConfig {
+        let blob = (8 + self.value_size).next_multiple_of(64);
+        KvServerConfig::builder()
+            .mode(self.mode)
+            .workers(self.workers)
+            .max_batch(BATCH)
+            .max_value_len(self.value_size.max(1))
+            .nbuckets(self.nkeys / 2 + 1)
+            .pool_bytes(self.nkeys as usize * blob * 8 + (64 << 20))
+            .durability(Durability::Async)
+            .ckpt_period(Some(self.ckpt_period))
+            .metrics(false)
+            .build()
+            .expect("KvConfig maps to a valid server config")
+    }
 }
 
 /// Result of a run.
@@ -80,212 +101,27 @@ pub struct KvOutput {
     pub p99_ns: u64,
 }
 
-// ---- Store variants -----------------------------------------------------------
-
-trait KvStore: Send + Sync {
-    type Ctx: Send;
-    fn ctx(&self) -> Self::Ctx;
-    fn put(&self, ctx: &mut Self::Ctx, k: u64, val_seed: u64);
-    /// Returns a checksum of the value (forces a full value read).
-    fn get(&self, ctx: &mut Self::Ctx, k: u64) -> Option<u64>;
-    /// Runs `block` — a call that waits on something outside the store,
-    /// like a channel receive — under the paper's blocking-call protocol
-    /// (§3.3.3). A store whose workers hold registered thread handles must
-    /// allow checkpoints to complete while the worker sits in `recv`, or
-    /// the checkpointer waits forever for a thread that is not going to
-    /// reach an RP. The default store has no such obligation and just runs
-    /// the call.
-    fn blocked<R>(&self, _ctx: &mut Self::Ctx, block: impl FnOnce() -> R) -> R {
-        block()
-    }
-}
-
-/// Deterministic value bytes for (key, seed).
-fn fill_value(buf: &mut [u8], k: u64, seed: u64) {
-    let mut x = k.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed;
-    for chunk in buf.chunks_mut(8) {
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        let bytes = x.to_ne_bytes();
-        let n = chunk.len();
-        chunk.copy_from_slice(&bytes[..n]);
-    }
-}
-
-fn checksum(buf: &[u8]) -> u64 {
-    buf.iter()
-        .fold(0u64, |acc, &b| acc.wrapping_mul(31).wrapping_add(b as u64))
-}
-
-// DRAM store: sharded std HashMap with owned value buffers.
-type DramShard = Mutex<std::collections::HashMap<u64, Vec<u8>>>;
-
-struct DramStore {
-    shards: Box<[DramShard]>,
-    value_size: usize,
-}
-
-impl DramStore {
-    fn new(value_size: usize) -> DramStore {
-        DramStore {
-            shards: (0..64).map(|_| Mutex::new(Default::default())).collect(),
-            value_size,
-        }
-    }
-}
-
-impl KvStore for DramStore {
-    type Ctx = ();
-
-    fn ctx(&self) {}
-
-    fn put(&self, _ctx: &mut (), k: u64, seed: u64) {
-        let mut shard = self.shards[(hash_u64(k) % 64) as usize].lock();
-        let buf = shard.entry(k).or_insert_with(|| vec![0u8; self.value_size]);
-        fill_value(buf, k, seed);
-    }
-
-    fn get(&self, _ctx: &mut (), k: u64) -> Option<u64> {
-        self.shards[(hash_u64(k) % 64) as usize]
-            .lock()
-            .get(&k)
-            .map(|v| checksum(v))
-    }
-}
-
-// NVMM store: same structure, value blobs in an Optane-latency region.
-struct NvmmStore {
-    region: Arc<Region>,
-    /// key → blob address.
-    shards: Box<[Mutex<std::collections::HashMap<u64, u64>>]>,
-    bump: AtomicU64,
-    value_size: usize,
-}
-
-impl NvmmStore {
-    fn new(region: Arc<Region>, value_size: usize) -> NvmmStore {
-        NvmmStore {
-            region,
-            shards: (0..64).map(|_| Mutex::new(Default::default())).collect(),
-            bump: AtomicU64::new(64),
-            value_size,
-        }
-    }
-}
-
-impl KvStore for NvmmStore {
-    type Ctx = Vec<u8>;
-
-    fn ctx(&self) -> Vec<u8> {
-        vec![0u8; self.value_size]
-    }
-
-    fn put(&self, buf: &mut Vec<u8>, k: u64, seed: u64) {
-        fill_value(buf, k, seed);
-        let mut shard = self.shards[(hash_u64(k) % 64) as usize].lock();
-        let addr = *shard.entry(k).or_insert_with(|| {
-            let a = self.bump.fetch_add(
-                respct_pmem::align_up(self.value_size as u64, 64),
-                Ordering::Relaxed,
-            );
-            assert!(
-                a + self.value_size as u64 <= self.region.size() as u64,
-                "NvmmStore full"
-            );
-            a
-        });
-        self.region.store_bytes(PAddr(addr), buf);
-    }
-
-    fn get(&self, buf: &mut Vec<u8>, k: u64) -> Option<u64> {
-        let addr = *self.shards[(hash_u64(k) % 64) as usize].lock().get(&k)?;
-        self.region.load_bytes(PAddr(addr), buf);
-        Some(checksum(buf))
-    }
-}
-
-// ResPCT store: persistent map + CoW blobs.
-struct RespctStore {
-    pool: Arc<Pool>,
-    map: PHashMap,
-    value_size: usize,
-    blob_size: u64,
-}
-
-struct RespctCtx {
-    handle: ThreadHandle,
-    buf: Vec<u8>,
-}
-
-impl RespctStore {
-    fn new(pool: Arc<Pool>, nbuckets: u64, value_size: usize) -> RespctStore {
-        let h = pool.register();
-        let map = PHashMap::create(&h, nbuckets);
-        h.set_root(map.desc());
-        drop(h);
-        RespctStore {
-            pool,
-            map,
-            value_size,
-            blob_size: respct_pmem::align_up(value_size as u64, 64),
-        }
-    }
-}
-
-impl KvStore for RespctStore {
-    type Ctx = RespctCtx;
-
-    fn ctx(&self) -> RespctCtx {
-        RespctCtx {
-            handle: self.pool.register(),
-            buf: vec![0u8; self.value_size],
-        }
-    }
-
-    fn put(&self, ctx: &mut RespctCtx, k: u64, seed: u64) {
-        let h = &ctx.handle;
-        fill_value(&mut ctx.buf, k, seed);
-        // Copy-on-write value: fresh blob, written + tracked while
-        // unreachable (idempotent, no logging), then the map's value cell
-        // swings to it (InCLL).
-        let blob = h.alloc(self.blob_size, 64);
-        self.pool.region().store_bytes(blob, &ctx.buf);
-        h.add_modified(blob, self.value_size);
-        if let Some(old) = self.map.get(h, k) {
-            self.map.insert(h, k, blob.0);
-            h.free(PAddr(old), self.blob_size);
-        } else {
-            self.map.insert(h, k, blob.0);
-        }
-        h.rp(RP_PUT);
-    }
-
-    fn get(&self, ctx: &mut RespctCtx, k: u64) -> Option<u64> {
-        let h = &ctx.handle;
-        let blob = self.map.get(h, k)?;
-        self.pool.region().load_bytes(PAddr(blob), &mut ctx.buf);
-        h.rp(RP_GET);
-        Some(checksum(&ctx.buf))
-    }
-
-    fn blocked<R>(&self, ctx: &mut RespctCtx, block: impl FnOnce() -> R) -> R {
-        // The guard's Drop re-arms prevention (waiting out any in-flight
-        // checkpoint) once the blocking call returns.
-        let _allow = ctx.handle.allow_checkpoints();
-        block()
-    }
-}
-
 // ---- The server harness ---------------------------------------------------------
 
-fn serve<S: KvStore + 'static>(cfg: &KvConfig, store: Arc<S>) -> KvOutput {
-    // Load phase.
+fn serve(cfg: &KvConfig, svc: &Arc<KvService>) -> KvOutput {
+    // Load phase: one batch discipline even here.
     {
-        let mut ctx = store.ctx();
+        let mut ctx = svc.worker_ctx();
+        let mut value = vec![0u8; cfg.value_size];
         for k in 0..cfg.nkeys {
-            store.put(&mut ctx, k, 0);
+            fill_value(&mut value, k, 0);
+            svc.apply(
+                &mut ctx,
+                &KvRequest::Put {
+                    key: k,
+                    value: value.clone(),
+                },
+            );
+            if k % BATCH as u64 == BATCH as u64 - 1 {
+                svc.end_batch(&mut ctx, true, BATCH);
+            }
         }
+        svc.end_batch(&mut ctx, true, (cfg.nkeys as usize) % BATCH);
     }
     let gets = AtomicU64::new(0);
     let puts = AtomicU64::new(0);
@@ -303,37 +139,52 @@ fn serve<S: KvStore + 'static>(cfg: &KvConfig, store: Arc<S>) -> KvOutput {
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for rx in receivers {
-            let store = Arc::clone(&store);
+            let svc = Arc::clone(svc);
             let (gets, puts) = (&gets, &puts);
             let latencies = &latencies;
+            let value_size = cfg.value_size;
             s.spawn(move || {
-                let mut ctx = store.ctx();
+                let mut ctx = svc.worker_ctx();
                 let mut seed = 1u64;
                 let mut local_lat = Vec::new();
                 let mut n = 0u64;
+                let mut batch: Vec<Op> = Vec::with_capacity(BATCH);
                 loop {
                     // Blocking-call protocol around the blocking receive
                     // (§3.3.3): with the flag raised, a checkpoint can
                     // complete while this worker waits for requests.
-                    let msg = store.blocked(&mut ctx, || rx.recv());
+                    let msg = svc.blocked(&mut ctx, || rx.recv());
                     let Ok(op) = msg else { break };
-                    // Sample every 32nd request's service time.
-                    let t = n.is_multiple_of(32).then(Instant::now);
-                    n += 1;
-                    match op {
-                        Op::Get(k) => {
-                            let _ = store.get(&mut ctx, k);
-                            gets.fetch_add(1, Ordering::Relaxed);
+                    batch.push(op);
+                    while batch.len() < BATCH {
+                        let Ok(op) = rx.try_recv() else { break };
+                        batch.push(op);
+                    }
+                    let len = batch.len();
+                    let mut wrote = false;
+                    for op in batch.drain(..) {
+                        // Sample every 32nd request's service time.
+                        let t = n.is_multiple_of(32).then(Instant::now);
+                        n += 1;
+                        match op {
+                            Op::Get(k) => {
+                                let _ = svc.apply(&mut ctx, &KvRequest::Get { key: k });
+                                gets.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Op::Put(k) => {
+                                seed += 1;
+                                let mut value = vec![0u8; value_size];
+                                fill_value(&mut value, k, seed);
+                                svc.apply(&mut ctx, &KvRequest::Put { key: k, value });
+                                puts.fetch_add(1, Ordering::Relaxed);
+                                wrote = true;
+                            }
                         }
-                        Op::Put(k) => {
-                            seed += 1;
-                            store.put(&mut ctx, k, seed);
-                            puts.fetch_add(1, Ordering::Relaxed);
+                        if let Some(t) = t {
+                            local_lat.push(t.elapsed().as_nanos() as u64);
                         }
                     }
-                    if let Some(t) = t {
-                        local_lat.push(t.elapsed().as_nanos() as u64);
-                    }
+                    svc.end_batch(&mut ctx, wrote, len);
                 }
                 latencies.lock().append(&mut local_lat);
             });
@@ -389,46 +240,21 @@ fn serve<S: KvStore + 'static>(cfg: &KvConfig, store: Arc<S>) -> KvOutput {
 
 /// Runs the KV benchmark in the configured mode.
 pub fn run(cfg: &KvConfig) -> KvOutput {
-    match cfg.mode {
-        Mode::TransientDram => serve(cfg, Arc::new(DramStore::new(cfg.value_size))),
-        Mode::TransientNvmm => {
-            let bytes = cfg.nkeys as usize * cfg.value_size.next_multiple_of(64) * 2 + (16 << 20);
-            let region = Region::new(crate::backend::nvmm_config(bytes));
-            serve(cfg, Arc::new(NvmmStore::new(region, cfg.value_size)))
-        }
-        Mode::Respct => run_respct(cfg, None),
-    }
+    let (svc, _) = KvService::open(cfg.server()).expect("kv service");
+    serve(cfg, &svc)
 }
 
 /// Runs the ResPCT mode with `sink` attached to the region before any pool
 /// traffic — the analysis hook for the trace checker and the
 /// happens-before race detector.
 pub fn run_traced(cfg: &KvConfig, sink: Arc<dyn respct_pmem::TraceSink>) -> KvOutput {
-    run_respct(cfg, Some(sink))
-}
-
-fn run_respct(cfg: &KvConfig, sink: Option<Arc<dyn respct_pmem::TraceSink>>) -> KvOutput {
-    // CoW blobs churn the heap: budget generously (puts between
-    // checkpoints hold blobs until the deferred free drains).
-    let bytes = cfg.nkeys as usize * cfg.value_size.next_multiple_of(64) * 8 + (64 << 20);
-    let region = Region::new(crate::backend::nvmm_config(bytes));
-    if let Some(sink) = sink {
-        region.set_trace_sink(sink);
-    }
-    let pool = Pool::create(region, crate::backend::pool_config()).expect("pool");
-    let _ckpt = pool.start_checkpointer(cfg.ckpt_period);
-    let store = Arc::new(RespctStore::new(
-        Arc::clone(&pool),
-        cfg.nkeys / 2 + 1,
-        cfg.value_size,
-    ));
-    serve(cfg, store)
+    let (svc, _) = KvService::open_with_sink(cfg.server(), Some(sink)).expect("kv service");
+    serve(cfg, &svc)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use respct_pmem::RegionConfig;
 
     #[test]
     fn all_modes_complete_all_ops() {
@@ -448,36 +274,13 @@ mod tests {
     }
 
     #[test]
-    fn respct_store_roundtrip() {
-        let region = Region::new(RegionConfig::fast(64 << 20));
-        let pool = Pool::create(region, crate::backend::pool_config()).expect("pool");
-        let store = RespctStore::new(Arc::clone(&pool), 64, 100);
-        let mut ctx = store.ctx();
-        store.put(&mut ctx, 5, 1);
-        let c1 = store.get(&mut ctx, 5).unwrap();
-        // Same key/seed elsewhere must produce the same checksum.
-        let mut buf = vec![0u8; 100];
-        fill_value(&mut buf, 5, 1);
-        assert_eq!(c1, checksum(&buf));
-        assert_eq!(store.get(&mut ctx, 999), None);
-        // Overwrite changes the value.
-        store.put(&mut ctx, 5, 2);
-        assert_ne!(store.get(&mut ctx, 5).unwrap(), c1);
-    }
-
-    #[test]
-    fn dram_and_nvmm_stores_agree() {
-        let d = DramStore::new(100);
-        let region = Region::new(RegionConfig::fast(8 << 20));
-        let n = NvmmStore::new(region, 100);
-        d.ctx();
-        let mut nc = n.ctx();
-        for k in 0..50 {
-            d.put(&mut (), k, k + 1);
-            n.put(&mut nc, k, k + 1);
-        }
-        for k in 0..50 {
-            assert_eq!(d.get(&mut (), k), n.get(&mut nc, k));
-        }
+    fn config_maps_to_valid_server_view() {
+        let cfg = KvConfig::small(Mode::Respct);
+        let server = cfg.server();
+        assert_eq!(server.mode(), Mode::Respct);
+        assert_eq!(server.workers(), cfg.workers);
+        assert_eq!(server.durability(), Durability::Async);
+        assert_eq!(server.ckpt_period(), Some(cfg.ckpt_period));
+        assert!(server.pool_bytes() > 64 << 20);
     }
 }

@@ -18,8 +18,11 @@
 //! * [`wordcount`] — MapReduce word count (Phoenix's flagship kernel):
 //!   a shared persistent hash map updated by all mappers under bucket
 //!   locks, with per-thread persistent progress cursors.
-//! * [`kvstore`] — memcached-like store: sharded persistent hash table with
-//!   copy-on-write values, worker threads fed by in-process request queues.
+//! * [`kv`] — the KV subsystem behind [`kvstore`] and `respct-kvd`: typed
+//!   request/response/error API, validated server config, versioned wire
+//!   protocol, transport-agnostic service core, and the TCP front end.
+//! * [`kvstore`] — memcached-like store benchmark harness: the [`kv`]
+//!   service driven through in-process request queues (paper Fig. 14).
 //! * [`ycsb`] — YCSB-style workload generator (zipfian keys, configurable
 //!   read/update mix).
 //!
@@ -28,6 +31,7 @@
 
 pub mod backend;
 pub mod dedup;
+pub mod kv;
 pub mod kvstore;
 pub mod linreg;
 pub mod matmul;

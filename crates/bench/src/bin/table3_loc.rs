@@ -56,6 +56,7 @@ fn main() {
         ("MatMul", "apps/src/matmul.rs"),
         ("LR", "apps/src/linreg.rs"),
         ("KV store", "apps/src/kvstore.rs"),
+        ("KV service", "apps/src/kv/service.rs"),
     ];
     println!("# Table 3 — ResPCT integration footprint (API-call lines vs module size)");
     let mut table = Table::new(&["application", "respct_loc", "module_loc", "pct"]);

@@ -122,6 +122,15 @@ impl PHashMap {
     /// Inserts `k → v`, updating in place if present. Returns `true` when
     /// the key was newly inserted.
     pub fn insert(&self, h: &ThreadHandle, k: u64, v: u64) -> bool {
+        self.replace(h, k, v).is_none()
+    }
+
+    /// Inserts `k → v` and returns the value it displaced, all under one
+    /// bucket-lock hold. When values are addresses of out-of-band payloads
+    /// (as in the KV store's copy-on-write blobs), the atomic read-and-swap
+    /// is what lets the caller free the old payload exactly once even when
+    /// several threads race on the same key.
+    pub fn replace(&self, h: &ThreadHandle, k: u64, v: u64) -> Option<u64> {
         let b = self.bucket_of(k);
         let _g = self.locks[b as usize].lock();
         let head = self.bucket_cell(b);
@@ -130,8 +139,9 @@ impl PHashMap {
         while cur != 0 {
             let key: u64 = region.load(PAddr(cur + NODE_KEY));
             if key == k {
+                let old = h.get(val_cell(cur));
                 h.update(val_cell(cur), v);
-                return false;
+                return Some(old);
             }
             cur = h.get(next_cell(cur));
         }
@@ -140,11 +150,17 @@ impl PHashMap {
         h.init_cell_at::<u64>(PAddr(node.0 + NODE_VAL), v);
         h.init_cell_at::<u64>(PAddr(node.0 + NODE_NEXT), h.get(head));
         h.update(head, node.0);
-        true
+        None
     }
 
     /// Removes `k`. Returns `true` if it was present.
     pub fn remove(&self, h: &ThreadHandle, k: u64) -> bool {
+        self.remove_entry(h, k).is_some()
+    }
+
+    /// Removes `k` and returns the value it held, under one bucket-lock
+    /// hold (the removal twin of [`replace`](Self::replace)).
+    pub fn remove_entry(&self, h: &ThreadHandle, k: u64) -> Option<u64> {
         let b = self.bucket_of(k);
         let _g = self.locks[b as usize].lock();
         let head = self.bucket_cell(b);
@@ -155,18 +171,19 @@ impl PHashMap {
             let key: u64 = region.load(PAddr(cur + NODE_KEY));
             let next = h.get(next_cell(cur));
             if key == k {
+                let old = h.get(val_cell(cur));
                 if prev == 0 {
                     h.update(head, next);
                 } else {
                     h.update(next_cell(prev), next);
                 }
                 h.free(PAddr(cur), NODE_SIZE);
-                return true;
+                return Some(old);
             }
             prev = cur;
             cur = next;
         }
-        false
+        None
     }
 
     /// Atomically adds `delta` to `k`'s value (inserting `delta` if the
@@ -298,6 +315,19 @@ mod tests {
         assert!(!map.remove(&h, 1));
         assert_eq!(map.get(&h, 1), None);
         assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn replace_and_remove_entry_return_displaced_values() {
+        let (_p, h, map) = setup(2); // heavy chaining
+        assert_eq!(map.replace(&h, 7, 70), None);
+        assert_eq!(map.replace(&h, 9, 90), None);
+        assert_eq!(map.replace(&h, 7, 71), Some(70));
+        assert_eq!(map.get(&h, 7), Some(71));
+        assert_eq!(map.remove_entry(&h, 7), Some(71));
+        assert_eq!(map.remove_entry(&h, 7), None);
+        assert_eq!(map.remove_entry(&h, 9), Some(90));
+        assert!(map.is_empty());
     }
 
     #[test]

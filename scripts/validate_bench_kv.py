@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Schema + floor check for BENCH_kv.json (emitted by the kv_load bench).
+
+Usage: validate_bench_kv.py [path]             (default: BENCH_kv.json)
+
+Fails (exit 1) when a required field is missing or mistyped, when any arm
+answered zero requests or answered any request with an error, when a
+latency distribution is not monotone (p50 <= p99 <= p999), when a
+checkpoints-on arm recorded no checkpoints (or the off arm recorded any),
+or when a checkpoints-on arm's open-loop p99 exceeds KV_MAX_P99_FACTOR
+(default 2.0) times the checkpoints-off p99 — the server places restart
+points only at request-batch boundaries, so serving with checkpointing on
+must not meaningfully move the tail. The sync-drain arm is exempt from
+the p99 gate (it exists to show the stall the async/pipelined drains
+remove; its tail is gated only by the looser KV_MAX_SYNC_P99_FACTOR,
+default 10.0) but still faces every structural check.
+"""
+
+import json
+import os
+import sys
+
+ARM_FIELDS = (
+    ("throughput", (int, float)),
+    ("ok", int),
+    ("busy", int),
+    ("errors", int),
+    ("p50_us", (int, float)),
+    ("p99_us", (int, float)),
+    ("p999_us", (int, float)),
+    ("mean_us", (int, float)),
+    ("ckpts", int),
+)
+
+
+def fail(msg: str) -> None:
+    print(f"BENCH_kv.json invalid: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_arm(doc: dict, name: str) -> dict:
+    a = doc.get(name)
+    if not isinstance(a, dict):
+        fail(f"{name} must be an object, got {type(a).__name__}")
+    for field, ty in ARM_FIELDS:
+        if not isinstance(a.get(field), ty):
+            fail(f"{name}.{field} missing or not {ty}")
+    if a["ok"] <= 0:
+        fail(f"{name} arm answered no requests successfully")
+    if a["errors"] != 0:
+        fail(f"{name} arm answered {a['errors']} requests with errors")
+    if a["throughput"] <= 0:
+        fail(f"{name} arm reports no throughput")
+    if not a["p50_us"] <= a["p99_us"] <= a["p999_us"]:
+        fail(
+            f"{name} latency percentiles not monotone: "
+            f"p50 {a['p50_us']} p99 {a['p99_us']} p999 {a['p999_us']}"
+        )
+    if name == "off":
+        if a["ckpts"] != 0:
+            fail(f"off arm ran {a['ckpts']} checkpoints — checkpointer not off")
+    elif a["ckpts"] <= 0:
+        fail(f"{name} arm completed no checkpoints — nothing was measured")
+    return a
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_kv.json"
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    if doc.get("bench") != "kv_load":
+        fail(f"bench field is {doc.get('bench')!r}, expected 'kv_load'")
+    for field, ty in (
+        ("rate", int),
+        ("secs", (int, float)),
+        ("conns", int),
+        ("workers", int),
+        ("keys", int),
+        ("value", int),
+        ("read_pct", int),
+        ("period_ms", int),
+        ("pipeline", int),
+        ("sync_p99_factor", (int, float)),
+        ("async_p99_factor", (int, float)),
+        ("pipelined_p99_factor", (int, float)),
+    ):
+        if not isinstance(doc.get(field), ty):
+            fail(f"{field} missing or not {ty}")
+    if doc["pipeline"] < 2:
+        fail(f"pipeline depth {doc['pipeline']} — the pipelined arm needs K >= 2")
+
+    off = check_arm(doc, "off")
+    arms = {name: check_arm(doc, name) for name in ("sync", "async", "pipelined")}
+
+    # Recompute the headline factors from the rows so they cannot go stale.
+    off_p99 = max(off["p99_us"], 1e-3)
+    for name, arm in arms.items():
+        factor = arm["p99_us"] / off_p99
+        summary = doc[f"{name}_p99_factor"]
+        if abs(factor - summary) > max(0.02 * factor, 0.01):
+            fail(
+                f"{name}_p99_factor {summary:.3f} does not match the rows "
+                f"({factor:.3f} = {arm['p99_us']:.1f}us / {off['p99_us']:.1f}us)"
+            )
+
+    cap = float(os.environ.get("KV_MAX_P99_FACTOR", "2.0"))
+    sync_cap = float(os.environ.get("KV_MAX_SYNC_P99_FACTOR", "10.0"))
+    for name, arm_cap in (("async", cap), ("pipelined", cap), ("sync", sync_cap)):
+        factor = arms[name]["p99_us"] / off_p99
+        if factor > arm_cap:
+            fail(
+                f"{name} arm p99 {arms[name]['p99_us']:.1f}us is {factor:.2f}x the "
+                f"checkpoints-off p99 {off['p99_us']:.1f}us (cap {arm_cap}x)"
+            )
+
+    print(
+        f"BENCH_kv.json OK: off p99 {off['p99_us']:.1f}us; p99 factor "
+        f"sync {arms['sync']['p99_us'] / off_p99:.2f}x / "
+        f"async {arms['async']['p99_us'] / off_p99:.2f}x / "
+        f"pipelined {arms['pipelined']['p99_us'] / off_p99:.2f}x "
+        f"(caps {sync_cap}/{cap}/{cap}); throughput "
+        f"{off['throughput']:.0f} / {arms['sync']['throughput']:.0f} / "
+        f"{arms['async']['throughput']:.0f} / "
+        f"{arms['pipelined']['throughput']:.0f} req/s; "
+        f"ckpts {arms['sync']['ckpts']} / {arms['async']['ckpts']} / "
+        f"{arms['pipelined']['ckpts']} (K={doc['pipeline']})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,190 @@
+//! SIGKILL-under-load for the TCP KV server (ISSUE 9, satellite 3).
+//!
+//! Starts `respct-kvd` on the mmap backend in sync-durability mode with the
+//! periodic checkpointer off — the only checkpoints are the ones write
+//! batches force before acknowledging. Two connections pipeline PUTs at it;
+//! once a few hundred are acknowledged the server is SIGKILLed mid-load.
+//! The pool file is then recovered in *this* process: `Pool::verify` must
+//! come back clean (the dirty epoch rolled back), and **every acknowledged
+//! write must be present with intact bytes** — that is the sync-mode
+//! contract (`end_batch` checkpoints before any response is released).
+//! Unacknowledged writes may or may not survive; BUSY rejections must not
+//! be counted as acknowledgements.
+#![cfg(unix)]
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use respct_repro::apps::kv::server::KvClient;
+use respct_repro::apps::kv::{fill_value, KvRequest, KvResponse};
+use respct_repro::ds::PHashMap;
+use respct_repro::pmem::PAddr;
+use respct_repro::respct::{Pool, PoolConfig};
+
+const VALUE_LEN: usize = 64;
+const ACK_TARGET: usize = 300;
+const SETUP_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn spawn_kvd(pool_path: &std::path::Path) -> (Child, std::net::SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_respct-kvd"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--batch",
+            "8",
+            "--sync",
+            "--period-ms",
+            "0",
+            "--pool-bytes",
+            &(64 << 20).to_string(),
+        ])
+        .env("RESPCT_BACKEND", format!("mmap:{}", pool_path.display()))
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn respct-kvd");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let addr = loop {
+        let line = rx
+            .recv_timeout(SETUP_TIMEOUT)
+            .expect("kvd readiness line before timeout");
+        if let Some(addr) = line.strip_prefix("kv listening ") {
+            break addr.parse().expect("kvd printed a socket address");
+        }
+    };
+    (child, addr)
+}
+
+#[test]
+fn sigkill_under_load_keeps_every_acked_sync_write() {
+    let path = std::env::temp_dir().join(format!("respct_kv_crash_{}.pool", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let (mut child, addr) = spawn_kvd(&path);
+
+    // Acked keys, collected by the reader threads. The put for key k
+    // carried the deterministic fill for (k, seed 1).
+    let acked: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for conn in 0..2u64 {
+        let client = KvClient::connect(addr).expect("connect to kvd");
+        let (mut wh, mut rh) = client.split().expect("split client");
+        let acked = Arc::clone(&acked);
+        let stop = Arc::clone(&stop);
+        let stop_w = Arc::clone(&stop);
+        // Writer: pipeline PUTs until the server dies or the test stops us.
+        threads.push(std::thread::spawn(move || {
+            let mut value = vec![0u8; VALUE_LEN];
+            for j in 0..200_000u32 {
+                if stop_w.load(Ordering::Relaxed) {
+                    break;
+                }
+                let key = (conn << 32) | u64::from(j);
+                fill_value(&mut value, key, 1);
+                wh.send(
+                    j,
+                    &KvRequest::Put {
+                        key,
+                        value: value.clone(),
+                    },
+                );
+                if j % 16 == 15 && wh.flush().is_err() {
+                    break;
+                }
+            }
+            let _ = wh.flush();
+        }));
+        // Reader: every Ok is a durable-write acknowledgement.
+        threads.push(std::thread::spawn(move || {
+            loop {
+                match rh.recv() {
+                    Ok(Some((id, KvResponse::Ok))) => {
+                        let key = (conn << 32) | u64::from(id);
+                        acked.lock().unwrap().insert(key);
+                    }
+                    // BUSY = not executed; anything else unexpected here.
+                    Ok(Some((_, KvResponse::Busy))) => {}
+                    Ok(Some((id, other))) => {
+                        if !stop.load(Ordering::Relaxed) {
+                            panic!("unexpected response to put {id}: {other:?}");
+                        }
+                        break;
+                    }
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }));
+    }
+
+    // Let acknowledgements accumulate, then SIGKILL mid-load — no signal
+    // handler, no flush, no unmap.
+    let t0 = Instant::now();
+    loop {
+        let n = acked.lock().unwrap().len();
+        if n >= ACK_TARGET {
+            break;
+        }
+        assert!(
+            t0.elapsed() < SETUP_TIMEOUT,
+            "only {n} acks after {:?}",
+            t0.elapsed()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("deliver SIGKILL");
+    child.wait().expect("reap kvd");
+    stop.store(true, Ordering::Relaxed);
+    for t in threads {
+        let _ = t.join();
+    }
+    let acked = Arc::try_unwrap(acked)
+        .expect("all holders joined")
+        .into_inner()
+        .unwrap();
+    assert!(acked.len() >= ACK_TARGET);
+
+    // Recover in this process. The kill landed mid-epoch under load, so
+    // the recovery path must run and the pool must verify clean.
+    let cfg = PoolConfig::builder()
+        .size(64 << 20)
+        .recovery_threads(2)
+        .build()
+        .expect("config");
+    let (pool, recovered) = Pool::open(&path, cfg).expect("reopen pool");
+    recovered.expect("existing pool file must take the recovery path");
+    assert!(pool.verify().is_clean(), "pool integrity after SIGKILL");
+
+    // Every acknowledged sync write survived with intact bytes.
+    let map = PHashMap::open(&pool, pool.root());
+    let h = pool.register();
+    let mut expect = vec![0u8; VALUE_LEN];
+    let mut got = vec![0u8; VALUE_LEN];
+    for &key in &acked {
+        let blob = map
+            .get(&h, key)
+            .unwrap_or_else(|| panic!("acked key {key:#x} lost across SIGKILL"));
+        let len: u64 = pool.region().load(PAddr(blob));
+        assert_eq!(len as usize, VALUE_LEN, "length header of key {key:#x}");
+        pool.region().load_bytes(PAddr(blob + 8), &mut got);
+        fill_value(&mut expect, key, 1);
+        assert_eq!(got, expect, "value bytes of key {key:#x}");
+    }
+    drop(h);
+
+    drop(pool);
+    let _ = std::fs::remove_file(&path);
+}
